@@ -1,0 +1,123 @@
+// Command rmacli is an interactive SQL shell for the RMA engine. It
+// accepts the SQL dialect of internal/sql, including the paper's matrix
+// operations as table functions in FROM:
+//
+//	$ go run ./cmd/rmacli
+//	rma> CREATE TABLE r (T VARCHAR(3), H DOUBLE, W DOUBLE);
+//	rma> INSERT INTO r VALUES ('5am',1,3), ('8am',8,5);
+//	rma> SELECT * FROM TRA(r BY T);
+//
+// Statements may span lines and end with ';'. With -demo the shell starts
+// with the paper's example database (users, film, rating) loaded.
+// Meta commands: \d lists tables, \policy bat|mkl|auto switches the
+// execution policy, \q quits.
+package main
+
+import (
+	"bufio"
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"repro/internal/core"
+	"repro/rma"
+)
+
+const demoScript = `
+CREATE TABLE users (Usr VARCHAR(20), State VARCHAR(2), YoB INT);
+INSERT INTO users VALUES ('Ann','CA',1980), ('Tom','FL',1965), ('Jan','CA',1970);
+CREATE TABLE film (Title VARCHAR(20), RelY INT, Director VARCHAR(20));
+INSERT INTO film VALUES ('Heat',1995,'Lee'), ('Balto',1995,'Lee'), ('Net',1995,'Smith');
+CREATE TABLE rating (Usr VARCHAR(20), Balto DOUBLE, Heat DOUBLE, Net DOUBLE);
+INSERT INTO rating VALUES ('Ann',2.0,1.5,0.5), ('Tom',0.0,0.0,1.5), ('Jan',1.0,4.0,1.0);
+`
+
+func main() {
+	demo := flag.Bool("demo", false, "preload the paper's example database")
+	maxRows := flag.Int("rows", 50, "maximum rows to print per result")
+	flag.Parse()
+
+	db := rma.NewDB()
+	if *demo {
+		db.MustExec(demoScript)
+		fmt.Println("demo database loaded: users, film, rating")
+	}
+
+	in := bufio.NewScanner(os.Stdin)
+	in.Buffer(make([]byte, 1<<20), 1<<20)
+	var buf strings.Builder
+	prompt := func() {
+		if buf.Len() == 0 {
+			fmt.Print("rma> ")
+		} else {
+			fmt.Print("...> ")
+		}
+	}
+	prompt()
+	for in.Scan() {
+		line := in.Text()
+		trimmed := strings.TrimSpace(line)
+		if buf.Len() == 0 && strings.HasPrefix(trimmed, `\`) {
+			if meta(db, trimmed) {
+				return
+			}
+			prompt()
+			continue
+		}
+		buf.WriteString(line)
+		buf.WriteByte('\n')
+		if strings.HasSuffix(trimmed, ";") {
+			run(db, buf.String(), *maxRows)
+			buf.Reset()
+		}
+		prompt()
+	}
+	if buf.Len() > 0 {
+		run(db, buf.String(), *maxRows)
+	}
+}
+
+// meta handles backslash commands; it reports whether the shell should
+// exit.
+func meta(db *rma.DB, cmd string) bool {
+	switch {
+	case cmd == `\q`:
+		return true
+	case cmd == `\d`:
+		for _, t := range db.Tables() {
+			fmt.Println(t)
+		}
+	case strings.HasPrefix(cmd, `\policy`):
+		arg := strings.TrimSpace(strings.TrimPrefix(cmd, `\policy`))
+		switch arg {
+		case "bat":
+			db.SetRMAOptions(&core.Options{Policy: core.PolicyBAT})
+		case "mkl", "dense":
+			db.SetRMAOptions(&core.Options{Policy: core.PolicyDense})
+		case "auto", "":
+			db.SetRMAOptions(nil)
+		default:
+			fmt.Println("usage: \\policy bat|mkl|auto")
+			return false
+		}
+		fmt.Println("policy set")
+	default:
+		fmt.Println(`commands: \d (tables), \policy bat|mkl|auto, \q (quit)`)
+	}
+	return false
+}
+
+func run(db *rma.DB, src string, maxRows int) {
+	res, err := db.Exec(src)
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "error:", err)
+		return
+	}
+	if res == nil {
+		fmt.Println("ok")
+		return
+	}
+	fmt.Print(res.Head(maxRows))
+	fmt.Printf("(%d rows)\n", res.NumRows())
+}

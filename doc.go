@@ -1,0 +1,9 @@
+// Package repro is a from-scratch Go reproduction of "A Relational Matrix
+// Algebra and its Implementation in a Column Store" (Dolmatova, Augsten,
+// Böhlen — SIGMOD 2020).
+//
+// The public API lives in repro/rma. The benchmarks in bench_test.go
+// regenerate the paper's evaluation, one per table and figure; the
+// cmd/rmabench tool prints them in the paper's layout. See README.md,
+// DESIGN.md, and EXPERIMENTS.md.
+package repro

@@ -1,0 +1,47 @@
+// Quickstart: the introductory example of the paper. A rating relation
+// stores users and their ratings for three films; the SQL extension makes
+// matrix inversion available directly in the FROM clause, and the result
+// is an ordinary relation whose contextual information (user names,
+// film titles) identifies every cell.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/rma"
+)
+
+func main() {
+	db := rma.NewDB()
+	db.MustExec(`
+CREATE TABLE rating (Usr VARCHAR(20), Balto DOUBLE, Heat DOUBLE, Net DOUBLE);
+INSERT INTO rating VALUES
+  ('Ann', 2.0, 1.5, 0.5),
+  ('Tom', 0.0, 0.0, 1.5),
+  ('Jan', 1.0, 4.0, 1.0);
+`)
+
+	fmt.Println("rating:")
+	res := db.MustExec(`SELECT * FROM rating`)
+	fmt.Println(res)
+
+	// The paper's introductory query: order the relation by Usr and
+	// invert the matrix formed by the numeric columns.
+	inv, err := db.Query(`SELECT * FROM INV(rating BY Usr)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("SELECT * FROM INV(rating BY Usr):")
+	fmt.Println(inv)
+
+	// RMA is closed: the result is a relation, so it joins, filters, and
+	// feeds further matrix operations. Multiplying back yields identity.
+	id, err := db.Query(`
+SELECT * FROM MMU(rating BY Usr, INV(rating BY Usr) BY Usr)`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("MMU(rating, INV(rating)) — the identity, with origins:")
+	fmt.Println(id)
+}

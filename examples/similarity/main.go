@@ -1,0 +1,74 @@
+// Similarity: the complete mixed workload of the paper's Section 5.
+// Given users, films, and ratings, compute how similar each of director
+// Lee's films is to any other film, based on the covariance of ratings by
+// California users. The pipeline interleaves relational operations
+// (selection, join, aggregation, rename) with relational matrix
+// operations (sub, tra, mmu) — the workload class RMA was designed for.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"repro/rma"
+)
+
+func main() {
+	db := rma.NewDB()
+	db.MustExec(`
+CREATE TABLE users (Usr VARCHAR(20), State VARCHAR(2), YoB INT);
+INSERT INTO users VALUES ('Ann','CA',1980), ('Tom','FL',1965), ('Jan','CA',1970);
+
+CREATE TABLE film (Title VARCHAR(20), RelY INT, Director VARCHAR(20));
+INSERT INTO film VALUES ('Heat',1995,'Lee'), ('Balto',1995,'Lee'), ('Net',1995,'Smith');
+
+CREATE TABLE rating (Usr VARCHAR(20), Balto DOUBLE, Heat DOUBLE, Net DOUBLE);
+INSERT INTO rating VALUES ('Ann',2.0,1.5,0.5), ('Tom',0.0,0.0,1.5), ('Jan',1.0,4.0,1.0);
+`)
+
+	// w1: ratings of California users (selection + join).
+	db.MustExec(`
+CREATE TABLE w1 (Usr VARCHAR(20), Balto DOUBLE, Heat DOUBLE, Net DOUBLE);
+INSERT INTO w1 SELECT r.Usr, r.Balto, r.Heat, r.Net
+FROM users u JOIN rating r ON u.Usr = r.Usr WHERE u.State = 'CA';`)
+	fmt.Println("w1 — CA ratings:")
+	fmt.Println(db.MustExec(`SELECT * FROM w1`))
+
+	// w2/w3: center the rating columns (aggregation + sub). The second
+	// argument of SUB replicates the column means per user; its order
+	// schema is renamed to keep the order schemas disjoint (the paper's
+	// ρV step in Figure 6).
+	db.MustExec(`
+CREATE TABLE w3 (Usr VARCHAR(20), Balto DOUBLE, Heat DOUBLE, Net DOUBLE);
+INSERT INTO w3 SELECT s.Usr, s.Balto, s.Heat, s.Net FROM (
+  SELECT * FROM SUB(w1 BY Usr, (
+     SELECT t.V AS V2, a.ab AS Balto, a.ah AS Heat, a.an AS Net
+     FROM (SELECT Usr AS V FROM w1) t
+     CROSS JOIN (SELECT AVG(Balto) AS ab, AVG(Heat) AS ah, AVG(Net) AS an FROM w1) a
+  ) BY V2)
+) s;`)
+	fmt.Println("w3 — centered ratings:")
+	fmt.Println(db.MustExec(`SELECT * FROM w3`))
+
+	// w4–w7: covariance via transpose + matrix multiplication, scaled by
+	// 1/(M-1). This is the paper's Section 7.2 SQL translation verbatim.
+	db.MustExec(`
+CREATE TABLE w7 (C VARCHAR(20), Balto DOUBLE, Heat DOUBLE, Net DOUBLE);
+INSERT INTO w7 SELECT C, Balto/(M-1) AS Balto, Heat/(M-1) AS Heat, Net/(M-1) AS Net
+FROM MMU(TRA(w3 BY Usr) BY C, w3 BY Usr) AS w5
+CROSS JOIN (SELECT COUNT(*) AS M FROM w1) AS t;`)
+	fmt.Println("w7 — covariance matrix of the ratings:")
+	fmt.Println(db.MustExec(`SELECT * FROM w7`))
+
+	// w8: join with films and select Lee's films — the covariance rows
+	// keep their origins (film titles in C), so the join just works.
+	res, err := db.Query(`
+SELECT f.Title, w7.Balto, w7.Heat, w7.Net
+FROM w7 JOIN film f ON w7.C = f.Title
+WHERE f.Director = 'Lee' ORDER BY f.Title`)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("w8 — similarity of Lee's films to all films:")
+	fmt.Println(res)
+}

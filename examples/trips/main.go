@@ -1,0 +1,129 @@
+// Trips: the paper's §8.6(1) workload on a BIXI-like dataset — ordinary
+// linear regression between trip distance and duration, with a relational
+// preparation phase (aggregate, filter frequent routes, join stations,
+// compute distances) followed by the OLS normal equations expressed in
+// RMA: MMU(INV(CPD(A,A)), CPD(A,V)).
+package main
+
+import (
+	"fmt"
+	"log"
+	"math"
+
+	"repro/internal/dataset"
+	"repro/internal/rel"
+	"repro/rma"
+)
+
+func main() {
+	trips := dataset.Trips(200000, 80, 42)
+	stations := dataset.Stations(80, 42)
+
+	// Relational preparation: frequent (start, end) routes with their
+	// average duration.
+	routes, err := rel.GroupBy(trips,
+		[]string{"start_station", "end_station"},
+		[]rel.AggSpec{
+			{Func: rel.Count, As: "n"},
+			{Func: rel.Avg, Attr: "duration", As: "avg_dur"},
+		})
+	if err != nil {
+		log.Fatal(err)
+	}
+	pred, err := routes.FloatPred("n", func(v float64) bool { return v >= 50 })
+	if err != nil {
+		log.Fatal(err)
+	}
+	frequent := routes.Select(pred)
+	fmt.Printf("%d routes ridden at least 50 times (of %d total)\n",
+		frequent.NumRows(), routes.NumRows())
+
+	// Join both endpoints with the station coordinates.
+	withStart, err := rel.HashJoin(frequent, stations,
+		[]string{"start_station"}, []string{"code"}, rel.Inner)
+	if err != nil {
+		log.Fatal(err)
+	}
+	withStart, _ = withStart.Drop("name")
+	withStart, _ = withStart.Rename(map[string]string{"lat": "lat1", "lon": "lon1"})
+	both, err := rel.HashJoin(withStart, stations,
+		[]string{"end_station"}, []string{"code"}, rel.Inner)
+	if err != nil {
+		log.Fatal(err)
+	}
+	both, _ = both.Drop("name")
+
+	// Distance per route (a scalar expression over columns).
+	lat1c, _ := both.Col("lat1")
+	lon1c, _ := both.Col("lon1")
+	lat2c, _ := both.Col("lat")
+	lon2c, _ := both.Col("lon")
+	lat1, _ := lat1c.Floats()
+	lon1, _ := lon1c.Floats()
+	lat2, _ := lat2c.Floats()
+	lon2, _ := lon2c.Floats()
+	n := both.NumRows()
+	route := make([]int64, n)
+	ones := make([]float64, n)
+	dist := make([]float64, n)
+	for i := 0; i < n; i++ {
+		dy := (lat1[i] - lat2[i]) * 111.0 // km per degree latitude
+		dx := (lon1[i] - lon2[i]) * 78.8  // km per degree longitude at 45°N
+		route[i] = int64(i)
+		ones[i] = 1
+		dist[i] = math.Sqrt(dx*dx + dy*dy)
+	}
+	durc, _ := both.Col("avg_dur")
+	dur, _ := durc.Floats()
+
+	// The coefficient attribute names must sort like the schema order —
+	// inv orders its input rows by C — so the intercept is b0 and the
+	// distance coefficient b1 (the paper's Figure 6 pipeline relies on
+	// the same property: B, H, N sort alphabetically).
+	a, err := rma.NewRelation("A", rma.Schema{
+		{Name: "route", Type: rma.Int},
+		{Name: "b0", Type: rma.Float},
+		{Name: "b1", Type: rma.Float},
+	}, []any{route, ones, dist})
+	if err != nil {
+		log.Fatal(err)
+	}
+	v, err := rma.NewRelation("V", rma.Schema{
+		{Name: "route", Type: rma.Int},
+		{Name: "dur", Type: rma.Float},
+	}, []any{route, dur})
+	if err != nil {
+		log.Fatal(err)
+	}
+
+	// OLS in RMA: beta = MMU(INV(CPD(A,A)), CPD(A,V)).
+	ata, err := rma.Cpd(a, []string{"route"}, a, []string{"route"}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	// cpd returns row origins in attribute C; reuse it as the order
+	// schema of the inversion — the algebra is closed.
+	inv, err := rma.Inv(ata, []string{"C"}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	atv, err := rma.Cpd(a, []string{"route"}, v, []string{"route"}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	beta, err := rma.Mmu(inv, []string{"C"}, atv, []string{"C"}, nil)
+	if err != nil {
+		log.Fatal(err)
+	}
+	fmt.Println("\nOLS coefficients (duration ≈ intercept + slope·distance):")
+	fmt.Println(beta)
+
+	for i := 0; i < beta.NumRows(); i++ {
+		switch beta.Value(i, 0).S {
+		case "b0":
+			fmt.Printf("intercept: %8.2f s\n", beta.Value(i, 1).F)
+		case "b1":
+			fmt.Printf("slope:     %8.2f s/km\n", beta.Value(i, 1).F)
+		}
+	}
+}

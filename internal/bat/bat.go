@@ -1,0 +1,235 @@
+package bat
+
+import "fmt"
+
+// BAT is a binary association table with a virtual (dense) OID head and a
+// typed tail. The tail is either a dense Vector or, for float columns with
+// many zeros, a zero-suppressed Sparse tail — standing in for MonetDB's
+// built-in compression that the paper's Table 5 experiment exercises.
+type BAT struct {
+	vec *Vector
+	sp  *Sparse
+}
+
+// FromVector wraps a dense vector in a BAT.
+func FromVector(v *Vector) *BAT { return &BAT{vec: v} }
+
+// FromFloats builds a dense float BAT (no copy).
+func FromFloats(f []float64) *BAT { return &BAT{vec: NewFloatVector(f)} }
+
+// FromInts builds a dense int BAT (no copy).
+func FromInts(i []int64) *BAT { return &BAT{vec: NewIntVector(i)} }
+
+// FromStrings builds a dense string BAT (no copy).
+func FromStrings(s []string) *BAT { return &BAT{vec: NewStringVector(s)} }
+
+// FromSparse wraps a zero-suppressed tail in a BAT.
+func FromSparse(sp *Sparse) *BAT { return &BAT{sp: sp} }
+
+// IsSparse reports whether the tail is zero-suppressed.
+func (b *BAT) IsSparse() bool { return b.sp != nil }
+
+// Sparse returns the zero-suppressed tail, or nil for dense BATs.
+func (b *BAT) Sparse() *Sparse { return b.sp }
+
+// Type returns the tail domain.
+func (b *BAT) Type() Type {
+	if b.sp != nil {
+		return Float
+	}
+	return b.vec.Type()
+}
+
+// Len returns the number of (virtual OID, value) pairs.
+func (b *BAT) Len() int {
+	if b.sp != nil {
+		return b.sp.Len()
+	}
+	return b.vec.Len()
+}
+
+// Vector returns the dense tail, densifying a sparse tail first.
+func (b *BAT) Vector() *Vector {
+	if b.sp != nil {
+		return NewFloatVector(b.sp.Densify())
+	}
+	return b.vec
+}
+
+// Get returns the tail value at OID k.
+func (b *BAT) Get(k int) Value {
+	if b.sp != nil {
+		return FloatValue(b.sp.Get(k))
+	}
+	return b.vec.Get(k)
+}
+
+// Gather is leftfetchjoin: b↓idx returns a BAT whose k-th tail value is
+// b[idx[k]]. Sparse tails are gathered without densifying.
+func (b *BAT) Gather(idx []int) *BAT {
+	if b.sp != nil {
+		return FromSparse(b.sp.Gather(idx))
+	}
+	return FromVector(b.vec.Gather(idx))
+}
+
+// Clone deep-copies the BAT.
+func (b *BAT) Clone() *BAT {
+	if b.sp != nil {
+		return FromSparse(b.sp.Clone())
+	}
+	return FromVector(b.vec.Clone())
+}
+
+// Floats returns the tail as a float64 slice (densifying sparse tails,
+// converting int tails). An error is returned for string tails.
+func (b *BAT) Floats() ([]float64, error) {
+	if b.sp != nil {
+		return b.sp.Densify(), nil
+	}
+	if b.vec.Type() == String {
+		return nil, fmt.Errorf("bat: non-numeric column in numeric context")
+	}
+	f, _ := b.vec.AsFloats()
+	return f, nil
+}
+
+// --- Vectorized kernels -------------------------------------------------
+//
+// These are the BAT operations that MonetDB's kernel exposes and that both
+// the relational operators and the BAT-native linear algebra (package
+// batlin) are written against: elementwise arithmetic between two tails,
+// tail-scalar arithmetic, and aggregation. All of them produce new BATs.
+
+func floatsOf(b *BAT) []float64 {
+	f, err := b.Floats()
+	if err != nil {
+		panic(err)
+	}
+	return f
+}
+
+// Add returns b + c elementwise. When both tails are zero-suppressed the
+// addition runs on the compressed form (the Table 5 fast path).
+func Add(b, c *BAT) *BAT {
+	if b.sp != nil && c.sp != nil {
+		return FromSparse(SparseAdd(b.sp, c.sp))
+	}
+	x, y := floatsOf(b), floatsOf(c)
+	out := make([]float64, len(x))
+	for k := range x {
+		out[k] = x[k] + y[k]
+	}
+	return FromFloats(out)
+}
+
+// Sub returns b - c elementwise.
+func Sub(b, c *BAT) *BAT {
+	x, y := floatsOf(b), floatsOf(c)
+	out := make([]float64, len(x))
+	for k := range x {
+		out[k] = x[k] - y[k]
+	}
+	return FromFloats(out)
+}
+
+// Mul returns b * c elementwise.
+func Mul(b, c *BAT) *BAT {
+	x, y := floatsOf(b), floatsOf(c)
+	out := make([]float64, len(x))
+	for k := range x {
+		out[k] = x[k] * y[k]
+	}
+	return FromFloats(out)
+}
+
+// Div returns b / c elementwise.
+func Div(b, c *BAT) *BAT {
+	x, y := floatsOf(b), floatsOf(c)
+	out := make([]float64, len(x))
+	for k := range x {
+		out[k] = x[k] / y[k]
+	}
+	return FromFloats(out)
+}
+
+// AddScalar returns b + s elementwise.
+func AddScalar(b *BAT, s float64) *BAT {
+	x := floatsOf(b)
+	out := make([]float64, len(x))
+	for k := range x {
+		out[k] = x[k] + s
+	}
+	return FromFloats(out)
+}
+
+// MulScalar returns b * s elementwise.
+func MulScalar(b *BAT, s float64) *BAT {
+	x := floatsOf(b)
+	out := make([]float64, len(x))
+	for k := range x {
+		out[k] = x[k] * s
+	}
+	return FromFloats(out)
+}
+
+// DivScalar returns b / s elementwise.
+func DivScalar(b *BAT, s float64) *BAT {
+	x := floatsOf(b)
+	out := make([]float64, len(x))
+	for k := range x {
+		out[k] = x[k] / s
+	}
+	return FromFloats(out)
+}
+
+// AXPY returns b - c*s elementwise (the update step of Gauss-Jordan
+// elimination in the paper's Algorithm 2: B_j <- B_j - B_i * v2).
+func AXPY(b, c *BAT, s float64) *BAT {
+	x, y := floatsOf(b), floatsOf(c)
+	out := make([]float64, len(x))
+	for k := range x {
+		out[k] = x[k] - y[k]*s
+	}
+	return FromFloats(out)
+}
+
+// Sum aggregates the tail: sum(B).
+func Sum(b *BAT) float64 {
+	if b.sp != nil {
+		return b.sp.Sum()
+	}
+	var s float64
+	switch b.vec.Type() {
+	case Float:
+		for _, x := range b.vec.Floats() {
+			s += x
+		}
+	case Int:
+		var si int64
+		for _, x := range b.vec.Ints() {
+			si += x
+		}
+		s = float64(si)
+	}
+	return s
+}
+
+// Dot returns the inner product of two tails.
+func Dot(b, c *BAT) float64 {
+	x, y := floatsOf(b), floatsOf(c)
+	var s float64
+	for k := range x {
+		s += x[k] * y[k]
+	}
+	return s
+}
+
+// Sel returns the i-th tail value as a float (the paper's sel(B, i) single
+// element access used by Algorithm 2).
+func Sel(b *BAT, i int) float64 {
+	if b.sp != nil {
+		return b.sp.Get(i)
+	}
+	return b.vec.Get(i).AsFloat()
+}

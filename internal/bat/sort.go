@@ -1,0 +1,129 @@
+package bat
+
+import "sort"
+
+// SortIndex computes the stable ascending sort permutation over one or more
+// key columns (lexicographic, first column most significant). The returned
+// slice idx satisfies: gathering any tail of the same relation by idx yields
+// that tail ordered by the key columns. This is the "sorting" step of the
+// paper's Algorithm 1: G <- sort(D), followed by b↓G for the other tails.
+func SortIndex(keys []*BAT) []int {
+	if len(keys) == 0 {
+		return nil
+	}
+	n := keys[0].Len()
+	// MonetDB tracks sortedness on BATs; one linear pre-scan buys the
+	// same effect and turns sorts over already-ordered keys into no-ops.
+	if keysSorted(keys) {
+		return Identity(n)
+	}
+	idx := make([]int, n)
+	for k := range idx {
+		idx[k] = k
+	}
+	// Fast path: a single dense key column avoids the per-comparison
+	// column loop and interface dispatch.
+	if len(keys) == 1 && !keys[0].IsSparse() {
+		v := keys[0].vec
+		switch v.Type() {
+		case Float:
+			f := v.Floats()
+			sort.SliceStable(idx, func(a, b int) bool { return f[idx[a]] < f[idx[b]] })
+		case Int:
+			xs := v.Ints()
+			sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+		case String:
+			ss := v.Strings()
+			sort.SliceStable(idx, func(a, b int) bool { return ss[idx[a]] < ss[idx[b]] })
+		}
+		return idx
+	}
+	vecs := make([]*Vector, len(keys))
+	for k, b := range keys {
+		vecs[k] = b.Vector()
+	}
+	sort.SliceStable(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		for _, v := range vecs {
+			if c := v.Compare(ia, v, ib); c != 0 {
+				return c < 0
+			}
+		}
+		return false
+	})
+	return idx
+}
+
+// keysSorted reports whether the key columns are already in ascending
+// lexicographic order.
+func keysSorted(keys []*BAT) bool {
+	n := keys[0].Len()
+	if n < 2 {
+		return true
+	}
+	vecs := make([]*Vector, len(keys))
+	for k, b := range keys {
+		if b.IsSparse() {
+			return false
+		}
+		vecs[k] = b.vec
+	}
+	for i := 1; i < n; i++ {
+		for _, v := range vecs {
+			c := v.Compare(i-1, v, i)
+			if c < 0 {
+				break
+			}
+			if c > 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// IsSortedIndex reports whether idx is the identity permutation, i.e. the
+// keys were already in order and the gather can be skipped.
+func IsSortedIndex(idx []int) bool {
+	for k, j := range idx {
+		if k != j {
+			return false
+		}
+	}
+	return true
+}
+
+// KeyUnique reports whether the key columns contain no duplicate
+// combination of values, i.e. whether they form a key of the relation.
+// idx must be the sort permutation over exactly those columns.
+func KeyUnique(keys []*BAT, idx []int) bool {
+	if len(keys) == 0 {
+		return false
+	}
+	vecs := make([]*Vector, len(keys))
+	for k, b := range keys {
+		vecs[k] = b.Vector()
+	}
+	for k := 1; k < len(idx); k++ {
+		same := true
+		for _, v := range vecs {
+			if v.Compare(idx[k-1], v, idx[k]) != 0 {
+				same = false
+				break
+			}
+		}
+		if same {
+			return false
+		}
+	}
+	return true
+}
+
+// Identity returns the identity permutation of length n.
+func Identity(n int) []int {
+	idx := make([]int, n)
+	for k := range idx {
+		idx[k] = k
+	}
+	return idx
+}

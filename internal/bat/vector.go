@@ -1,0 +1,229 @@
+package bat
+
+import "fmt"
+
+// Vector is a dense typed column: the tail of a BAT. Exactly one of the
+// backing slices is in use, selected by typ. Vectors are the unit of
+// vectorized execution; all kernels in this package operate on whole
+// vectors, mirroring MonetDB's column-at-a-time processing model.
+type Vector struct {
+	typ Type
+	f   []float64
+	i   []int64
+	s   []string
+}
+
+// NewFloatVector wraps a float64 slice (no copy).
+func NewFloatVector(f []float64) *Vector { return &Vector{typ: Float, f: f} }
+
+// NewIntVector wraps an int64 slice (no copy).
+func NewIntVector(i []int64) *Vector { return &Vector{typ: Int, i: i} }
+
+// NewStringVector wraps a string slice (no copy).
+func NewStringVector(s []string) *Vector { return &Vector{typ: String, s: s} }
+
+// NewEmptyVector returns a vector of the given type with capacity hint n.
+func NewEmptyVector(t Type, n int) *Vector {
+	v := &Vector{typ: t}
+	switch t {
+	case Float:
+		v.f = make([]float64, 0, n)
+	case Int:
+		v.i = make([]int64, 0, n)
+	case String:
+		v.s = make([]string, 0, n)
+	}
+	return v
+}
+
+// Type returns the domain of the vector.
+func (v *Vector) Type() Type { return v.typ }
+
+// Len returns the number of values.
+func (v *Vector) Len() int {
+	switch v.typ {
+	case Float:
+		return len(v.f)
+	case Int:
+		return len(v.i)
+	case String:
+		return len(v.s)
+	}
+	return 0
+}
+
+// Floats returns the backing float64 slice. It panics when the vector is
+// not a Float column; callers check Type first.
+func (v *Vector) Floats() []float64 {
+	if v.typ != Float {
+		panic(fmt.Sprintf("bat: Floats on %v vector", v.typ))
+	}
+	return v.f
+}
+
+// Ints returns the backing int64 slice (panics unless Type == Int).
+func (v *Vector) Ints() []int64 {
+	if v.typ != Int {
+		panic(fmt.Sprintf("bat: Ints on %v vector", v.typ))
+	}
+	return v.i
+}
+
+// Strings returns the backing string slice (panics unless Type == String).
+func (v *Vector) Strings() []string {
+	if v.typ != String {
+		panic(fmt.Sprintf("bat: Strings on %v vector", v.typ))
+	}
+	return v.s
+}
+
+// Get returns the value at position k.
+func (v *Vector) Get(k int) Value {
+	switch v.typ {
+	case Float:
+		return Value{Type: Float, F: v.f[k]}
+	case Int:
+		return Value{Type: Int, I: v.i[k]}
+	case String:
+		return Value{Type: String, S: v.s[k]}
+	}
+	return Value{}
+}
+
+// Set overwrites position k. The value type must match the vector type.
+func (v *Vector) Set(k int, val Value) {
+	if val.Type != v.typ {
+		panic(fmt.Sprintf("bat: Set %v value into %v vector", val.Type, v.typ))
+	}
+	switch v.typ {
+	case Float:
+		v.f[k] = val.F
+	case Int:
+		v.i[k] = val.I
+	case String:
+		v.s[k] = val.S
+	}
+}
+
+// Append appends a value; the type must match.
+func (v *Vector) Append(val Value) {
+	if val.Type != v.typ {
+		panic(fmt.Sprintf("bat: Append %v value to %v vector", val.Type, v.typ))
+	}
+	switch v.typ {
+	case Float:
+		v.f = append(v.f, val.F)
+	case Int:
+		v.i = append(v.i, val.I)
+	case String:
+		v.s = append(v.s, val.S)
+	}
+}
+
+// AppendVector appends all values of w (same type) to v.
+func (v *Vector) AppendVector(w *Vector) {
+	if w.typ != v.typ {
+		panic(fmt.Sprintf("bat: AppendVector %v to %v", w.typ, v.typ))
+	}
+	switch v.typ {
+	case Float:
+		v.f = append(v.f, w.f...)
+	case Int:
+		v.i = append(v.i, w.i...)
+	case String:
+		v.s = append(v.s, w.s...)
+	}
+}
+
+// Clone returns a deep copy of the vector.
+func (v *Vector) Clone() *Vector {
+	c := &Vector{typ: v.typ}
+	switch v.typ {
+	case Float:
+		c.f = append([]float64(nil), v.f...)
+	case Int:
+		c.i = append([]int64(nil), v.i...)
+	case String:
+		c.s = append([]string(nil), v.s...)
+	}
+	return c
+}
+
+// Gather returns a new vector whose k-th value is v[idx[k]]. This is
+// MonetDB's leftfetchjoin: a positional fetch that reorders or filters a
+// tail by a list of OIDs.
+func (v *Vector) Gather(idx []int) *Vector {
+	out := &Vector{typ: v.typ}
+	switch v.typ {
+	case Float:
+		out.f = make([]float64, len(idx))
+		for k, j := range idx {
+			out.f[k] = v.f[j]
+		}
+	case Int:
+		out.i = make([]int64, len(idx))
+		for k, j := range idx {
+			out.i[k] = v.i[j]
+		}
+	case String:
+		out.s = make([]string, len(idx))
+		for k, j := range idx {
+			out.s[k] = v.s[j]
+		}
+	}
+	return out
+}
+
+// AsFloats returns the column as a float64 slice, converting integer
+// columns. Float columns are returned without copying; the second result
+// reports whether the slice is shared with the vector (callers that intend
+// to write must copy when shared is true). String columns yield an error
+// at the BAT level before this is reached.
+func (v *Vector) AsFloats() (vals []float64, shared bool) {
+	switch v.typ {
+	case Float:
+		return v.f, true
+	case Int:
+		out := make([]float64, len(v.i))
+		for k, x := range v.i {
+			out[k] = float64(x)
+		}
+		return out, false
+	}
+	panic("bat: AsFloats on string vector")
+}
+
+// Compare compares v[i] with w[j] without boxing: -1, 0, or +1.
+// Both vectors must have the same type.
+func (v *Vector) Compare(i int, w *Vector, j int) int {
+	switch v.typ {
+	case Float:
+		a, b := v.f[i], w.f[j]
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
+	case Int:
+		a, b := v.i[i], w.i[j]
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
+	case String:
+		a, b := v.s[i], w.s[j]
+		switch {
+		case a < b:
+			return -1
+		case a > b:
+			return 1
+		}
+		return 0
+	}
+	return 0
+}

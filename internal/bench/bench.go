@@ -1,0 +1,49 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"time"
+)
+
+// Experiment regenerates one table or figure of the paper.
+type Experiment struct {
+	ID    string // e.g. "tab5", "fig13a"
+	Title string // the paper artifact it reproduces
+	// Scaled documents the size reduction relative to the paper.
+	Scaled string
+	Run    func(w io.Writer, quick bool) error
+}
+
+var registry []Experiment
+
+func register(e Experiment) { registry = append(registry, e) }
+
+// Experiments returns all registered experiments sorted by ID.
+func Experiments() []Experiment {
+	out := append([]Experiment(nil), registry...)
+	sort.Slice(out, func(i, j int) bool { return out[i].ID < out[j].ID })
+	return out
+}
+
+// Lookup finds an experiment by ID.
+func Lookup(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}
+
+// timeIt runs f once and returns the wall time.
+func timeIt(f func() error) (time.Duration, error) {
+	t0 := time.Now()
+	err := f()
+	return time.Since(t0), err
+}
+
+// secs renders a duration in seconds with millisecond resolution, the
+// unit of the paper's tables.
+func secs(d time.Duration) string { return fmt.Sprintf("%.3f", d.Seconds()) }

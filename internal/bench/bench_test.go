@@ -1,0 +1,186 @@
+package bench
+
+import (
+	"bytes"
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+)
+
+// TestTripsEnginesAgree cross-validates the OLS slope across all four
+// engines — they compute the same statistics on different substrates.
+func TestTripsEnginesAgree(t *testing.T) {
+	trips := dataset.Trips(30000, 50, 99)
+	stations := dataset.Stations(50, 99)
+	rma, err := TripsRMA(trips, stations, core.PolicyAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmaBAT, err := TripsRMA(trips, stations, core.PolicyBAT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aida, err := TripsAIDA(trips, stations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	madlib, err := TripsMADlib(trips, stations)
+	if err != nil {
+		t.Fatal(err)
+	}
+	tCSV, sCSV := tripsCSV(trips, stations)
+	r, err := TripsR(tCSV, sCSV)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.Load <= 0 {
+		t.Error("R workload did not record load time")
+	}
+	for name, got := range map[string]float64{
+		"rma-bat": rmaBAT.Check, "aida": aida.Check, "madlib": madlib.Check, "r": r.Check,
+	} {
+		if math.Abs(got-rma.Check) > 1e-6*(1+math.Abs(rma.Check)) {
+			t.Errorf("%s slope = %v, rma = %v", name, got, rma.Check)
+		}
+	}
+}
+
+// TestCovarianceEnginesAgree cross-validates the A++ row count and the
+// covariance values across engines.
+func TestCovarianceEnginesAgree(t *testing.T) {
+	pubs := dataset.Publications(2000, 25, 7)
+	ranking := dataset.Rankings(25, 7)
+	rma, err := CovarianceRMA(pubs, ranking, core.PolicyAuto)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := CovarianceR(pubs, ranking)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aida, err := CovarianceAIDA(pubs, ranking)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rma.Check != r.Check || rma.Check != aida.Check {
+		t.Errorf("A++ counts disagree: rma=%v r=%v aida=%v", rma.Check, r.Check, aida.Check)
+	}
+	if _, err := CovarianceMADlib(pubs, ranking); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestTripCountEnginesAgree cross-validates the summed counts.
+func TestTripCountEnginesAgree(t *testing.T) {
+	y1 := dataset.RiderTripCounts(5000, 1)
+	y2 := dataset.RiderTripCounts(5000, 2)
+	rma, err := TripCountRMA(y1, y2, core.PolicyBAT)
+	if err != nil {
+		t.Fatal(err)
+	}
+	rmaD, err := TripCountRMA(y1, y2, core.PolicyDense)
+	if err != nil {
+		t.Fatal(err)
+	}
+	r, err := TripCountR(y1, y2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	aida, err := TripCountAIDA(y1, y2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	m, err := TripCountMADlib(y1, y2)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for name, got := range map[string]float64{
+		"rma-dense": rmaD.Check, "r": r.Check, "aida": aida.Check, "madlib": m.Check,
+	} {
+		if got != rma.Check {
+			t.Errorf("%s total = %v, rma = %v", name, got, rma.Check)
+		}
+	}
+}
+
+// TestJourneysEnginesRun checks the chain composition terminates with
+// sensible results for each engine at k=2.
+func TestJourneysEnginesRun(t *testing.T) {
+	trips := dataset.Trips(50000, 25, 3)
+	stations := dataset.Stations(25, 3)
+	for name, run := range map[string]func() (WorkloadResult, error){
+		"rma":    func() (WorkloadResult, error) { return JourneysRMA(trips, stations, 2, core.PolicyAuto) },
+		"aida":   func() (WorkloadResult, error) { return JourneysAIDA(trips, stations, 2) },
+		"r":      func() (WorkloadResult, error) { return JourneysR(trips, stations, 2) },
+		"madlib": func() (WorkloadResult, error) { return JourneysMADlib(trips, stations, 2) },
+	} {
+		res, err := run()
+		if err != nil {
+			t.Fatalf("%s: %v", name, err)
+		}
+		if math.IsNaN(res.Check) || math.IsInf(res.Check, 0) {
+			t.Errorf("%s: check = %v", name, res.Check)
+		}
+		if res.Total() <= 0 {
+			t.Errorf("%s: no time recorded", name)
+		}
+	}
+}
+
+// TestRegistryComplete ensures every table and figure of the paper's
+// evaluation has a registered experiment.
+func TestRegistryComplete(t *testing.T) {
+	want := []string{
+		"fig13a", "fig13b", "fig14a", "fig14b", "fig15a", "fig15b",
+		"fig16a", "fig16b", "fig17a", "fig17b", "fig18a", "fig18b",
+		"tab4", "tab5", "tab6", "tab7",
+	}
+	for _, id := range want {
+		if _, ok := Lookup(id); !ok {
+			t.Errorf("experiment %s not registered", id)
+		}
+	}
+	if len(Experiments()) != len(want) {
+		t.Errorf("registry has %d experiments, want %d", len(Experiments()), len(want))
+	}
+	if _, ok := Lookup("nope"); ok {
+		t.Error("bogus lookup succeeded")
+	}
+}
+
+// TestExperimentsRunQuick smoke-runs every registered experiment in quick
+// mode and verifies each prints a table.
+func TestExperimentsRunQuick(t *testing.T) {
+	if testing.Short() {
+		t.Skip("quick experiment sweep skipped in -short mode")
+	}
+	for _, e := range Experiments() {
+		var buf bytes.Buffer
+		if err := e.Run(&buf, true); err != nil {
+			t.Fatalf("%s: %v", e.ID, err)
+		}
+		out := buf.String()
+		if len(strings.Split(strings.TrimSpace(out), "\n")) < 2 {
+			t.Errorf("%s produced no table:\n%s", e.ID, out)
+		}
+	}
+}
+
+// TestWorkloadResultHelpers covers the result formatting helpers.
+func TestWorkloadResultHelpers(t *testing.T) {
+	r := WorkloadResult{Load: 1e9, Prep: 2e9, Matrix: 3e9}
+	if r.Total() != 6e9 {
+		t.Errorf("Total = %v", r.Total())
+	}
+	s := fmtWorkload(r)
+	if !strings.Contains(s, "load") {
+		t.Errorf("fmtWorkload without load: %s", s)
+	}
+	s2 := fmtWorkload(WorkloadResult{Prep: 1e9, Matrix: 1e9})
+	if strings.Contains(s2, "load") {
+		t.Errorf("fmtWorkload with load: %s", s2)
+	}
+}

@@ -1,0 +1,320 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"strings"
+
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/rel"
+)
+
+// fmtWorkload renders one engine column of a Figure 15/16-style bar:
+// prep+matrix (and load when present).
+func fmtWorkload(r WorkloadResult) string {
+	if r.Load > 0 {
+		return fmt.Sprintf("%s (load %s, prep %s, matrix %s)",
+			secs(r.Total()), secs(r.Load), secs(r.Prep), secs(r.Matrix))
+	}
+	return fmt.Sprintf("%s (prep %s, matrix %s)", secs(r.Total()), secs(r.Prep), secs(r.Matrix))
+}
+
+// tripsCSV renders the generated trips/stations as CSV once per size for
+// the R load phase.
+func tripsCSV(trips, stations *rel.Relation) (string, string) {
+	var tsb, ssb strings.Builder
+	dfT := relToCSV(trips)
+	dfS := relToCSV(stations)
+	tsb.WriteString(dfT)
+	ssb.WriteString(dfS)
+	return tsb.String(), ssb.String()
+}
+
+func relToCSV(r *rel.Relation) string {
+	var sb strings.Builder
+	sb.WriteString(strings.Join(r.Schema.Names(), ","))
+	sb.WriteByte('\n')
+	n := r.NumRows()
+	for i := 0; i < n; i++ {
+		for k, c := range r.Cols {
+			if k > 0 {
+				sb.WriteByte(',')
+			}
+			sb.WriteString(c.Get(i).String())
+		}
+		sb.WriteByte('\n')
+	}
+	return sb.String()
+}
+
+const tripStations = 80
+
+func init() {
+	register(Experiment{
+		ID:     "fig15a",
+		Title:  "Figure 15a: Trips (ordinary linear regression) — RMA+, AIDA, R, MADlib",
+		Scaled: "trips /10: 310K-1.45M (paper: 3.1M-14.5M)",
+		Run: func(w io.Writer, quick bool) error {
+			sizes := []int{310000, 650000, 1050000, 1450000}
+			if quick {
+				sizes = []int{50000, 100000}
+			}
+			fmt.Fprintln(w, "#tuples  RMA+ | AIDA | R | MADlib   (seconds: total, split)")
+			for _, n := range sizes {
+				trips := dataset.Trips(n, tripStations, int64(n))
+				stations := dataset.Stations(tripStations, int64(n))
+				rRMA, err := TripsRMA(trips, stations, core.PolicyAuto)
+				if err != nil {
+					return err
+				}
+				rAIDA, err := TripsAIDA(trips, stations)
+				if err != nil {
+					return err
+				}
+				tCSV, sCSV := tripsCSV(trips, stations)
+				rR, err := TripsR(tCSV, sCSV)
+				if err != nil {
+					return err
+				}
+				rM, err := TripsMADlib(trips, stations)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "%8d  %s | %s | %s | %s\n", n,
+					fmtWorkload(rRMA), fmtWorkload(rAIDA), fmtWorkload(rR), fmtWorkload(rM))
+			}
+			return nil
+		},
+	})
+	register(Experiment{
+		ID:     "fig15b",
+		Title:  "Figure 15b: Trips — RMA+BAT vs RMA+MKL",
+		Scaled: "trips /10",
+		Run: func(w io.Writer, quick bool) error {
+			sizes := []int{310000, 650000, 1050000, 1450000}
+			if quick {
+				sizes = []int{50000, 100000}
+			}
+			fmt.Fprintln(w, "#tuples  RMA+MKL  RMA+BAT  (seconds, matrix phase)")
+			for _, n := range sizes {
+				trips := dataset.Trips(n, tripStations, int64(n))
+				stations := dataset.Stations(tripStations, int64(n))
+				mkl, err := TripsRMA(trips, stations, core.PolicyDense)
+				if err != nil {
+					return err
+				}
+				batRes, err := TripsRMA(trips, stations, core.PolicyBAT)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "%8d  %s  %s\n", n, secs(mkl.Matrix), secs(batRes.Matrix))
+			}
+			return nil
+		},
+	})
+}
+
+func init() {
+	register(Experiment{
+		ID:     "fig16a",
+		Title:  "Figure 16a: Journeys (multiple linear regression, 1-5 trips) — systems comparison",
+		Scaled: "trips: 300K over 30 stations (paper: 15M one-trip journeys)",
+		Run: func(w io.Writer, quick bool) error {
+			n := 300000
+			ks := []int{1, 2, 3, 4, 5}
+			if quick {
+				n = 60000
+				ks = []int{1, 2, 3}
+			}
+			trips := dataset.Trips(n, 30, 1600)
+			stations := dataset.Stations(30, 1600)
+			fmt.Fprintln(w, "#trips  RMA+ | AIDA | R | MADlib   (seconds: total, split)")
+			for _, k := range ks {
+				rRMA, err := JourneysRMA(trips, stations, k, core.PolicyAuto)
+				if err != nil {
+					return err
+				}
+				rAIDA, err := JourneysAIDA(trips, stations, k)
+				if err != nil {
+					return err
+				}
+				rR, err := JourneysR(trips, stations, k)
+				if err != nil {
+					return err
+				}
+				rM, err := JourneysMADlib(trips, stations, k)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "%6d  %s | %s | %s | %s\n", k,
+					fmtWorkload(rRMA), fmtWorkload(rAIDA), fmtWorkload(rR), fmtWorkload(rM))
+			}
+			return nil
+		},
+	})
+	register(Experiment{
+		ID:     "fig16b",
+		Title:  "Figure 16b: Journeys — RMA+BAT vs RMA+MKL",
+		Scaled: "as fig16a",
+		Run: func(w io.Writer, quick bool) error {
+			n := 300000
+			ks := []int{1, 2, 3, 4, 5}
+			if quick {
+				n = 60000
+				ks = []int{1, 2}
+			}
+			trips := dataset.Trips(n, 30, 1600)
+			stations := dataset.Stations(30, 1600)
+			fmt.Fprintln(w, "#trips  RMA+MKL  RMA+BAT  (seconds, matrix phase)")
+			for _, k := range ks {
+				mkl, err := JourneysRMA(trips, stations, k, core.PolicyDense)
+				if err != nil {
+					return err
+				}
+				b, err := JourneysRMA(trips, stations, k, core.PolicyBAT)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "%6d  %s  %s\n", k, secs(mkl.Matrix), secs(b.Matrix))
+			}
+			return nil
+		},
+	})
+}
+
+// fig17Sizes are the scaled DBLP pivot sizes (paper: 337363x266,
+// 550085x519, 722891x744, 876559x882 — rows /16, columns /2..4 keeping the
+// n·k² growth shape).
+var fig17Sizes = [][2]int{{21000, 66}, {34000, 130}, {45000, 186}, {55000, 220}}
+
+func init() {
+	register(Experiment{
+		ID:     "fig17a",
+		Title:  "Figure 17a: Conferences (covariance) — RMA+, R, AIDA (MADlib printed separately)",
+		Scaled: "rows /16, conferences /4 (paper sizes in title)",
+		Run: func(w io.Writer, quick bool) error {
+			sizes := fig17Sizes
+			if quick {
+				sizes = [][2]int{{5000, 40}, {8000, 60}}
+			}
+			fmt.Fprintln(w, "authorsxconfs  RMA+ | AIDA | R | MADlib   (seconds: total, split)")
+			for _, sz := range sizes {
+				pubs := dataset.Publications(sz[0], sz[1], int64(sz[0]))
+				ranking := dataset.Rankings(sz[1], int64(sz[0]))
+				rRMA, err := CovarianceRMA(pubs, ranking, core.PolicyAuto)
+				if err != nil {
+					return err
+				}
+				rAIDA, err := CovarianceAIDA(pubs, ranking)
+				if err != nil {
+					return err
+				}
+				rR, err := CovarianceR(pubs, ranking)
+				if err != nil {
+					return err
+				}
+				rM, err := CovarianceMADlib(pubs, ranking)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "%6dx%-4d  %s | %s | %s | %s\n", sz[0], sz[1],
+					fmtWorkload(rRMA), fmtWorkload(rAIDA), fmtWorkload(rR), fmtWorkload(rM))
+			}
+			return nil
+		},
+	})
+	register(Experiment{
+		ID:     "fig17b",
+		Title:  "Figure 17b: Conferences — RMA+BAT vs RMA+MKL",
+		Scaled: "as fig17a",
+		Run: func(w io.Writer, quick bool) error {
+			sizes := fig17Sizes
+			if quick {
+				sizes = [][2]int{{5000, 40}}
+			}
+			fmt.Fprintln(w, "authorsxconfs  RMA+MKL  RMA+BAT  (seconds, matrix phase)")
+			for _, sz := range sizes {
+				pubs := dataset.Publications(sz[0], sz[1], int64(sz[0]))
+				ranking := dataset.Rankings(sz[1], int64(sz[0]))
+				mkl, err := CovarianceRMA(pubs, ranking, core.PolicyDense)
+				if err != nil {
+					return err
+				}
+				b, err := CovarianceRMA(pubs, ranking, core.PolicyBAT)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "%6dx%-4d  %s  %s\n", sz[0], sz[1], secs(mkl.Matrix), secs(b.Matrix))
+			}
+			return nil
+		},
+	})
+}
+
+func init() {
+	register(Experiment{
+		ID:     "fig18a",
+		Title:  "Figure 18a: Trip count (matrix addition) — RMA+, AIDA, R, MADlib",
+		Scaled: "riders /10: 100K-1.5M (paper: 1M-15M)",
+		Run: func(w io.Writer, quick bool) error {
+			sizes := []int{100000, 500000, 1000000, 1500000}
+			if quick {
+				sizes = []int{50000, 100000}
+			}
+			fmt.Fprintln(w, "#riders  RMA+ | AIDA | R | MADlib   (seconds)")
+			for _, n := range sizes {
+				y1 := dataset.RiderTripCounts(n, 2016)
+				y2 := dataset.RiderTripCounts(n, 2017)
+				rRMA, err := TripCountRMA(y1, y2, core.PolicyAuto)
+				if err != nil {
+					return err
+				}
+				rAIDA, err := TripCountAIDA(y1, y2)
+				if err != nil {
+					return err
+				}
+				rR, err := TripCountR(y1, y2)
+				if err != nil {
+					return err
+				}
+				rM, err := TripCountMADlib(y1, y2)
+				if err != nil {
+					return err
+				}
+				if rRMA.Check != rAIDA.Check || rRMA.Check != rR.Check || rRMA.Check != rM.Check {
+					return fmt.Errorf("bench: engines disagree on trip counts")
+				}
+				fmt.Fprintf(w, "%8d  %s | %s | %s | %s\n", n,
+					secs(rRMA.Total()), secs(rAIDA.Total()), secs(rR.Total()), secs(rM.Total()))
+			}
+			return nil
+		},
+	})
+	register(Experiment{
+		ID:     "fig18b",
+		Title:  "Figure 18b: Trip count — RMA+BAT vs RMA+MKL",
+		Scaled: "as fig18a",
+		Run: func(w io.Writer, quick bool) error {
+			sizes := []int{100000, 500000, 1000000, 1500000}
+			if quick {
+				sizes = []int{50000, 100000}
+			}
+			fmt.Fprintln(w, "#riders  RMA+MKL  RMA+BAT  (seconds)")
+			for _, n := range sizes {
+				y1 := dataset.RiderTripCounts(n, 2016)
+				y2 := dataset.RiderTripCounts(n, 2017)
+				mkl, err := TripCountRMA(y1, y2, core.PolicyDense)
+				if err != nil {
+					return err
+				}
+				b, err := TripCountRMA(y1, y2, core.PolicyBAT)
+				if err != nil {
+					return err
+				}
+				fmt.Fprintf(w, "%8d  %s  %s\n", n, secs(mkl.Total()), secs(b.Total()))
+			}
+			return nil
+		},
+	})
+}

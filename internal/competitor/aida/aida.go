@@ -1,0 +1,113 @@
+// Package aida simulates AIDA (D'silva et al., VLDB 2018), the paper's
+// strongest in-database competitor: relational operations run inside
+// MonetDB (here: the shared internal/rel engine — the same engine RMA+
+// uses, which is why AIDA matches RMA+ on purely numeric relational work,
+// Figure 16a), while matrix operations run in the host language over
+// NumPy-style arrays.
+//
+// The asymmetry the paper measures in Figure 15a is the boundary crossing:
+// AIDA passes float64 columns by pointer (zero copy), but date, time,
+// string, and integer columns have different storage formats in MonetDB
+// and Python and must be converted value by value. CrossBoundary models
+// exactly that: float columns are shared, int columns are widened
+// per-value, and string/date columns materialize new host objects.
+package aida
+
+import (
+	"fmt"
+	"strconv"
+
+	"repro/internal/bat"
+	"repro/internal/matrix"
+	"repro/internal/rel"
+)
+
+// HostColumn is a column living in the host-language runtime.
+type HostColumn struct {
+	Name string
+	// Floats is set for numeric columns (possibly shared with the BAT —
+	// the zero-copy pointer pass).
+	Floats []float64
+	// Objects is set for non-numeric columns after per-value conversion.
+	Objects []string
+	// Shared records whether Floats aliases database memory.
+	Shared bool
+}
+
+// HostTable is the host-language view of a relation.
+type HostTable struct {
+	Cols []HostColumn
+}
+
+// CrossBoundary moves a relation from the database into the host runtime.
+// float64 columns cross by pointer; every other type pays a per-value
+// conversion, mirroring AIDA's documented behavior.
+func CrossBoundary(r *rel.Relation) *HostTable {
+	t := &HostTable{}
+	for k, c := range r.Cols {
+		name := r.Schema[k].Name
+		switch c.Type() {
+		case bat.Float:
+			if !c.IsSparse() {
+				t.Cols = append(t.Cols, HostColumn{Name: name, Floats: c.Vector().Floats(), Shared: true})
+				continue
+			}
+			f, _ := c.Floats()
+			t.Cols = append(t.Cols, HostColumn{Name: name, Floats: f})
+		case bat.Int:
+			// Integer/date columns: storage formats differ; convert
+			// value by value into host objects (datetime strings).
+			iv := c.Vector().Ints()
+			objs := make([]string, len(iv))
+			for i, v := range iv {
+				objs[i] = strconv.FormatInt(v, 10)
+			}
+			t.Cols = append(t.Cols, HostColumn{Name: name, Objects: objs})
+		default:
+			sv := c.Vector().Strings()
+			objs := make([]string, len(sv))
+			copy(objs, sv) // new host string objects
+			t.Cols = append(t.Cols, HostColumn{Name: name, Objects: objs})
+		}
+	}
+	return t
+}
+
+// Col returns the named host column.
+func (t *HostTable) Col(name string) (*HostColumn, error) {
+	for k := range t.Cols {
+		if t.Cols[k].Name == name {
+			return &t.Cols[k], nil
+		}
+	}
+	return nil, fmt.Errorf("aida: no host column %q", name)
+}
+
+// Matrix assembles named numeric host columns into a contiguous array for
+// the NumPy-style math (a copy: MonetDB does not guarantee that multiple
+// columns are contiguous, which is the copy the paper notes for
+// MonetDB→NumPy result passing).
+func (t *HostTable) Matrix(cols []string) (*matrix.Matrix, error) {
+	if len(cols) == 0 {
+		return nil, fmt.Errorf("aida: no columns")
+	}
+	first, err := t.Col(cols[0])
+	if err != nil {
+		return nil, err
+	}
+	n := len(first.Floats)
+	m := matrix.New(n, len(cols))
+	for j, name := range cols {
+		c, err := t.Col(name)
+		if err != nil {
+			return nil, err
+		}
+		if c.Floats == nil {
+			return nil, fmt.Errorf("aida: column %q is not numeric in the host runtime", name)
+		}
+		for i := 0; i < n; i++ {
+			m.Data[i*len(cols)+j] = c.Floats[i]
+		}
+	}
+	return m, nil
+}

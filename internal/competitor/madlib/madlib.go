@@ -1,0 +1,268 @@
+// Package madlib simulates the MADlib analytics library on PostgreSQL as
+// the paper's §8 competitor. Two architectural properties explain every
+// MADlib measurement in the paper, and both are reproduced here:
+//
+//   - PostgreSQL is a row store: relations are materialized as rows of
+//     boxed values and all relational operators are row-at-a-time loops;
+//   - MADlib's matrix routines are single-threaded UDFs over an
+//     array-per-row input format, with no blocking or parallelism.
+package madlib
+
+import (
+	"fmt"
+
+	"repro/internal/bat"
+	"repro/internal/rel"
+)
+
+// Table is a row-store relation: a schema plus boxed rows.
+type Table struct {
+	Schema rel.Schema
+	Rows   [][]bat.Value
+}
+
+// FromRelation materializes a columnar relation into rows (loading data
+// into PostgreSQL).
+func FromRelation(r *rel.Relation) *Table {
+	t := &Table{Schema: r.Schema.Clone()}
+	n := r.NumRows()
+	t.Rows = make([][]bat.Value, n)
+	for i := 0; i < n; i++ {
+		t.Rows[i] = r.Row(i)
+	}
+	return t
+}
+
+// ColIndex resolves an attribute position.
+func (t *Table) ColIndex(name string) (int, error) {
+	k := t.Schema.Index(name)
+	if k < 0 {
+		return 0, fmt.Errorf("madlib: no column %q", name)
+	}
+	return k, nil
+}
+
+// Filter keeps rows satisfying the predicate — a sequential scan.
+func (t *Table) Filter(pred func(row []bat.Value) bool) *Table {
+	out := &Table{Schema: t.Schema}
+	for _, row := range t.Rows {
+		if pred(row) {
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out
+}
+
+// HashJoin joins two row tables on one key column each — single core,
+// with per-row key boxing and row concatenation.
+func HashJoin(l, r *Table, lKey, rKey string) (*Table, error) {
+	lk, err := l.ColIndex(lKey)
+	if err != nil {
+		return nil, err
+	}
+	rk, err := r.ColIndex(rKey)
+	if err != nil {
+		return nil, err
+	}
+	build := make(map[string][]int, len(r.Rows))
+	for j, row := range r.Rows {
+		key := row[rk].String()
+		build[key] = append(build[key], j)
+	}
+	out := &Table{Schema: append(l.Schema.Clone(), r.Schema...)}
+	for _, lrow := range l.Rows {
+		for _, j := range build[lrow[lk].String()] {
+			row := make([]bat.Value, 0, len(lrow)+len(r.Rows[j]))
+			row = append(row, lrow...)
+			row = append(row, r.Rows[j]...)
+			out.Rows = append(out.Rows, row)
+		}
+	}
+	return out, nil
+}
+
+// GroupCount counts rows per key — single core over boxed rows.
+func (t *Table) GroupCount(key string) (map[string]int, error) {
+	k, err := t.ColIndex(key)
+	if err != nil {
+		return nil, err
+	}
+	out := make(map[string]int)
+	for _, row := range t.Rows {
+		out[row[k].String()]++
+	}
+	return out, nil
+}
+
+// ToArrays converts rows into MADlib's matrix input format: one float
+// array per row (the "array-valued attribute" the paper describes).
+func (t *Table) ToArrays(cols []string) ([][]float64, error) {
+	idx := make([]int, len(cols))
+	for j, name := range cols {
+		k, err := t.ColIndex(name)
+		if err != nil {
+			return nil, err
+		}
+		idx[j] = k
+	}
+	out := make([][]float64, len(t.Rows))
+	for i, row := range t.Rows {
+		arr := make([]float64, len(cols))
+		for j, k := range idx {
+			if row[k].Type == bat.String {
+				return nil, fmt.Errorf("madlib: column %q is text", cols[j])
+			}
+			arr[j] = row[k].AsFloat()
+		}
+		out[i] = arr
+	}
+	return out, nil
+}
+
+// MatMul is the UDF matrix multiply: naive triple loop, one core.
+func MatMul(a, b [][]float64) [][]float64 {
+	m := len(a)
+	if m == 0 {
+		return nil
+	}
+	kk := len(b)
+	n := len(b[0])
+	out := make([][]float64, m)
+	for i := range out {
+		out[i] = make([]float64, n)
+		for j := 0; j < n; j++ {
+			var s float64
+			for l := 0; l < kk; l++ {
+				s += a[i][l] * b[l][j]
+			}
+			out[i][j] = s
+		}
+	}
+	return out
+}
+
+// Transpose flips an array-of-rows matrix.
+func Transpose(a [][]float64) [][]float64 {
+	if len(a) == 0 {
+		return nil
+	}
+	out := make([][]float64, len(a[0]))
+	for j := range out {
+		out[j] = make([]float64, len(a))
+		for i := range a {
+			out[j][i] = a[i][j]
+		}
+	}
+	return out
+}
+
+// Invert is the UDF Gauss-Jordan inversion — single core, row-at-a-time,
+// no vectorization.
+func Invert(a [][]float64) ([][]float64, error) {
+	n := len(a)
+	w := make([][]float64, n)
+	inv := make([][]float64, n)
+	for i := range a {
+		w[i] = append([]float64(nil), a[i]...)
+		inv[i] = make([]float64, n)
+		inv[i][i] = 1
+	}
+	for col := 0; col < n; col++ {
+		p := col
+		for i := col + 1; i < n; i++ {
+			if abs(w[i][col]) > abs(w[p][col]) {
+				p = i
+			}
+		}
+		if w[p][col] == 0 {
+			return nil, fmt.Errorf("madlib: singular matrix")
+		}
+		w[col], w[p] = w[p], w[col]
+		inv[col], inv[p] = inv[p], inv[col]
+		d := w[col][col]
+		for j := 0; j < n; j++ {
+			w[col][j] /= d
+			inv[col][j] /= d
+		}
+		for i := 0; i < n; i++ {
+			if i == col || w[i][col] == 0 {
+				continue
+			}
+			f := w[i][col]
+			for j := 0; j < n; j++ {
+				w[i][j] -= f * w[col][j]
+				inv[i][j] -= f * inv[col][j]
+			}
+		}
+	}
+	return inv, nil
+}
+
+func abs(x float64) float64 {
+	if x < 0 {
+		return -x
+	}
+	return x
+}
+
+// LinRegr is MADlib's linregr_train: ordinary least squares by normal
+// equations, entirely single-threaded.
+func LinRegr(x [][]float64, y []float64) ([]float64, error) {
+	if len(x) != len(y) || len(x) == 0 {
+		return nil, fmt.Errorf("madlib: shape mismatch")
+	}
+	xt := Transpose(x)
+	xtx := MatMul(xt, x)
+	inv, err := Invert(xtx)
+	if err != nil {
+		return nil, err
+	}
+	ycol := make([][]float64, len(y))
+	for i, v := range y {
+		ycol[i] = []float64{v}
+	}
+	xty := MatMul(xt, ycol)
+	beta := MatMul(inv, xty)
+	out := make([]float64, len(beta))
+	for i := range beta {
+		out[i] = beta[i][0]
+	}
+	return out, nil
+}
+
+// Covariance is MADlib's cov(): single-core covariance of the columns.
+func Covariance(rows [][]float64) [][]float64 {
+	if len(rows) == 0 {
+		return nil
+	}
+	n := len(rows)
+	k := len(rows[0])
+	means := make([]float64, k)
+	for _, row := range rows {
+		for j, v := range row {
+			means[j] += v
+		}
+	}
+	for j := range means {
+		means[j] /= float64(n)
+	}
+	out := make([][]float64, k)
+	for j := range out {
+		out[j] = make([]float64, k)
+	}
+	for _, row := range rows {
+		for a := 0; a < k; a++ {
+			da := row[a] - means[a]
+			for b := a; b < k; b++ {
+				out[a][b] += da * (row[b] - means[b])
+			}
+		}
+	}
+	for a := 0; a < k; a++ {
+		for b := a; b < k; b++ {
+			out[a][b] /= float64(n - 1)
+			out[b][a] = out[a][b]
+		}
+	}
+	return out
+}

@@ -1,0 +1,32 @@
+// Package core implements the relational matrix algebra (RMA) — the
+// primary contribution of "A Relational Matrix Algebra and its
+// Implementation in a Column Store" (SIGMOD 2020).
+//
+// RMA extends the relational model with nineteen relational matrix
+// operations (emu, mmu, opd, cpd, add, sub, tra, sol, inv, evc, evl, qqr,
+// rqr, dsv, usv, vsv, det, rnk, chf). Each operation takes one or two
+// relations together with an order schema per argument. The order schema
+// U ⊆ R must form a key and imposes the row order for the matrix
+// operation; the remaining attributes Ū form the application schema and
+// must be numeric. The operation computes the matrix operation over the
+// application part ordered by U (the base result) and returns a relation
+// that combines the base result with contextual information — row and
+// column origins — morphed from the inputs according to the operation's
+// shape type (paper Tables 1-3). The algebra is closed: relations in,
+// relations out.
+//
+// Execution follows the paper's Algorithm 1: split the argument's BATs
+// into order and application lists, sort by the order schema, morph the
+// contextual information, evaluate the matrix kernel, and merge. Two
+// independent execution knobs reproduce the paper's ablations:
+//
+//   - Policy selects between the no-copy column-at-a-time kernels of
+//     internal/batlin (RMA+BAT) and the contiguous dense kernels of
+//     internal/linalg reached by copying the application part out and the
+//     base result back (RMA+MKL). PolicyAuto mirrors the paper: the
+//     elementwise family runs on BATs, everything else is delegated.
+//   - SortMode enables the Section 8.1 optimizations: operations whose
+//     base result is invariant or equivariant under row permutation skip
+//     sorting entirely, and binary elementwise operations sort only the
+//     second argument relative to the first.
+package core

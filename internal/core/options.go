@@ -1,0 +1,124 @@
+package core
+
+import "time"
+
+// Policy selects the execution engine for the base result (paper §7.3).
+type Policy uint8
+
+const (
+	// PolicyAuto mirrors the paper's optimizer decision: the linear
+	// elementwise family (add, sub, emu) runs no-copy over BATs, all
+	// other operations are delegated to the dense kernel, paying the
+	// copy-in/copy-out.
+	PolicyAuto Policy = iota
+	// PolicyBAT forces the no-copy column-at-a-time implementation
+	// (RMA+BAT). Operations without a BAT algorithm (evc, evl, chf, dsv,
+	// usv, vsv, rnk) fall back to the dense kernel.
+	PolicyBAT
+	// PolicyDense forces delegation to the dense kernel (RMA+MKL),
+	// including the data transformation.
+	PolicyDense
+)
+
+// String names the policy as in the paper's figures.
+func (p Policy) String() string {
+	switch p {
+	case PolicyAuto:
+		return "RMA+"
+	case PolicyBAT:
+		return "RMA+BAT"
+	case PolicyDense:
+		return "RMA+MKL"
+	}
+	return "Policy?"
+}
+
+// SortMode toggles the sorting optimizations of Section 8.1.
+type SortMode uint8
+
+const (
+	// SortFull always sorts every argument by its order schema and
+	// verifies that the order schema forms a key.
+	SortFull SortMode = iota
+	// SortOptimized skips sorting for operations whose base result is
+	// invariant/equivariant under row permutation and uses relative
+	// sorting for binary elementwise operations.
+	SortOptimized
+)
+
+// Stats instruments one relational matrix operation, splitting the runtime
+// the way the paper's Figures 13 and 14 do.
+type Stats struct {
+	// Context is the time spent handling contextual information:
+	// splitting, computing sort indexes, gathering order and application
+	// BATs, morphing, and assembling the result relation.
+	Context time.Duration
+	// Transform is the time spent copying the application part from BATs
+	// into the contiguous dense format and the base result back — zero
+	// for the no-copy BAT path.
+	Transform time.Duration
+	// Kernel is the time spent in the matrix operation itself.
+	Kernel time.Duration
+	// Sorted records whether any argument was actually sorted.
+	Sorted bool
+	// UsedDense records whether the dense kernel computed the base result.
+	UsedDense bool
+}
+
+// Total returns the instrumented wall time.
+func (s *Stats) Total() time.Duration { return s.Context + s.Transform + s.Kernel }
+
+// TransformShare returns the fraction of total time spent transforming
+// data (the quantity plotted in Figure 14b).
+func (s *Stats) TransformShare() float64 {
+	t := s.Total()
+	if t == 0 {
+		return 0
+	}
+	return float64(s.Transform) / float64(t)
+}
+
+// Options configures an RMA operation invocation. The zero value is
+// PolicyAuto with full sorting and no instrumentation.
+type Options struct {
+	Policy   Policy
+	SortMode SortMode
+	// Stats, when non-nil, receives the phase timings of the invocation.
+	Stats *Stats
+}
+
+func (o *Options) orDefault() *Options {
+	if o == nil {
+		return &Options{}
+	}
+	return o
+}
+
+type phaseClock struct {
+	stats *Stats
+	start time.Time
+}
+
+func (c *phaseClock) begin() {
+	if c.stats != nil {
+		c.start = time.Now()
+	}
+}
+
+func (c *phaseClock) endContext() {
+	if c.stats != nil {
+		c.stats.Context += time.Since(c.start)
+	}
+}
+
+func (c *phaseClock) endTransform() {
+	if c.stats != nil {
+		c.stats.Transform += time.Since(c.start)
+	}
+}
+
+func (c *phaseClock) endKernel() {
+	if c.stats != nil {
+		c.stats.Kernel += time.Since(c.start)
+	}
+}

@@ -1,0 +1,180 @@
+package core
+
+import (
+	"fmt"
+	"sort"
+
+	"repro/internal/bat"
+	"repro/internal/rel"
+)
+
+// This file implements the paper's Section 9 future-work item: "it also is
+// interesting to investigate the handling of wide tables, e.g., by storing
+// them as skinny tables that are accessed accordingly". ToSkinny unpivots
+// a wide relation into (key..., attribute, value) triples; FromSkinny
+// pivots back. Together they let wide application schemas (Table 4's 10K
+// columns) live in a three-column relation, while relational matrix
+// operations keep operating on the wide view.
+
+// SkinnyAttr and SkinnyValue name the two generated attributes of the
+// skinny representation.
+const (
+	SkinnyAttr  = "attr"
+	SkinnyValue = "val"
+)
+
+// ToSkinny unpivots the application part of r: the result has the order
+// schema of r plus (attr, val), one row per (tuple, application
+// attribute). The order schema must form a key of r; the skinny relation
+// is keyed by order schema + attr.
+func ToSkinny(r *rel.Relation, order []string) (*rel.Relation, error) {
+	a, err := split(r, order)
+	if err != nil {
+		return nil, err
+	}
+	if err := a.sortArg(); err != nil {
+		return nil, err
+	}
+	if r.Schema.Index(SkinnyAttr) >= 0 || r.Schema.Index(SkinnyValue) >= 0 {
+		return nil, fmt.Errorf("rma: relation already has %q or %q attributes", SkinnyAttr, SkinnyValue)
+	}
+	n := r.NumRows()
+	k := len(a.appCols)
+	// Order columns repeat once per application attribute.
+	idx := make([]int, 0, n*k)
+	for j := 0; j < k; j++ {
+		for i := 0; i < n; i++ {
+			idx = append(idx, i)
+		}
+	}
+	schema := append(a.orderSchema.Clone(),
+		rel.Attr{Name: SkinnyAttr, Type: bat.String},
+		rel.Attr{Name: SkinnyValue, Type: bat.Float})
+	cols := make([]*bat.BAT, 0, len(schema))
+	for _, c := range a.orderCols {
+		cols = append(cols, c.Gather(idx))
+	}
+	attrs := make([]string, 0, n*k)
+	vals := make([]float64, 0, n*k)
+	for j, c := range a.appCols {
+		f, err := c.Floats()
+		if err != nil {
+			return nil, err
+		}
+		name := a.appSchema[j].Name
+		for i := 0; i < n; i++ {
+			attrs = append(attrs, name)
+			vals = append(vals, f[i])
+		}
+	}
+	cols = append(cols, bat.FromStrings(attrs), bat.FromFloats(vals))
+	return rel.New(r.Name+"_skinny", schema, cols)
+}
+
+// FromSkinny pivots a skinny relation (order schema + attr + val) back to
+// the wide form. Attribute columns appear in sorted name order; every key
+// must carry the same attribute set (missing cells are an error, matching
+// the dense-matrix semantics of the algebra).
+func FromSkinny(r *rel.Relation, order []string) (*rel.Relation, error) {
+	attrC, err := r.Col(SkinnyAttr)
+	if err != nil {
+		return nil, err
+	}
+	valC, err := r.Col(SkinnyValue)
+	if err != nil {
+		return nil, err
+	}
+	if attrC.Type() != bat.String {
+		return nil, fmt.Errorf("rma: %q must be a string column", SkinnyAttr)
+	}
+	vals, err := valC.Floats()
+	if err != nil {
+		return nil, err
+	}
+	orderCols := make([]*bat.BAT, len(order))
+	var orderSchema rel.Schema
+	for k, name := range order {
+		j := r.Schema.Index(name)
+		if j < 0 {
+			return nil, fmt.Errorf("rma: no order attribute %q", name)
+		}
+		if name == SkinnyAttr || name == SkinnyValue {
+			return nil, fmt.Errorf("rma: %q cannot be an order attribute here", name)
+		}
+		orderCols[k] = r.Cols[j]
+		orderSchema = append(orderSchema, r.Schema[j])
+	}
+
+	// Collect distinct attribute names (sorted) and distinct keys (in
+	// order of first appearance, then sorted via the key columns).
+	attrs := attrC.Vector().Strings()
+	attrSet := map[string]int{}
+	var attrNames []string
+	for _, s := range attrs {
+		if _, ok := attrSet[s]; !ok {
+			attrSet[s] = 0
+			attrNames = append(attrNames, s)
+		}
+	}
+	sort.Strings(attrNames)
+	for j, s := range attrNames {
+		attrSet[s] = j
+	}
+
+	n := r.NumRows()
+	keyOfRow := make([]string, n)
+	for i := 0; i < n; i++ {
+		key := ""
+		for _, c := range orderCols {
+			key += c.Get(i).String() + "\x00"
+		}
+		keyOfRow[i] = key
+	}
+	keyIndex := map[string]int{}
+	var keyRows []int // first row of each key
+	for i := 0; i < n; i++ {
+		if _, ok := keyIndex[keyOfRow[i]]; !ok {
+			keyIndex[keyOfRow[i]] = len(keyRows)
+			keyRows = append(keyRows, i)
+		}
+	}
+	width := len(attrNames)
+	if len(keyRows)*width != n {
+		return nil, fmt.Errorf("rma: skinny relation is not dense: %d rows, %d keys × %d attributes",
+			n, len(keyRows), width)
+	}
+
+	out := make([][]float64, width)
+	filled := make([][]bool, width)
+	for j := range out {
+		out[j] = make([]float64, len(keyRows))
+		filled[j] = make([]bool, len(keyRows))
+	}
+	for i := 0; i < n; i++ {
+		kIdx := keyIndex[keyOfRow[i]]
+		aIdx := attrSet[attrs[i]]
+		if filled[aIdx][kIdx] {
+			return nil, fmt.Errorf("rma: duplicate cell for key %d attribute %q", kIdx, attrs[i])
+		}
+		filled[aIdx][kIdx] = true
+		out[aIdx][kIdx] = vals[i]
+	}
+	for j := range filled {
+		for _, ok := range filled[j] {
+			if !ok {
+				return nil, fmt.Errorf("rma: missing cell for attribute %q", attrNames[j])
+			}
+		}
+	}
+
+	schema := orderSchema.Clone()
+	cols := make([]*bat.BAT, 0, len(order)+width)
+	for _, c := range orderCols {
+		cols = append(cols, c.Gather(keyRows))
+	}
+	for j, name := range attrNames {
+		schema = append(schema, rel.Attr{Name: name, Type: bat.Float})
+		cols = append(cols, bat.FromFloats(out[j]))
+	}
+	return rel.New(r.Name, schema, cols)
+}

@@ -1,0 +1,125 @@
+package core
+
+import (
+	"math/rand"
+	"testing"
+
+	"repro/internal/bat"
+	"repro/internal/matrix"
+	"repro/internal/rel"
+)
+
+func TestSkinnyRoundTrip(t *testing.T) {
+	rng := rand.New(rand.NewSource(77))
+	r := randRelation(rng, "r", 9, 4)
+	skinny, err := ToSkinny(r, []string{"Kr"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skinny.NumRows() != 9*4 {
+		t.Fatalf("skinny rows = %d, want 36", skinny.NumRows())
+	}
+	if got := skinny.Schema.Names(); got[1] != SkinnyAttr || got[2] != SkinnyValue {
+		t.Fatalf("skinny schema = %v", got)
+	}
+	wide, err := FromSkinny(skinny, []string{"Kr"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Same matrix after reduction by the key (attribute names of the
+	// generator sort alphabetically, so column order is preserved).
+	if !matrix.ApproxEqual(inputMatrix(t, wide), inputMatrix(t, r), 1e-12) {
+		t.Error("skinny round trip changed values")
+	}
+}
+
+func TestSkinnyIsRelationalInput(t *testing.T) {
+	// The skinny form is an ordinary relation: RMA operations work on it.
+	rng := rand.New(rand.NewSource(78))
+	r := randRelation(rng, "r", 5, 2)
+	skinny, err := ToSkinny(r, []string{"Kr"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// (Kr, attr) is a key of the skinny relation; val is the single
+	// application column — qqr over it must work.
+	q, err := Qqr(skinny, []string{"Kr", SkinnyAttr}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumRows() != 10 || q.NumCols() != 3 {
+		t.Fatalf("qqr over skinny = %dx%d", q.NumRows(), q.NumCols())
+	}
+}
+
+func TestSkinnyErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(79))
+	r := randRelation(rng, "r", 4, 2)
+	if _, err := ToSkinny(r, []string{"nope"}); err == nil {
+		t.Error("bad order attribute accepted")
+	}
+	// Name collision with the generated attributes.
+	coll := rel.MustNew("c", rel.Schema{
+		{Name: "K", Type: bat.Int},
+		{Name: SkinnyAttr, Type: bat.Float},
+	}, []*bat.BAT{bat.FromInts([]int64{1}), bat.FromFloats([]float64{2})})
+	if _, err := ToSkinny(coll, []string{"K"}); err == nil {
+		t.Error("attr collision accepted")
+	}
+
+	skinny, err := ToSkinny(r, []string{"Kr"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Remove one row: no longer dense.
+	idx := make([]int, skinny.NumRows()-1)
+	for i := range idx {
+		idx[i] = i
+	}
+	if _, err := FromSkinny(skinny.Gather(idx), []string{"Kr"}); err == nil {
+		t.Error("non-dense skinny accepted")
+	}
+	// Duplicate a row: duplicate cell.
+	dup := make([]int, skinny.NumRows()+1)
+	for i := range dup {
+		dup[i] = i % skinny.NumRows()
+	}
+	if _, err := FromSkinny(skinny.Gather(dup), []string{"Kr"}); err == nil {
+		t.Error("duplicate cell accepted")
+	}
+	if _, err := FromSkinny(r, []string{"Kr"}); err == nil {
+		t.Error("relation without attr/val accepted")
+	}
+	if _, err := FromSkinny(skinny, []string{SkinnyAttr}); err == nil {
+		t.Error("attr as order attribute accepted")
+	}
+	if _, err := FromSkinny(skinny, []string{"nope"}); err == nil {
+		t.Error("missing order attribute accepted")
+	}
+}
+
+// TestSkinnyWideTableScenario exercises the paper's motivation: a wide
+// relation stored skinny, pivoted on demand for a matrix operation.
+func TestSkinnyWideTableScenario(t *testing.T) {
+	rng := rand.New(rand.NewSource(80))
+	wide := randRelation(rng, "w", 40, 30) // 30 application attributes
+	skinny, err := ToSkinny(wide, []string{"Kw"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if skinny.NumCols() != 3 {
+		t.Fatalf("skinny arity = %d", skinny.NumCols())
+	}
+	back, err := FromSkinny(skinny, []string{"Kw"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	// Matrix operation on the recovered wide view.
+	q, err := Rqr(back, []string{"Kw"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if q.NumRows() != 30 {
+		t.Fatalf("rqr rows = %d", q.NumRows())
+	}
+}

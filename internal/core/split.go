@@ -1,0 +1,195 @@
+package core
+
+import (
+	"fmt"
+
+	"repro/internal/bat"
+	"repro/internal/matrix"
+	"repro/internal/rel"
+)
+
+// argument is one split argument relation of a relational matrix
+// operation: the four areas of Figure 2 (order schema, order part,
+// application schema, application part), plus the row permutation that
+// establishes the operation's order.
+type argument struct {
+	rel         *rel.Relation
+	orderSchema rel.Schema
+	appSchema   rel.Schema
+	orderCols   []*bat.BAT // in relation column order, not yet gathered
+	appCols     []*bat.BAT
+	perm        []int // nil means input order (sorting skipped)
+	sorted      bool  // perm was computed and verified
+}
+
+// split resolves the order schema U of r and partitions schema and columns
+// (the Splitting step of Algorithm 1). Every application attribute must be
+// numeric; the order attributes must exist.
+func split(r *rel.Relation, order []string) (*argument, error) {
+	if r == nil {
+		return nil, fmt.Errorf("rma: nil relation")
+	}
+	inOrder := make(map[string]bool, len(order))
+	a := &argument{rel: r}
+	for _, name := range order {
+		k := r.Schema.Index(name)
+		if k < 0 {
+			return nil, fmt.Errorf("rma: order attribute %q not in relation %s", name, r.Name)
+		}
+		if inOrder[name] {
+			return nil, fmt.Errorf("rma: duplicate order attribute %q", name)
+		}
+		inOrder[name] = true
+		a.orderSchema = append(a.orderSchema, r.Schema[k])
+		a.orderCols = append(a.orderCols, r.Cols[k])
+	}
+	for k, attr := range r.Schema {
+		if inOrder[attr.Name] {
+			continue
+		}
+		if !attr.Type.Numeric() {
+			return nil, fmt.Errorf("rma: application attribute %q of %s is %v; add it to the order schema or project it away",
+				attr.Name, r.Name, attr.Type)
+		}
+		a.appSchema = append(a.appSchema, attr)
+		a.appCols = append(a.appCols, r.Cols[k])
+	}
+	if len(a.appSchema) == 0 {
+		return nil, fmt.Errorf("rma: relation %s has an empty application schema", r.Name)
+	}
+	return a, nil
+}
+
+// sortArg computes the sort permutation over the order schema and verifies
+// the key property (the Sorting step of Algorithm 1).
+func (a *argument) sortArg() error {
+	if len(a.orderCols) == 0 {
+		// An empty order schema is permitted only for single-row inputs,
+		// where order is trivially immaterial and the key is empty.
+		if a.rel.NumRows() > 1 {
+			return fmt.Errorf("rma: relation %s needs an order schema (BY clause)", a.rel.Name)
+		}
+		a.perm = bat.Identity(a.rel.NumRows())
+		a.sorted = true
+		return nil
+	}
+	idx := bat.SortIndex(a.orderCols)
+	if !bat.KeyUnique(a.orderCols, idx) {
+		return fmt.Errorf("rma: order schema %v of %s is not a key", a.orderSchema.Names(), a.rel.Name)
+	}
+	a.perm = idx
+	a.sorted = true
+	return nil
+}
+
+// rows returns |r|.
+func (a *argument) rows() int { return a.rel.NumRows() }
+
+// orderedOrderCols returns the order part gathered into operation order
+// (X in Algorithm 1 for shape (r,·) operations).
+func (a *argument) orderedOrderCols() []*bat.BAT {
+	out := make([]*bat.BAT, len(a.orderCols))
+	for k, c := range a.orderCols {
+		if a.perm == nil || bat.IsSortedIndex(a.perm) {
+			out[k] = c
+		} else {
+			out[k] = c.Gather(a.perm)
+		}
+	}
+	return out
+}
+
+// orderedAppCols returns the application part gathered into operation
+// order (Y in Algorithm 1) — the no-copy µ constructor used by the BAT
+// execution path.
+func (a *argument) orderedAppCols() []*bat.BAT {
+	out := make([]*bat.BAT, len(a.appCols))
+	for k, c := range a.appCols {
+		if a.perm == nil || bat.IsSortedIndex(a.perm) {
+			out[k] = c
+		} else {
+			out[k] = c.Gather(a.perm)
+		}
+	}
+	return out
+}
+
+// toMatrix is the matrix constructor µ_Ū(r) for the dense path: it copies
+// the application part, ordered by the permutation, into a contiguous
+// row-major array (the "copy BATs to an MKL compatible format" step whose
+// cost Figure 14 measures).
+func (a *argument) toMatrix() (*matrix.Matrix, error) {
+	m := a.rows()
+	n := len(a.appCols)
+	out := matrix.New(m, n)
+	for j, c := range a.appCols {
+		f, err := c.Floats()
+		if err != nil {
+			return nil, fmt.Errorf("rma: %v", err)
+		}
+		if a.perm == nil {
+			for i := 0; i < m; i++ {
+				out.Data[i*n+j] = f[i]
+			}
+		} else {
+			for i, p := range a.perm {
+				out.Data[i*n+j] = f[p]
+			}
+		}
+	}
+	return out, nil
+}
+
+// columnCast is ▽U: the sorted values of a single-attribute order schema,
+// rendered as strings, used as attribute names of result application
+// schemas (usv, opd, tra). The key property guarantees uniqueness.
+func (a *argument) columnCast() ([]string, error) {
+	if len(a.orderCols) != 1 {
+		return nil, fmt.Errorf("rma: column cast needs an order schema of cardinality one, got %v",
+			a.orderSchema.Names())
+	}
+	perm := a.perm
+	if perm == nil {
+		// Names must be sorted even when row sorting was optimized away.
+		perm = bat.SortIndex(a.orderCols)
+		if !bat.KeyUnique(a.orderCols, perm) {
+			return nil, fmt.Errorf("rma: order schema %v of %s is not a key",
+				a.orderSchema.Names(), a.rel.Name)
+		}
+	}
+	c := a.orderCols[0]
+	names := make([]string, len(perm))
+	for i, p := range perm {
+		names[i] = c.Get(p).String()
+	}
+	return names, nil
+}
+
+// schemaCast is ∆Ū: the application schema attribute names as the values
+// of the result's C attribute (tra, rqr, dsv, vsv, cpd, sol).
+func (a *argument) schemaCast() []string {
+	return append([]string(nil), a.appSchema.Names()...)
+}
+
+// matrixToCols converts a dense base result back into one BAT per column
+// (the copy-back half of the transformation).
+func matrixToCols(m *matrix.Matrix) []*bat.BAT {
+	out := make([]*bat.BAT, m.Cols)
+	for j := 0; j < m.Cols; j++ {
+		col := make([]float64, m.Rows)
+		for i := 0; i < m.Rows; i++ {
+			col[i] = m.Data[i*m.Cols+j]
+		}
+		out[j] = bat.FromFloats(col)
+	}
+	return out
+}
+
+// floatSchema builds a schema of float attributes with the given names.
+func floatSchema(names []string) rel.Schema {
+	s := make(rel.Schema, len(names))
+	for k, n := range names {
+		s[k] = rel.Attr{Name: n, Type: bat.Float}
+	}
+	return s
+}

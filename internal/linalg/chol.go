@@ -1,0 +1,47 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/matrix"
+)
+
+// ErrNotPositiveDefinite is returned by Cholesky for inputs that are not
+// symmetric positive definite.
+var ErrNotPositiveDefinite = errors.New("linalg: matrix is not positive definite")
+
+// Cholesky returns the upper-triangular factor R with A = Rᵀ·R (the CHF
+// operation; R's chol returns the upper factor). The input must be
+// symmetric positive definite.
+func Cholesky(a *matrix.Matrix) (*matrix.Matrix, error) {
+	if a.Rows != a.Cols {
+		return nil, ErrShape
+	}
+	n := a.Rows
+	if !a.IsSymmetric(1e-8 * (1 + a.MaxAbs())) {
+		return nil, ErrNotPositiveDefinite
+	}
+	r := matrix.New(n, n)
+	for j := 0; j < n; j++ {
+		var d float64
+		for k := 0; k < j; k++ {
+			var s float64
+			for i := 0; i < k; i++ {
+				s += r.At(i, k) * r.At(i, j)
+			}
+			if r.At(k, k) == 0 {
+				return nil, ErrNotPositiveDefinite
+			}
+			s = (a.At(k, j) - s) / r.At(k, k)
+			r.Set(k, j, s)
+			d += s * s
+		}
+		d = a.At(j, j) - d
+		if d <= 0 {
+			return nil, ErrNotPositiveDefinite
+		}
+		r.Set(j, j, math.Sqrt(d))
+	}
+	return r, nil
+}

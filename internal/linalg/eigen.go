@@ -1,0 +1,358 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"sort"
+
+	"repro/internal/matrix"
+)
+
+// ErrComplexEigen is returned for non-symmetric matrices whose spectrum
+// contains complex conjugate pairs; like the paper (which inherits the
+// semantics of R's eigen over relational data), only real spectra are
+// representable in a result relation.
+var ErrComplexEigen = errors.New("linalg: matrix has complex eigenvalues")
+
+// Eigen holds an eigendecomposition: Values in descending order and, when
+// requested, the matching unit eigenvectors as columns of Vectors.
+type Eigen struct {
+	Values  []float64
+	Vectors *matrix.Matrix
+}
+
+const (
+	jacobiMaxSweeps = 64
+	qrMaxIter       = 120
+)
+
+// NewEigen computes eigenvalues (and eigenvectors when withVectors) of a
+// square matrix. Symmetric inputs use the cyclic Jacobi method; general
+// inputs are reduced to Hessenberg form and iterated with shifted QR, with
+// eigenvectors recovered by inverse iteration.
+func NewEigen(a *matrix.Matrix, withVectors bool) (*Eigen, error) {
+	if a.Rows != a.Cols {
+		return nil, ErrShape
+	}
+	if a.Rows == 0 {
+		return &Eigen{Values: nil, Vectors: matrix.New(0, 0)}, nil
+	}
+	symTol := 1e-10 * (1 + a.MaxAbs())
+	if a.IsSymmetric(symTol) {
+		return symmetricJacobi(a, withVectors)
+	}
+	return generalEigen(a, withVectors)
+}
+
+// symmetricJacobi runs cyclic Jacobi rotations until off-diagonal mass
+// vanishes. Unconditionally stable for symmetric matrices.
+func symmetricJacobi(a *matrix.Matrix, withVectors bool) (*Eigen, error) {
+	n := a.Rows
+	w := a.Clone()
+	var v *matrix.Matrix
+	if withVectors {
+		v = matrix.Identity(n)
+	}
+	for sweep := 0; sweep < jacobiMaxSweeps; sweep++ {
+		var off float64
+		for i := 0; i < n; i++ {
+			for j := i + 1; j < n; j++ {
+				off += w.At(i, j) * w.At(i, j)
+			}
+		}
+		if off < 1e-28*(1+w.MaxAbs()*w.MaxAbs()) {
+			break
+		}
+		for p := 0; p < n-1; p++ {
+			for q := p + 1; q < n; q++ {
+				apq := w.At(p, q)
+				if math.Abs(apq) < 1e-300 {
+					continue
+				}
+				app, aqq := w.At(p, p), w.At(q, q)
+				theta := (aqq - app) / (2 * apq)
+				t := math.Copysign(1, theta) / (math.Abs(theta) + math.Sqrt(1+theta*theta))
+				c := 1 / math.Sqrt(1+t*t)
+				s := c * t
+				// Rotate rows/columns p and q of w.
+				for k := 0; k < n; k++ {
+					wkp, wkq := w.At(k, p), w.At(k, q)
+					w.Set(k, p, c*wkp-s*wkq)
+					w.Set(k, q, s*wkp+c*wkq)
+				}
+				for k := 0; k < n; k++ {
+					wpk, wqk := w.At(p, k), w.At(q, k)
+					w.Set(p, k, c*wpk-s*wqk)
+					w.Set(q, k, s*wpk+c*wqk)
+				}
+				if withVectors {
+					for k := 0; k < n; k++ {
+						vkp, vkq := v.At(k, p), v.At(k, q)
+						v.Set(k, p, c*vkp-s*vkq)
+						v.Set(k, q, s*vkp+c*vkq)
+					}
+				}
+			}
+		}
+	}
+	vals := make([]float64, n)
+	for i := range vals {
+		vals[i] = w.At(i, i)
+	}
+	order := make([]int, n)
+	for k := range order {
+		order[k] = k
+	}
+	sort.SliceStable(order, func(a, b int) bool { return vals[order[a]] > vals[order[b]] })
+	out := &Eigen{Values: make([]float64, n)}
+	for dst, src := range order {
+		out.Values[dst] = vals[src]
+	}
+	if withVectors {
+		vm := matrix.New(n, n)
+		for dst, src := range order {
+			for i := 0; i < n; i++ {
+				vm.Set(i, dst, v.At(i, src))
+			}
+		}
+		out.Vectors = vm
+	}
+	return out, nil
+}
+
+// hessenberg reduces a to upper Hessenberg form by Householder similarity
+// transformations (in place on a copy).
+func hessenberg(a *matrix.Matrix) *matrix.Matrix {
+	n := a.Rows
+	h := a.Clone()
+	for k := 0; k < n-2; k++ {
+		var norm float64
+		for i := k + 1; i < n; i++ {
+			norm = math.Hypot(norm, h.At(i, k))
+		}
+		if norm == 0 {
+			continue
+		}
+		if h.At(k+1, k) < 0 {
+			norm = -norm
+		}
+		v := make([]float64, n)
+		for i := k + 1; i < n; i++ {
+			v[i] = h.At(i, k) / norm
+		}
+		v[k+1] += 1
+		beta := v[k+1]
+		// H <- P·H
+		for j := k; j < n; j++ {
+			var s float64
+			for i := k + 1; i < n; i++ {
+				s += v[i] * h.At(i, j)
+			}
+			s = -s / beta
+			for i := k + 1; i < n; i++ {
+				h.Set(i, j, h.At(i, j)+s*v[i])
+			}
+		}
+		// H <- H·P
+		for i := 0; i < n; i++ {
+			var s float64
+			for j := k + 1; j < n; j++ {
+				s += h.At(i, j) * v[j]
+			}
+			s = -s / beta
+			for j := k + 1; j < n; j++ {
+				h.Set(i, j, h.At(i, j)+s*v[j])
+			}
+		}
+	}
+	return h
+}
+
+// generalEigen computes the real spectrum of a general matrix via shifted
+// QR on the Hessenberg form; complex pairs yield ErrComplexEigen.
+func generalEigen(a *matrix.Matrix, withVectors bool) (*Eigen, error) {
+	n := a.Rows
+	h := hessenberg(a)
+	scale := 1 + a.MaxAbs()
+	vals := make([]float64, 0, n)
+	hi := n - 1
+	iter := 0
+	for hi >= 0 {
+		// Deflate converged subdiagonal entries.
+		for hi > 0 && math.Abs(h.At(hi, hi-1)) < 1e-13*scale {
+			vals = append(vals, h.At(hi, hi))
+			hi--
+			iter = 0
+		}
+		if hi == 0 {
+			vals = append(vals, h.At(0, 0))
+			break
+		}
+		if iter++; iter > qrMaxIter {
+			// The trailing 2×2 block refuses to split: complex pair?
+			p, q := hi-1, hi
+			tr := h.At(p, p) + h.At(q, q)
+			det := h.At(p, p)*h.At(q, q) - h.At(p, q)*h.At(q, p)
+			disc := tr*tr/4 - det
+			if disc < 0 {
+				return nil, ErrComplexEigen
+			}
+			r := math.Sqrt(disc)
+			vals = append(vals, tr/2+r, tr/2-r)
+			hi -= 2
+			iter = 0
+			continue
+		}
+		// Wilkinson shift from the trailing 2×2 block.
+		p, q := hi-1, hi
+		tr := h.At(p, p) + h.At(q, q)
+		det := h.At(p, p)*h.At(q, q) - h.At(p, q)*h.At(q, p)
+		disc := tr*tr/4 - det
+		var shift float64
+		if disc >= 0 {
+			r := math.Sqrt(disc)
+			e1, e2 := tr/2+r, tr/2-r
+			if math.Abs(e1-h.At(q, q)) < math.Abs(e2-h.At(q, q)) {
+				shift = e1
+			} else {
+				shift = e2
+			}
+		} else {
+			shift = h.At(q, q) // complex pair: use the real part; the
+			// 2×2 deflation above will catch persistent blocks
+		}
+		qrStepHessenberg(h, hi, shift)
+	}
+	sort.Sort(sort.Reverse(sort.Float64Slice(vals)))
+	out := &Eigen{Values: vals}
+	if withVectors {
+		vecs, err := inverseIterationVectors(a, vals)
+		if err != nil {
+			return nil, err
+		}
+		out.Vectors = vecs
+	}
+	return out, nil
+}
+
+// qrStepHessenberg applies one shifted QR step (Givens based) to the
+// leading (hi+1)×(hi+1) block of the Hessenberg matrix h.
+func qrStepHessenberg(h *matrix.Matrix, hi int, shift float64) {
+	n := hi + 1
+	cs := make([]float64, n-1)
+	sn := make([]float64, n-1)
+	for i := 0; i < n; i++ {
+		h.Set(i, i, h.At(i, i)-shift)
+	}
+	// QR by Givens rotations on the subdiagonal.
+	for k := 0; k < n-1; k++ {
+		x, y := h.At(k, k), h.At(k+1, k)
+		r := math.Hypot(x, y)
+		if r == 0 {
+			cs[k], sn[k] = 1, 0
+			continue
+		}
+		c, s := x/r, y/r
+		cs[k], sn[k] = c, s
+		for j := k; j < n; j++ {
+			a1, a2 := h.At(k, j), h.At(k+1, j)
+			h.Set(k, j, c*a1+s*a2)
+			h.Set(k+1, j, -s*a1+c*a2)
+		}
+	}
+	// RQ: apply the transposed rotations on the right.
+	for k := 0; k < n-1; k++ {
+		c, s := cs[k], sn[k]
+		for i := 0; i <= k+1 && i < n; i++ {
+			a1, a2 := h.At(i, k), h.At(i, k+1)
+			h.Set(i, k, c*a1+s*a2)
+			h.Set(i, k+1, -s*a1+c*a2)
+		}
+	}
+	for i := 0; i < n; i++ {
+		h.Set(i, i, h.At(i, i)+shift)
+	}
+}
+
+// inverseIterationVectors recovers unit eigenvectors for the (real)
+// eigenvalues via inverse iteration with a slightly perturbed shift.
+func inverseIterationVectors(a *matrix.Matrix, vals []float64) (*matrix.Matrix, error) {
+	n := a.Rows
+	vecs := matrix.New(n, len(vals))
+	scale := 1 + a.MaxAbs()
+	for j, lambda := range vals {
+		shift := lambda + 1e-9*scale // keep A-λI invertible
+		shifted := a.Clone()
+		for i := 0; i < n; i++ {
+			shifted.Set(i, i, shifted.At(i, i)-shift)
+		}
+		lu, err := NewLU(shifted)
+		if err != nil {
+			// Exactly singular even with perturbation: nudge more.
+			for i := 0; i < n; i++ {
+				shifted.Set(i, i, shifted.At(i, i)-1e-6*scale)
+			}
+			lu, err = NewLU(shifted)
+			if err != nil {
+				return nil, err
+			}
+		}
+		x := make([]float64, n)
+		for i := range x {
+			x[i] = 1 / float64(n+i+1) // deterministic, not an eigvector of anything
+		}
+		for it := 0; it < 4; it++ {
+			y, err := lu.SolveVec(x)
+			if err != nil {
+				return nil, err
+			}
+			var norm float64
+			for _, v := range y {
+				norm += v * v
+			}
+			norm = math.Sqrt(norm)
+			if norm == 0 {
+				break
+			}
+			for i := range y {
+				y[i] /= norm
+			}
+			x = y
+		}
+		// Sign convention: largest-magnitude component positive.
+		mi, mv := 0, math.Abs(x[0])
+		for i, v := range x {
+			if math.Abs(v) > mv {
+				mi, mv = i, math.Abs(v)
+			}
+		}
+		if x[mi] < 0 {
+			for i := range x {
+				x[i] = -x[i]
+			}
+		}
+		for i := 0; i < n; i++ {
+			vecs.Set(i, j, x[i])
+		}
+	}
+	return vecs, nil
+}
+
+// Eigenvalues returns the spectrum in descending order (EVL).
+func Eigenvalues(a *matrix.Matrix) ([]float64, error) {
+	e, err := NewEigen(a, false)
+	if err != nil {
+		return nil, err
+	}
+	return e.Values, nil
+}
+
+// Eigenvectors returns the matrix of unit eigenvectors, one per column,
+// ordered by descending eigenvalue (EVC).
+func Eigenvectors(a *matrix.Matrix) (*matrix.Matrix, error) {
+	e, err := NewEigen(a, true)
+	if err != nil {
+		return nil, err
+	}
+	return e.Vectors, nil
+}

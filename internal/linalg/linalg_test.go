@@ -1,0 +1,557 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/matrix"
+)
+
+func randMatrix(rng *rand.Rand, m, n int) *matrix.Matrix {
+	a := matrix.New(m, n)
+	for k := range a.Data {
+		a.Data[k] = rng.NormFloat64()
+	}
+	return a
+}
+
+// wellConditioned returns A = Q·D·Qᵀ-ish random square matrix with singular
+// values bounded away from zero: random + n·I dominance trick.
+func wellConditioned(rng *rand.Rand, n int) *matrix.Matrix {
+	a := randMatrix(rng, n, n)
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+float64(n)+2)
+	}
+	return a
+}
+
+func spd(rng *rand.Rand, n int) *matrix.Matrix {
+	b := randMatrix(rng, n, n)
+	a := CrossProduct(b, b) // BᵀB is PSD
+	for i := 0; i < n; i++ {
+		a.Set(i, i, a.At(i, i)+1) // make it PD
+	}
+	return a
+}
+
+func TestMatMulSmall(t *testing.T) {
+	a := matrix.FromRows([][]float64{{1, 2}, {3, 4}})
+	b := matrix.FromRows([][]float64{{5, 6}, {7, 8}})
+	got := MatMul(a, b)
+	want := matrix.FromRows([][]float64{{19, 22}, {43, 50}})
+	if !matrix.ApproxEqual(got, want, 1e-12) {
+		t.Fatalf("MatMul = %v", got)
+	}
+}
+
+func TestMatMulAgainstNaive(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	for _, dims := range [][3]int{{1, 1, 1}, {3, 4, 5}, {64, 64, 64}, {65, 127, 33}, {200, 50, 120}} {
+		m, k, n := dims[0], dims[1], dims[2]
+		a, b := randMatrix(rng, m, k), randMatrix(rng, k, n)
+		got := MatMul(a, b)
+		want := matrix.New(m, n)
+		for i := 0; i < m; i++ {
+			for j := 0; j < n; j++ {
+				var s float64
+				for l := 0; l < k; l++ {
+					s += a.At(i, l) * b.At(l, j)
+				}
+				want.Set(i, j, s)
+			}
+		}
+		if !matrix.ApproxEqual(got, want, 1e-9) {
+			t.Fatalf("MatMul %v mismatch", dims)
+		}
+	}
+}
+
+func TestMatMulShapePanic(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("inner dimension mismatch should panic")
+		}
+	}()
+	MatMul(matrix.New(2, 3), matrix.New(2, 3))
+}
+
+func TestCrossOuterProduct(t *testing.T) {
+	rng := rand.New(rand.NewSource(2))
+	a := randMatrix(rng, 7, 3)
+	b := randMatrix(rng, 7, 4)
+	cpd := CrossProduct(a, b)
+	if cpd.Rows != 3 || cpd.Cols != 4 {
+		t.Fatalf("CPD shape %dx%d", cpd.Rows, cpd.Cols)
+	}
+	if !matrix.ApproxEqual(cpd, MatMul(a.T(), b), 1e-12) {
+		t.Error("CPD != AᵀB")
+	}
+	c := randMatrix(rng, 5, 3)
+	d := randMatrix(rng, 6, 3)
+	opd := OuterProduct(c, d)
+	if opd.Rows != 5 || opd.Cols != 6 {
+		t.Fatalf("OPD shape %dx%d", opd.Rows, opd.Cols)
+	}
+	if !matrix.ApproxEqual(opd, MatMul(c, d.T()), 1e-12) {
+		t.Error("OPD != ABᵀ")
+	}
+}
+
+func TestSYRK(t *testing.T) {
+	rng := rand.New(rand.NewSource(3))
+	for _, dims := range [][2]int{{5, 3}, {100, 20}, {301, 57}} {
+		a := randMatrix(rng, dims[0], dims[1])
+		got := SYRK(a)
+		want := CrossProduct(a, a)
+		if !matrix.ApproxEqual(got, want, 1e-9) {
+			t.Fatalf("SYRK %v mismatch", dims)
+		}
+		if !got.IsSymmetric(0) {
+			t.Fatal("SYRK result not symmetric")
+		}
+	}
+	if SYRK(matrix.New(0, 0)).Rows != 0 {
+		t.Error("SYRK of empty broken")
+	}
+}
+
+func TestMatVec(t *testing.T) {
+	a := matrix.FromRows([][]float64{{1, 2}, {3, 4}, {5, 6}})
+	got := MatVec(a, []float64{1, -1})
+	want := []float64{-1, -1, -1}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("MatVec = %v", got)
+		}
+	}
+}
+
+func TestLUInverse(t *testing.T) {
+	rng := rand.New(rand.NewSource(4))
+	for _, n := range []int{1, 2, 5, 20, 60} {
+		a := wellConditioned(rng, n)
+		inv, err := Inverse(a)
+		if err != nil {
+			t.Fatalf("n=%d: %v", n, err)
+		}
+		if !matrix.ApproxEqual(MatMul(a, inv), matrix.Identity(n), 1e-8) {
+			t.Fatalf("n=%d: A·A⁻¹ != I", n)
+		}
+	}
+}
+
+func TestInversePaperExample(t *testing.T) {
+	// Figure 3 of the paper: inv of [[6,7],[8,5]].
+	a := matrix.FromRows([][]float64{{6, 7}, {8, 5}})
+	inv, err := Inverse(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := matrix.FromRows([][]float64{{-5.0 / 26, 7.0 / 26}, {8.0 / 26, -6.0 / 26}})
+	if !matrix.ApproxEqual(inv, want, 1e-12) {
+		t.Fatalf("inv = %v, want %v", inv, want)
+	}
+	// Rounded to the paper's two decimals: -0.19, 0.27, 0.31, -0.23.
+	if math.Abs(inv.At(0, 0)-(-0.19)) > 0.005 || math.Abs(inv.At(1, 1)-(-0.23)) > 0.005 {
+		t.Errorf("does not match paper rounding: %v", inv)
+	}
+}
+
+func TestSingularInverse(t *testing.T) {
+	a := matrix.FromRows([][]float64{{1, 2}, {2, 4}})
+	if _, err := Inverse(a); err != ErrSingular {
+		t.Errorf("singular inverse err = %v", err)
+	}
+	if _, err := Inverse(matrix.New(2, 3)); err != ErrShape {
+		t.Errorf("non-square inverse err = %v", err)
+	}
+}
+
+func TestDet(t *testing.T) {
+	a := matrix.FromRows([][]float64{{1, 2}, {3, 4}})
+	d, err := Det(a)
+	if err != nil || math.Abs(d-(-2)) > 1e-12 {
+		t.Errorf("det = %v, %v", d, err)
+	}
+	s := matrix.FromRows([][]float64{{1, 2}, {2, 4}})
+	d2, err := Det(s)
+	if err != nil || d2 != 0 {
+		t.Errorf("det singular = %v, %v", d2, err)
+	}
+	if _, err := Det(matrix.New(1, 2)); err != ErrShape {
+		t.Error("non-square det accepted")
+	}
+	// det(AB) = det(A)det(B)
+	rng := rand.New(rand.NewSource(5))
+	x, y := wellConditioned(rng, 6), wellConditioned(rng, 6)
+	dx, _ := Det(x)
+	dy, _ := Det(y)
+	dxy, _ := Det(MatMul(x, y))
+	if math.Abs(dxy-dx*dy) > 1e-6*math.Abs(dx*dy) {
+		t.Errorf("det(AB)=%v, det(A)det(B)=%v", dxy, dx*dy)
+	}
+}
+
+func TestSolveSquare(t *testing.T) {
+	rng := rand.New(rand.NewSource(6))
+	a := wellConditioned(rng, 10)
+	want := make([]float64, 10)
+	for i := range want {
+		want[i] = rng.NormFloat64()
+	}
+	b := MatVec(a, want)
+	got, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := range want {
+		if math.Abs(got[i]-want[i]) > 1e-8 {
+			t.Fatalf("solve[%d] = %v, want %v", i, got[i], want[i])
+		}
+	}
+}
+
+func TestSolveLeastSquares(t *testing.T) {
+	// Overdetermined: best fit of y = 2x + 1 through noisy-free points is exact.
+	a := matrix.FromRows([][]float64{{1, 0}, {1, 1}, {1, 2}, {1, 3}})
+	b := []float64{1, 3, 5, 7}
+	x, err := Solve(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(x[0]-1) > 1e-10 || math.Abs(x[1]-2) > 1e-10 {
+		t.Fatalf("lstsq = %v", x)
+	}
+	if _, err := Solve(matrix.New(2, 3), []float64{1, 2}); err != ErrShape {
+		t.Error("underdetermined solve accepted")
+	}
+	if _, err := Solve(matrix.New(2, 2), []float64{1}); err != ErrShape {
+		t.Error("rhs length mismatch accepted")
+	}
+}
+
+func TestQRReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(7))
+	for _, dims := range [][2]int{{3, 3}, {10, 4}, {50, 50}, {100, 7}} {
+		m, n := dims[0], dims[1]
+		a := randMatrix(rng, m, n)
+		d, err := NewQR(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		q, r := d.Q(), d.R()
+		if q.Rows != m || q.Cols != n || r.Rows != n || r.Cols != n {
+			t.Fatalf("QR shapes: Q %dx%d R %dx%d", q.Rows, q.Cols, r.Rows, r.Cols)
+		}
+		if !matrix.ApproxEqual(MatMul(q, r), a, 1e-9) {
+			t.Fatalf("Q·R != A for %v", dims)
+		}
+		// QᵀQ = I (orthonormal columns).
+		if !matrix.ApproxEqual(CrossProduct(q, q), matrix.Identity(n), 1e-9) {
+			t.Fatalf("QᵀQ != I for %v", dims)
+		}
+		// R upper triangular.
+		for i := 1; i < n; i++ {
+			for j := 0; j < i; j++ {
+				if math.Abs(r.At(i, j)) > 1e-12 {
+					t.Fatalf("R not upper triangular at %d,%d", i, j)
+				}
+			}
+		}
+	}
+}
+
+func TestFullQ(t *testing.T) {
+	rng := rand.New(rand.NewSource(8))
+	a := randMatrix(rng, 6, 2)
+	d, _ := NewQR(a)
+	fq := d.FullQ()
+	if fq.Rows != 6 || fq.Cols != 6 {
+		t.Fatalf("FullQ shape %dx%d", fq.Rows, fq.Cols)
+	}
+	if !matrix.ApproxEqual(CrossProduct(fq, fq), matrix.Identity(6), 1e-9) {
+		t.Error("FullQ not orthogonal")
+	}
+}
+
+func TestQQRRQRAndErrors(t *testing.T) {
+	rng := rand.New(rand.NewSource(9))
+	a := randMatrix(rng, 5, 3)
+	q, err := QQR(a)
+	if err != nil || q.Rows != 5 || q.Cols != 3 {
+		t.Fatalf("QQR: %v %v", q, err)
+	}
+	r, err := RQR(a)
+	if err != nil || r.Rows != 3 || r.Cols != 3 {
+		t.Fatalf("RQR: %v %v", r, err)
+	}
+	if _, err := NewQR(matrix.New(2, 3)); err != ErrShape {
+		t.Error("wide QR accepted")
+	}
+	// Rank-deficient column (zero) must not crash.
+	z := matrix.New(4, 2)
+	for i := 0; i < 4; i++ {
+		z.Set(i, 0, float64(i+1))
+	}
+	if _, err := NewQR(z); err != nil {
+		t.Errorf("QR with zero column: %v", err)
+	}
+}
+
+func TestSVDReconstruction(t *testing.T) {
+	rng := rand.New(rand.NewSource(10))
+	for _, dims := range [][2]int{{4, 4}, {10, 3}, {3, 10}, {60, 20}} {
+		m, n := dims[0], dims[1]
+		a := randMatrix(rng, m, n)
+		d, err := NewSVD(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		k := n
+		if m < n {
+			k = m
+		}
+		if len(d.S) != k {
+			t.Fatalf("%v: %d singular values, want %d", dims, len(d.S), k)
+		}
+		for i := 1; i < len(d.S); i++ {
+			if d.S[i] > d.S[i-1] {
+				t.Fatalf("%v: singular values not descending: %v", dims, d.S)
+			}
+		}
+		recon := MatMul(MatMul(d.U, matrix.Diag(d.S)), d.V.T())
+		if !matrix.ApproxEqual(recon, a, 1e-8) {
+			t.Fatalf("%v: U·S·Vᵀ != A", dims)
+		}
+		if !matrix.ApproxEqual(CrossProduct(d.U, d.U), matrix.Identity(d.U.Cols), 1e-8) {
+			t.Fatalf("%v: U columns not orthonormal", dims)
+		}
+		if !matrix.ApproxEqual(CrossProduct(d.V, d.V), matrix.Identity(d.V.Cols), 1e-8) {
+			t.Fatalf("%v: V not orthogonal", dims)
+		}
+	}
+}
+
+func TestSVDRankDeficient(t *testing.T) {
+	// Rank-1 matrix: second singular value ~0, U completion must still be
+	// orthonormal.
+	a := matrix.FromRows([][]float64{{1, 2}, {2, 4}, {3, 6}})
+	d, err := NewSVD(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.S[1] > 1e-10 {
+		t.Errorf("rank-1 second singular value = %v", d.S[1])
+	}
+	if !matrix.ApproxEqual(CrossProduct(d.U, d.U), matrix.Identity(2), 1e-8) {
+		t.Error("U completion not orthonormal")
+	}
+	r, err := Rank(a)
+	if err != nil || r != 1 {
+		t.Errorf("Rank = %d, %v", r, err)
+	}
+}
+
+func TestFullU(t *testing.T) {
+	rng := rand.New(rand.NewSource(11))
+	a := randMatrix(rng, 7, 3)
+	d, _ := NewSVD(a)
+	fu := d.FullU()
+	if fu.Rows != 7 || fu.Cols != 7 {
+		t.Fatalf("FullU shape %dx%d", fu.Rows, fu.Cols)
+	}
+	if !matrix.ApproxEqual(CrossProduct(fu, fu), matrix.Identity(7), 1e-8) {
+		t.Error("FullU not orthogonal")
+	}
+	sq := randMatrix(rng, 4, 4)
+	dsq, _ := NewSVD(sq)
+	if fsq := dsq.FullU(); fsq.Rows != 4 || fsq.Cols != 4 {
+		t.Error("square FullU shape")
+	}
+}
+
+func TestRankAndSingularValues(t *testing.T) {
+	rng := rand.New(rand.NewSource(12))
+	a := wellConditioned(rng, 8)
+	r, err := Rank(a)
+	if err != nil || r != 8 {
+		t.Errorf("full rank = %d, %v", r, err)
+	}
+	sv, err := SingularValues(a)
+	if err != nil || len(sv) != 8 {
+		t.Errorf("SingularValues = %v, %v", sv, err)
+	}
+	z := matrix.New(3, 3)
+	rz, err := Rank(z)
+	if err != nil || rz != 0 {
+		t.Errorf("zero matrix rank = %d, %v", rz, err)
+	}
+	if _, err := NewSVD(matrix.New(0, 0)); err != ErrShape {
+		t.Error("empty SVD accepted")
+	}
+}
+
+func TestSymmetricEigen(t *testing.T) {
+	rng := rand.New(rand.NewSource(13))
+	for _, n := range []int{2, 5, 12, 30} {
+		a := spd(rng, n)
+		e, err := NewEigen(a, true)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(e.Values) != n {
+			t.Fatalf("n=%d: %d eigenvalues", n, len(e.Values))
+		}
+		for i := 1; i < n; i++ {
+			if e.Values[i] > e.Values[i-1]+1e-10 {
+				t.Fatalf("eigenvalues not descending: %v", e.Values)
+			}
+		}
+		// A·v = λ·v for every pair.
+		for j := 0; j < n; j++ {
+			v := e.Vectors.Column(j)
+			av := MatVec(a, v)
+			for i := 0; i < n; i++ {
+				if math.Abs(av[i]-e.Values[j]*v[i]) > 1e-7*(1+math.Abs(e.Values[j])) {
+					t.Fatalf("n=%d: A·v != λ·v for eigenpair %d", n, j)
+				}
+			}
+		}
+		// Trace = sum of eigenvalues.
+		var tr, sum float64
+		for i := 0; i < n; i++ {
+			tr += a.At(i, i)
+			sum += e.Values[i]
+		}
+		if math.Abs(tr-sum) > 1e-7*(1+math.Abs(tr)) {
+			t.Fatalf("trace %v != eigenvalue sum %v", tr, sum)
+		}
+	}
+}
+
+func TestGeneralEigenRealSpectrum(t *testing.T) {
+	// Upper triangular: eigenvalues are the diagonal.
+	a := matrix.FromRows([][]float64{
+		{3, 1, 0},
+		{0, 2, 5},
+		{0, 0, -1},
+	})
+	vals, err := Eigenvalues(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	want := []float64{3, 2, -1}
+	for i := range want {
+		if math.Abs(vals[i]-want[i]) > 1e-8 {
+			t.Fatalf("eigenvalues = %v, want %v", vals, want)
+		}
+	}
+	vecs, err := Eigenvectors(a)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for j := 0; j < 3; j++ {
+		v := vecs.Column(j)
+		av := MatVec(a, v)
+		for i := range v {
+			if math.Abs(av[i]-want[j]*v[i]) > 1e-6 {
+				t.Fatalf("general eigenvector %d fails A·v=λ·v", j)
+			}
+		}
+	}
+}
+
+func TestComplexEigenRejected(t *testing.T) {
+	// Rotation by 90°: eigenvalues ±i.
+	a := matrix.FromRows([][]float64{{0, -1}, {1, 0}})
+	if _, err := Eigenvalues(a); err != ErrComplexEigen {
+		t.Errorf("complex spectrum err = %v", err)
+	}
+}
+
+func TestEigenShapeErrors(t *testing.T) {
+	if _, err := NewEigen(matrix.New(2, 3), false); err != ErrShape {
+		t.Error("non-square eigen accepted")
+	}
+	e, err := NewEigen(matrix.New(0, 0), true)
+	if err != nil || len(e.Values) != 0 {
+		t.Errorf("empty eigen: %v %v", e, err)
+	}
+}
+
+func TestCholesky(t *testing.T) {
+	rng := rand.New(rand.NewSource(14))
+	for _, n := range []int{1, 3, 10, 25} {
+		a := spd(rng, n)
+		r, err := Cholesky(a)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !matrix.ApproxEqual(CrossProduct(r, r), a, 1e-7*(1+a.MaxAbs())) {
+			t.Fatalf("n=%d: Rᵀ·R != A", n)
+		}
+		for i := 1; i < n; i++ {
+			for j := 0; j < i; j++ {
+				if r.At(i, j) != 0 {
+					t.Fatalf("R not upper triangular")
+				}
+			}
+		}
+	}
+	if _, err := Cholesky(matrix.FromRows([][]float64{{-1}})); err != ErrNotPositiveDefinite {
+		t.Error("negative definite accepted")
+	}
+	if _, err := Cholesky(matrix.FromRows([][]float64{{1, 2}, {3, 4}})); err != ErrNotPositiveDefinite {
+		t.Error("asymmetric accepted")
+	}
+	if _, err := Cholesky(matrix.New(2, 3)); err != ErrShape {
+		t.Error("non-square accepted")
+	}
+}
+
+func TestPaperRQRExample(t *testing.T) {
+	// Figure 8: RQR of g = [[1,3],[1,4],[6,7],[8,5]] ≈ [[-10.1,-8.8],[0,-4.6]]
+	g := matrix.FromRows([][]float64{{1, 3}, {1, 4}, {6, 7}, {8, 5}})
+	r, err := RQR(g)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// QR is unique up to column signs; compare magnitudes against the paper.
+	if math.Abs(math.Abs(r.At(0, 0))-10.1) > 0.05 {
+		t.Errorf("R[0,0] = %v, paper -10.1", r.At(0, 0))
+	}
+	if math.Abs(math.Abs(r.At(0, 1))-8.8) > 0.05 {
+		t.Errorf("R[0,1] = %v, paper -8.8", r.At(0, 1))
+	}
+	if math.Abs(math.Abs(r.At(1, 1))-4.6) > 0.05 {
+		t.Errorf("R[1,1] = %v, paper -4.6", r.At(1, 1))
+	}
+	if math.Abs(r.At(1, 0)) > 1e-12 {
+		t.Errorf("R[1,0] = %v, want 0", r.At(1, 0))
+	}
+}
+
+func TestOLSViaPaperFormula(t *testing.T) {
+	// The paper's OLS: MMU(INV(CPD(A,A)), CPD(A,V)) — exact fit recovery.
+	rng := rand.New(rand.NewSource(15))
+	n := 200
+	a := matrix.New(n, 2)
+	v := matrix.New(n, 1)
+	for i := 0; i < n; i++ {
+		x := rng.Float64() * 10
+		a.Set(i, 0, 1)
+		a.Set(i, 1, x)
+		v.Set(i, 0, 3+2*x)
+	}
+	ata := CrossProduct(a, a)
+	atv := CrossProduct(a, v)
+	inv, err := Inverse(ata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	beta := MatMul(inv, atv)
+	if math.Abs(beta.At(0, 0)-3) > 1e-8 || math.Abs(beta.At(1, 0)-2) > 1e-8 {
+		t.Fatalf("OLS beta = %v", beta)
+	}
+}

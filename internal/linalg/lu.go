@@ -1,0 +1,172 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+
+	"repro/internal/matrix"
+)
+
+// ErrSingular is returned when a factorization or solve encounters a
+// (numerically) singular matrix.
+var ErrSingular = errors.New("linalg: singular matrix")
+
+// ErrShape is returned when operand dimensions do not satisfy the
+// operation's shape restriction (paper Table 1).
+var ErrShape = errors.New("linalg: dimension mismatch")
+
+// LU holds a compact LU factorization with partial pivoting: P·A = L·U.
+// L (unit lower) and U share the factors matrix; piv records row swaps.
+type LU struct {
+	factors *matrix.Matrix
+	piv     []int
+	sign    float64 // determinant sign from the permutation
+}
+
+// NewLU factors a square matrix with partial pivoting.
+func NewLU(a *matrix.Matrix) (*LU, error) {
+	if a.Rows != a.Cols {
+		return nil, ErrShape
+	}
+	n := a.Rows
+	f := a.Clone()
+	piv := make([]int, n)
+	sign := 1.0
+	for k := 0; k < n; k++ {
+		// Pivot: largest |value| in column k at or below the diagonal.
+		p := k
+		mx := math.Abs(f.At(k, k))
+		for i := k + 1; i < n; i++ {
+			if v := math.Abs(f.At(i, k)); v > mx {
+				mx, p = v, i
+			}
+		}
+		if mx == 0 {
+			return nil, ErrSingular
+		}
+		piv[k] = p
+		if p != k {
+			rk, rp := f.Row(k), f.Row(p)
+			for j := 0; j < n; j++ {
+				rk[j], rp[j] = rp[j], rk[j]
+			}
+			sign = -sign
+		}
+		pivot := f.At(k, k)
+		for i := k + 1; i < n; i++ {
+			l := f.At(i, k) / pivot
+			f.Set(i, k, l)
+			if l == 0 {
+				continue
+			}
+			ri, rk := f.Row(i), f.Row(k)
+			for j := k + 1; j < n; j++ {
+				ri[j] -= l * rk[j]
+			}
+		}
+	}
+	return &LU{factors: f, piv: piv, sign: sign}, nil
+}
+
+// Det returns the determinant of the factored matrix.
+func (lu *LU) Det() float64 {
+	d := lu.sign
+	n := lu.factors.Rows
+	for i := 0; i < n; i++ {
+		d *= lu.factors.At(i, i)
+	}
+	return d
+}
+
+// SolveVec solves A·x = b in place of a copy of b.
+func (lu *LU) SolveVec(b []float64) ([]float64, error) {
+	n := lu.factors.Rows
+	if len(b) != n {
+		return nil, ErrShape
+	}
+	x := append([]float64(nil), b...)
+	// Apply the permutation, then forward and back substitution.
+	for k := 0; k < n; k++ {
+		if p := lu.piv[k]; p != k {
+			x[k], x[p] = x[p], x[k]
+		}
+	}
+	for k := 0; k < n; k++ {
+		row := lu.factors.Row(k)
+		for j := 0; j < k; j++ {
+			x[k] -= row[j] * x[j]
+		}
+	}
+	for k := n - 1; k >= 0; k-- {
+		row := lu.factors.Row(k)
+		for j := k + 1; j < n; j++ {
+			x[k] -= row[j] * x[j]
+		}
+		x[k] /= row[k]
+	}
+	return x, nil
+}
+
+// Solve solves A·X = B column by column.
+func (lu *LU) Solve(b *matrix.Matrix) (*matrix.Matrix, error) {
+	if b.Rows != lu.factors.Rows {
+		return nil, ErrShape
+	}
+	out := matrix.New(b.Rows, b.Cols)
+	for j := 0; j < b.Cols; j++ {
+		x, err := lu.SolveVec(b.Column(j))
+		if err != nil {
+			return nil, err
+		}
+		for i, v := range x {
+			out.Set(i, j, v)
+		}
+	}
+	return out, nil
+}
+
+// Inverse returns A⁻¹ (the INV operation) via LU with partial pivoting.
+func Inverse(a *matrix.Matrix) (*matrix.Matrix, error) {
+	lu, err := NewLU(a)
+	if err != nil {
+		return nil, err
+	}
+	return lu.Solve(matrix.Identity(a.Rows))
+}
+
+// Det returns the determinant (the DET operation).
+func Det(a *matrix.Matrix) (float64, error) {
+	if a.Rows != a.Cols {
+		return 0, ErrShape
+	}
+	lu, err := NewLU(a)
+	if err == ErrSingular {
+		return 0, nil // exact zero pivot: determinant is 0
+	}
+	if err != nil {
+		return 0, err
+	}
+	return lu.Det(), nil
+}
+
+// Solve implements the SOL operation: A·x = b. For square A it solves
+// exactly via LU; for overdetermined systems (Rows > Cols) it returns the
+// least-squares solution via QR, matching the paper's use of sol for
+// regression workloads.
+func Solve(a *matrix.Matrix, b []float64) ([]float64, error) {
+	if a.Rows != len(b) {
+		return nil, ErrShape
+	}
+	switch {
+	case a.Rows == a.Cols:
+		lu, err := NewLU(a)
+		if err != nil {
+			return nil, err
+		}
+		return lu.SolveVec(b)
+	case a.Rows > a.Cols:
+		return lstsq(a, b)
+	default:
+		return nil, ErrShape
+	}
+}

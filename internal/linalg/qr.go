@@ -1,0 +1,255 @@
+package linalg
+
+import (
+	"math"
+	"runtime"
+	"sync"
+
+	"repro/internal/matrix"
+)
+
+// QR holds a Householder QR factorization of an m×n matrix with m >= n:
+// A = Q·R with Q m×n (thin, orthonormal columns) and R n×n upper
+// triangular. The working representation is column-major — Householder
+// reflections walk columns, so contiguous columns are what makes the
+// kernel fast — with the Householder vectors stored below the diagonal and
+// R strictly above it; R's diagonal lives in tau.
+type QR struct {
+	v      [][]float64 // n columns of length m
+	tau    []float64
+	rows   int
+	cols   int
+	serial bool // single-threaded accumulation (NewQRSerial)
+}
+
+// NewQR factors a with Householder reflections using all cores for the
+// trailing-column updates (the LAPACK/MKL behavior). Requires Rows >= Cols.
+func NewQR(a *matrix.Matrix) (*QR, error) {
+	return newQR(a, runtime.GOMAXPROCS(0))
+}
+
+// NewQRSerial factors on a single core — the behavior of R's default
+// LINPACK qr(), which the Table 6 experiment compares against.
+func NewQRSerial(a *matrix.Matrix) (*QR, error) { return newQR(a, 1) }
+
+func newQR(a *matrix.Matrix, workers int) (*QR, error) {
+	if a.Rows < a.Cols {
+		return nil, ErrShape
+	}
+	m, n := a.Rows, a.Cols
+	v := make([][]float64, n)
+	for j := 0; j < n; j++ {
+		v[j] = a.Column(j)
+	}
+	tau := make([]float64, n)
+	for k := 0; k < n; k++ {
+		ck := v[k]
+		var norm float64
+		for _, x := range ck[k:] {
+			norm = math.Hypot(norm, x)
+		}
+		if norm == 0 {
+			tau[k] = 0
+			continue
+		}
+		// Choose the sign that avoids cancellation in v_kk = a_kk/norm + 1.
+		if ck[k] < 0 {
+			norm = -norm
+		}
+		inv := 1 / norm
+		for i := k; i < m; i++ {
+			ck[i] *= inv
+		}
+		ck[k]++
+		applyReflector(v, k, m, n, workers)
+		// The diagonal of R cannot live in v (that slot holds the
+		// Householder vector), so it is carried in tau.
+		tau[k] = -norm
+	}
+	return &QR{v: v, tau: tau, rows: m, cols: n, serial: workers <= 1}, nil
+}
+
+// applyReflector updates columns k+1..n with the reflector stored in
+// column k, splitting the columns across workers when the block is large.
+func applyReflector(v [][]float64, k, m, n, workers int) {
+	ck := v[k]
+	beta := ck[k]
+	update := func(jLo, jHi int) {
+		for j := jLo; j < jHi; j++ {
+			cj := v[j]
+			var s float64
+			for i := k; i < m; i++ {
+				s += ck[i] * cj[i]
+			}
+			s = -s / beta
+			for i := k; i < m; i++ {
+				cj[i] += s * ck[i]
+			}
+		}
+	}
+	cols := n - (k + 1)
+	if workers <= 1 || cols < 2 || (m-k)*cols < 1<<15 {
+		update(k+1, n)
+		return
+	}
+	if workers > cols {
+		workers = cols
+	}
+	var wg sync.WaitGroup
+	chunk := (cols + workers - 1) / workers
+	for w := 0; w < workers; w++ {
+		lo := k + 1 + w*chunk
+		hi := lo + chunk
+		if hi > n {
+			hi = n
+		}
+		if lo >= hi {
+			break
+		}
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			update(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// R returns the n×n upper-triangular factor.
+func (d *QR) R() *matrix.Matrix {
+	n := d.cols
+	r := matrix.New(n, n)
+	for i := 0; i < n; i++ {
+		r.Set(i, i, d.tau[i])
+		for j := i + 1; j < n; j++ {
+			r.Set(i, j, d.v[j][i])
+		}
+	}
+	return r
+}
+
+// Q returns the thin m×n orthonormal factor.
+func (d *QR) Q() *matrix.Matrix {
+	return d.q(d.cols)
+}
+
+// FullQ returns the full m×m orthogonal factor.
+func (d *QR) FullQ() *matrix.Matrix {
+	return d.q(d.rows)
+}
+
+// q accumulates the Householder reflectors against the first w identity
+// columns, producing an m×w orthonormal matrix. The per-column
+// accumulations are independent and run on all cores for large factors.
+func (d *QR) q(w int) *matrix.Matrix {
+	m, n := d.rows, d.cols
+	qcols := make([][]float64, w)
+	apply := func(jLo, jHi int) {
+		for j := jLo; j < jHi; j++ {
+			col := make([]float64, m)
+			if j < m {
+				col[j] = 1
+			}
+			for k := n - 1; k >= 0; k-- {
+				ck := d.v[k]
+				beta := ck[k]
+				if beta == 0 {
+					continue
+				}
+				var s float64
+				for i := k; i < m; i++ {
+					s += ck[i] * col[i]
+				}
+				s = -s / beta
+				for i := k; i < m; i++ {
+					col[i] += s * ck[i]
+				}
+			}
+			qcols[j] = col
+		}
+	}
+	workers := runtime.GOMAXPROCS(0)
+	if d.serial || workers <= 1 || w < 2 || m*n < 1<<15 {
+		apply(0, w)
+	} else {
+		if workers > w {
+			workers = w
+		}
+		var wg sync.WaitGroup
+		chunk := (w + workers - 1) / workers
+		for wk := 0; wk < workers; wk++ {
+			lo, hi := wk*chunk, (wk+1)*chunk
+			if hi > w {
+				hi = w
+			}
+			if lo >= hi {
+				break
+			}
+			wg.Add(1)
+			go func(lo, hi int) {
+				defer wg.Done()
+				apply(lo, hi)
+			}(lo, hi)
+		}
+		wg.Wait()
+	}
+	return matrix.FromColumns(qcols)
+}
+
+// QQR returns matrix Q of the QR decomposition (the paper's QQR, shape
+// (r1,c1): m×n in, m×n out).
+func QQR(a *matrix.Matrix) (*matrix.Matrix, error) {
+	d, err := NewQR(a)
+	if err != nil {
+		return nil, err
+	}
+	return d.Q(), nil
+}
+
+// RQR returns matrix R of the QR decomposition (the paper's RQR, shape
+// (c1,c1): m×n in, n×n out).
+func RQR(a *matrix.Matrix) (*matrix.Matrix, error) {
+	d, err := NewQR(a)
+	if err != nil {
+		return nil, err
+	}
+	return d.R(), nil
+}
+
+// lstsq solves min ‖a·x − b‖₂ for overdetermined a via QR, applying the
+// reflectors to b directly (no Q materialization).
+func lstsq(a *matrix.Matrix, b []float64) ([]float64, error) {
+	d, err := NewQR(a)
+	if err != nil {
+		return nil, err
+	}
+	m, n := d.rows, d.cols
+	qtb := append([]float64(nil), b...)
+	for k := 0; k < n; k++ {
+		ck := d.v[k]
+		beta := ck[k]
+		if beta == 0 {
+			continue
+		}
+		var s float64
+		for i := k; i < m; i++ {
+			s += ck[i] * qtb[i]
+		}
+		s = -s / beta
+		for i := k; i < m; i++ {
+			qtb[i] += s * ck[i]
+		}
+	}
+	// Back substitution on R (diagonal in tau, strict upper in v).
+	x := qtb[:n]
+	for k := n - 1; k >= 0; k-- {
+		if d.tau[k] == 0 {
+			return nil, ErrSingular
+		}
+		for j := k + 1; j < n; j++ {
+			x[k] -= d.v[j][k] * x[j]
+		}
+		x[k] /= d.tau[k]
+	}
+	return append([]float64(nil), x...), nil
+}

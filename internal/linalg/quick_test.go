@@ -1,0 +1,188 @@
+package linalg
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+	"testing/quick"
+
+	"repro/internal/matrix"
+)
+
+// TestQuickSolveRoundTrip: x = Solve(A, A·x₀) recovers x₀ for random
+// well-conditioned systems.
+func TestQuickSolveRoundTrip(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(12)
+		a := wellConditioned(rng, n)
+		want := make([]float64, n)
+		for i := range want {
+			want[i] = rng.NormFloat64()
+		}
+		b := MatVec(a, want)
+		got, err := Solve(a, b)
+		if err != nil {
+			return false
+		}
+		for i := range want {
+			if math.Abs(got[i]-want[i]) > 1e-7*(1+math.Abs(want[i])) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickDetProduct: det(A·B) = det(A)·det(B).
+func TestQuickDetProduct(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(7)
+		a := wellConditioned(rng, n)
+		b := wellConditioned(rng, n)
+		da, err := Det(a)
+		if err != nil {
+			return false
+		}
+		db, err := Det(b)
+		if err != nil {
+			return false
+		}
+		dab, err := Det(MatMul(a, b))
+		if err != nil {
+			return false
+		}
+		return math.Abs(dab-da*db) <= 1e-6*(1+math.Abs(da*db))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickQRReconstruction: Q·R = A and QᵀQ = I for random tall
+// matrices, both parallel and serial variants.
+func TestQuickQRReconstruction(t *testing.T) {
+	f := func(seed int64, serial bool) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		m := n + rng.Intn(20)
+		a := randMatrix(rng, m, n)
+		var d *QR
+		var err error
+		if serial {
+			d, err = NewQRSerial(a)
+		} else {
+			d, err = NewQR(a)
+		}
+		if err != nil {
+			return false
+		}
+		q, r := d.Q(), d.R()
+		return matrix.ApproxEqual(MatMul(q, r), a, 1e-8) &&
+			matrix.ApproxEqual(CrossProduct(q, q), matrix.Identity(n), 1e-8)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickSVDSingularValuesMatchEigen: the singular values of A are the
+// square roots of the eigenvalues of AᵀA.
+func TestQuickSVDSingularValuesMatchEigen(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(5)
+		m := n + rng.Intn(10)
+		a := randMatrix(rng, m, n)
+		sv, err := SingularValues(a)
+		if err != nil {
+			return false
+		}
+		ev, err := Eigenvalues(CrossProduct(a, a))
+		if err != nil {
+			return false
+		}
+		for i := range sv {
+			lam := ev[i]
+			if lam < 0 {
+				lam = 0
+			}
+			if math.Abs(sv[i]-math.Sqrt(lam)) > 1e-6*(1+sv[i]) {
+				return false
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickCholeskySolvesSPD: RᵀR = A with R upper triangular, for random
+// SPD matrices.
+func TestQuickCholeskySolvesSPD(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(10)
+		a := spd(rng, n)
+		r, err := Cholesky(a)
+		if err != nil {
+			return false
+		}
+		return matrix.ApproxEqual(CrossProduct(r, r), a, 1e-7*(1+a.MaxAbs()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickRankBounds: rank is at most min(m,n) and equals n for
+// well-conditioned square matrices.
+func TestQuickRankBounds(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		n := 1 + rng.Intn(6)
+		m := n + rng.Intn(10)
+		a := randMatrix(rng, m, n)
+		r, err := Rank(a)
+		if err != nil {
+			return false
+		}
+		if r > n {
+			return false
+		}
+		sq := wellConditioned(rng, n)
+		rs, err := Rank(sq)
+		if err != nil {
+			return false
+		}
+		return rs == n
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 30}); err != nil {
+		t.Error(err)
+	}
+}
+
+// TestQuickMatMulAssociativity: (A·B)·C = A·(B·C) on small random chains.
+func TestQuickMatMulAssociativity(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		m := 1 + rng.Intn(8)
+		k := 1 + rng.Intn(8)
+		l := 1 + rng.Intn(8)
+		n := 1 + rng.Intn(8)
+		a := randMatrix(rng, m, k)
+		b := randMatrix(rng, k, l)
+		c := randMatrix(rng, l, n)
+		lhs := MatMul(MatMul(a, b), c)
+		rhs := MatMul(a, MatMul(b, c))
+		return matrix.ApproxEqual(lhs, rhs, 1e-8*(1+lhs.MaxAbs()))
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Error(err)
+	}
+}

@@ -1,0 +1,326 @@
+package linalg
+
+import (
+	"math"
+	"runtime"
+	"sort"
+	"sync"
+
+	"repro/internal/matrix"
+)
+
+// SVD holds a singular value decomposition A = U·diag(S)·Vᵀ computed with
+// the one-sided Jacobi (Hestenes) method. For an m×n input with m >= n,
+// U is m×n with orthonormal columns, S has n non-negative values in
+// descending order, and V is n×n orthogonal. Inputs with m < n are handled
+// by factoring the transpose and swapping U and V.
+type SVD struct {
+	U *matrix.Matrix
+	S []float64
+	V *matrix.Matrix
+}
+
+const (
+	svdMaxSweeps = 60
+	svdEps       = 1e-14
+)
+
+// NewSVD computes the decomposition.
+func NewSVD(a *matrix.Matrix) (*SVD, error) {
+	if a.Rows == 0 || a.Cols == 0 {
+		return nil, ErrShape
+	}
+	if a.Rows < a.Cols {
+		t, err := NewSVD(a.T())
+		if err != nil {
+			return nil, err
+		}
+		return &SVD{U: t.V, S: t.S, V: t.U}, nil
+	}
+	m, n := a.Rows, a.Cols
+	// Work on columns: u[j] is the j-th column of the rotating A, and
+	// vcols[j] the j-th column of the accumulating V.
+	u := make([][]float64, n)
+	for j := range u {
+		u[j] = a.Column(j)
+	}
+	vcols := make([][]float64, n)
+	for j := range vcols {
+		vcols[j] = make([]float64, n)
+		vcols[j][j] = 1
+	}
+
+	// Each sweep visits every column pair once. A round-robin tournament
+	// schedule makes the pairs within a round disjoint, so rounds
+	// parallelize across cores (the classic parallel one-sided Jacobi).
+	workers := runtime.GOMAXPROCS(0)
+	players := n
+	if players%2 == 1 {
+		players++
+	}
+	seat := make([]int, players)
+	for i := range seat {
+		seat[i] = i
+		if i >= n {
+			seat[i] = -1 // bye for odd n
+		}
+	}
+	rotate := func(p, q int) bool {
+		var alpha, beta, gamma float64
+		up, uq := u[p], u[q]
+		for i := 0; i < m; i++ {
+			alpha += up[i] * up[i]
+			beta += uq[i] * uq[i]
+			gamma += up[i] * uq[i]
+		}
+		if math.Abs(gamma) <= svdEps*math.Sqrt(alpha*beta) || gamma == 0 {
+			return false
+		}
+		zeta := (beta - alpha) / (2 * gamma)
+		t := math.Copysign(1, zeta) / (math.Abs(zeta) + math.Sqrt(1+zeta*zeta))
+		c := 1 / math.Sqrt(1+t*t)
+		s := c * t
+		for i := 0; i < m; i++ {
+			pi, qi := up[i], uq[i]
+			up[i] = c*pi - s*qi
+			uq[i] = s*pi + c*qi
+		}
+		vp, vq := vcols[p], vcols[q]
+		for i := 0; i < n; i++ {
+			pi, qi := vp[i], vq[i]
+			vp[i] = c*pi - s*qi
+			vq[i] = s*pi + c*qi
+		}
+		return true
+	}
+	parallel := workers > 1 && players >= 8 && m*n > 1<<14
+	for sweep := 0; sweep < svdMaxSweeps; sweep++ {
+		rotatedAny := false
+		for round := 0; round < players-1; round++ {
+			type pair struct{ p, q int }
+			pairs := make([]pair, 0, players/2)
+			for i := 0; i < players/2; i++ {
+				p, q := seat[i], seat[players-1-i]
+				if p >= 0 && q >= 0 {
+					if p > q {
+						p, q = q, p
+					}
+					pairs = append(pairs, pair{p, q})
+				}
+			}
+			if !parallel || len(pairs) < 2 {
+				for _, pr := range pairs {
+					if rotate(pr.p, pr.q) {
+						rotatedAny = true
+					}
+				}
+			} else {
+				rotated := make([]bool, len(pairs))
+				var wg sync.WaitGroup
+				nw := workers
+				if nw > len(pairs) {
+					nw = len(pairs)
+				}
+				chunk := (len(pairs) + nw - 1) / nw
+				for w := 0; w < nw; w++ {
+					lo, hi := w*chunk, (w+1)*chunk
+					if hi > len(pairs) {
+						hi = len(pairs)
+					}
+					if lo >= hi {
+						break
+					}
+					wg.Add(1)
+					go func(lo, hi int) {
+						defer wg.Done()
+						for x := lo; x < hi; x++ {
+							rotated[x] = rotate(pairs[x].p, pairs[x].q)
+						}
+					}(lo, hi)
+				}
+				wg.Wait()
+				for _, r := range rotated {
+					if r {
+						rotatedAny = true
+					}
+				}
+			}
+			// Rotate the tournament seats (seat 0 fixed).
+			last := seat[players-1]
+			copy(seat[2:], seat[1:players-1])
+			seat[1] = last
+		}
+		if !rotatedAny {
+			break
+		}
+	}
+	v := matrix.FromColumns(vcols)
+
+	// Singular values are the column norms; normalize the columns into U.
+	sv := make([]float64, n)
+	for j := range u {
+		var norm float64
+		for _, x := range u[j] {
+			norm += x * x
+		}
+		sv[j] = math.Sqrt(norm)
+	}
+
+	// Sort descending, permuting U and V consistently.
+	order := make([]int, n)
+	for k := range order {
+		order[k] = k
+	}
+	sort.SliceStable(order, func(a, b int) bool { return sv[order[a]] > sv[order[b]] })
+
+	uMat := matrix.New(m, n)
+	vMat := matrix.New(n, n)
+	sOut := make([]float64, n)
+	maxSV := 0.0
+	for _, j := range order {
+		if sv[j] > maxSV {
+			maxSV = sv[j]
+		}
+	}
+	zeroTol := float64(m) * svdEps * maxSV
+	for dst, src := range order {
+		sOut[dst] = sv[src]
+		if sv[src] > zeroTol && sv[src] > 0 {
+			inv := 1 / sv[src]
+			for i := 0; i < m; i++ {
+				uMat.Set(i, dst, u[src][i]*inv)
+			}
+		}
+		for i := 0; i < n; i++ {
+			vMat.Set(i, dst, v.At(i, src))
+		}
+	}
+	// Columns for (near-)zero singular values are arbitrary up to
+	// orthonormality; fill them by Gram-Schmidt against identity vectors.
+	completeOrthonormal(uMat, sOut, zeroTol)
+	return &SVD{U: uMat, S: sOut, V: vMat}, nil
+}
+
+// completeOrthonormal replaces columns of u whose singular value is below
+// tol with vectors orthonormal to all other columns.
+func completeOrthonormal(u *matrix.Matrix, sv []float64, tol float64) {
+	m := u.Rows
+	for j, s := range sv {
+		if s > tol && s > 0 {
+			continue
+		}
+		// Try identity candidates until one survives projection.
+		for e := 0; e < m; e++ {
+			cand := make([]float64, m)
+			cand[e] = 1
+			for c := 0; c < u.Cols; c++ {
+				if c == j {
+					continue
+				}
+				var dot float64
+				for i := 0; i < m; i++ {
+					dot += cand[i] * u.At(i, c)
+				}
+				for i := 0; i < m; i++ {
+					cand[i] -= dot * u.At(i, c)
+				}
+			}
+			var norm float64
+			for _, x := range cand {
+				norm += x * x
+			}
+			norm = math.Sqrt(norm)
+			if norm > 1e-6 {
+				for i := 0; i < m; i++ {
+					u.Set(i, j, cand[i]/norm)
+				}
+				break
+			}
+		}
+	}
+}
+
+// FullU extends the thin U factor to an m×m orthogonal matrix; the first
+// n columns are U itself, the rest an orthonormal complement. This is what
+// the paper's USV (shape (r1,r1): m×n in, m×m out) returns.
+func (d *SVD) FullU() *matrix.Matrix { return extendOrthonormal(d.U) }
+
+// FullV extends the V factor to a square orthogonal matrix; V is already
+// square except when the input had fewer rows than columns.
+func (d *SVD) FullV() *matrix.Matrix { return extendOrthonormal(d.V) }
+
+// extendOrthonormal completes an m×n (m >= n) matrix with orthonormal
+// columns to an m×m orthogonal matrix.
+func extendOrthonormal(u *matrix.Matrix) *matrix.Matrix {
+	m, n := u.Rows, u.Cols
+	if m == n {
+		return u.Clone()
+	}
+	full := matrix.New(m, m)
+	for i := 0; i < m; i++ {
+		for j := 0; j < n; j++ {
+			full.Set(i, j, u.At(i, j))
+		}
+	}
+	// Gram-Schmidt identity candidates into the remaining m-n slots.
+	next := n
+	for e := 0; e < m && next < m; e++ {
+		cand := make([]float64, m)
+		cand[e] = 1
+		for c := 0; c < next; c++ {
+			var dot float64
+			for i := 0; i < m; i++ {
+				dot += cand[i] * full.At(i, c)
+			}
+			for i := 0; i < m; i++ {
+				cand[i] -= dot * full.At(i, c)
+			}
+		}
+		var norm float64
+		for _, x := range cand {
+			norm += x * x
+		}
+		norm = math.Sqrt(norm)
+		if norm > 1e-6 {
+			for i := 0; i < m; i++ {
+				full.Set(i, next, cand[i]/norm)
+			}
+			next++
+		}
+	}
+	return full
+}
+
+// SingularValues returns the singular values of a in descending order
+// (the DSV base result is diag of these).
+func SingularValues(a *matrix.Matrix) ([]float64, error) {
+	d, err := NewSVD(a)
+	if err != nil {
+		return nil, err
+	}
+	return d.S, nil
+}
+
+// Rank returns the numerical rank: the number of singular values above
+// max(m,n)·eps·σmax (the RNK operation).
+func Rank(a *matrix.Matrix) (int, error) {
+	d, err := NewSVD(a)
+	if err != nil {
+		return 0, err
+	}
+	if len(d.S) == 0 || d.S[0] == 0 {
+		return 0, nil
+	}
+	dim := a.Rows
+	if a.Cols > dim {
+		dim = a.Cols
+	}
+	tol := float64(dim) * 2.220446049250313e-16 * d.S[0]
+	r := 0
+	for _, s := range d.S {
+		if s > tol {
+			r++
+		}
+	}
+	return r, nil
+}

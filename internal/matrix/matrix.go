@@ -1,0 +1,231 @@
+// Package matrix provides the dense two-dimensional array type that the
+// matrix algebra operations of the paper (Section 3.2) are defined over,
+// together with the elementwise and structural operations whose results do
+// not require decompositions (ADD, SUB, EMU, TRA, concatenation). The
+// decomposition-based operations live in internal/linalg.
+package matrix
+
+import (
+	"fmt"
+	"math"
+)
+
+// Matrix is an n×k dense matrix in row-major order. |m| is Rows (number of
+// rows), #m is Cols (number of columns), m[i,j] is At(i,j) — all 1-based in
+// the paper, 0-based here.
+type Matrix struct {
+	Rows, Cols int
+	Data       []float64 // len == Rows*Cols, row-major
+}
+
+// New returns a zero matrix of the given shape.
+func New(rows, cols int) *Matrix {
+	return &Matrix{Rows: rows, Cols: cols, Data: make([]float64, rows*cols)}
+}
+
+// FromRows builds a matrix from row slices (copied).
+func FromRows(rows [][]float64) *Matrix {
+	if len(rows) == 0 {
+		return New(0, 0)
+	}
+	m := New(len(rows), len(rows[0]))
+	for i, r := range rows {
+		if len(r) != m.Cols {
+			panic(fmt.Sprintf("matrix: ragged row %d (%d vs %d)", i, len(r), m.Cols))
+		}
+		copy(m.Data[i*m.Cols:], r)
+	}
+	return m
+}
+
+// FromColumns builds a matrix from column slices (copied).
+func FromColumns(cols [][]float64) *Matrix {
+	if len(cols) == 0 {
+		return New(0, 0)
+	}
+	m := New(len(cols[0]), len(cols))
+	for j, c := range cols {
+		if len(c) != m.Rows {
+			panic(fmt.Sprintf("matrix: ragged column %d (%d vs %d)", j, len(c), m.Rows))
+		}
+		for i, v := range c {
+			m.Data[i*m.Cols+j] = v
+		}
+	}
+	return m
+}
+
+// Identity returns the n×n identity matrix.
+func Identity(n int) *Matrix {
+	m := New(n, n)
+	for i := 0; i < n; i++ {
+		m.Data[i*n+i] = 1
+	}
+	return m
+}
+
+// Diag returns the square matrix with d on the diagonal.
+func Diag(d []float64) *Matrix {
+	m := New(len(d), len(d))
+	for i, v := range d {
+		m.Data[i*len(d)+i] = v
+	}
+	return m
+}
+
+// At returns m[i,j].
+func (m *Matrix) At(i, j int) float64 { return m.Data[i*m.Cols+j] }
+
+// Set assigns m[i,j] = v.
+func (m *Matrix) Set(i, j int, v float64) { m.Data[i*m.Cols+j] = v }
+
+// Row returns the i-th row as a shared sub-slice (m[i,*]).
+func (m *Matrix) Row(i int) []float64 { return m.Data[i*m.Cols : (i+1)*m.Cols] }
+
+// Column copies the j-th column out (m[*,j]).
+func (m *Matrix) Column(j int) []float64 {
+	out := make([]float64, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		out[i] = m.Data[i*m.Cols+j]
+	}
+	return out
+}
+
+// Columns copies all columns out, the layout BATs use.
+func (m *Matrix) Columns() [][]float64 {
+	out := make([][]float64, m.Cols)
+	for j := range out {
+		out[j] = m.Column(j)
+	}
+	return out
+}
+
+// Clone deep-copies the matrix.
+func (m *Matrix) Clone() *Matrix {
+	return &Matrix{Rows: m.Rows, Cols: m.Cols, Data: append([]float64(nil), m.Data...)}
+}
+
+// T returns the transpose (TRA).
+func (m *Matrix) T() *Matrix {
+	t := New(m.Cols, m.Rows)
+	for i := 0; i < m.Rows; i++ {
+		row := m.Row(i)
+		for j, v := range row {
+			t.Data[j*t.Cols+i] = v
+		}
+	}
+	return t
+}
+
+func sameShape(op string, a, b *Matrix) {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		panic(fmt.Sprintf("matrix: %s shape mismatch %dx%d vs %dx%d", op, a.Rows, a.Cols, b.Rows, b.Cols))
+	}
+}
+
+// Add returns a + b (ADD).
+func Add(a, b *Matrix) *Matrix {
+	sameShape("add", a, b)
+	out := New(a.Rows, a.Cols)
+	for k, v := range a.Data {
+		out.Data[k] = v + b.Data[k]
+	}
+	return out
+}
+
+// Sub returns a - b (SUB).
+func Sub(a, b *Matrix) *Matrix {
+	sameShape("sub", a, b)
+	out := New(a.Rows, a.Cols)
+	for k, v := range a.Data {
+		out.Data[k] = v - b.Data[k]
+	}
+	return out
+}
+
+// EMU returns the elementwise (Hadamard) product a ∘ b.
+func EMU(a, b *Matrix) *Matrix {
+	sameShape("emu", a, b)
+	out := New(a.Rows, a.Cols)
+	for k, v := range a.Data {
+		out.Data[k] = v * b.Data[k]
+	}
+	return out
+}
+
+// Scale returns s * a.
+func (m *Matrix) Scale(s float64) *Matrix {
+	out := New(m.Rows, m.Cols)
+	for k, v := range m.Data {
+		out.Data[k] = v * s
+	}
+	return out
+}
+
+// Concat returns m ⊕ n: the row-wise concatenation of two matrices with the
+// same number of rows (the paper's matrix concatenation, Equation 3).
+func Concat(a, b *Matrix) *Matrix {
+	if a.Rows != b.Rows {
+		panic(fmt.Sprintf("matrix: concat rows %d vs %d", a.Rows, b.Rows))
+	}
+	out := New(a.Rows, a.Cols+b.Cols)
+	for i := 0; i < a.Rows; i++ {
+		copy(out.Row(i)[:a.Cols], a.Row(i))
+		copy(out.Row(i)[a.Cols:], b.Row(i))
+	}
+	return out
+}
+
+// ApproxEqual reports whether the matrices match elementwise within tol.
+func ApproxEqual(a, b *Matrix, tol float64) bool {
+	if a.Rows != b.Rows || a.Cols != b.Cols {
+		return false
+	}
+	for k := range a.Data {
+		if math.Abs(a.Data[k]-b.Data[k]) > tol {
+			return false
+		}
+	}
+	return true
+}
+
+// MaxAbs returns the largest absolute entry.
+func (m *Matrix) MaxAbs() float64 {
+	var mx float64
+	for _, v := range m.Data {
+		if a := math.Abs(v); a > mx {
+			mx = a
+		}
+	}
+	return mx
+}
+
+// IsSymmetric reports whether the matrix is square and symmetric within tol.
+func (m *Matrix) IsSymmetric(tol float64) bool {
+	if m.Rows != m.Cols {
+		return false
+	}
+	for i := 0; i < m.Rows; i++ {
+		for j := i + 1; j < m.Cols; j++ {
+			if math.Abs(m.At(i, j)-m.At(j, i)) > tol {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// String renders the matrix for debugging.
+func (m *Matrix) String() string {
+	s := fmt.Sprintf("%dx%d [", m.Rows, m.Cols)
+	for i := 0; i < m.Rows && i < 8; i++ {
+		s += fmt.Sprintf("%v", m.Row(i))
+		if i < m.Rows-1 {
+			s += "; "
+		}
+	}
+	if m.Rows > 8 {
+		s += "..."
+	}
+	return s + "]"
+}

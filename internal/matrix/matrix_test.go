@@ -1,0 +1,174 @@
+package matrix
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func TestConstructors(t *testing.T) {
+	m := FromRows([][]float64{{1, 2}, {3, 4}})
+	if m.Rows != 2 || m.Cols != 2 || m.At(1, 0) != 3 {
+		t.Fatalf("FromRows = %v", m)
+	}
+	c := FromColumns([][]float64{{1, 3}, {2, 4}})
+	if !ApproxEqual(m, c, 0) {
+		t.Errorf("FromColumns != FromRows: %v vs %v", c, m)
+	}
+	if FromRows(nil).Rows != 0 || FromColumns(nil).Cols != 0 {
+		t.Error("empty constructors broken")
+	}
+	id := Identity(3)
+	if id.At(0, 0) != 1 || id.At(0, 1) != 0 {
+		t.Errorf("Identity = %v", id)
+	}
+	d := Diag([]float64{5, 6})
+	if d.At(0, 0) != 5 || d.At(1, 1) != 6 || d.At(0, 1) != 0 {
+		t.Errorf("Diag = %v", d)
+	}
+}
+
+func TestRaggedPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("ragged FromRows should panic")
+		}
+	}()
+	FromRows([][]float64{{1, 2}, {3}})
+}
+
+func TestAccessors(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	m.Set(0, 2, 9)
+	if m.At(0, 2) != 9 {
+		t.Error("Set/At broken")
+	}
+	if r := m.Row(1); r[0] != 4 || len(r) != 3 {
+		t.Errorf("Row = %v", r)
+	}
+	if c := m.Column(1); c[0] != 2 || c[1] != 5 {
+		t.Errorf("Column = %v", c)
+	}
+	cols := m.Columns()
+	if len(cols) != 3 || cols[2][1] != 6 {
+		t.Errorf("Columns = %v", cols)
+	}
+	cl := m.Clone()
+	cl.Set(0, 0, -1)
+	if m.At(0, 0) == -1 {
+		t.Error("Clone shares storage")
+	}
+}
+
+func TestTranspose(t *testing.T) {
+	m := FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
+	tr := m.T()
+	if tr.Rows != 3 || tr.Cols != 2 || tr.At(2, 1) != 6 {
+		t.Fatalf("T = %v", tr)
+	}
+	if !ApproxEqual(tr.T(), m, 0) {
+		t.Error("double transpose != identity")
+	}
+}
+
+func TestElementwise(t *testing.T) {
+	a := FromRows([][]float64{{1, 2}, {3, 4}})
+	b := FromRows([][]float64{{10, 20}, {30, 40}})
+	if got := Add(a, b); got.At(1, 1) != 44 {
+		t.Errorf("Add = %v", got)
+	}
+	if got := Sub(b, a); got.At(0, 0) != 9 {
+		t.Errorf("Sub = %v", got)
+	}
+	if got := EMU(a, b); got.At(1, 0) != 90 {
+		t.Errorf("EMU = %v", got)
+	}
+	if got := a.Scale(2); got.At(0, 1) != 4 {
+		t.Errorf("Scale = %v", got)
+	}
+}
+
+func TestShapeMismatchPanics(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("Add of mismatched shapes should panic")
+		}
+	}()
+	Add(New(1, 2), New(2, 1))
+}
+
+func TestConcat(t *testing.T) {
+	a := FromRows([][]float64{{1}, {2}})
+	b := FromRows([][]float64{{3, 4}, {5, 6}})
+	c := Concat(a, b)
+	if c.Rows != 2 || c.Cols != 3 || c.At(1, 2) != 6 || c.At(1, 0) != 2 {
+		t.Fatalf("Concat = %v", c)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("Concat of mismatched rows should panic")
+		}
+	}()
+	Concat(a, New(3, 1))
+}
+
+func TestPredicates(t *testing.T) {
+	s := FromRows([][]float64{{2, 1}, {1, 3}})
+	if !s.IsSymmetric(0) {
+		t.Error("symmetric matrix not recognized")
+	}
+	ns := FromRows([][]float64{{2, 1}, {0, 3}})
+	if ns.IsSymmetric(1e-12) {
+		t.Error("asymmetric matrix recognized as symmetric")
+	}
+	if New(2, 3).IsSymmetric(1) {
+		t.Error("non-square matrix cannot be symmetric")
+	}
+	if s.MaxAbs() != 3 {
+		t.Errorf("MaxAbs = %v", s.MaxAbs())
+	}
+	if ApproxEqual(s, ns, 0.5) {
+		t.Error("ApproxEqual too lax")
+	}
+	if !ApproxEqual(s, ns, 2.5) {
+		t.Error("ApproxEqual too strict")
+	}
+	if ApproxEqual(s, New(1, 1), 100) {
+		t.Error("shape mismatch should not be equal")
+	}
+}
+
+func TestString(t *testing.T) {
+	s := FromRows([][]float64{{1, 2}}).String()
+	if !strings.Contains(s, "1x2") {
+		t.Errorf("String = %q", s)
+	}
+	big := New(20, 1)
+	if !strings.Contains(big.String(), "...") {
+		t.Error("large matrix String should truncate")
+	}
+}
+
+// Property: (A + B)ᵀ = Aᵀ + Bᵀ and A + B = B + A on random matrices.
+func TestAddProperties(t *testing.T) {
+	f := func(vals []float64) bool {
+		if len(vals) < 8 {
+			return true
+		}
+		vals = vals[:8]
+		for i, v := range vals {
+			if v != v || v > 1e150 || v < -1e150 { // NaN/huge guards
+				vals[i] = 1
+			}
+		}
+		a := FromRows([][]float64{vals[0:2], vals[2:4]})
+		b := FromRows([][]float64{vals[4:6], vals[6:8]})
+		lhs := Add(a, b).T()
+		rhs := Add(a.T(), b.T())
+		comm := Add(b, a)
+		return ApproxEqual(lhs, rhs, 0) && ApproxEqual(Add(a, b), comm, 0)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

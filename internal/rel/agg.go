@@ -1,0 +1,197 @@
+package rel
+
+import (
+	"fmt"
+	"math"
+	"strings"
+
+	"repro/internal/bat"
+)
+
+// AggFunc enumerates the supported aggregation functions.
+type AggFunc uint8
+
+const (
+	// Count counts rows (COUNT(*) when Attr is empty).
+	Count AggFunc = iota
+	// Sum adds values of a numeric attribute.
+	Sum
+	// Avg averages a numeric attribute.
+	Avg
+	// Min takes the minimum of a numeric attribute.
+	Min
+	// Max takes the maximum of a numeric attribute.
+	Max
+)
+
+// String returns the SQL name of the function.
+func (f AggFunc) String() string {
+	switch f {
+	case Count:
+		return "COUNT"
+	case Sum:
+		return "SUM"
+	case Avg:
+		return "AVG"
+	case Min:
+		return "MIN"
+	case Max:
+		return "MAX"
+	}
+	return "AGG?"
+}
+
+// AggSpec is one aggregate in a ϑ operation: Func applied to Attr, output
+// named As.
+type AggSpec struct {
+	Func AggFunc
+	Attr string // empty means * (Count only)
+	As   string
+}
+
+type aggState struct {
+	count int64
+	sum   float64
+	min   float64
+	max   float64
+}
+
+// GroupBy computes ϑ: grouping on the key attributes (none means a single
+// global group) with the given aggregates. The result schema is the keys
+// followed by one column per aggregate. Count yields BIGINT; the other
+// functions yield DOUBLE.
+func GroupBy(r *Relation, keys []string, aggs []AggSpec) (*Relation, error) {
+	if len(aggs) == 0 {
+		return nil, fmt.Errorf("rel: group by without aggregates")
+	}
+	inCols := make([][]float64, len(aggs))
+	for k, a := range aggs {
+		if a.Attr == "" {
+			if a.Func != Count {
+				return nil, fmt.Errorf("rel: %v(*) not supported", a.Func)
+			}
+			continue
+		}
+		c, err := r.Col(a.Attr)
+		if err != nil {
+			return nil, err
+		}
+		f, err := c.Floats()
+		if err != nil {
+			return nil, fmt.Errorf("rel: aggregate %v over non-numeric %q", a.Func, a.Attr)
+		}
+		inCols[k] = f
+	}
+
+	keyCols := make([]*bat.BAT, len(keys))
+	for k, name := range keys {
+		c, err := r.Col(name)
+		if err != nil {
+			return nil, err
+		}
+		keyCols[k] = c
+	}
+
+	n := r.NumRows()
+	groupOf := make([]int, n)
+	var groups []int // first row of each group, in first-seen order
+	if len(keys) == 0 {
+		for i := range groupOf {
+			groupOf[i] = 0
+		}
+		groups = []int{0}
+		if n == 0 {
+			groups = groups[:0]
+		}
+	} else {
+		seen := make(map[string]int, n/4+1)
+		var sb strings.Builder
+		for i := 0; i < n; i++ {
+			sb.Reset()
+			for _, c := range keyCols {
+				sb.WriteString(c.Get(i).String())
+				sb.WriteByte(0)
+			}
+			key := sb.String()
+			g, ok := seen[key]
+			if !ok {
+				g = len(groups)
+				seen[key] = g
+				groups = append(groups, i)
+			}
+			groupOf[i] = g
+		}
+	}
+
+	states := make([][]aggState, len(aggs))
+	for k := range states {
+		states[k] = make([]aggState, len(groups))
+		for g := range states[k] {
+			states[k][g].min = math.Inf(1)
+			states[k][g].max = math.Inf(-1)
+		}
+	}
+	for i := 0; i < n; i++ {
+		g := groupOf[i]
+		for k := range aggs {
+			st := &states[k][g]
+			st.count++
+			if inCols[k] != nil {
+				v := inCols[k][i]
+				st.sum += v
+				if v < st.min {
+					st.min = v
+				}
+				if v > st.max {
+					st.max = v
+				}
+			}
+		}
+	}
+
+	// Assemble the result: key columns first (one representative row per
+	// group), then aggregate columns.
+	schema := make(Schema, 0, len(keys)+len(aggs))
+	cols := make([]*bat.BAT, 0, len(keys)+len(aggs))
+	if len(keys) > 0 {
+		rep := r.Gather(groups)
+		for _, name := range keys {
+			j := rep.Schema.Index(name)
+			schema = append(schema, rep.Schema[j])
+			cols = append(cols, rep.Cols[j])
+		}
+	}
+	for k, a := range aggs {
+		name := a.As
+		if name == "" {
+			name = fmt.Sprintf("%s_%s", strings.ToLower(a.Func.String()), a.Attr)
+		}
+		switch a.Func {
+		case Count:
+			out := make([]int64, len(groups))
+			for g := range groups {
+				out[g] = states[k][g].count
+			}
+			schema = append(schema, Attr{Name: name, Type: bat.Int})
+			cols = append(cols, bat.FromInts(out))
+		default:
+			out := make([]float64, len(groups))
+			for g := range groups {
+				st := states[k][g]
+				switch a.Func {
+				case Sum:
+					out[g] = st.sum
+				case Avg:
+					out[g] = st.sum / float64(st.count)
+				case Min:
+					out[g] = st.min
+				case Max:
+					out[g] = st.max
+				}
+			}
+			schema = append(schema, Attr{Name: name, Type: bat.Float})
+			cols = append(cols, bat.FromFloats(out))
+		}
+	}
+	return New(r.Name, schema, cols)
+}

@@ -1,0 +1,145 @@
+package rel
+
+import (
+	"fmt"
+	"strings"
+
+	"repro/internal/bat"
+)
+
+// JoinType selects the join semantics.
+type JoinType uint8
+
+const (
+	// Inner keeps matching pairs only.
+	Inner JoinType = iota
+	// Left keeps all left rows; unmatched right attributes get zero values.
+	Left
+)
+
+// hashKeys renders the join key of every row as a byte-string. Single
+// numeric keys take a fast path without string formatting.
+func hashKeys(r *Relation, attrs []string) ([]string, error) {
+	cols := make([]*bat.BAT, len(attrs))
+	for k, a := range attrs {
+		c, err := r.Col(a)
+		if err != nil {
+			return nil, err
+		}
+		cols[k] = c
+	}
+	n := r.NumRows()
+	keys := make([]string, n)
+	if len(cols) == 1 && cols[0].Type() == bat.String && !cols[0].IsSparse() {
+		copy(keys, cols[0].Vector().Strings())
+		return keys, nil
+	}
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.Reset()
+		for _, c := range cols {
+			sb.WriteString(c.Get(i).String())
+			sb.WriteByte(0)
+		}
+		keys[i] = sb.String()
+	}
+	return keys, nil
+}
+
+// HashJoin computes r ⋈ s on equality of the paired key attributes. The
+// result schema is r's schema followed by s's non-key attributes (key
+// attributes of s would duplicate r's and are dropped, matching the
+// natural-join convention the paper's examples use). For Left joins,
+// unmatched rows carry zero values in the right-hand attributes.
+func HashJoin(r, s *Relation, rKeys, sKeys []string, jt JoinType) (*Relation, error) {
+	if len(rKeys) != len(sKeys) || len(rKeys) == 0 {
+		return nil, fmt.Errorf("rel: join needs matching non-empty key lists")
+	}
+	rk, err := hashKeys(r, rKeys)
+	if err != nil {
+		return nil, err
+	}
+	sk, err := hashKeys(s, sKeys)
+	if err != nil {
+		return nil, err
+	}
+	// Build on s, probe with r.
+	build := make(map[string][]int, len(sk))
+	for j, key := range sk {
+		build[key] = append(build[key], j)
+	}
+	li := make([]int, 0, len(rk))
+	ri := make([]int, 0, len(rk))
+	matched := make([]bool, 0, len(rk)) // parallel to li for Left joins
+	for i, key := range rk {
+		js := build[key]
+		if len(js) == 0 {
+			if jt == Left {
+				li = append(li, i)
+				ri = append(ri, -1)
+				matched = append(matched, false)
+			}
+			continue
+		}
+		for _, j := range js {
+			li = append(li, i)
+			ri = append(ri, j)
+			matched = append(matched, true)
+		}
+	}
+
+	dropped := make(map[string]bool, len(sKeys))
+	for _, a := range sKeys {
+		dropped[a] = true
+	}
+	var sAttrs []string
+	for _, a := range s.Schema {
+		if !dropped[a.Name] {
+			if r.Schema.Index(a.Name) >= 0 {
+				return nil, fmt.Errorf("rel: join: attribute %q appears on both sides; rename first", a.Name)
+			}
+			sAttrs = append(sAttrs, a.Name)
+		}
+	}
+
+	left := r.Gather(li)
+	schema := left.Schema.Clone()
+	cols := append([]*bat.BAT(nil), left.Cols...)
+	for _, name := range sAttrs {
+		j := s.Schema.Index(name)
+		schema = append(schema, s.Schema[j])
+		cols = append(cols, gatherWithNulls(s.Cols[j], ri, matched))
+	}
+	return New(r.Name, schema, cols)
+}
+
+// gatherWithNulls gathers c by idx; positions with idx < 0 (left-join
+// non-matches) produce the zero value of the column type.
+func gatherWithNulls(c *bat.BAT, idx []int, matched []bool) *bat.BAT {
+	allMatched := true
+	for _, m := range matched {
+		if !m {
+			allMatched = false
+			break
+		}
+	}
+	if allMatched {
+		return c.Gather(idx)
+	}
+	out := bat.NewEmptyVector(c.Type(), len(idx))
+	for _, j := range idx {
+		if j < 0 {
+			switch c.Type() {
+			case bat.Float:
+				out.Append(bat.FloatValue(0))
+			case bat.Int:
+				out.Append(bat.IntValue(0))
+			case bat.String:
+				out.Append(bat.StringValue(""))
+			}
+			continue
+		}
+		out.Append(c.Get(j))
+	}
+	return bat.FromVector(out)
+}

@@ -1,0 +1,207 @@
+package rel
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+
+	"repro/internal/bat"
+)
+
+// Gather returns the relation restricted/reordered to the given row indexes
+// (the relational counterpart of leftfetchjoin across all columns).
+func (r *Relation) Gather(idx []int) *Relation {
+	cols := make([]*bat.BAT, len(r.Cols))
+	for k, c := range r.Cols {
+		cols[k] = c.Gather(idx)
+	}
+	return &Relation{Name: r.Name, Schema: r.Schema, Cols: cols}
+}
+
+// Select returns σ_pred(r). The predicate sees the row index and reads
+// columns through the relation; scans stay columnar for the common
+// comparison shapes via the helper constructors below.
+func (r *Relation) Select(pred func(i int) bool) *Relation {
+	n := r.NumRows()
+	idx := make([]int, 0, n/4+1)
+	for i := 0; i < n; i++ {
+		if pred(i) {
+			idx = append(idx, i)
+		}
+	}
+	return r.Gather(idx)
+}
+
+// FloatPred builds a vectorized predicate over one float/int column.
+func (r *Relation) FloatPred(attr string, test func(float64) bool) (func(i int) bool, error) {
+	c, err := r.Col(attr)
+	if err != nil {
+		return nil, err
+	}
+	f, err := c.Floats()
+	if err != nil {
+		return nil, fmt.Errorf("rel: predicate over non-numeric %q", attr)
+	}
+	return func(i int) bool { return test(f[i]) }, nil
+}
+
+// StringPred builds a predicate over one string column.
+func (r *Relation) StringPred(attr string, test func(string) bool) (func(i int) bool, error) {
+	c, err := r.Col(attr)
+	if err != nil {
+		return nil, err
+	}
+	if c.Type() != bat.String {
+		return nil, fmt.Errorf("rel: string predicate over %v column %q", c.Type(), attr)
+	}
+	s := c.Vector().Strings()
+	return func(i int) bool { return test(s[i]) }, nil
+}
+
+// Project returns π_attrs(r) preserving the requested order.
+func (r *Relation) Project(attrs ...string) (*Relation, error) {
+	schema := make(Schema, len(attrs))
+	cols := make([]*bat.BAT, len(attrs))
+	for k, name := range attrs {
+		j := r.Schema.Index(name)
+		if j < 0 {
+			return nil, fmt.Errorf("rel: project: no attribute %q in %s", name, r.describe())
+		}
+		schema[k] = r.Schema[j]
+		cols[k] = r.Cols[j]
+	}
+	return New(r.Name, schema, cols)
+}
+
+// Drop returns r without the named attributes.
+func (r *Relation) Drop(attrs ...string) (*Relation, error) {
+	dropped := make(map[string]bool, len(attrs))
+	for _, a := range attrs {
+		dropped[a] = true
+	}
+	keep := make([]string, 0, len(r.Schema))
+	for _, a := range r.Schema {
+		if !dropped[a.Name] {
+			keep = append(keep, a.Name)
+		}
+	}
+	return r.Project(keep...)
+}
+
+// Rename returns ρ(r) with attributes renamed per the mapping.
+func (r *Relation) Rename(mapping map[string]string) (*Relation, error) {
+	schema := r.Schema.Clone()
+	for old, new_ := range mapping {
+		k := schema.Index(old)
+		if k < 0 {
+			return nil, fmt.Errorf("rel: rename: no attribute %q in %s", old, r.describe())
+		}
+		schema[k].Name = new_
+	}
+	return New(r.Name, schema, r.Cols)
+}
+
+// Cross returns r × s. Attribute names must be disjoint.
+func Cross(r, s *Relation) (*Relation, error) {
+	for _, a := range s.Schema {
+		if r.Schema.Index(a.Name) >= 0 {
+			return nil, fmt.Errorf("rel: cross: duplicate attribute %q", a.Name)
+		}
+	}
+	nr, ns := r.NumRows(), s.NumRows()
+	li := make([]int, 0, nr*ns)
+	ri := make([]int, 0, nr*ns)
+	for i := 0; i < nr; i++ {
+		for j := 0; j < ns; j++ {
+			li = append(li, i)
+			ri = append(ri, j)
+		}
+	}
+	left := r.Gather(li)
+	right := s.Gather(ri)
+	return New(r.Name, append(left.Schema.Clone(), right.Schema...), append(left.Cols, right.Cols...))
+}
+
+// Union returns r ∪ s (bag semantics: concatenation). Schemas must be
+// union-compatible (same arity and types; names from r win).
+func Union(r, s *Relation) (*Relation, error) {
+	if len(r.Schema) != len(s.Schema) {
+		return nil, fmt.Errorf("rel: union: arity %d vs %d", len(r.Schema), len(s.Schema))
+	}
+	cols := make([]*bat.BAT, len(r.Cols))
+	for k := range r.Cols {
+		if r.Schema[k].Type != s.Schema[k].Type {
+			return nil, fmt.Errorf("rel: union: attribute %d type %v vs %v", k, r.Schema[k].Type, s.Schema[k].Type)
+		}
+		v := r.Cols[k].Vector().Clone()
+		v.AppendVector(s.Cols[k].Vector())
+		cols[k] = bat.FromVector(v)
+	}
+	return New(r.Name, r.Schema.Clone(), cols)
+}
+
+// Distinct returns r with duplicate rows removed (first occurrence kept).
+func (r *Relation) Distinct() *Relation {
+	n := r.NumRows()
+	seen := make(map[string]bool, n)
+	idx := make([]int, 0, n)
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.Reset()
+		for _, c := range r.Cols {
+			sb.WriteString(c.Get(i).String())
+			sb.WriteByte(0)
+		}
+		key := sb.String()
+		if !seen[key] {
+			seen[key] = true
+			idx = append(idx, i)
+		}
+	}
+	return r.Gather(idx)
+}
+
+// OrderSpec describes one ORDER BY item.
+type OrderSpec struct {
+	Attr string
+	Desc bool
+}
+
+// Sort returns r ordered by the given attributes (stable).
+func (r *Relation) Sort(specs ...OrderSpec) (*Relation, error) {
+	vecs := make([]*bat.Vector, len(specs))
+	for k, sp := range specs {
+		c, err := r.Col(sp.Attr)
+		if err != nil {
+			return nil, err
+		}
+		vecs[k] = c.Vector()
+	}
+	idx := bat.Identity(r.NumRows())
+	sort.SliceStable(idx, func(a, b int) bool {
+		ia, ib := idx[a], idx[b]
+		for k, v := range vecs {
+			c := v.Compare(ia, v, ib)
+			if c != 0 {
+				if specs[k].Desc {
+					return c > 0
+				}
+				return c < 0
+			}
+		}
+		return false
+	})
+	return r.Gather(idx), nil
+}
+
+// Limit returns the first n rows.
+func (r *Relation) Limit(n int) *Relation {
+	if n > r.NumRows() {
+		n = r.NumRows()
+	}
+	idx := make([]int, n)
+	for k := range idx {
+		idx[k] = k
+	}
+	return r.Gather(idx)
+}

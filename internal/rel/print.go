@@ -1,0 +1,71 @@
+package rel
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"repro/internal/bat"
+)
+
+// String renders the relation as an aligned text table (all rows); use
+// Head for a bounded render.
+func (r *Relation) String() string { return r.render(r.NumRows()) }
+
+// Head renders at most n rows.
+func (r *Relation) Head(n int) string { return r.render(n) }
+
+func formatCell(v bat.Value) string {
+	if v.Type == bat.Float {
+		f := v.F
+		if f == float64(int64(f)) && f < 1e15 && f > -1e15 {
+			return strconv.FormatInt(int64(f), 10)
+		}
+		return strconv.FormatFloat(f, 'f', 4, 64)
+	}
+	return v.String()
+}
+
+func (r *Relation) render(limit int) string {
+	n := r.NumRows()
+	shown := n
+	if shown > limit {
+		shown = limit
+	}
+	widths := make([]int, len(r.Schema))
+	cells := make([][]string, shown)
+	for k, a := range r.Schema {
+		widths[k] = len(a.Name)
+	}
+	for i := 0; i < shown; i++ {
+		cells[i] = make([]string, len(r.Cols))
+		for k, c := range r.Cols {
+			s := formatCell(c.Get(i))
+			cells[i][k] = s
+			if len(s) > widths[k] {
+				widths[k] = len(s)
+			}
+		}
+	}
+	var sb strings.Builder
+	for k, a := range r.Schema {
+		if k > 0 {
+			sb.WriteString("  ")
+		}
+		fmt.Fprintf(&sb, "%-*s", widths[k], a.Name)
+	}
+	sb.WriteByte('\n')
+	for i := 0; i < shown; i++ {
+		for k := range r.Cols {
+			if k > 0 {
+				sb.WriteString("  ")
+			}
+			fmt.Fprintf(&sb, "%-*s", widths[k], cells[i][k])
+		}
+		sb.WriteByte('\n')
+	}
+	if shown < n {
+		fmt.Fprintf(&sb, "... (%d rows total)\n", n)
+	}
+	return sb.String()
+}

@@ -1,0 +1,393 @@
+package rel
+
+import (
+	"strings"
+	"testing"
+
+	"repro/internal/bat"
+)
+
+// ratings is the example database of the paper's Figure 5.
+func ratings() *Relation {
+	b := NewBuilder("rating", Schema{
+		{Name: "User", Type: bat.String},
+		{Name: "Balto", Type: bat.Float},
+		{Name: "Heat", Type: bat.Float},
+		{Name: "Net", Type: bat.Float},
+	})
+	b.MustAdd(bat.StringValue("Ann"), bat.FloatValue(2.0), bat.FloatValue(1.5), bat.FloatValue(0.5))
+	b.MustAdd(bat.StringValue("Tom"), bat.FloatValue(0.0), bat.FloatValue(0.0), bat.FloatValue(1.5))
+	b.MustAdd(bat.StringValue("Jan"), bat.FloatValue(1.0), bat.FloatValue(4.0), bat.FloatValue(1.0))
+	return b.Relation()
+}
+
+func users() *Relation {
+	b := NewBuilder("user", Schema{
+		{Name: "User", Type: bat.String},
+		{Name: "State", Type: bat.String},
+		{Name: "YoB", Type: bat.Int},
+	})
+	b.MustAdd(bat.StringValue("Ann"), bat.StringValue("CA"), bat.IntValue(1980))
+	b.MustAdd(bat.StringValue("Tom"), bat.StringValue("FL"), bat.IntValue(1965))
+	b.MustAdd(bat.StringValue("Jan"), bat.StringValue("CA"), bat.IntValue(1970))
+	return b.Relation()
+}
+
+func TestNewValidation(t *testing.T) {
+	if _, err := New("x", Schema{{Name: "A", Type: bat.Float}}, nil); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+	if _, err := New("x",
+		Schema{{Name: "A", Type: bat.Float}},
+		[]*bat.BAT{bat.FromInts([]int64{1})}); err == nil {
+		t.Error("type mismatch accepted")
+	}
+	if _, err := New("x",
+		Schema{{Name: "A", Type: bat.Float}, {Name: "A", Type: bat.Float}},
+		[]*bat.BAT{bat.FromFloats([]float64{1}), bat.FromFloats([]float64{2})}); err == nil {
+		t.Error("duplicate attribute accepted")
+	}
+	if _, err := New("x",
+		Schema{{Name: "A", Type: bat.Float}, {Name: "B", Type: bat.Float}},
+		[]*bat.BAT{bat.FromFloats([]float64{1}), bat.FromFloats([]float64{2, 3})}); err == nil {
+		t.Error("ragged columns accepted")
+	}
+}
+
+func TestBuilderCoercion(t *testing.T) {
+	b := NewBuilder("t", Schema{{Name: "A", Type: bat.Float}})
+	if err := b.Add(bat.IntValue(3)); err != nil {
+		t.Fatalf("int into float column: %v", err)
+	}
+	r := b.Relation()
+	if got := r.Value(0, 0); got.Type != bat.Float || got.F != 3 {
+		t.Errorf("coerced value = %v", got)
+	}
+	if err := b.Add(bat.StringValue("x")); err == nil {
+		t.Error("string into float column accepted")
+	}
+	if err := b.Add(); err == nil {
+		t.Error("arity mismatch accepted")
+	}
+}
+
+func TestSelectProject(t *testing.T) {
+	r := ratings()
+	pred, err := r.FloatPred("Heat", func(v float64) bool { return v >= 1.5 })
+	if err != nil {
+		t.Fatal(err)
+	}
+	sel := r.Select(pred)
+	if sel.NumRows() != 2 {
+		t.Fatalf("selected %d rows", sel.NumRows())
+	}
+	p, err := sel.Project("User", "Heat")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if p.NumCols() != 2 || p.Schema[0].Name != "User" {
+		t.Errorf("projection schema %v", p.Schema.Names())
+	}
+	if got := p.Value(1, 0).S; got != "Jan" {
+		t.Errorf("row 1 user = %q", got)
+	}
+	if _, err := r.Project("Nope"); err == nil {
+		t.Error("projecting missing attribute accepted")
+	}
+}
+
+func TestStringPredAndDrop(t *testing.T) {
+	u := users()
+	pred, err := u.StringPred("State", func(s string) bool { return s == "CA" })
+	if err != nil {
+		t.Fatal(err)
+	}
+	ca := u.Select(pred)
+	if ca.NumRows() != 2 {
+		t.Fatalf("CA users = %d", ca.NumRows())
+	}
+	d, err := ca.Drop("YoB")
+	if err != nil {
+		t.Fatal(err)
+	}
+	if d.NumCols() != 2 {
+		t.Errorf("drop left %d cols", d.NumCols())
+	}
+	if _, err := u.StringPred("YoB", nil); err == nil {
+		t.Error("string predicate over int column accepted")
+	}
+	if _, err := u.FloatPred("User", nil); err == nil {
+		t.Error("float predicate over string column accepted")
+	}
+}
+
+func TestRename(t *testing.T) {
+	r := ratings()
+	rn, err := r.Rename(map[string]string{"User": "U"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if rn.Schema.Index("U") != 0 || rn.Schema.Index("User") != -1 {
+		t.Errorf("rename schema = %v", rn.Schema.Names())
+	}
+	// Original unchanged (schema cloned).
+	if r.Schema.Index("User") != 0 {
+		t.Error("rename mutated the argument")
+	}
+	if _, err := r.Rename(map[string]string{"Nope": "X"}); err == nil {
+		t.Error("renaming missing attribute accepted")
+	}
+}
+
+func TestHashJoinInner(t *testing.T) {
+	// The paper's w1 preparation: users ⋈ ratings on User, CA only.
+	u := users()
+	r := ratings()
+	j, err := HashJoin(u, r, []string{"User"}, []string{"User"}, Inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.NumRows() != 3 {
+		t.Fatalf("join rows = %d", j.NumRows())
+	}
+	want := []string{"User", "State", "YoB", "Balto", "Heat", "Net"}
+	got := j.Schema.Names()
+	if strings.Join(got, ",") != strings.Join(want, ",") {
+		t.Fatalf("join schema = %v", got)
+	}
+	pred, _ := j.StringPred("State", func(s string) bool { return s == "CA" })
+	ca := j.Select(pred)
+	if ca.NumRows() != 2 {
+		t.Errorf("CA join rows = %d", ca.NumRows())
+	}
+}
+
+func TestHashJoinMultiKeyAndDuplicates(t *testing.T) {
+	b1 := NewBuilder("l", Schema{{Name: "A", Type: bat.Int}, {Name: "B", Type: bat.Int}, {Name: "X", Type: bat.Float}})
+	b1.MustAdd(bat.IntValue(1), bat.IntValue(1), bat.FloatValue(10))
+	b1.MustAdd(bat.IntValue(1), bat.IntValue(2), bat.FloatValue(20))
+	b1.MustAdd(bat.IntValue(2), bat.IntValue(1), bat.FloatValue(30))
+	l := b1.Relation()
+	b2 := NewBuilder("r", Schema{{Name: "C", Type: bat.Int}, {Name: "D", Type: bat.Int}, {Name: "Y", Type: bat.Float}})
+	b2.MustAdd(bat.IntValue(1), bat.IntValue(1), bat.FloatValue(100))
+	b2.MustAdd(bat.IntValue(1), bat.IntValue(1), bat.FloatValue(200)) // duplicate key
+	b2.MustAdd(bat.IntValue(9), bat.IntValue(9), bat.FloatValue(300))
+	rr := b2.Relation()
+	j, err := HashJoin(l, rr, []string{"A", "B"}, []string{"C", "D"}, Inner)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.NumRows() != 2 { // (1,1) matches two right rows
+		t.Fatalf("join rows = %d", j.NumRows())
+	}
+	ys, _ := j.Col("Y")
+	f, _ := ys.Floats()
+	if f[0]+f[1] != 300 {
+		t.Errorf("joined Y values = %v", f)
+	}
+}
+
+func TestHashJoinLeft(t *testing.T) {
+	l := MustNew("l", Schema{{Name: "K", Type: bat.Int}},
+		[]*bat.BAT{bat.FromInts([]int64{1, 2})})
+	r := MustNew("r", Schema{{Name: "K2", Type: bat.Int}, {Name: "V", Type: bat.Float}},
+		[]*bat.BAT{bat.FromInts([]int64{1}), bat.FromFloats([]float64{7})})
+	j, err := HashJoin(l, r, []string{"K"}, []string{"K2"}, Left)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if j.NumRows() != 2 {
+		t.Fatalf("left join rows = %d", j.NumRows())
+	}
+	v, _ := j.Col("V")
+	f, _ := v.Floats()
+	if f[0] != 7 || f[1] != 0 {
+		t.Errorf("left join V = %v", f)
+	}
+}
+
+func TestJoinErrors(t *testing.T) {
+	l := MustNew("l", Schema{{Name: "K", Type: bat.Int}}, []*bat.BAT{bat.FromInts([]int64{1})})
+	r := MustNew("r", Schema{{Name: "K", Type: bat.Int}, {Name: "V", Type: bat.Float}},
+		[]*bat.BAT{bat.FromInts([]int64{1}), bat.FromFloats([]float64{7})})
+	if _, err := HashJoin(l, r, nil, nil, Inner); err == nil {
+		t.Error("empty key list accepted")
+	}
+	// Name clash: r.V vs a second relation also exposing V.
+	l2 := MustNew("l2", Schema{{Name: "K", Type: bat.Int}, {Name: "V", Type: bat.Float}},
+		[]*bat.BAT{bat.FromInts([]int64{1}), bat.FromFloats([]float64{1})})
+	if _, err := HashJoin(l2, r, []string{"K"}, []string{"K"}, Inner); err == nil {
+		t.Error("duplicate non-key attribute accepted")
+	}
+}
+
+func TestCross(t *testing.T) {
+	a := MustNew("a", Schema{{Name: "X", Type: bat.Int}}, []*bat.BAT{bat.FromInts([]int64{1, 2})})
+	b := MustNew("b", Schema{{Name: "Y", Type: bat.Int}}, []*bat.BAT{bat.FromInts([]int64{10, 20, 30})})
+	c, err := Cross(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c.NumRows() != 6 || c.NumCols() != 2 {
+		t.Fatalf("cross size = %dx%d", c.NumRows(), c.NumCols())
+	}
+	if _, err := Cross(a, a); err == nil {
+		t.Error("cross with duplicate attributes accepted")
+	}
+}
+
+func TestUnionDistinct(t *testing.T) {
+	a := MustNew("a", Schema{{Name: "X", Type: bat.Int}}, []*bat.BAT{bat.FromInts([]int64{1, 2})})
+	b := MustNew("b", Schema{{Name: "X", Type: bat.Int}}, []*bat.BAT{bat.FromInts([]int64{2, 3})})
+	u, err := Union(a, b)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if u.NumRows() != 4 {
+		t.Fatalf("bag union rows = %d", u.NumRows())
+	}
+	d := u.Distinct()
+	if d.NumRows() != 3 {
+		t.Errorf("distinct rows = %d", d.NumRows())
+	}
+	c := MustNew("c", Schema{{Name: "X", Type: bat.Float}}, []*bat.BAT{bat.FromFloats([]float64{1})})
+	if _, err := Union(a, c); err == nil {
+		t.Error("union of incompatible types accepted")
+	}
+}
+
+func TestGroupBy(t *testing.T) {
+	j, _ := HashJoin(users(), ratings(), []string{"User"}, []string{"User"}, Inner)
+	g, err := GroupBy(j, []string{"State"}, []AggSpec{
+		{Func: Count, As: "n"},
+		{Func: Avg, Attr: "Heat", As: "avg_heat"},
+		{Func: Sum, Attr: "Balto", As: "sum_balto"},
+		{Func: Min, Attr: "Net", As: "min_net"},
+		{Func: Max, Attr: "Net", As: "max_net"},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumRows() != 2 {
+		t.Fatalf("groups = %d", g.NumRows())
+	}
+	// First-seen order: CA (Ann) then FL (Tom).
+	if g.Value(0, 0).S != "CA" || g.Value(1, 0).S != "FL" {
+		t.Fatalf("group order: %v, %v", g.Value(0, 0), g.Value(1, 0))
+	}
+	if n := g.Value(0, 1).I; n != 2 {
+		t.Errorf("CA count = %d", n)
+	}
+	if avg := g.Value(0, 2).F; avg != (1.5+4.0)/2 {
+		t.Errorf("CA avg heat = %v", avg)
+	}
+	if s := g.Value(0, 3).F; s != 3.0 {
+		t.Errorf("CA sum balto = %v", s)
+	}
+	if mn, mx := g.Value(0, 4).F, g.Value(0, 5).F; mn != 0.5 || mx != 1.0 {
+		t.Errorf("CA min/max net = %v/%v", mn, mx)
+	}
+}
+
+func TestGroupByGlobal(t *testing.T) {
+	r := ratings()
+	g, err := GroupBy(r, nil, []AggSpec{{Func: Count, As: "M"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g.NumRows() != 1 || g.Value(0, 0).I != 3 {
+		t.Fatalf("global count = %v", g.Value(0, 0))
+	}
+	empty := Empty("e", Schema{{Name: "A", Type: bat.Float}})
+	g2, err := GroupBy(empty, nil, []AggSpec{{Func: Count, As: "M"}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if g2.NumRows() != 0 {
+		t.Errorf("global count over empty = %d rows", g2.NumRows())
+	}
+}
+
+func TestGroupByErrors(t *testing.T) {
+	r := ratings()
+	if _, err := GroupBy(r, nil, nil); err == nil {
+		t.Error("no aggregates accepted")
+	}
+	if _, err := GroupBy(r, nil, []AggSpec{{Func: Avg}}); err == nil {
+		t.Error("AVG(*) accepted")
+	}
+	if _, err := GroupBy(r, nil, []AggSpec{{Func: Sum, Attr: "User"}}); err == nil {
+		t.Error("SUM over string accepted")
+	}
+	if _, err := GroupBy(r, []string{"Nope"}, []AggSpec{{Func: Count}}); err == nil {
+		t.Error("grouping on missing attribute accepted")
+	}
+}
+
+func TestSortLimit(t *testing.T) {
+	r := ratings()
+	s, err := r.Sort(OrderSpec{Attr: "Heat", Desc: true})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if s.Value(0, 0).S != "Jan" {
+		t.Errorf("desc sort first = %v", s.Value(0, 0))
+	}
+	s2, _ := r.Sort(OrderSpec{Attr: "User"})
+	if s2.Value(0, 0).S != "Ann" || s2.Value(2, 0).S != "Tom" {
+		t.Errorf("asc sort = %v %v", s2.Value(0, 0), s2.Value(2, 0))
+	}
+	l := s2.Limit(2)
+	if l.NumRows() != 2 {
+		t.Errorf("limit rows = %d", l.NumRows())
+	}
+	if s2.Limit(99).NumRows() != 3 {
+		t.Error("limit beyond size should clamp")
+	}
+	if _, err := r.Sort(OrderSpec{Attr: "Nope"}); err == nil {
+		t.Error("sorting on missing attribute accepted")
+	}
+}
+
+func TestPrint(t *testing.T) {
+	r := ratings()
+	out := r.String()
+	if !strings.Contains(out, "User") || !strings.Contains(out, "Ann") {
+		t.Errorf("print output missing content:\n%s", out)
+	}
+	h := r.Head(1)
+	if !strings.Contains(h, "(3 rows total)") {
+		t.Errorf("head output missing total note:\n%s", h)
+	}
+	// Float formatting: integers print bare, fractions with 4 decimals.
+	if !strings.Contains(out, "1.5000") {
+		t.Errorf("fractional formatting missing:\n%s", out)
+	}
+}
+
+func TestCloneIndependence(t *testing.T) {
+	r := ratings()
+	c := r.Clone()
+	c.Cols[1].Vector().Set(0, bat.FloatValue(-99))
+	if r.Value(0, 1).F == -99 {
+		t.Error("clone shares column storage")
+	}
+	w := r.WithName("other")
+	if w.Name != "other" || r.Name != "rating" {
+		t.Error("WithName broken")
+	}
+}
+
+func TestValueAndRow(t *testing.T) {
+	r := ratings()
+	row := r.Row(1)
+	if row[0].S != "Tom" || row[3].F != 1.5 {
+		t.Errorf("row = %v", row)
+	}
+	if r.NumCols() != 4 {
+		t.Errorf("NumCols = %d", r.NumCols())
+	}
+	if _, err := r.Col("Nope"); err == nil {
+		t.Error("missing column accepted")
+	}
+}

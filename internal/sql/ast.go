@@ -1,0 +1,184 @@
+package sql
+
+import "repro/internal/bat"
+
+// Statement is any parsed SQL statement.
+type Statement interface{ stmt() }
+
+// SelectStmt is a SELECT query.
+type SelectStmt struct {
+	Distinct bool
+	Items    []SelectItem // empty means *
+	From     TableExpr
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderItem
+	Limit    int // -1 when absent
+}
+
+// SelectItem is one projection: an expression with an optional alias, or a
+// bare star.
+type SelectItem struct {
+	Star bool
+	Expr Expr
+	As   string
+}
+
+// OrderItem is one ORDER BY entry.
+type OrderItem struct {
+	Expr Expr
+	Desc bool
+}
+
+// CreateStmt is CREATE TABLE name (col type, ...).
+type CreateStmt struct {
+	Name    string
+	Columns []ColumnDef
+}
+
+// ColumnDef declares one attribute.
+type ColumnDef struct {
+	Name string
+	Type bat.Type
+}
+
+// InsertStmt is INSERT INTO name VALUES (...), (...) or INSERT INTO name SELECT.
+type InsertStmt struct {
+	Table  string
+	Rows   [][]Expr // literal tuples; nil when Select is set
+	Select *SelectStmt
+}
+
+// DropStmt is DROP TABLE name.
+type DropStmt struct {
+	Table string
+}
+
+func (*SelectStmt) stmt() {}
+func (*CreateStmt) stmt() {}
+func (*InsertStmt) stmt() {}
+func (*DropStmt) stmt()   {}
+
+// TableExpr produces rows in a FROM clause.
+type TableExpr interface{ tableExpr() }
+
+// TableRef names a stored table.
+type TableRef struct {
+	Name  string
+	Alias string
+}
+
+// SubqueryRef is a derived table.
+type SubqueryRef struct {
+	Select *SelectStmt
+	Alias  string
+}
+
+// RMARef is the paper's SQL extension: a relational matrix operation as a
+// table function, e.g. INV(r BY User) or MMU(w4 BY C, w3 BY U).
+type RMARef struct {
+	Op    string // lower-cased operation name
+	Args  []RMAArg
+	Alias string
+}
+
+// RMAArg is one argument relation with its BY order schema. Rel is a
+// TableRef, SubqueryRef, or nested RMARef — the paper's operations compose.
+type RMAArg struct {
+	Rel TableExpr
+	By  []string // order schema
+}
+
+// JoinExpr combines two table expressions.
+type JoinExpr struct {
+	Kind  JoinKind
+	Left  TableExpr
+	Right TableExpr
+	On    Expr // nil for cross joins
+}
+
+// JoinKind enumerates join flavors.
+type JoinKind uint8
+
+// Join kinds.
+const (
+	JoinInner JoinKind = iota
+	JoinLeft
+	JoinCross
+)
+
+func (*TableRef) tableExpr()    {}
+func (*SubqueryRef) tableExpr() {}
+func (*RMARef) tableExpr()      {}
+func (*JoinExpr) tableExpr()    {}
+
+// Expr is a scalar (or aggregate) expression.
+type Expr interface{ expr() }
+
+// ColRef references an attribute, optionally qualified.
+type ColRef struct {
+	Qualifier string
+	Name      string
+}
+
+// NumberLit is a numeric literal.
+type NumberLit struct {
+	IsInt bool
+	Int   int64
+	Float float64
+}
+
+// StringLit is a string literal.
+type StringLit struct{ Val string }
+
+// BinaryExpr applies an operator: + - * / % = <> < <= > >= AND OR.
+type BinaryExpr struct {
+	Op   string
+	L, R Expr
+}
+
+// UnaryExpr applies - or NOT.
+type UnaryExpr struct {
+	Op string
+	E  Expr
+}
+
+// FuncCall is a scalar or aggregate function application. Star marks
+// COUNT(*).
+type FuncCall struct {
+	Name string // upper-cased
+	Star bool
+	Args []Expr
+}
+
+// InExpr is `E [NOT] IN (a, b, ...)`.
+type InExpr struct {
+	E    Expr
+	List []Expr
+	Not  bool
+}
+
+// BetweenExpr is `E [NOT] BETWEEN Lo AND Hi` (bounds inclusive).
+type BetweenExpr struct {
+	E      Expr
+	Lo, Hi Expr
+	Not    bool
+}
+
+// LikeExpr is `E [NOT] LIKE 'pattern'` with % (any run) and _ (any one).
+type LikeExpr struct {
+	E       Expr
+	Pattern string
+	Not     bool
+}
+
+func (*ColRef) expr()      {}
+func (*NumberLit) expr()   {}
+func (*StringLit) expr()   {}
+func (*BinaryExpr) expr()  {}
+func (*UnaryExpr) expr()   {}
+func (*FuncCall) expr()    {}
+func (*InExpr) expr()      {}
+func (*BetweenExpr) expr() {}
+func (*LikeExpr) expr()    {}

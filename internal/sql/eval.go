@@ -1,0 +1,492 @@
+package sql
+
+import (
+	"fmt"
+	"math"
+	"regexp"
+	"strings"
+
+	"repro/internal/bat"
+	"repro/internal/rel"
+)
+
+// source is a row source during execution: a working relation whose
+// physical column names are internal ("#0", "#1", ...) plus the symbol
+// table that maps user-visible (qualifier, name) pairs to columns.
+type source struct {
+	rel  *rel.Relation
+	syms []sym
+}
+
+type sym struct {
+	qual string
+	name string
+}
+
+// newSource wraps a relation whose schema names are user-visible under a
+// qualifier, renaming columns to internal names.
+func newSource(r *rel.Relation, qual string) *source {
+	schema := make(rel.Schema, len(r.Schema))
+	syms := make([]sym, len(r.Schema))
+	for k, a := range r.Schema {
+		schema[k] = rel.Attr{Name: internalName(k), Type: a.Type}
+		syms[k] = sym{qual: qual, name: a.Name}
+	}
+	return &source{
+		rel:  &rel.Relation{Name: r.Name, Schema: schema, Cols: r.Cols},
+		syms: syms,
+	}
+}
+
+func internalName(k int) string { return fmt.Sprintf("#%d", k) }
+
+// resolve finds the column index for a reference; unqualified names must be
+// unambiguous among visible symbols.
+func (s *source) resolve(qual, name string) (int, error) {
+	found := -1
+	for k, sy := range s.syms {
+		if sy.name != name {
+			continue
+		}
+		if qual != "" && sy.qual != qual {
+			continue
+		}
+		if found >= 0 {
+			return 0, fmt.Errorf("sql: ambiguous column %q", refName(qual, name))
+		}
+		found = k
+	}
+	if found < 0 {
+		return 0, fmt.Errorf("sql: unknown column %q", refName(qual, name))
+	}
+	return found, nil
+}
+
+func refName(qual, name string) string {
+	if qual == "" {
+		return name
+	}
+	return qual + "." + name
+}
+
+// compiled is a typed row-wise evaluator.
+type compiled struct {
+	typ bat.Type
+	fn  func(i int) bat.Value
+}
+
+// aggregate function names.
+var aggFuncs = map[string]rel.AggFunc{
+	"COUNT": rel.Count, "SUM": rel.Sum, "AVG": rel.Avg, "MIN": rel.Min, "MAX": rel.Max,
+}
+
+// compileExpr builds an evaluator for a scalar expression over the source.
+// Aggregate calls are rejected here; the SELECT pipeline rewrites them to
+// column references before compiling.
+func compileExpr(e Expr, s *source) (*compiled, error) {
+	switch x := e.(type) {
+	case *NumberLit:
+		if x.IsInt {
+			v := bat.IntValue(x.Int)
+			return &compiled{typ: bat.Int, fn: func(int) bat.Value { return v }}, nil
+		}
+		v := bat.FloatValue(x.Float)
+		return &compiled{typ: bat.Float, fn: func(int) bat.Value { return v }}, nil
+	case *StringLit:
+		v := bat.StringValue(x.Val)
+		return &compiled{typ: bat.String, fn: func(int) bat.Value { return v }}, nil
+	case *ColRef:
+		if s == nil {
+			return nil, fmt.Errorf("sql: column %q not allowed here", refName(x.Qualifier, x.Name))
+		}
+		k, err := s.resolve(x.Qualifier, x.Name)
+		if err != nil {
+			return nil, err
+		}
+		col := s.rel.Cols[k]
+		switch col.Type() {
+		case bat.Float:
+			f, _ := col.Floats()
+			return &compiled{typ: bat.Float, fn: func(i int) bat.Value { return bat.FloatValue(f[i]) }}, nil
+		case bat.Int:
+			iv := col.Vector().Ints()
+			return &compiled{typ: bat.Int, fn: func(i int) bat.Value { return bat.IntValue(iv[i]) }}, nil
+		default:
+			sv := col.Vector().Strings()
+			return &compiled{typ: bat.String, fn: func(i int) bat.Value { return bat.StringValue(sv[i]) }}, nil
+		}
+	case *UnaryExpr:
+		in, err := compileExpr(x.E, s)
+		if err != nil {
+			return nil, err
+		}
+		switch x.Op {
+		case "-":
+			switch in.typ {
+			case bat.Int:
+				return &compiled{typ: bat.Int, fn: func(i int) bat.Value { return bat.IntValue(-in.fn(i).I) }}, nil
+			case bat.Float:
+				return &compiled{typ: bat.Float, fn: func(i int) bat.Value { return bat.FloatValue(-in.fn(i).F) }}, nil
+			}
+			return nil, fmt.Errorf("sql: unary - over string")
+		case "NOT":
+			if in.typ == bat.String {
+				return nil, fmt.Errorf("sql: NOT over string")
+			}
+			return &compiled{typ: bat.Int, fn: func(i int) bat.Value {
+				if truthy(in.fn(i)) {
+					return bat.IntValue(0)
+				}
+				return bat.IntValue(1)
+			}}, nil
+		}
+		return nil, fmt.Errorf("sql: unknown unary operator %q", x.Op)
+	case *BinaryExpr:
+		return compileBinary(x, s)
+	case *FuncCall:
+		if _, isAgg := aggFuncs[x.Name]; isAgg {
+			return nil, fmt.Errorf("sql: aggregate %s not allowed in this context", x.Name)
+		}
+		return compileScalarFunc(x, s)
+	case *InExpr:
+		return compileIn(x, s)
+	case *BetweenExpr:
+		return compileBetween(x, s)
+	case *LikeExpr:
+		return compileLike(x, s)
+	}
+	return nil, fmt.Errorf("sql: unsupported expression %T", e)
+}
+
+func compileIn(x *InExpr, s *source) (*compiled, error) {
+	e, err := compileExpr(x.E, s)
+	if err != nil {
+		return nil, err
+	}
+	items := make([]*compiled, len(x.List))
+	for k, le := range x.List {
+		c, err := compileExpr(le, s)
+		if err != nil {
+			return nil, err
+		}
+		if (c.typ == bat.String) != (e.typ == bat.String) {
+			return nil, fmt.Errorf("sql: IN list mixes strings with numbers")
+		}
+		items[k] = c
+	}
+	return &compiled{typ: bat.Int, fn: func(i int) bat.Value {
+		v := e.fn(i)
+		hit := false
+		for _, c := range items {
+			w := c.fn(i)
+			if v.Type == bat.String {
+				if v.S == w.S {
+					hit = true
+					break
+				}
+			} else if v.AsFloat() == w.AsFloat() {
+				hit = true
+				break
+			}
+		}
+		if hit != x.Not {
+			return bat.IntValue(1)
+		}
+		return bat.IntValue(0)
+	}}, nil
+}
+
+func compileBetween(x *BetweenExpr, s *source) (*compiled, error) {
+	e, err := compileExpr(x.E, s)
+	if err != nil {
+		return nil, err
+	}
+	lo, err := compileExpr(x.Lo, s)
+	if err != nil {
+		return nil, err
+	}
+	hi, err := compileExpr(x.Hi, s)
+	if err != nil {
+		return nil, err
+	}
+	str := e.typ == bat.String
+	if (lo.typ == bat.String) != str || (hi.typ == bat.String) != str {
+		return nil, fmt.Errorf("sql: BETWEEN bounds mix strings with numbers")
+	}
+	return &compiled{typ: bat.Int, fn: func(i int) bat.Value {
+		var in bool
+		if str {
+			v := e.fn(i).S
+			in = lo.fn(i).S <= v && v <= hi.fn(i).S
+		} else {
+			v := e.fn(i).AsFloat()
+			in = lo.fn(i).AsFloat() <= v && v <= hi.fn(i).AsFloat()
+		}
+		if in != x.Not {
+			return bat.IntValue(1)
+		}
+		return bat.IntValue(0)
+	}}, nil
+}
+
+func compileLike(x *LikeExpr, s *source) (*compiled, error) {
+	e, err := compileExpr(x.E, s)
+	if err != nil {
+		return nil, err
+	}
+	if e.typ != bat.String {
+		return nil, fmt.Errorf("sql: LIKE over non-string expression")
+	}
+	// Translate the SQL pattern (% = any run, _ = any one) to a regexp
+	// anchored at both ends.
+	var sb strings.Builder
+	sb.WriteByte('^')
+	for _, r := range x.Pattern {
+		switch r {
+		case '%':
+			sb.WriteString("(?s).*")
+		case '_':
+			sb.WriteString("(?s).")
+		default:
+			sb.WriteString(regexp.QuoteMeta(string(r)))
+		}
+	}
+	sb.WriteByte('$')
+	re, err := regexp.Compile(sb.String())
+	if err != nil {
+		return nil, fmt.Errorf("sql: bad LIKE pattern %q: %v", x.Pattern, err)
+	}
+	return &compiled{typ: bat.Int, fn: func(i int) bat.Value {
+		if re.MatchString(e.fn(i).S) != x.Not {
+			return bat.IntValue(1)
+		}
+		return bat.IntValue(0)
+	}}, nil
+}
+
+func truthy(v bat.Value) bool {
+	switch v.Type {
+	case bat.Int:
+		return v.I != 0
+	case bat.Float:
+		return v.F != 0
+	}
+	return v.S != ""
+}
+
+func compileBinary(x *BinaryExpr, s *source) (*compiled, error) {
+	l, err := compileExpr(x.L, s)
+	if err != nil {
+		return nil, err
+	}
+	r, err := compileExpr(x.R, s)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Op {
+	case "AND":
+		return &compiled{typ: bat.Int, fn: func(i int) bat.Value {
+			if truthy(l.fn(i)) && truthy(r.fn(i)) {
+				return bat.IntValue(1)
+			}
+			return bat.IntValue(0)
+		}}, nil
+	case "OR":
+		return &compiled{typ: bat.Int, fn: func(i int) bat.Value {
+			if truthy(l.fn(i)) || truthy(r.fn(i)) {
+				return bat.IntValue(1)
+			}
+			return bat.IntValue(0)
+		}}, nil
+	case "=", "<>", "<", "<=", ">", ">=":
+		return compileCompare(x.Op, l, r)
+	case "+", "-", "*", "/", "%":
+		return compileArith(x.Op, l, r)
+	}
+	return nil, fmt.Errorf("sql: unknown operator %q", x.Op)
+}
+
+func compileCompare(op string, l, r *compiled) (*compiled, error) {
+	if (l.typ == bat.String) != (r.typ == bat.String) {
+		return nil, fmt.Errorf("sql: cannot compare %v with %v", l.typ, r.typ)
+	}
+	var cmp func(i int) int
+	if l.typ == bat.String {
+		cmp = func(i int) int { return strings.Compare(l.fn(i).S, r.fn(i).S) }
+	} else {
+		cmp = func(i int) int {
+			a, b := l.fn(i).AsFloat(), r.fn(i).AsFloat()
+			switch {
+			case a < b:
+				return -1
+			case a > b:
+				return 1
+			}
+			return 0
+		}
+	}
+	var test func(c int) bool
+	switch op {
+	case "=":
+		test = func(c int) bool { return c == 0 }
+	case "<>":
+		test = func(c int) bool { return c != 0 }
+	case "<":
+		test = func(c int) bool { return c < 0 }
+	case "<=":
+		test = func(c int) bool { return c <= 0 }
+	case ">":
+		test = func(c int) bool { return c > 0 }
+	case ">=":
+		test = func(c int) bool { return c >= 0 }
+	}
+	return &compiled{typ: bat.Int, fn: func(i int) bat.Value {
+		if test(cmp(i)) {
+			return bat.IntValue(1)
+		}
+		return bat.IntValue(0)
+	}}, nil
+}
+
+func compileArith(op string, l, r *compiled) (*compiled, error) {
+	if l.typ == bat.String || r.typ == bat.String {
+		return nil, fmt.Errorf("sql: arithmetic over strings")
+	}
+	bothInt := l.typ == bat.Int && r.typ == bat.Int
+	if bothInt && op != "/" {
+		var fn func(a, b int64) int64
+		switch op {
+		case "+":
+			fn = func(a, b int64) int64 { return a + b }
+		case "-":
+			fn = func(a, b int64) int64 { return a - b }
+		case "*":
+			fn = func(a, b int64) int64 { return a * b }
+		case "%":
+			fn = func(a, b int64) int64 { return a % b }
+		}
+		return &compiled{typ: bat.Int, fn: func(i int) bat.Value {
+			return bat.IntValue(fn(l.fn(i).I, r.fn(i).I))
+		}}, nil
+	}
+	var fn func(a, b float64) float64
+	switch op {
+	case "+":
+		fn = func(a, b float64) float64 { return a + b }
+	case "-":
+		fn = func(a, b float64) float64 { return a - b }
+	case "*":
+		fn = func(a, b float64) float64 { return a * b }
+	case "/":
+		fn = func(a, b float64) float64 { return a / b }
+	case "%":
+		fn = math.Mod
+	}
+	return &compiled{typ: bat.Float, fn: func(i int) bat.Value {
+		return bat.FloatValue(fn(l.fn(i).AsFloat(), r.fn(i).AsFloat()))
+	}}, nil
+}
+
+func compileScalarFunc(x *FuncCall, s *source) (*compiled, error) {
+	unary := map[string]func(float64) float64{
+		"ABS": math.Abs, "SQRT": math.Sqrt, "FLOOR": math.Floor,
+		"CEIL": math.Ceil, "EXP": math.Exp, "LN": math.Log,
+	}
+	if f, ok := unary[x.Name]; ok {
+		if len(x.Args) != 1 {
+			return nil, fmt.Errorf("sql: %s takes one argument", x.Name)
+		}
+		in, err := compileExpr(x.Args[0], s)
+		if err != nil {
+			return nil, err
+		}
+		if in.typ == bat.String {
+			return nil, fmt.Errorf("sql: %s over string", x.Name)
+		}
+		return &compiled{typ: bat.Float, fn: func(i int) bat.Value {
+			return bat.FloatValue(f(in.fn(i).AsFloat()))
+		}}, nil
+	}
+	if x.Name == "POW" || x.Name == "POWER" {
+		if len(x.Args) != 2 {
+			return nil, fmt.Errorf("sql: POW takes two arguments")
+		}
+		a, err := compileExpr(x.Args[0], s)
+		if err != nil {
+			return nil, err
+		}
+		b, err := compileExpr(x.Args[1], s)
+		if err != nil {
+			return nil, err
+		}
+		return &compiled{typ: bat.Float, fn: func(i int) bat.Value {
+			return bat.FloatValue(math.Pow(a.fn(i).AsFloat(), b.fn(i).AsFloat()))
+		}}, nil
+	}
+	return nil, fmt.Errorf("sql: unknown function %s", x.Name)
+}
+
+// materialize evaluates an expression for every row into a BAT.
+func materialize(c *compiled, n int) *bat.BAT {
+	switch c.typ {
+	case bat.Float:
+		out := make([]float64, n)
+		for i := 0; i < n; i++ {
+			out[i] = c.fn(i).F
+		}
+		return bat.FromFloats(out)
+	case bat.Int:
+		out := make([]int64, n)
+		for i := 0; i < n; i++ {
+			out[i] = c.fn(i).I
+		}
+		return bat.FromInts(out)
+	default:
+		out := make([]string, n)
+		for i := 0; i < n; i++ {
+			out[i] = c.fn(i).S
+		}
+		return bat.FromStrings(out)
+	}
+}
+
+// keyOf serializes an expression structurally, used to match GROUP BY
+// expressions against occurrences in SELECT items and HAVING.
+func keyOf(e Expr) string {
+	switch x := e.(type) {
+	case *NumberLit:
+		if x.IsInt {
+			return fmt.Sprintf("i:%d", x.Int)
+		}
+		return fmt.Sprintf("f:%g", x.Float)
+	case *StringLit:
+		return fmt.Sprintf("s:%q", x.Val)
+	case *ColRef:
+		return "c:" + refName(x.Qualifier, x.Name)
+	case *UnaryExpr:
+		return "u:" + x.Op + "(" + keyOf(x.E) + ")"
+	case *BinaryExpr:
+		return "b:" + x.Op + "(" + keyOf(x.L) + "," + keyOf(x.R) + ")"
+	case *FuncCall:
+		parts := make([]string, len(x.Args))
+		for i, a := range x.Args {
+			parts[i] = keyOf(a)
+		}
+		star := ""
+		if x.Star {
+			star = "*"
+		}
+		return "fn:" + x.Name + "(" + star + strings.Join(parts, ",") + ")"
+	case *InExpr:
+		parts := make([]string, len(x.List))
+		for i, a := range x.List {
+			parts[i] = keyOf(a)
+		}
+		return fmt.Sprintf("in:%v(%s;%s)", x.Not, keyOf(x.E), strings.Join(parts, ","))
+	case *BetweenExpr:
+		return fmt.Sprintf("btw:%v(%s;%s;%s)", x.Not, keyOf(x.E), keyOf(x.Lo), keyOf(x.Hi))
+	case *LikeExpr:
+		return fmt.Sprintf("like:%v(%s;%q)", x.Not, keyOf(x.E), x.Pattern)
+	}
+	return fmt.Sprintf("%T", e)
+}

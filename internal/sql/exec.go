@@ -1,0 +1,821 @@
+package sql
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+	"sync"
+
+	"repro/internal/bat"
+	"repro/internal/core"
+	"repro/internal/rel"
+)
+
+// DB is an in-memory database: a catalog of named relations plus the
+// execution entry points. It is safe for concurrent readers; DDL/DML
+// statements take the write lock.
+type DB struct {
+	mu      sync.RWMutex
+	tables  map[string]*rel.Relation
+	rmaOpts *core.Options
+}
+
+// NewDB returns an empty database.
+func NewDB() *DB {
+	return &DB{tables: make(map[string]*rel.Relation)}
+}
+
+// SetRMAOptions sets the execution options (policy, sort mode, stats) used
+// by RMA table functions; nil restores the defaults.
+func (db *DB) SetRMAOptions(opts *core.Options) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.rmaOpts = opts
+}
+
+// Register stores a relation under a name, replacing any previous one.
+func (db *DB) Register(name string, r *rel.Relation) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.tables[name] = r.WithName(name)
+}
+
+// Table returns the named relation.
+func (db *DB) Table(name string) (*rel.Relation, error) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	r, ok := db.tables[name]
+	if !ok {
+		return nil, fmt.Errorf("sql: no such table %q", name)
+	}
+	return r, nil
+}
+
+// Tables lists the catalog in sorted order.
+func (db *DB) Tables() []string {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	names := make([]string, 0, len(db.tables))
+	for n := range db.tables {
+		names = append(names, n)
+	}
+	sort.Strings(names)
+	return names
+}
+
+// Exec parses and executes a script and returns the result of the last
+// SELECT (nil if the script contains none).
+func (db *DB) Exec(src string) (*rel.Relation, error) {
+	stmts, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	var last *rel.Relation
+	for _, s := range stmts {
+		res, err := db.run(s)
+		if err != nil {
+			return nil, err
+		}
+		if res != nil {
+			last = res
+		}
+	}
+	return last, nil
+}
+
+// Query executes a single SELECT statement.
+func (db *DB) Query(src string) (*rel.Relation, error) {
+	res, err := db.Exec(src)
+	if err != nil {
+		return nil, err
+	}
+	if res == nil {
+		return nil, fmt.Errorf("sql: statement returned no result")
+	}
+	return res, nil
+}
+
+func (db *DB) run(s Statement) (*rel.Relation, error) {
+	switch x := s.(type) {
+	case *SelectStmt:
+		src, err := db.execSelect(x)
+		if err != nil {
+			return nil, err
+		}
+		return src, nil
+	case *CreateStmt:
+		return nil, db.runCreate(x)
+	case *InsertStmt:
+		return nil, db.runInsert(x)
+	case *DropStmt:
+		db.mu.Lock()
+		defer db.mu.Unlock()
+		if _, ok := db.tables[x.Table]; !ok {
+			return nil, fmt.Errorf("sql: no such table %q", x.Table)
+		}
+		delete(db.tables, x.Table)
+		return nil, nil
+	}
+	return nil, fmt.Errorf("sql: unsupported statement %T", s)
+}
+
+func (db *DB) runCreate(x *CreateStmt) error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if _, ok := db.tables[x.Name]; ok {
+		return fmt.Errorf("sql: table %q already exists", x.Name)
+	}
+	schema := make(rel.Schema, len(x.Columns))
+	for k, c := range x.Columns {
+		schema[k] = rel.Attr{Name: c.Name, Type: c.Type}
+	}
+	db.tables[x.Name] = rel.Empty(x.Name, schema)
+	return nil
+}
+
+func (db *DB) runInsert(x *InsertStmt) error {
+	tbl, err := db.Table(x.Table)
+	if err != nil {
+		return err
+	}
+	var rows *rel.Relation
+	if x.Select != nil {
+		rows, err = db.execSelect(x.Select)
+		if err != nil {
+			return err
+		}
+		if rows.NumCols() != tbl.NumCols() {
+			return fmt.Errorf("sql: INSERT SELECT arity %d into table of arity %d", rows.NumCols(), tbl.NumCols())
+		}
+		// Align names/types with the target table for the union.
+		rows = &rel.Relation{Name: tbl.Name, Schema: tbl.Schema, Cols: coerceCols(rows, tbl.Schema)}
+	} else {
+		b := rel.NewBuilder(x.Table, tbl.Schema)
+		for _, rowExprs := range x.Rows {
+			if len(rowExprs) != tbl.NumCols() {
+				return fmt.Errorf("sql: INSERT arity %d into table of arity %d", len(rowExprs), tbl.NumCols())
+			}
+			vals := make([]bat.Value, len(rowExprs))
+			for k, e := range rowExprs {
+				c, err := compileExpr(e, nil)
+				if err != nil {
+					return err
+				}
+				vals[k] = c.fn(0)
+			}
+			if err := b.Add(vals...); err != nil {
+				return err
+			}
+		}
+		rows = b.Relation()
+	}
+	merged, err := rel.Union(tbl, rows)
+	if err != nil {
+		return err
+	}
+	db.mu.Lock()
+	db.tables[x.Table] = merged.WithName(x.Table)
+	db.mu.Unlock()
+	return nil
+}
+
+// coerceCols adapts int columns to float where the target schema demands
+// it (the single coercion the dialect supports).
+func coerceCols(r *rel.Relation, target rel.Schema) []*bat.BAT {
+	cols := make([]*bat.BAT, len(r.Cols))
+	for k, c := range r.Cols {
+		if c.Type() == bat.Int && target[k].Type == bat.Float {
+			f, _ := c.Floats()
+			cols[k] = bat.FromFloats(f)
+			continue
+		}
+		cols[k] = c
+	}
+	return cols
+}
+
+// --- FROM clause ----------------------------------------------------------
+
+func (db *DB) buildFrom(te TableExpr) (*source, error) {
+	switch x := te.(type) {
+	case *TableRef:
+		r, err := db.Table(x.Name)
+		if err != nil {
+			return nil, err
+		}
+		qual := x.Alias
+		if qual == "" {
+			qual = x.Name
+		}
+		return newSource(r, qual), nil
+	case *SubqueryRef:
+		r, err := db.execSelect(x.Select)
+		if err != nil {
+			return nil, err
+		}
+		return newSource(r, x.Alias), nil
+	case *RMARef:
+		return db.buildRMA(x)
+	case *JoinExpr:
+		return db.buildJoin(x)
+	}
+	return nil, fmt.Errorf("sql: unsupported table expression %T", te)
+}
+
+func (db *DB) buildRMA(x *RMARef) (*source, error) {
+	res, err := db.evalRMA(x)
+	if err != nil {
+		return nil, err
+	}
+	return newSource(res, x.Alias), nil
+}
+
+// relationOf evaluates an RMA argument relation with its original
+// attribute names intact (BY clauses reference them).
+func (db *DB) relationOf(te TableExpr) (*rel.Relation, error) {
+	switch x := te.(type) {
+	case *TableRef:
+		return db.Table(x.Name)
+	case *SubqueryRef:
+		return db.execSelect(x.Select)
+	case *RMARef:
+		return db.evalRMA(x)
+	}
+	return nil, fmt.Errorf("sql: unsupported RMA argument %T", te)
+}
+
+func (db *DB) evalRMA(x *RMARef) (*rel.Relation, error) {
+	op, err := core.ParseOp(x.Op)
+	if err != nil {
+		return nil, err
+	}
+	args := make([]*rel.Relation, len(x.Args))
+	for k, a := range x.Args {
+		r, err := db.relationOf(a.Rel)
+		if err != nil {
+			return nil, err
+		}
+		args[k] = r
+	}
+	db.mu.RLock()
+	opts := db.rmaOpts
+	db.mu.RUnlock()
+	if op.Binary() {
+		if len(args) != 2 {
+			return nil, fmt.Errorf("sql: %s takes two relations", strings.ToUpper(x.Op))
+		}
+		return core.Binary(op, args[0], x.Args[0].By, args[1], x.Args[1].By, opts)
+	}
+	if len(args) != 1 {
+		return nil, fmt.Errorf("sql: %s takes one relation", strings.ToUpper(x.Op))
+	}
+	return core.Unary(op, args[0], x.Args[0].By, opts)
+}
+
+func (db *DB) buildJoin(x *JoinExpr) (*source, error) {
+	left, err := db.buildFrom(x.Left)
+	if err != nil {
+		return nil, err
+	}
+	right, err := db.buildFrom(x.Right)
+	if err != nil {
+		return nil, err
+	}
+	switch x.Kind {
+	case JoinCross:
+		return crossSources(left, right)
+	default:
+		return joinSources(left, right, x.On, x.Kind)
+	}
+}
+
+// combineSchemas concatenates two sources' schemas with fresh internal
+// column names.
+func combineSchemas(left, right *source, cols []*bat.BAT) (*source, error) {
+	schema := make(rel.Schema, 0, len(left.syms)+len(right.syms))
+	syms := make([]sym, 0, cap(schema))
+	for k, a := range left.rel.Schema {
+		schema = append(schema, rel.Attr{Name: internalName(len(schema)), Type: a.Type})
+		syms = append(syms, left.syms[k])
+	}
+	for k, a := range right.rel.Schema {
+		schema = append(schema, rel.Attr{Name: internalName(len(schema)), Type: a.Type})
+		syms = append(syms, right.syms[k])
+	}
+	r, err := rel.New("", schema, cols)
+	if err != nil {
+		return nil, err
+	}
+	return &source{rel: r, syms: syms}, nil
+}
+
+func crossSources(left, right *source) (*source, error) {
+	nl, nr := left.rel.NumRows(), right.rel.NumRows()
+	li := make([]int, 0, nl*nr)
+	ri := make([]int, 0, nl*nr)
+	for i := 0; i < nl; i++ {
+		for j := 0; j < nr; j++ {
+			li = append(li, i)
+			ri = append(ri, j)
+		}
+	}
+	return gatherPairs(left, right, li, ri)
+}
+
+func gatherPairs(left, right *source, li, ri []int) (*source, error) {
+	cols := make([]*bat.BAT, 0, len(left.rel.Cols)+len(right.rel.Cols))
+	for _, c := range left.rel.Cols {
+		cols = append(cols, c.Gather(li))
+	}
+	for _, c := range right.rel.Cols {
+		cols = append(cols, gatherPadded(c, ri))
+	}
+	return combineSchemas(left, right, cols)
+}
+
+// gatherPadded gathers c by idx, emitting the zero value where idx < 0
+// (left-join non-matches).
+func gatherPadded(c *bat.BAT, idx []int) *bat.BAT {
+	pad := false
+	for _, j := range idx {
+		if j < 0 {
+			pad = true
+			break
+		}
+	}
+	if !pad {
+		return c.Gather(idx)
+	}
+	out := bat.NewEmptyVector(c.Type(), len(idx))
+	for _, j := range idx {
+		if j < 0 {
+			switch c.Type() {
+			case bat.Float:
+				out.Append(bat.FloatValue(0))
+			case bat.Int:
+				out.Append(bat.IntValue(0))
+			default:
+				out.Append(bat.StringValue(""))
+			}
+			continue
+		}
+		out.Append(c.Get(j))
+	}
+	return bat.FromVector(out)
+}
+
+// extractEqui splits an ON expression into equi-join key pairs (left expr,
+// right expr) plus a residual predicate evaluated after the join.
+func extractEqui(on Expr, left, right *source) (lk, rk []Expr, residual []Expr) {
+	conjuncts := flattenAnd(on)
+	for _, c := range conjuncts {
+		b, ok := c.(*BinaryExpr)
+		if ok && b.Op == "=" {
+			lSide := sideOf(b.L, left, right)
+			rSide := sideOf(b.R, left, right)
+			if lSide == 1 && rSide == 2 {
+				lk = append(lk, b.L)
+				rk = append(rk, b.R)
+				continue
+			}
+			if lSide == 2 && rSide == 1 {
+				lk = append(lk, b.R)
+				rk = append(rk, b.L)
+				continue
+			}
+		}
+		residual = append(residual, c)
+	}
+	return lk, rk, residual
+}
+
+func flattenAnd(e Expr) []Expr {
+	if b, ok := e.(*BinaryExpr); ok && b.Op == "AND" {
+		return append(flattenAnd(b.L), flattenAnd(b.R)...)
+	}
+	return []Expr{e}
+}
+
+// sideOf reports which source an expression's columns resolve against:
+// 1 = left only, 2 = right only, 0 = mixed/none/unresolvable.
+func sideOf(e Expr, left, right *source) int {
+	cols := collectCols(e, nil)
+	if len(cols) == 0 {
+		return 0
+	}
+	side := 0
+	for _, c := range cols {
+		_, lerr := left.resolve(c.Qualifier, c.Name)
+		_, rerr := right.resolve(c.Qualifier, c.Name)
+		var s int
+		switch {
+		case lerr == nil && rerr != nil:
+			s = 1
+		case lerr != nil && rerr == nil:
+			s = 2
+		default:
+			return 0
+		}
+		if side == 0 {
+			side = s
+		} else if side != s {
+			return 0
+		}
+	}
+	return side
+}
+
+func collectCols(e Expr, acc []*ColRef) []*ColRef {
+	switch x := e.(type) {
+	case *ColRef:
+		return append(acc, x)
+	case *UnaryExpr:
+		return collectCols(x.E, acc)
+	case *BinaryExpr:
+		return collectCols(x.R, collectCols(x.L, acc))
+	case *FuncCall:
+		for _, a := range x.Args {
+			acc = collectCols(a, acc)
+		}
+	case *InExpr:
+		acc = collectCols(x.E, acc)
+		for _, a := range x.List {
+			acc = collectCols(a, acc)
+		}
+	case *BetweenExpr:
+		acc = collectCols(x.Hi, collectCols(x.Lo, collectCols(x.E, acc)))
+	case *LikeExpr:
+		acc = collectCols(x.E, acc)
+	}
+	return acc
+}
+
+func joinSources(left, right *source, on Expr, kind JoinKind) (*source, error) {
+	lk, rk, residual := extractEqui(on, left, right)
+	if len(lk) == 0 {
+		if kind == JoinLeft {
+			return nil, fmt.Errorf("sql: LEFT JOIN requires an equi-join condition")
+		}
+		// Nested-loop fallback: cross then filter on the full ON clause.
+		crossed, err := crossSources(left, right)
+		if err != nil {
+			return nil, err
+		}
+		return filterSource(crossed, on)
+	}
+	// Hash join: build on the right, probe from the left.
+	lkeys, err := keyStrings(left, lk)
+	if err != nil {
+		return nil, err
+	}
+	rkeys, err := keyStrings(right, rk)
+	if err != nil {
+		return nil, err
+	}
+	build := make(map[string][]int, len(rkeys))
+	for j, k := range rkeys {
+		build[k] = append(build[k], j)
+	}
+	var li, ri []int
+	for i, k := range lkeys {
+		matches := build[k]
+		if len(matches) == 0 {
+			if kind == JoinLeft {
+				li = append(li, i)
+				ri = append(ri, -1)
+			}
+			continue
+		}
+		for _, j := range matches {
+			li = append(li, i)
+			ri = append(ri, j)
+		}
+	}
+	joined, err := gatherPairs(left, right, li, ri)
+	if err != nil {
+		return nil, err
+	}
+	for _, res := range residual {
+		if joined, err = filterSource(joined, res); err != nil {
+			return nil, err
+		}
+	}
+	return joined, nil
+}
+
+func keyStrings(s *source, exprs []Expr) ([]string, error) {
+	n := s.rel.NumRows()
+	comps := make([]*compiled, len(exprs))
+	for k, e := range exprs {
+		c, err := compileExpr(e, s)
+		if err != nil {
+			return nil, err
+		}
+		comps[k] = c
+	}
+	keys := make([]string, n)
+	var sb strings.Builder
+	for i := 0; i < n; i++ {
+		sb.Reset()
+		for _, c := range comps {
+			sb.WriteString(c.fn(i).String())
+			sb.WriteByte(0)
+		}
+		keys[i] = sb.String()
+	}
+	return keys, nil
+}
+
+func filterSource(s *source, pred Expr) (*source, error) {
+	c, err := compileExpr(pred, s)
+	if err != nil {
+		return nil, err
+	}
+	filtered := s.rel.Select(func(i int) bool { return truthy(c.fn(i)) })
+	return &source{rel: filtered, syms: s.syms}, nil
+}
+
+// --- SELECT pipeline -------------------------------------------------------
+
+func (db *DB) execSelect(sel *SelectStmt) (*rel.Relation, error) {
+	src, err := db.buildFrom(sel.From)
+	if err != nil {
+		return nil, err
+	}
+	if sel.Where != nil {
+		if src, err = filterSource(src, sel.Where); err != nil {
+			return nil, err
+		}
+	}
+
+	items := sel.Items
+	// Expand stars against the current symbols.
+	var expanded []SelectItem
+	for _, it := range items {
+		if !it.Star {
+			expanded = append(expanded, it)
+			continue
+		}
+		for _, sy := range src.syms {
+			expanded = append(expanded, SelectItem{
+				Expr: &ColRef{Qualifier: sy.qual, Name: sy.name},
+				As:   sy.name,
+			})
+		}
+	}
+	items = expanded
+
+	// Aggregation.
+	aggs := findAggregates(items, sel.Having)
+	if len(aggs) > 0 || len(sel.GroupBy) > 0 {
+		if src, err = groupSource(src, sel.GroupBy, aggs); err != nil {
+			return nil, err
+		}
+		rewrites := make(map[string]Expr)
+		for k, g := range sel.GroupBy {
+			rewrites[keyOf(g)] = &ColRef{Qualifier: grpQual, Name: fmt.Sprintf("g%d", k)}
+		}
+		for k, a := range aggs {
+			rewrites[keyOf(a)] = &ColRef{Qualifier: grpQual, Name: fmt.Sprintf("agg%d", k)}
+		}
+		for k := range items {
+			items[k].Expr = rewrite(items[k].Expr, rewrites)
+		}
+		if sel.Having != nil {
+			having := rewrite(sel.Having, rewrites)
+			if src, err = filterSource(src, having); err != nil {
+				return nil, err
+			}
+		}
+	} else if sel.Having != nil {
+		return nil, fmt.Errorf("sql: HAVING without aggregation")
+	}
+
+	// Projection.
+	n := src.rel.NumRows()
+	outSchema := make(rel.Schema, len(items))
+	outCols := make([]*bat.BAT, len(items))
+	outSyms := make([]sym, len(items))
+	seen := map[string]int{}
+	for k, it := range items {
+		c, err := compileExpr(it.Expr, src)
+		if err != nil {
+			return nil, err
+		}
+		name := it.As
+		if name == "" {
+			if cr, ok := it.Expr.(*ColRef); ok {
+				name = cr.Name
+			} else {
+				name = fmt.Sprintf("col%d", k+1)
+			}
+		}
+		if prev, dup := seen[name]; dup {
+			// Disambiguate duplicate output names with the qualifier.
+			if cr, ok := items[prev].Expr.(*ColRef); ok && cr.Qualifier != "" && outSchema[prev].Name == name {
+				outSchema[prev].Name = cr.Qualifier + "." + name
+			}
+			if cr, ok := it.Expr.(*ColRef); ok && cr.Qualifier != "" {
+				name = cr.Qualifier + "." + name
+			} else {
+				name = fmt.Sprintf("%s_%d", name, k+1)
+			}
+		}
+		seen[name] = k
+		outSchema[k] = rel.Attr{Name: name, Type: c.typ}
+		outCols[k] = materialize(c, n)
+		outSyms[k] = sym{name: name}
+	}
+	out, err := rel.New("", outSchema, outCols)
+	if err != nil {
+		return nil, err
+	}
+
+	if sel.Distinct {
+		out = out.Distinct()
+	}
+
+	if len(sel.OrderBy) > 0 {
+		outSrc := &source{rel: out, syms: outSyms}
+		comps := make([]*compiled, len(sel.OrderBy))
+		for k, ob := range sel.OrderBy {
+			c, err := compileExpr(ob.Expr, outSrc)
+			if err != nil && !sel.Distinct && src.rel.NumRows() == out.NumRows() {
+				// Fall back to the pre-projection source: ORDER BY may
+				// reference input columns that were not selected.
+				c, err = compileExpr(ob.Expr, src)
+			}
+			if err != nil {
+				return nil, err
+			}
+			comps[k] = c
+		}
+		idx := bat.Identity(out.NumRows())
+		sort.SliceStable(idx, func(a, b int) bool {
+			for k, c := range comps {
+				va, vb := c.fn(idx[a]), c.fn(idx[b])
+				if va.Equal(vb) {
+					continue
+				}
+				if sel.OrderBy[k].Desc {
+					return vb.Less(va)
+				}
+				return va.Less(vb)
+			}
+			return false
+		})
+		out = out.Gather(idx)
+	}
+
+	if sel.Limit >= 0 {
+		out = out.Limit(sel.Limit)
+	}
+	return out, nil
+}
+
+// grpQual is the reserved qualifier for grouped columns.
+const grpQual = "#grp"
+
+// findAggregates walks the select items and HAVING clause collecting
+// aggregate calls in a deterministic order (deduplicated structurally).
+func findAggregates(items []SelectItem, having Expr) []*FuncCall {
+	var out []*FuncCall
+	seen := map[string]bool{}
+	var walk func(e Expr)
+	walk = func(e Expr) {
+		switch x := e.(type) {
+		case *FuncCall:
+			if _, ok := aggFuncs[x.Name]; ok {
+				k := keyOf(x)
+				if !seen[k] {
+					seen[k] = true
+					out = append(out, x)
+				}
+				return // no nested aggregates
+			}
+			for _, a := range x.Args {
+				walk(a)
+			}
+		case *UnaryExpr:
+			walk(x.E)
+		case *BinaryExpr:
+			walk(x.L)
+			walk(x.R)
+		}
+	}
+	for _, it := range items {
+		if it.Expr != nil {
+			walk(it.Expr)
+		}
+	}
+	if having != nil {
+		walk(having)
+	}
+	return out
+}
+
+// groupSource materializes group keys and aggregate inputs, runs the
+// grouping operator, and exposes the result under the #grp qualifier.
+func groupSource(src *source, groupBy []Expr, aggs []*FuncCall) (*source, error) {
+	n := src.rel.NumRows()
+	schema := rel.Schema{}
+	cols := []*bat.BAT{}
+	var keyNames []string
+	for k, g := range groupBy {
+		c, err := compileExpr(g, src)
+		if err != nil {
+			return nil, err
+		}
+		name := fmt.Sprintf("g%d", k)
+		schema = append(schema, rel.Attr{Name: name, Type: c.typ})
+		cols = append(cols, materialize(c, n))
+		keyNames = append(keyNames, name)
+	}
+	specs := make([]rel.AggSpec, len(aggs))
+	for k, a := range aggs {
+		fn := aggFuncs[a.Name]
+		spec := rel.AggSpec{Func: fn, As: fmt.Sprintf("agg%d", k)}
+		if !a.Star {
+			if len(a.Args) != 1 {
+				return nil, fmt.Errorf("sql: %s takes one argument", a.Name)
+			}
+			c, err := compileExpr(a.Args[0], src)
+			if err != nil {
+				return nil, err
+			}
+			name := fmt.Sprintf("a%d", k)
+			schema = append(schema, rel.Attr{Name: name, Type: c.typ})
+			cols = append(cols, materialize(c, n))
+			spec.Attr = name
+		} else if fn != rel.Count {
+			return nil, fmt.Errorf("sql: %s(*) not supported", a.Name)
+		}
+		specs[k] = spec
+	}
+	if len(cols) == 0 {
+		// Pure COUNT(*) with no grouping materializes no columns; keep a
+		// dummy column so the row count survives into the grouping.
+		schema = rel.Schema{{Name: "#dummy", Type: bat.Int}}
+		cols = []*bat.BAT{bat.FromInts(make([]int64, n))}
+	}
+	tmp, err := rel.New("", schema, cols)
+	if err != nil {
+		return nil, err
+	}
+	grouped, err := rel.GroupBy(tmp, keyNames, specs)
+	if err != nil {
+		return nil, err
+	}
+	// Global aggregation over an empty input yields one row of zeros
+	// (COUNT(*) = 0), matching SQL semantics.
+	if len(keyNames) == 0 && grouped.NumRows() == 0 {
+		b := rel.NewBuilder("", grouped.Schema)
+		vals := make([]bat.Value, len(grouped.Schema))
+		for k, a := range grouped.Schema {
+			switch a.Type {
+			case bat.Int:
+				vals[k] = bat.IntValue(0)
+			case bat.Float:
+				vals[k] = bat.FloatValue(0)
+			default:
+				vals[k] = bat.StringValue("")
+			}
+		}
+		b.MustAdd(vals...)
+		grouped = b.Relation()
+	}
+	return newSource(grouped, grpQual), nil
+}
+
+// rewrite replaces sub-expressions whose structural key appears in the map.
+func rewrite(e Expr, m map[string]Expr) Expr {
+	if e == nil {
+		return nil
+	}
+	if r, ok := m[keyOf(e)]; ok {
+		return r
+	}
+	switch x := e.(type) {
+	case *UnaryExpr:
+		return &UnaryExpr{Op: x.Op, E: rewrite(x.E, m)}
+	case *BinaryExpr:
+		return &BinaryExpr{Op: x.Op, L: rewrite(x.L, m), R: rewrite(x.R, m)}
+	case *FuncCall:
+		args := make([]Expr, len(x.Args))
+		for k, a := range x.Args {
+			args[k] = rewrite(a, m)
+		}
+		return &FuncCall{Name: x.Name, Star: x.Star, Args: args}
+	case *InExpr:
+		list := make([]Expr, len(x.List))
+		for k, a := range x.List {
+			list[k] = rewrite(a, m)
+		}
+		return &InExpr{E: rewrite(x.E, m), List: list, Not: x.Not}
+	case *BetweenExpr:
+		return &BetweenExpr{E: rewrite(x.E, m), Lo: rewrite(x.Lo, m), Hi: rewrite(x.Hi, m), Not: x.Not}
+	case *LikeExpr:
+		return &LikeExpr{E: rewrite(x.E, m), Pattern: x.Pattern, Not: x.Not}
+	}
+	return e
+}

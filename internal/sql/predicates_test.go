@@ -1,0 +1,123 @@
+package sql
+
+import "testing"
+
+func predDB(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB()
+	if _, err := db.Exec(`
+CREATE TABLE p (id INT, name VARCHAR(20), score DOUBLE);
+INSERT INTO p VALUES
+  (1, 'Ann', 2.5), (2, 'Bob', 3.0), (3, 'Carol', 1.0),
+  (4, 'Anton', 4.5), (5, 'Dan', 2.0)`); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func countRows(t *testing.T, db *DB, q string) int {
+	t.Helper()
+	res, err := db.Query(q)
+	if err != nil {
+		t.Fatalf("%s: %v", q, err)
+	}
+	return res.NumRows()
+}
+
+func TestInPredicate(t *testing.T) {
+	db := predDB(t)
+	if n := countRows(t, db, `SELECT id FROM p WHERE id IN (1, 3, 9)`); n != 2 {
+		t.Errorf("IN ints = %d", n)
+	}
+	if n := countRows(t, db, `SELECT id FROM p WHERE name IN ('Ann', 'Dan')`); n != 2 {
+		t.Errorf("IN strings = %d", n)
+	}
+	if n := countRows(t, db, `SELECT id FROM p WHERE id NOT IN (1, 3)`); n != 3 {
+		t.Errorf("NOT IN = %d", n)
+	}
+	// Numeric coercion inside the list: float column vs int literals.
+	if n := countRows(t, db, `SELECT id FROM p WHERE score IN (3, 2)`); n != 2 {
+		t.Errorf("IN mixed numerics = %d", n)
+	}
+	if _, err := db.Query(`SELECT id FROM p WHERE id IN ('x', 1)`); err == nil {
+		t.Error("mixed-type IN list accepted")
+	}
+}
+
+func TestBetweenPredicate(t *testing.T) {
+	db := predDB(t)
+	if n := countRows(t, db, `SELECT id FROM p WHERE score BETWEEN 2 AND 3`); n != 3 {
+		t.Errorf("BETWEEN = %d", n) // 2.5, 3.0, 2.0
+	}
+	if n := countRows(t, db, `SELECT id FROM p WHERE score NOT BETWEEN 2 AND 3`); n != 2 {
+		t.Errorf("NOT BETWEEN = %d", n)
+	}
+	if n := countRows(t, db, `SELECT id FROM p WHERE name BETWEEN 'Ann' AND 'Bob'`); n != 3 {
+		t.Errorf("string BETWEEN = %d", n) // Ann, Anton, Bob
+	}
+	if _, err := db.Query(`SELECT id FROM p WHERE score BETWEEN 'a' AND 3`); err == nil {
+		t.Error("mixed-type BETWEEN accepted")
+	}
+	// BETWEEN binds the AND to its bounds, not to the boolean level.
+	if n := countRows(t, db, `SELECT id FROM p WHERE score BETWEEN 2 AND 3 AND id < 3`); n != 2 {
+		t.Errorf("BETWEEN + AND = %d", n)
+	}
+}
+
+func TestLikePredicate(t *testing.T) {
+	db := predDB(t)
+	if n := countRows(t, db, `SELECT id FROM p WHERE name LIKE 'An%'`); n != 2 {
+		t.Errorf("prefix LIKE = %d", n) // Ann, Anton
+	}
+	if n := countRows(t, db, `SELECT id FROM p WHERE name LIKE '%n'`); n != 3 {
+		t.Errorf("suffix LIKE = %d", n) // Ann, Anton, Dan
+	}
+	if n := countRows(t, db, `SELECT id FROM p WHERE name LIKE '_ob'`); n != 1 {
+		t.Errorf("underscore LIKE = %d", n) // Bob
+	}
+	if n := countRows(t, db, `SELECT id FROM p WHERE name NOT LIKE '%a%'`); n != 3 {
+		t.Errorf("NOT LIKE = %d", n) // Ann, Bob, Anton (no lowercase a)
+	}
+	// Regexp metacharacters in the pattern are literal.
+	if _, err := db.Exec(`INSERT INTO p VALUES (6, 'x.y', 0.0)`); err != nil {
+		t.Fatal(err)
+	}
+	if n := countRows(t, db, `SELECT id FROM p WHERE name LIKE 'x.y'`); n != 1 {
+		t.Errorf("literal dot LIKE = %d", n)
+	}
+	if n := countRows(t, db, `SELECT id FROM p WHERE name LIKE 'x_y'`); n != 1 {
+		t.Errorf("x_y LIKE = %d", n)
+	}
+	if _, err := db.Query(`SELECT id FROM p WHERE score LIKE '2%'`); err == nil {
+		t.Error("LIKE over numeric accepted")
+	}
+	if _, err := db.Query(`SELECT id FROM p WHERE name LIKE name`); err == nil {
+		t.Error("non-literal LIKE pattern accepted")
+	}
+}
+
+func TestPredicatesInJoinAndHaving(t *testing.T) {
+	db := predDB(t)
+	// Residual IN predicate on a join.
+	n := countRows(t, db, `
+SELECT a.id FROM p a JOIN p b ON a.id = b.id WHERE a.name IN ('Ann', 'Bob')`)
+	if n != 2 {
+		t.Errorf("IN over join = %d", n)
+	}
+	// BETWEEN over an aggregate in HAVING.
+	res, err := db.Query(`
+SELECT name, SUM(score) AS s FROM p GROUP BY name HAVING SUM(score) BETWEEN 2 AND 3`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 3 { // 2.5, 3.0, 2.0
+		t.Errorf("HAVING BETWEEN = %d", res.NumRows())
+	}
+}
+
+func TestNotWithoutPredicateKeywordStillParses(t *testing.T) {
+	db := predDB(t)
+	if n := countRows(t, db, `SELECT id FROM p WHERE NOT (id = 1)`); n != 4 {
+		t.Errorf("NOT (...) = %d", n)
+	}
+}

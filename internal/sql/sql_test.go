@@ -1,0 +1,453 @@
+package sql
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/internal/bat"
+	"repro/internal/core"
+	"repro/internal/rel"
+)
+
+// paperDB loads the example database of the paper's Figure 5.
+func paperDB(t *testing.T) *DB {
+	t.Helper()
+	db := NewDB()
+	script := `
+CREATE TABLE users (Usr VARCHAR(20), State VARCHAR(2), YoB INT);
+INSERT INTO users VALUES ('Ann','CA',1980), ('Tom','FL',1965), ('Jan','CA',1970);
+CREATE TABLE film (Title VARCHAR(20), RelY INT, Director VARCHAR(20));
+INSERT INTO film VALUES ('Heat',1995,'Lee'), ('Balto',1995,'Lee'), ('Net',1995,'Smith');
+CREATE TABLE rating (Usr VARCHAR(20), Balto DOUBLE, Heat DOUBLE, Net DOUBLE);
+INSERT INTO rating VALUES ('Ann',2.0,1.5,0.5), ('Tom',0.0,0.0,1.5), ('Jan',1.0,4.0,1.0);
+`
+	if _, err := db.Exec(script); err != nil {
+		t.Fatal(err)
+	}
+	return db
+}
+
+func TestCreateInsertSelect(t *testing.T) {
+	db := paperDB(t)
+	res, err := db.Query(`SELECT * FROM rating`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 3 || res.NumCols() != 4 {
+		t.Fatalf("rating = %dx%d", res.NumRows(), res.NumCols())
+	}
+	if got := strings.Join(res.Schema.Names(), ","); got != "Usr,Balto,Heat,Net" {
+		t.Errorf("schema = %s", got)
+	}
+}
+
+func TestWhereProjectionAliases(t *testing.T) {
+	db := paperDB(t)
+	res, err := db.Query(`SELECT Usr AS who, Heat*2 AS dbl FROM rating WHERE Heat >= 1.5`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 2 {
+		t.Fatalf("rows = %d", res.NumRows())
+	}
+	if got := strings.Join(res.Schema.Names(), ","); got != "who,dbl" {
+		t.Errorf("schema = %s", got)
+	}
+	if res.Value(0, 0).S != "Ann" || res.Value(0, 1).F != 3.0 {
+		t.Errorf("row 0 = %v, %v", res.Value(0, 0), res.Value(0, 1))
+	}
+}
+
+func TestJoinAndQualifiers(t *testing.T) {
+	db := paperDB(t)
+	res, err := db.Query(`
+SELECT u.Usr, r.Heat FROM users u JOIN rating r ON u.Usr = r.Usr
+WHERE u.State = 'CA' ORDER BY u.Usr`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 2 {
+		t.Fatalf("rows = %d", res.NumRows())
+	}
+	if res.Value(0, 0).S != "Ann" || res.Value(1, 0).S != "Jan" {
+		t.Errorf("order = %v, %v", res.Value(0, 0), res.Value(1, 0))
+	}
+}
+
+func TestLeftJoin(t *testing.T) {
+	db := paperDB(t)
+	if _, err := db.Exec(`CREATE TABLE extra (Usr VARCHAR(20), Bonus DOUBLE);
+INSERT INTO extra VALUES ('Ann', 9.0)`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(`
+SELECT u.Usr, e.Bonus FROM users u LEFT JOIN extra e ON u.Usr = e.Usr ORDER BY u.Usr`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 3 {
+		t.Fatalf("rows = %d", res.NumRows())
+	}
+	if res.Value(0, 1).F != 9 || res.Value(1, 1).F != 0 {
+		t.Errorf("bonus = %v, %v", res.Value(0, 1), res.Value(1, 1))
+	}
+}
+
+func TestCrossJoinAndCommaJoin(t *testing.T) {
+	db := paperDB(t)
+	res, err := db.Query(`SELECT COUNT(*) AS n FROM users CROSS JOIN film`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value(0, 0).I != 9 {
+		t.Errorf("cross count = %v", res.Value(0, 0))
+	}
+	res2, err := db.Query(`SELECT COUNT(*) AS n FROM users, film WHERE users.YoB > 1969`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res2.Value(0, 0).I != 6 {
+		t.Errorf("comma join count = %v", res2.Value(0, 0))
+	}
+}
+
+func TestGroupByHaving(t *testing.T) {
+	db := paperDB(t)
+	res, err := db.Query(`
+SELECT State, COUNT(*) AS n, AVG(YoB) AS avg_yob
+FROM users GROUP BY State HAVING COUNT(*) > 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 1 {
+		t.Fatalf("rows = %d", res.NumRows())
+	}
+	if res.Value(0, 0).S != "CA" || res.Value(0, 1).I != 2 || res.Value(0, 2).F != 1975 {
+		t.Errorf("row = %v %v %v", res.Value(0, 0), res.Value(0, 1), res.Value(0, 2))
+	}
+}
+
+func TestAggregateExpressionArithmetic(t *testing.T) {
+	db := paperDB(t)
+	// Aggregates inside arithmetic (the paper's B/(M-1) covariance shape).
+	res, err := db.Query(`SELECT SUM(Heat)/(COUNT(*)-1) AS x FROM rating`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if math.Abs(res.Value(0, 0).F-5.5/2) > 1e-12 {
+		t.Errorf("x = %v", res.Value(0, 0))
+	}
+}
+
+func TestGlobalAggregateOverEmpty(t *testing.T) {
+	db := NewDB()
+	if _, err := db.Exec(`CREATE TABLE t (x DOUBLE)`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(`SELECT COUNT(*) AS n FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 1 || res.Value(0, 0).I != 0 {
+		t.Errorf("count over empty = %v (%d rows)", res.Value(0, 0), res.NumRows())
+	}
+}
+
+func TestDistinctOrderLimit(t *testing.T) {
+	db := paperDB(t)
+	res, err := db.Query(`SELECT DISTINCT State FROM users ORDER BY State DESC LIMIT 1`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 1 || res.Value(0, 0).S != "FL" {
+		t.Errorf("distinct/order/limit = %v", res.Value(0, 0))
+	}
+}
+
+func TestSubquery(t *testing.T) {
+	db := paperDB(t)
+	res, err := db.Query(`
+SELECT who, n FROM (SELECT Usr AS who, Balto + Net AS n FROM rating) t WHERE n > 1.6 ORDER BY who`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 2 {
+		t.Fatalf("rows = %d", res.NumRows())
+	}
+}
+
+// TestPaperIntroInv runs the paper's introductory query:
+// SELECT * FROM INV(rating BY Usr).
+func TestPaperIntroInv(t *testing.T) {
+	db := paperDB(t)
+	res, err := db.Query(`SELECT * FROM INV(rating BY Usr)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(res.Schema.Names(), ","); got != "Usr,Balto,Heat,Net" {
+		t.Fatalf("inv schema = %s", got)
+	}
+	if res.NumRows() != 3 {
+		t.Fatalf("inv rows = %d", res.NumRows())
+	}
+	// Users are sorted: Ann, Jan, Tom.
+	if res.Value(0, 0).S != "Ann" || res.Value(1, 0).S != "Jan" || res.Value(2, 0).S != "Tom" {
+		t.Errorf("order part = %v %v %v", res.Value(0, 0), res.Value(1, 0), res.Value(2, 0))
+	}
+}
+
+// TestPaperSection72MMU runs the paper's Section 7.2 composition:
+// MMU with a CROSS JOIN of a COUNT subquery and arithmetic projection.
+func TestPaperSection72MMU(t *testing.T) {
+	db := paperDB(t)
+	// Build w1 (CA ratings), w3 (centered), w4 (transpose) with SQL.
+	script := `
+CREATE TABLE w1 (Usr VARCHAR(20), B DOUBLE, H DOUBLE, N DOUBLE);
+INSERT INTO w1 SELECT r.Usr, r.Balto, r.Heat, r.Net
+FROM users u JOIN rating r ON u.Usr = r.Usr WHERE u.State = 'CA';
+`
+	if _, err := db.Exec(script); err != nil {
+		t.Fatal(err)
+	}
+	// Centering via sub of the column means (rename to keep order schemas
+	// disjoint, as the paper's w3 does with ρV).
+	if _, err := db.Exec(`
+CREATE TABLE w3 (Usr VARCHAR(20), B DOUBLE, H DOUBLE, N DOUBLE);
+INSERT INTO w3 SELECT s.Usr, s.B, s.H, s.N FROM (
+  SELECT * FROM SUB(w1 BY Usr, (
+     SELECT t.V AS V2, a.ab AS B, a.ah AS H, a.an AS N
+     FROM (SELECT Usr AS V, 1 AS one FROM w1) t
+     CROSS JOIN (SELECT AVG(B) AS ab, AVG(H) AS ah, AVG(N) AS an FROM w1) a
+  ) BY V2)
+) s`); err != nil {
+		t.Fatal(err)
+	}
+	// w4 = tra(w3), w5 = mmu(w4, w3) scaled by 1/(M-1): full covariance.
+	res, err := db.Query(`
+SELECT C, B/(M-1) AS B, H/(M-1) AS H, N/(M-1) AS N
+FROM MMU(TRA(w3 BY Usr) BY C, w3 BY Usr) AS w5
+CROSS JOIN (SELECT COUNT(*) AS M FROM w1) AS t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 3 || res.NumCols() != 4 {
+		t.Fatalf("covariance = %dx%d", res.NumRows(), res.NumCols())
+	}
+	// Figure 7 w8: cov(B,B)=3.125... check against hand computation.
+	// CA users: Ann (2,1.5,0.5), Jan (1,4,1). Centered: ±0.5, ±1.25, ∓0.25.
+	// cov(B,B) = (0.25+0.25)/1 = 0.5; cov(B,H) = (0.5*-1.25 + -0.5*1.25) = -1.25.
+	var covBB, covBH float64
+	for i := 0; i < 3; i++ {
+		if res.Value(i, 0).S == "B" {
+			covBB = res.Value(i, 1).F
+			covBH = res.Value(i, 2).F
+		}
+	}
+	if math.Abs(covBB-0.5) > 1e-9 {
+		t.Errorf("cov(B,B) = %v, want 0.5", covBB)
+	}
+	if math.Abs(covBH-(-1.25)) > 1e-9 {
+		t.Errorf("cov(B,H) = %v, want -1.25", covBH)
+	}
+}
+
+// TestRMAInFromNested checks nested RMA table functions parse and execute:
+// the tra(tra(r)) identity of Figure 10.
+func TestRMAInFromNested(t *testing.T) {
+	db := NewDB()
+	if _, err := db.Exec(`
+CREATE TABLE w (T VARCHAR(3), H DOUBLE, W DOUBLE);
+INSERT INTO w VALUES ('5am',1,3),('8am',8,5),('7am',6,7),('6am',1,4)`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(`SELECT * FROM TRA(TRA(w BY T) BY C) ORDER BY C`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(res.Schema.Names(), ","); got != "C,H,W" {
+		t.Fatalf("schema = %s", got)
+	}
+	if res.NumRows() != 4 || res.Value(0, 0).S != "5am" || res.Value(0, 1).F != 1 {
+		t.Errorf("row 0 = %v %v", res.Value(0, 0), res.Value(0, 1))
+	}
+}
+
+func TestRMAWithSubqueryArg(t *testing.T) {
+	db := paperDB(t)
+	res, err := db.Query(`
+SELECT * FROM QQR((SELECT Usr, Balto, Heat FROM rating) BY Usr)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(res.Schema.Names(), ","); got != "Usr,Balto,Heat" {
+		t.Fatalf("schema = %s", got)
+	}
+}
+
+func TestRMAOptionsPlumbing(t *testing.T) {
+	db := paperDB(t)
+	st := &core.Stats{}
+	db.SetRMAOptions(&core.Options{Policy: core.PolicyBAT, Stats: st})
+	if _, err := db.Query(`SELECT * FROM INV(rating BY Usr)`); err != nil {
+		t.Fatal(err)
+	}
+	if st.UsedDense {
+		t.Error("BAT policy not plumbed through")
+	}
+	db.SetRMAOptions(nil)
+}
+
+func TestMultiKeyByList(t *testing.T) {
+	db := NewDB()
+	if _, err := db.Exec(`
+CREATE TABLE m (A INT, B INT, x DOUBLE);
+INSERT INTO m VALUES (1,1,1.0),(1,2,2.0),(2,1,3.0)`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(`SELECT * FROM QQR(m BY A, B)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(res.Schema.Names(), ","); got != "A,B,x" {
+		t.Fatalf("schema = %s", got)
+	}
+	// Binary with multi-attribute BY on the first argument.
+	res2, err := db.Query(`SELECT * FROM ADD(m BY A, B, (SELECT A AS A2, B AS B2, x FROM m) BY A2, B2)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	x, err := res2.Col("x")
+	if err != nil {
+		t.Fatal(err)
+	}
+	f, _ := x.Floats()
+	if f[0] != 2 || f[1] != 4 || f[2] != 6 {
+		t.Errorf("doubled x = %v", f)
+	}
+}
+
+func TestInsertSelectAndDrop(t *testing.T) {
+	db := paperDB(t)
+	if _, err := db.Exec(`
+CREATE TABLE ca (Usr VARCHAR(20), YoB INT);
+INSERT INTO ca SELECT Usr, YoB FROM users WHERE State = 'CA'`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(`SELECT COUNT(*) AS n FROM ca`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value(0, 0).I != 2 {
+		t.Errorf("ca rows = %v", res.Value(0, 0))
+	}
+	if _, err := db.Exec(`DROP TABLE ca`); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db.Query(`SELECT * FROM ca`); err == nil {
+		t.Error("dropped table still queryable")
+	}
+}
+
+func TestScalarFunctions(t *testing.T) {
+	db := paperDB(t)
+	res, err := db.Query(`
+SELECT SQRT(POW(Balto,2)) AS s, ABS(0-Net) AS a FROM rating WHERE Usr = 'Ann'`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value(0, 0).F != 2 || res.Value(0, 1).F != 0.5 {
+		t.Errorf("funcs = %v, %v", res.Value(0, 0), res.Value(0, 1))
+	}
+}
+
+func TestErrorMessages(t *testing.T) {
+	db := paperDB(t)
+	cases := []string{
+		`SELECT`,                                              // incomplete
+		`SELECT * FROM nope`,                                  // unknown table
+		`SELECT nope FROM rating`,                             // unknown column
+		`SELECT Usr FROM rating WHERE`,                        // missing expr
+		`SELECT * FROM FOO(rating BY Usr)`,                    // unknown table function
+		`SELECT * FROM INV(rating)`,                           // missing BY
+		`SELECT Usr FROM rating GROUP BY Usr HAVING Heat > 1`, // non-grouped column in HAVING... actually Heat is not aggregated
+		`SELECT SUM(Usr) FROM rating`,                         // aggregate over string
+		`INSERT INTO rating VALUES (1)`,                       // arity
+		`CREATE TABLE rating (x DOUBLE)`,                      // duplicate table
+		`DROP TABLE nope`,                                     // unknown table
+		`SELECT * FROM users u JOIN rating r ON u.Usr = r.Usr JOIN rating q ON q.Usr = u.Usr`, // duplicate output names resolved? should work actually
+	}
+	for _, q := range cases[:11] {
+		if _, err := db.Exec(q); err == nil {
+			t.Errorf("no error for %q", q)
+		}
+	}
+}
+
+func TestDuplicateOutputNames(t *testing.T) {
+	db := paperDB(t)
+	res, err := db.Query(`SELECT u.Usr, r.Usr FROM users u JOIN rating r ON u.Usr = r.Usr`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	names := res.Schema.Names()
+	if names[0] == names[1] {
+		t.Errorf("duplicate output names not disambiguated: %v", names)
+	}
+}
+
+func TestStarWithJoin(t *testing.T) {
+	db := paperDB(t)
+	res, err := db.Query(`SELECT * FROM users u JOIN rating r ON u.Usr = r.Usr`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumCols() != 7 { // Usr,State,YoB + Usr,Balto,Heat,Net
+		t.Fatalf("star join cols = %d (%v)", res.NumCols(), res.Schema.Names())
+	}
+}
+
+func TestQuotedIdentifiers(t *testing.T) {
+	db := NewDB()
+	if _, err := db.Exec(`
+CREATE TABLE w (T VARCHAR(3), H DOUBLE, W DOUBLE);
+INSERT INTO w VALUES ('5am',1,3),('8am',8,5)`); err != nil {
+		t.Fatal(err)
+	}
+	// After a transpose the attribute names are times; quote them.
+	res, err := db.Query(`SELECT C, "5am" FROM TRA(w BY T)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumCols() != 2 || res.Value(0, 1).F != 1 {
+		t.Errorf("quoted ident select = %v", res.Value(0, 1))
+	}
+}
+
+func TestRegisterAndTables(t *testing.T) {
+	db := NewDB()
+	b := rel.NewBuilder("t", rel.Schema{{Name: "x", Type: bat.Float}})
+	b.MustAdd(bat.FloatValue(1))
+	db.Register("t", b.Relation())
+	if got := db.Tables(); len(got) != 1 || got[0] != "t" {
+		t.Errorf("Tables = %v", got)
+	}
+	res, err := db.Query(`SELECT x FROM t`)
+	if err != nil || res.Value(0, 0).F != 1 {
+		t.Errorf("registered table: %v, %v", res, err)
+	}
+}
+
+func TestNumericLiteralForms(t *testing.T) {
+	db := NewDB()
+	if _, err := db.Exec(`CREATE TABLE t (x DOUBLE); INSERT INTO t VALUES (1.5e2), (-2), (0.25)`); err != nil {
+		t.Fatal(err)
+	}
+	res, err := db.Query(`SELECT SUM(x) AS s FROM t`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.Value(0, 0).F != 148.25 { // 150 - 2 + 0.25
+		t.Errorf("sum = %v", res.Value(0, 0))
+	}
+}

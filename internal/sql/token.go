@@ -1,0 +1,195 @@
+// Package sql implements a SQL front end for the relational engine with
+// the paper's RMA extension: relational matrix operations appear as table
+// functions in the FROM clause, e.g.
+//
+//	SELECT * FROM INV(rating BY User);
+//	SELECT * FROM MMU(w4 BY C, w3 BY U) AS w5 CROSS JOIN (SELECT COUNT(*) AS M FROM w1) AS t;
+//
+// The supported dialect covers what the paper's workloads need: SELECT
+// with WHERE / GROUP BY / HAVING / ORDER BY / LIMIT / DISTINCT, inner,
+// left and cross joins, derived tables, scalar and aggregate expressions,
+// CREATE TABLE, INSERT, and DROP TABLE.
+package sql
+
+import (
+	"fmt"
+	"strings"
+	"unicode"
+)
+
+type tokenKind uint8
+
+const (
+	tokEOF tokenKind = iota
+	tokIdent
+	tokNumber
+	tokString // '...' literal
+	tokSymbol // punctuation and operators
+	tokKeyword
+)
+
+type token struct {
+	kind tokenKind
+	text string // keywords upper-cased, symbols canonical
+	pos  int
+}
+
+var keywords = map[string]bool{
+	"SELECT": true, "FROM": true, "WHERE": true, "GROUP": true, "BY": true,
+	"HAVING": true, "ORDER": true, "LIMIT": true, "AS": true, "ON": true,
+	"JOIN": true, "INNER": true, "LEFT": true, "CROSS": true, "DISTINCT": true,
+	"CREATE": true, "TABLE": true, "INSERT": true, "INTO": true, "VALUES": true,
+	"DROP": true, "AND": true, "OR": true, "NOT": true, "ASC": true,
+	"DESC": true, "NULL": true, "IN": true, "BETWEEN": true, "LIKE": true,
+}
+
+type lexer struct {
+	src  string
+	pos  int
+	toks []token
+}
+
+func lex(src string) ([]token, error) {
+	l := &lexer{src: src}
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		switch {
+		case c == ' ' || c == '\t' || c == '\n' || c == '\r':
+			l.pos++
+		case c == '-' && l.pos+1 < len(l.src) && l.src[l.pos+1] == '-':
+			for l.pos < len(l.src) && l.src[l.pos] != '\n' {
+				l.pos++
+			}
+		case isIdentStart(rune(c)):
+			l.ident()
+		case c >= '0' && c <= '9':
+			l.number()
+		case c == '\'':
+			if err := l.stringLit(); err != nil {
+				return nil, err
+			}
+		case c == '"':
+			if err := l.quotedIdent(); err != nil {
+				return nil, err
+			}
+		default:
+			if err := l.symbol(); err != nil {
+				return nil, err
+			}
+		}
+	}
+	l.toks = append(l.toks, token{kind: tokEOF, pos: l.pos})
+	return l.toks, nil
+}
+
+func isIdentStart(c rune) bool {
+	return unicode.IsLetter(c) || c == '_'
+}
+
+func isIdentPart(c rune) bool {
+	return unicode.IsLetter(c) || unicode.IsDigit(c) || c == '_'
+}
+
+func (l *lexer) ident() {
+	start := l.pos
+	for l.pos < len(l.src) && isIdentPart(rune(l.src[l.pos])) {
+		l.pos++
+	}
+	text := l.src[start:l.pos]
+	up := strings.ToUpper(text)
+	if keywords[up] {
+		l.toks = append(l.toks, token{kind: tokKeyword, text: up, pos: start})
+		return
+	}
+	l.toks = append(l.toks, token{kind: tokIdent, text: text, pos: start})
+}
+
+func (l *lexer) number() {
+	start := l.pos
+	seenDot := false
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c >= '0' && c <= '9' {
+			l.pos++
+			continue
+		}
+		if c == '.' && !seenDot {
+			seenDot = true
+			l.pos++
+			continue
+		}
+		if (c == 'e' || c == 'E') && l.pos+1 < len(l.src) {
+			next := l.src[l.pos+1]
+			if next == '+' || next == '-' || (next >= '0' && next <= '9') {
+				l.pos += 2
+				for l.pos < len(l.src) && l.src[l.pos] >= '0' && l.src[l.pos] <= '9' {
+					l.pos++
+				}
+			}
+		}
+		break
+	}
+	l.toks = append(l.toks, token{kind: tokNumber, text: l.src[start:l.pos], pos: start})
+}
+
+func (l *lexer) stringLit() error {
+	start := l.pos
+	l.pos++ // opening quote
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '\'' {
+			if l.pos+1 < len(l.src) && l.src[l.pos+1] == '\'' { // escaped ''
+				sb.WriteByte('\'')
+				l.pos += 2
+				continue
+			}
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokString, text: sb.String(), pos: start})
+			return nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sql: unterminated string literal at %d", start)
+}
+
+// quotedIdent lexes "..." identifiers, needed to reference attributes whose
+// names come from column casts (e.g. "5am" after a transpose).
+func (l *lexer) quotedIdent() error {
+	start := l.pos
+	l.pos++
+	var sb strings.Builder
+	for l.pos < len(l.src) {
+		c := l.src[l.pos]
+		if c == '"' {
+			l.pos++
+			l.toks = append(l.toks, token{kind: tokIdent, text: sb.String(), pos: start})
+			return nil
+		}
+		sb.WriteByte(c)
+		l.pos++
+	}
+	return fmt.Errorf("sql: unterminated quoted identifier at %d", start)
+}
+
+var twoCharSymbols = map[string]bool{"<>": true, "!=": true, "<=": true, ">=": true}
+
+func (l *lexer) symbol() error {
+	if l.pos+1 < len(l.src) {
+		two := l.src[l.pos : l.pos+2]
+		if twoCharSymbols[two] {
+			l.toks = append(l.toks, token{kind: tokSymbol, text: two, pos: l.pos})
+			l.pos += 2
+			return nil
+		}
+	}
+	c := l.src[l.pos]
+	switch c {
+	case '(', ')', ',', ';', '*', '+', '-', '/', '%', '=', '<', '>', '.':
+		l.toks = append(l.toks, token{kind: tokSymbol, text: string(c), pos: l.pos})
+		l.pos++
+		return nil
+	}
+	return fmt.Errorf("sql: unexpected character %q at %d", c, l.pos)
+}

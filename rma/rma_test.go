@@ -1,0 +1,117 @@
+package rma_test
+
+import (
+	"math"
+	"strings"
+	"testing"
+
+	"repro/rma"
+)
+
+func TestQuickstartFlow(t *testing.T) {
+	db := rma.NewDB()
+	db.MustExec(`
+CREATE TABLE rating (Usr VARCHAR(20), Balto DOUBLE, Heat DOUBLE, Net DOUBLE);
+INSERT INTO rating VALUES ('Ann',2.0,1.5,0.5), ('Tom',0.0,0.0,1.5), ('Jan',1.0,4.0,1.0);
+`)
+	res, err := db.Query(`SELECT * FROM INV(rating BY Usr)`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if res.NumRows() != 3 || strings.Join(res.Schema.Names(), ",") != "Usr,Balto,Heat,Net" {
+		t.Fatalf("inv result %dx%d %v", res.NumRows(), res.NumCols(), res.Schema.Names())
+	}
+}
+
+func TestDirectAPI(t *testing.T) {
+	r, err := rma.NewRelation("m", rma.Schema{
+		{Name: "K", Type: rma.String},
+		{Name: "x", Type: rma.Float},
+		{Name: "y", Type: rma.Float},
+	}, []any{
+		[]string{"a", "b"},
+		[]float64{6, 8},
+		[]float64{7, 5},
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	inv, err := rma.Inv(r, []string{"K"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	prod, err := rma.Mmu(r, []string{"K"}, inv, []string{"K"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 2; i++ {
+		for j := 0; j < 2; j++ {
+			want := 0.0
+			if i == j {
+				want = 1.0
+			}
+			if got := prod.Value(i, j+1).F; math.Abs(got-want) > 1e-10 {
+				t.Errorf("A·A⁻¹[%d][%d] = %v", i, j, got)
+			}
+		}
+	}
+}
+
+func TestApplyByName(t *testing.T) {
+	b := rma.NewBuilder("t", rma.Schema{
+		{Name: "K", Type: rma.Int},
+		{Name: "v", Type: rma.Float},
+	})
+	b.MustAdd(rma.Int64(2), rma.Float64(3))
+	b.MustAdd(rma.Int64(1), rma.Float64(4))
+	r := b.Relation()
+	tra, err := rma.Apply("tra", r, []string{"K"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := strings.Join(tra.Schema.Names(), ","); got != "C,1,2" {
+		t.Errorf("tra schema = %s", got)
+	}
+	// add requires disjoint order schemas: rename the second argument's
+	// key (the paper's ρ step).
+	s, err := r.WithName("s").Rename(map[string]string{"K": "K2"})
+	if err != nil {
+		t.Fatal(err)
+	}
+	sum, err := rma.Apply2("add", r, []string{"K"}, s, []string{"K2"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, _ := sum.Col("v")
+	f, _ := v.Floats()
+	if f[0] != 8 || f[1] != 6 { // sorted by K: 1→4+4, 2→3+3
+		t.Errorf("add = %v", f)
+	}
+	if _, err := rma.Apply("nope", r, nil, nil); err == nil {
+		t.Error("unknown op accepted")
+	}
+	if _, err := rma.Apply2("nope", r, nil, r, nil, nil); err == nil {
+		t.Error("unknown binary op accepted")
+	}
+}
+
+func TestPolicyAndStats(t *testing.T) {
+	b := rma.NewBuilder("t", rma.Schema{
+		{Name: "K", Type: rma.Int},
+		{Name: "a", Type: rma.Float},
+		{Name: "b", Type: rma.Float},
+	})
+	b.MustAdd(rma.Int64(0), rma.Float64(4), rma.Float64(1))
+	b.MustAdd(rma.Int64(1), rma.Float64(1), rma.Float64(3))
+	r := b.Relation()
+	st := &rma.Stats{}
+	if _, err := rma.Inv(r, []string{"K"}, &rma.Options{Policy: rma.PolicyDense, Stats: st}); err != nil {
+		t.Fatal(err)
+	}
+	if !st.UsedDense || st.Total() <= 0 {
+		t.Error("stats not populated")
+	}
+	if _, err := rma.Qqr(r, []string{"K"}, &rma.Options{SortMode: rma.SortOptimized}); err != nil {
+		t.Fatal(err)
+	}
+}
