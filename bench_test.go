@@ -6,6 +6,7 @@
 package repro_test
 
 import (
+	"runtime"
 	"testing"
 
 	"repro/internal/bat"
@@ -75,6 +76,7 @@ func BenchmarkTable4WideAdd(b *testing.B) {
 	if err != nil {
 		b.Fatal(err)
 	}
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, err := core.Add(r, []string{"k"}, s, []string{"k2"},
@@ -416,6 +418,55 @@ func BenchmarkAblationSYRK(b *testing.B) {
 	b.Run("generic-cpd", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
 			linalg.CrossProduct(a, a)
+		}
+	})
+}
+
+// BenchmarkAblationParallelKernels isolates the chunked parallel driver
+// and the arena: the same BAT kernels at worker budgets 1 and GOMAXPROCS,
+// with and without releasing outputs back to the arena. On a single-core
+// runner the two budgets coincide (the driver stays serial); the arena
+// contrast is visible everywhere via allocs/op.
+func BenchmarkAblationParallelKernels(b *testing.B) {
+	n := 1 << 20
+	xs := make([]float64, n)
+	ys := make([]float64, n)
+	for i := range xs {
+		xs[i] = float64(i % 97)
+		ys[i] = float64(i % 89)
+	}
+	x, y := bat.FromFloats(xs), bat.FromFloats(ys)
+	budgets := []struct {
+		name    string
+		workers int
+	}{
+		{"serial", 1},
+		{"parallel", 0}, // 0 = restore the GOMAXPROCS default
+	}
+	for _, bud := range budgets {
+		workers := bud.workers
+		if workers == 0 {
+			workers = runtime.GOMAXPROCS(0)
+		}
+		prev := bat.SetParallelism(workers)
+		b.Run("add-"+bud.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bat.Release(bat.Add(x, y))
+			}
+		})
+		b.Run("dot-"+bud.name, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bat.Dot(x, y)
+			}
+		})
+		bat.SetParallelism(prev)
+	}
+	b.Run("add-no-release", func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bat.Add(x, y)
 		}
 	})
 }

@@ -7,6 +7,10 @@
 //	rmabench -run fig15a,tab7  run several
 //	rmabench -all              run everything
 //	rmabench -quick            reduced sizes (smoke test)
+//	rmabench -json BENCH_1.json  measure the kernel micro-suite and write
+//	                             a machine-readable results file (op,
+//	                             size, ns/op, allocs/op); combine with
+//	                             -quick for a fast smoke measurement
 package main
 
 import (
@@ -24,6 +28,7 @@ func main() {
 	run := flag.String("run", "", "comma-separated experiment ids")
 	all := flag.Bool("all", false, "run all experiments")
 	quick := flag.Bool("quick", false, "reduced sizes for a fast smoke run")
+	jsonOut := flag.String("json", "", "measure the kernel micro-suite and write a BENCH_<n>.json results file to this path")
 	flag.Parse()
 
 	if *list {
@@ -31,6 +36,16 @@ func main() {
 			fmt.Printf("%-8s %s\n         scaled: %s\n", e.ID, e.Title, e.Scaled)
 		}
 		return
+	}
+
+	if *jsonOut != "" {
+		fmt.Printf("=== kernel micro-suite -> %s\n", *jsonOut)
+		t0 := time.Now()
+		if err := bench.WriteKernelReport(*jsonOut, *quick); err != nil {
+			fmt.Fprintf(os.Stderr, "kernel suite failed: %v\n", err)
+			os.Exit(1)
+		}
+		fmt.Printf("    (%s elapsed)\n\n", time.Since(t0).Round(time.Millisecond))
 	}
 
 	var ids []string
@@ -42,6 +57,9 @@ func main() {
 	case *run != "":
 		ids = strings.Split(*run, ",")
 	default:
+		if *jsonOut != "" {
+			return
+		}
 		flag.Usage()
 		os.Exit(2)
 	}

@@ -4,6 +4,34 @@
 //
 // The public API lives in repro/rma. The benchmarks in bench_test.go
 // regenerate the paper's evaluation, one per table and figure; the
-// cmd/rmabench tool prints them in the paper's layout. See README.md,
+// cmd/rmabench tool prints them in the paper's layout (and, with -json,
+// writes a machine-readable BENCH_<n>.json kernel report). See README.md,
 // DESIGN.md, and EXPERIMENTS.md.
+//
+// # Parallel execution substrate
+//
+// All three execution layers share one parallel driver and one buffer
+// arena, both hosted in internal/bat:
+//
+//   - bat.ParallelFor splits an index range over at most
+//     bat.Parallelism() goroutines with a serial cutoff
+//     (bat.SerialCutoff elements), so small columns never pay for
+//     scheduling. The vectorized BAT kernels decompose rows through it,
+//     package batlin decomposes independent columns (elementwise family,
+//     mmu/cpd/opd result columns, tra's scatter, the pivot-elimination
+//     fan-out of Algorithm 2), and package core decomposes the dense
+//     path's copy-in (toMatrix) and copy-out (matrixToCols) loops.
+//   - The reductions (bat.Sum, bat.Dot) accumulate over fixed-size
+//     chunks combined in chunk order, so results are bitwise-identical
+//     at any worker budget — asserted by -race property tests.
+//   - The arena (bat.Alloc/AllocZero/Free, bat.Release at the BAT
+//     level, AllocInts/FreeInts for sort permutations) recycles kernel
+//     output buffers through size-classed sync.Pools. Iterative
+//     algorithms release each superseded scratch column, keeping
+//     Gauss-Jordan inversion and Gram-Schmidt QR allocation-flat across
+//     iterations.
+//
+// core.Options.Parallelism bounds the worker budget per invocation
+// (default GOMAXPROCS, 1 forces serial); the effective count is recorded
+// in core.Stats.Workers.
 package repro

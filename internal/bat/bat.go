@@ -100,6 +100,12 @@ func (b *BAT) Floats() ([]float64, error) {
 // the relational operators and the BAT-native linear algebra (package
 // batlin) are written against: elementwise arithmetic between two tails,
 // tail-scalar arithmetic, and aggregation. All of them produce new BATs.
+//
+// Every kernel decomposes its row range through ParallelFor (serial below
+// SerialCutoff elements) and draws its output buffer from the arena, so a
+// caller that releases dead columns runs allocation-free in steady state.
+// The reductions (Sum, Dot) accumulate over fixed-size chunks combined in
+// chunk order and are therefore bitwise-reproducible at any worker budget.
 
 func floatsOf(b *BAT) []float64 {
 	f, err := b.Floats()
@@ -116,9 +122,17 @@ func Add(b, c *BAT) *BAT {
 		return FromSparse(SparseAdd(b.sp, c.sp))
 	}
 	x, y := floatsOf(b), floatsOf(c)
-	out := make([]float64, len(x))
-	for k := range x {
-		out[k] = x[k] + y[k]
+	out := Alloc(len(x))
+	if serialFor(len(x)) {
+		for k := range x {
+			out[k] = x[k] + y[k]
+		}
+	} else {
+		ParallelFor(len(x), SerialCutoff, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				out[k] = x[k] + y[k]
+			}
+		})
 	}
 	return FromFloats(out)
 }
@@ -126,9 +140,17 @@ func Add(b, c *BAT) *BAT {
 // Sub returns b - c elementwise.
 func Sub(b, c *BAT) *BAT {
 	x, y := floatsOf(b), floatsOf(c)
-	out := make([]float64, len(x))
-	for k := range x {
-		out[k] = x[k] - y[k]
+	out := Alloc(len(x))
+	if serialFor(len(x)) {
+		for k := range x {
+			out[k] = x[k] - y[k]
+		}
+	} else {
+		ParallelFor(len(x), SerialCutoff, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				out[k] = x[k] - y[k]
+			}
+		})
 	}
 	return FromFloats(out)
 }
@@ -136,9 +158,17 @@ func Sub(b, c *BAT) *BAT {
 // Mul returns b * c elementwise.
 func Mul(b, c *BAT) *BAT {
 	x, y := floatsOf(b), floatsOf(c)
-	out := make([]float64, len(x))
-	for k := range x {
-		out[k] = x[k] * y[k]
+	out := Alloc(len(x))
+	if serialFor(len(x)) {
+		for k := range x {
+			out[k] = x[k] * y[k]
+		}
+	} else {
+		ParallelFor(len(x), SerialCutoff, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				out[k] = x[k] * y[k]
+			}
+		})
 	}
 	return FromFloats(out)
 }
@@ -146,9 +176,17 @@ func Mul(b, c *BAT) *BAT {
 // Div returns b / c elementwise.
 func Div(b, c *BAT) *BAT {
 	x, y := floatsOf(b), floatsOf(c)
-	out := make([]float64, len(x))
-	for k := range x {
-		out[k] = x[k] / y[k]
+	out := Alloc(len(x))
+	if serialFor(len(x)) {
+		for k := range x {
+			out[k] = x[k] / y[k]
+		}
+	} else {
+		ParallelFor(len(x), SerialCutoff, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				out[k] = x[k] / y[k]
+			}
+		})
 	}
 	return FromFloats(out)
 }
@@ -156,9 +194,17 @@ func Div(b, c *BAT) *BAT {
 // AddScalar returns b + s elementwise.
 func AddScalar(b *BAT, s float64) *BAT {
 	x := floatsOf(b)
-	out := make([]float64, len(x))
-	for k := range x {
-		out[k] = x[k] + s
+	out := Alloc(len(x))
+	if serialFor(len(x)) {
+		for k := range x {
+			out[k] = x[k] + s
+		}
+	} else {
+		ParallelFor(len(x), SerialCutoff, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				out[k] = x[k] + s
+			}
+		})
 	}
 	return FromFloats(out)
 }
@@ -166,9 +212,17 @@ func AddScalar(b *BAT, s float64) *BAT {
 // MulScalar returns b * s elementwise.
 func MulScalar(b *BAT, s float64) *BAT {
 	x := floatsOf(b)
-	out := make([]float64, len(x))
-	for k := range x {
-		out[k] = x[k] * s
+	out := Alloc(len(x))
+	if serialFor(len(x)) {
+		for k := range x {
+			out[k] = x[k] * s
+		}
+	} else {
+		ParallelFor(len(x), SerialCutoff, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				out[k] = x[k] * s
+			}
+		})
 	}
 	return FromFloats(out)
 }
@@ -176,9 +230,17 @@ func MulScalar(b *BAT, s float64) *BAT {
 // DivScalar returns b / s elementwise.
 func DivScalar(b *BAT, s float64) *BAT {
 	x := floatsOf(b)
-	out := make([]float64, len(x))
-	for k := range x {
-		out[k] = x[k] / s
+	out := Alloc(len(x))
+	if serialFor(len(x)) {
+		for k := range x {
+			out[k] = x[k] / s
+		}
+	} else {
+		ParallelFor(len(x), SerialCutoff, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				out[k] = x[k] / s
+			}
+		})
 	}
 	return FromFloats(out)
 }
@@ -187,11 +249,37 @@ func DivScalar(b *BAT, s float64) *BAT {
 // elimination in the paper's Algorithm 2: B_j <- B_j - B_i * v2).
 func AXPY(b, c *BAT, s float64) *BAT {
 	x, y := floatsOf(b), floatsOf(c)
-	out := make([]float64, len(x))
-	for k := range x {
-		out[k] = x[k] - y[k]*s
+	out := Alloc(len(x))
+	if serialFor(len(x)) {
+		for k := range x {
+			out[k] = x[k] - y[k]*s
+		}
+	} else {
+		ParallelFor(len(x), SerialCutoff, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				out[k] = x[k] - y[k]*s
+			}
+		})
 	}
 	return FromFloats(out)
+}
+
+// AXPYInto subtracts c*s elementwise into dst: dst_k -= c_k*s. It is the
+// in-place counterpart of AXPY for accumulation chains (MMU, OPD) that
+// would otherwise allocate one column per addend.
+func AXPYInto(dst []float64, c *BAT, s float64) {
+	y := floatsOf(c)
+	if serialFor(len(dst)) {
+		for k := range dst {
+			dst[k] -= y[k] * s
+		}
+	} else {
+		ParallelFor(len(dst), SerialCutoff, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				dst[k] -= y[k] * s
+			}
+		})
+	}
 }
 
 // Sum aggregates the tail: sum(B).
@@ -199,30 +287,50 @@ func Sum(b *BAT) float64 {
 	if b.sp != nil {
 		return b.sp.Sum()
 	}
-	var s float64
 	switch b.vec.Type() {
 	case Float:
-		for _, x := range b.vec.Floats() {
-			s += x
+		x := b.vec.Floats()
+		if len(x) <= SerialCutoff { // single chunk: skip the closure
+			var s float64
+			for _, v := range x {
+				s += v
+			}
+			return s
 		}
+		return parallelReduce(len(x), func(lo, hi int) float64 {
+			var s float64
+			for k := lo; k < hi; k++ {
+				s += x[k]
+			}
+			return s
+		})
 	case Int:
 		var si int64
 		for _, x := range b.vec.Ints() {
 			si += x
 		}
-		s = float64(si)
+		return float64(si)
 	}
-	return s
+	return 0
 }
 
 // Dot returns the inner product of two tails.
 func Dot(b, c *BAT) float64 {
 	x, y := floatsOf(b), floatsOf(c)
-	var s float64
-	for k := range x {
-		s += x[k] * y[k]
+	if len(x) <= SerialCutoff { // single chunk: skip the closure
+		var s float64
+		for k := range x {
+			s += x[k] * y[k]
+		}
+		return s
 	}
-	return s
+	return parallelReduce(len(x), func(lo, hi int) float64 {
+		var s float64
+		for k := lo; k < hi; k++ {
+			s += x[k] * y[k]
+		}
+		return s
+	})
 }
 
 // Sel returns the i-th tail value as a float (the paper's sel(B, i) single

@@ -1,0 +1,182 @@
+package bat
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+)
+
+// chunkBoundarySizes probes the parallel decomposition exactly where the
+// fixed-size chunking of the kernels changes shape.
+func chunkBoundarySizes() []int {
+	return []int{1, 7, SerialCutoff - 1, SerialCutoff, SerialCutoff + 1, 3*SerialCutoff + 17}
+}
+
+func randomFloats(n int, seed int64) []float64 {
+	rng := rand.New(rand.NewSource(seed))
+	f := make([]float64, n)
+	for k := range f {
+		f[k] = rng.NormFloat64() * 100
+	}
+	return f
+}
+
+// withParallelism runs f under the given worker budget and restores the
+// previous budget afterwards.
+func withParallelism(workers int, f func()) {
+	prev := SetParallelism(workers)
+	defer SetParallelism(prev)
+	f()
+}
+
+func bitsEqual(t *testing.T, name string, n int, serial, parallel []float64) {
+	t.Helper()
+	if len(serial) != len(parallel) {
+		t.Fatalf("%s n=%d: length %d vs %d", name, n, len(serial), len(parallel))
+	}
+	for k := range serial {
+		if math.Float64bits(serial[k]) != math.Float64bits(parallel[k]) {
+			t.Fatalf("%s n=%d: element %d differs: %v vs %v", name, n, k, serial[k], parallel[k])
+		}
+	}
+}
+
+// TestElementwiseBitwiseIdentical asserts that every elementwise kernel
+// produces bitwise-identical tails at worker budgets 1 and 8, across
+// chunk-boundary sizes. Run with -race this also exercises the parallel
+// writes for data races.
+func TestElementwiseBitwiseIdentical(t *testing.T) {
+	kernels := []struct {
+		name string
+		run  func(b, c *BAT) *BAT
+	}{
+		{"add", func(b, c *BAT) *BAT { return Add(b, c) }},
+		{"sub", func(b, c *BAT) *BAT { return Sub(b, c) }},
+		{"mul", func(b, c *BAT) *BAT { return Mul(b, c) }},
+		{"div", func(b, c *BAT) *BAT { return Div(b, c) }},
+		{"axpy", func(b, c *BAT) *BAT { return AXPY(b, c, 1.5) }},
+		{"addscalar", func(b, c *BAT) *BAT { return AddScalar(b, 2.25) }},
+		{"mulscalar", func(b, c *BAT) *BAT { return MulScalar(b, -3.5) }},
+		{"divscalar", func(b, c *BAT) *BAT { return DivScalar(b, 7) }},
+	}
+	for _, n := range chunkBoundarySizes() {
+		b := FromFloats(randomFloats(n, 1))
+		c := FromFloats(randomFloats(n, 2))
+		for _, k := range kernels {
+			var serial, parallel *BAT
+			withParallelism(1, func() { serial = k.run(b, c) })
+			withParallelism(8, func() { parallel = k.run(b, c) })
+			bitsEqual(t, k.name, n, serial.Vector().Floats(), parallel.Vector().Floats())
+		}
+	}
+}
+
+// TestReductionsBitwiseIdentical asserts that Sum and Dot — whose fixed
+// chunk decomposition is combined in chunk order — are bitwise-identical
+// at any worker budget.
+func TestReductionsBitwiseIdentical(t *testing.T) {
+	for _, n := range chunkBoundarySizes() {
+		b := FromFloats(randomFloats(n, 3))
+		c := FromFloats(randomFloats(n, 4))
+		for _, workers := range []int{2, 3, 8} {
+			var sum1, sumP, dot1, dotP float64
+			withParallelism(1, func() { sum1, dot1 = Sum(b), Dot(b, c) })
+			withParallelism(workers, func() { sumP, dotP = Sum(b), Dot(b, c) })
+			if math.Float64bits(sum1) != math.Float64bits(sumP) {
+				t.Fatalf("sum n=%d workers=%d: %v vs %v", n, workers, sum1, sumP)
+			}
+			if math.Float64bits(dot1) != math.Float64bits(dotP) {
+				t.Fatalf("dot n=%d workers=%d: %v vs %v", n, workers, dot1, dotP)
+			}
+		}
+	}
+}
+
+// TestGatherBitwiseIdentical covers the parallel leftfetchjoin for all
+// three tail types.
+func TestGatherBitwiseIdentical(t *testing.T) {
+	for _, n := range chunkBoundarySizes() {
+		idx := make([]int, n)
+		for k := range idx {
+			idx[k] = n - 1 - k
+		}
+		fb := FromFloats(randomFloats(n, 5))
+		var serial, parallel *BAT
+		withParallelism(1, func() { serial = fb.Gather(idx) })
+		withParallelism(8, func() { parallel = fb.Gather(idx) })
+		bitsEqual(t, "gather-float", n, serial.Vector().Floats(), parallel.Vector().Floats())
+
+		ints := make([]int64, n)
+		for k := range ints {
+			ints[k] = int64(k * 3)
+		}
+		ib := FromInts(ints)
+		var is, ip *BAT
+		withParallelism(1, func() { is = ib.Gather(idx) })
+		withParallelism(8, func() { ip = ib.Gather(idx) })
+		for k := 0; k < n; k++ {
+			if is.Vector().Ints()[k] != ip.Vector().Ints()[k] {
+				t.Fatalf("gather-int n=%d: element %d differs", n, k)
+			}
+		}
+	}
+}
+
+// TestAXPYIntoMatchesAXPY pins the in-place accumulation kernel to the
+// allocating one.
+func TestAXPYIntoMatchesAXPY(t *testing.T) {
+	for _, n := range chunkBoundarySizes() {
+		b := FromFloats(randomFloats(n, 6))
+		c := FromFloats(randomFloats(n, 7))
+		want := AXPY(b, c, 0.75).Vector().Floats()
+		dst := append([]float64(nil), b.Vector().Floats()...)
+		AXPYInto(dst, c, 0.75)
+		bitsEqual(t, "axpyinto", n, want, dst)
+	}
+}
+
+// TestArenaRoundTrip checks the allocation classes, the zeroing contract
+// of AllocZero against recycled dirty buffers, and that foreign slices
+// with non-class capacities are rejected rather than pooled.
+func TestArenaRoundTrip(t *testing.T) {
+	f := Alloc(100)
+	if len(f) != 100 || cap(f) != 128 {
+		t.Fatalf("Alloc(100): len=%d cap=%d, want 100/128", len(f), cap(f))
+	}
+	for k := range f {
+		f[k] = 42
+	}
+	Free(f)
+	z := AllocZero(100)
+	for k, v := range z {
+		if v != 0 {
+			t.Fatalf("AllocZero: element %d = %v after recycling a dirty buffer", k, v)
+		}
+	}
+	Free(z)
+
+	if got := Alloc(0); len(got) != 0 {
+		t.Fatalf("Alloc(0): len=%d", len(got))
+	}
+	Free(make([]float64, 100)) // cap 100 is no class size: must be dropped, not pooled
+	huge := 1<<maxPoolShift + 1
+	if c := classFor(huge); c != -1 {
+		t.Fatalf("classFor(%d) = %d, want -1", huge, c)
+	}
+
+	idx := AllocInts(1000)
+	if len(idx) != 1000 || cap(idx) != 1024 {
+		t.Fatalf("AllocInts(1000): len=%d cap=%d", len(idx), cap(idx))
+	}
+	FreeInts(idx)
+}
+
+// TestReleaseOwnership checks Release's type gating: only dense float
+// tails return to the arena, and nil/sparse/int BATs are no-ops.
+func TestReleaseOwnership(t *testing.T) {
+	Release(nil)
+	Release(FromInts([]int64{1, 2, 3}))
+	Release(FromSparse(Compress([]float64{0, 1, 0})))
+	b := Add(FromFloats(randomFloats(200, 8)), FromFloats(randomFloats(200, 9)))
+	Release(b) // kernel output came from the arena; returns cleanly
+}

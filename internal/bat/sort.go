@@ -13,11 +13,12 @@ func SortIndex(keys []*BAT) []int {
 	}
 	n := keys[0].Len()
 	// MonetDB tracks sortedness on BATs; one linear pre-scan buys the
-	// same effect and turns sorts over already-ordered keys into no-ops.
+	// same effect and turns sorts over already-ordered keys into no-ops —
+	// crucially before the permutation buffer below is even allocated.
 	if keysSorted(keys) {
 		return Identity(n)
 	}
-	idx := make([]int, n)
+	idx := AllocInts(n)
 	for k := range idx {
 		idx[k] = k
 	}
@@ -119,9 +120,11 @@ func KeyUnique(keys []*BAT, idx []int) bool {
 	return true
 }
 
-// Identity returns the identity permutation of length n.
+// Identity returns the identity permutation of length n. The buffer comes
+// from the arena; callers done with a permutation may hand it back with
+// FreeInts.
 func Identity(n int) []int {
-	idx := make([]int, n)
+	idx := AllocInts(n)
 	for k := range idx {
 		idx[k] = k
 	}

@@ -135,12 +135,14 @@ func (v *Vector) AppendVector(w *Vector) {
 	}
 }
 
-// Clone returns a deep copy of the vector.
+// Clone returns a deep copy of the vector. Float copies come from the
+// arena so cloned scratch columns can be recycled with Free/Release.
 func (v *Vector) Clone() *Vector {
 	c := &Vector{typ: v.typ}
 	switch v.typ {
 	case Float:
-		c.f = append([]float64(nil), v.f...)
+		c.f = Alloc(len(v.f))
+		copy(c.f, v.f)
 	case Int:
 		c.i = append([]int64(nil), v.i...)
 	case String:
@@ -151,24 +153,49 @@ func (v *Vector) Clone() *Vector {
 
 // Gather returns a new vector whose k-th value is v[idx[k]]. This is
 // MonetDB's leftfetchjoin: a positional fetch that reorders or filters a
-// tail by a list of OIDs.
+// tail by a list of OIDs. The fetch is decomposed over ParallelFor; float
+// output comes from the arena.
 func (v *Vector) Gather(idx []int) *Vector {
 	out := &Vector{typ: v.typ}
 	switch v.typ {
 	case Float:
-		out.f = make([]float64, len(idx))
-		for k, j := range idx {
-			out.f[k] = v.f[j]
+		out.f = Alloc(len(idx))
+		if serialFor(len(idx)) {
+			for k, j := range idx {
+				out.f[k] = v.f[j]
+			}
+		} else {
+			ParallelFor(len(idx), SerialCutoff, func(lo, hi int) {
+				for k := lo; k < hi; k++ {
+					out.f[k] = v.f[idx[k]]
+				}
+			})
 		}
 	case Int:
 		out.i = make([]int64, len(idx))
-		for k, j := range idx {
-			out.i[k] = v.i[j]
+		if serialFor(len(idx)) {
+			for k, j := range idx {
+				out.i[k] = v.i[j]
+			}
+		} else {
+			ParallelFor(len(idx), SerialCutoff, func(lo, hi int) {
+				for k := lo; k < hi; k++ {
+					out.i[k] = v.i[idx[k]]
+				}
+			})
 		}
 	case String:
 		out.s = make([]string, len(idx))
-		for k, j := range idx {
-			out.s[k] = v.s[j]
+		if serialFor(len(idx)) {
+			for k, j := range idx {
+				out.s[k] = v.s[j]
+			}
+		} else {
+			ParallelFor(len(idx), SerialCutoff, func(lo, hi int) {
+				for k := lo; k < hi; k++ {
+					out.s[k] = v.s[idx[k]]
+				}
+			})
 		}
 	}
 	return out
@@ -184,9 +211,17 @@ func (v *Vector) AsFloats() (vals []float64, shared bool) {
 	case Float:
 		return v.f, true
 	case Int:
-		out := make([]float64, len(v.i))
-		for k, x := range v.i {
-			out[k] = float64(x)
+		out := Alloc(len(v.i))
+		if serialFor(len(v.i)) {
+			for k, x := range v.i {
+				out[k] = float64(x)
+			}
+		} else {
+			ParallelFor(len(v.i), SerialCutoff, func(lo, hi int) {
+				for k := lo; k < hi; k++ {
+					out[k] = float64(v.i[k])
+				}
+			})
 		}
 		return out, false
 	}

@@ -13,6 +13,19 @@
 // paper's Section 8.3 baseline), determinant, and solve. The spectral
 // operations (eigen, SVD, Cholesky) delegate to the dense kernel even in
 // BAT mode, mirroring the paper's policy of delegating complex operations.
+//
+// Execution is parallel on two axes. Within a column, every bat kernel
+// decomposes its row range through bat.ParallelFor (serial below
+// bat.SerialCutoff rows). Across columns, the independent per-column loops
+// — the elementwise family, the result columns of mmu/cpd/opd, the
+// scatter of tra, and the pivot-elimination fan-out of Algorithm 2 — are
+// spread over goroutines with the same driver, so wide-and-short matrices
+// parallelize over columns while tall-and-narrow ones parallelize over
+// rows. Scratch columns come from the bat arena: the iterative algorithms
+// (the elimination loop of Inv/Det, the orthogonalization loop of QR)
+// release each superseded column with bat.Release, so one matrix worth of
+// buffers is recycled across all iterations instead of allocating O(n)
+// fresh columns per step.
 package batlin
 
 import (
@@ -36,57 +49,70 @@ func rows(cols []*bat.BAT) int {
 	return cols[0].Len()
 }
 
+// colMinWork is the minimum number of columns one goroutine of a
+// column-parallel loop handles. One column is already a whole vectorized
+// kernel call, so even a single column per worker amortizes the spawn.
+const colMinWork = 1
+
 // IDMatrix returns the identity matrix of size n as a list of BATs (the
-// paper's IDmatrix helper in Algorithm 2).
+// paper's IDmatrix helper in Algorithm 2). Columns come from the arena.
 func IDMatrix(n int) []*bat.BAT {
 	out := make([]*bat.BAT, n)
 	for j := range out {
-		col := make([]float64, n)
+		col := bat.AllocZero(n)
 		col[j] = 1
 		out[j] = bat.FromFloats(col)
 	}
 	return out
 }
 
-// Add returns the columnwise sum of two equally-shaped column lists.
+// Add returns the columnwise sum of two equally-shaped column lists,
+// computed column-parallel.
 func Add(a, b []*bat.BAT) ([]*bat.BAT, error) {
 	if len(a) != len(b) || rows(a) != rows(b) {
 		return nil, ErrShape
 	}
 	out := make([]*bat.BAT, len(a))
-	for j := range a {
-		out[j] = bat.Add(a[j], b[j])
-	}
+	bat.ParallelFor(len(a), colMinWork, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			out[j] = bat.Add(a[j], b[j])
+		}
+	})
 	return out, nil
 }
 
-// Sub returns the columnwise difference a - b.
+// Sub returns the columnwise difference a - b, computed column-parallel.
 func Sub(a, b []*bat.BAT) ([]*bat.BAT, error) {
 	if len(a) != len(b) || rows(a) != rows(b) {
 		return nil, ErrShape
 	}
 	out := make([]*bat.BAT, len(a))
-	for j := range a {
-		out[j] = bat.Sub(a[j], b[j])
-	}
+	bat.ParallelFor(len(a), colMinWork, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			out[j] = bat.Sub(a[j], b[j])
+		}
+	})
 	return out, nil
 }
 
-// EMU returns the columnwise Hadamard product.
+// EMU returns the columnwise Hadamard product, computed column-parallel.
 func EMU(a, b []*bat.BAT) ([]*bat.BAT, error) {
 	if len(a) != len(b) || rows(a) != rows(b) {
 		return nil, ErrShape
 	}
 	out := make([]*bat.BAT, len(a))
-	for j := range a {
-		out[j] = bat.Mul(a[j], b[j])
-	}
+	bat.ParallelFor(len(a), colMinWork, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			out[j] = bat.Mul(a[j], b[j])
+		}
+	})
 	return out, nil
 }
 
 // MMU multiplies an m×k column list by a k×n column list: result column j
-// is Σ_l a[l]·b[j][l], computed as a chain of scalar AXPYs over whole
-// columns — k vectorized BAT operations per result column.
+// is Σ_l a[l]·b[j][l], accumulated in-place into one arena column per
+// result column (k AXPYInto calls instead of k allocating AXPYs). The
+// independent result columns are computed in parallel.
 func MMU(a, b []*bat.BAT) ([]*bat.BAT, error) {
 	k := len(a)
 	if k == 0 || rows(b) != k {
@@ -94,17 +120,19 @@ func MMU(a, b []*bat.BAT) ([]*bat.BAT, error) {
 	}
 	m := rows(a)
 	out := make([]*bat.BAT, len(b))
-	for j := range b {
-		acc := bat.FromFloats(make([]float64, m))
-		for l := 0; l < k; l++ {
-			w := bat.Sel(b[j], l)
-			if w == 0 {
-				continue
+	bat.ParallelFor(len(b), colMinWork, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			acc := bat.AllocZero(m)
+			for l := 0; l < k; l++ {
+				w := bat.Sel(b[j], l)
+				if w == 0 {
+					continue
+				}
+				bat.AXPYInto(acc, a[l], -w) // acc += a[l]*w
 			}
-			acc = bat.AXPY(acc, a[l], -w) // acc + a[l]*w
+			out[j] = bat.FromFloats(acc)
 		}
-		out[j] = acc
-	}
+	})
 	return out, nil
 }
 
@@ -113,23 +141,27 @@ func MMU(a, b []*bat.BAT) ([]*bat.BAT, error) {
 // result has len(a) rows and len(b) columns. This is the pattern the paper
 // calls out as requiring single-element access when done over BATs, which
 // is why RMA+MKL wins by 24-70x on the covariance workload (Fig. 17b).
+// The result columns are independent and computed in parallel.
 func CPD(a, b []*bat.BAT) ([]*bat.BAT, error) {
 	if rows(a) != rows(b) {
 		return nil, ErrShape
 	}
 	out := make([]*bat.BAT, len(b))
-	for j := range b {
-		col := make([]float64, len(a))
-		for p := range a {
-			col[p] = bat.Dot(a[p], b[j])
+	bat.ParallelFor(len(b), colMinWork, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			col := bat.Alloc(len(a))
+			for p := range a {
+				col[p] = bat.Dot(a[p], b[j])
+			}
+			out[j] = bat.FromFloats(col)
 		}
-		out[j] = bat.FromFloats(col)
-	}
+	})
 	return out, nil
 }
 
 // OPD computes the outer product a·bᵀ of two column lists with the same
-// number of columns: result[i][q] = Σ_l a[l][i]·b[l][q].
+// number of columns: result[i][q] = Σ_l a[l][i]·b[l][q], accumulated
+// in-place per result column, columns in parallel.
 func OPD(a, b []*bat.BAT) ([]*bat.BAT, error) {
 	if len(a) != len(b) {
 		return nil, ErrShape
@@ -137,38 +169,44 @@ func OPD(a, b []*bat.BAT) ([]*bat.BAT, error) {
 	m := rows(a)
 	n := rows(b)
 	out := make([]*bat.BAT, n)
-	for q := 0; q < n; q++ {
-		acc := bat.FromFloats(make([]float64, m))
-		for l := range a {
-			w := bat.Sel(b[l], q)
-			if w == 0 {
-				continue
+	bat.ParallelFor(n, colMinWork, func(lo, hi int) {
+		for q := lo; q < hi; q++ {
+			acc := bat.AllocZero(m)
+			for l := range a {
+				w := bat.Sel(b[l], q)
+				if w == 0 {
+					continue
+				}
+				bat.AXPYInto(acc, a[l], -w)
 			}
-			acc = bat.AXPY(acc, a[l], -w)
+			out[q] = bat.FromFloats(acc)
 		}
-		out[q] = acc
-	}
+	})
 	return out, nil
 }
 
 // Tra transposes a column list: the result has rows(a) columns of length
-// len(a). Transposition over columns is inherently element-at-a-time.
+// len(a). Transposition over columns is inherently element-at-a-time; the
+// scatter is parallelized over source columns (each source column writes a
+// distinct row of every output column, so the writes are disjoint).
 func Tra(a []*bat.BAT) []*bat.BAT {
 	m := rows(a)
 	n := len(a)
 	cols := make([][]float64, m)
 	for i := range cols {
-		cols[i] = make([]float64, n)
+		cols[i] = bat.Alloc(n)
 	}
-	for j, c := range a {
-		f, err := c.Floats()
-		if err != nil {
-			panic(fmt.Sprintf("batlin: %v", err))
+	bat.ParallelFor(n, colMinWork, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			f, err := a[j].Floats()
+			if err != nil {
+				panic(fmt.Sprintf("batlin: %v", err))
+			}
+			for i, v := range f {
+				cols[i][j] = v
+			}
 		}
-		for i, v := range f {
-			cols[i][j] = v
-		}
-	}
+	})
 	out := make([]*bat.BAT, m)
 	for i := range out {
 		out[i] = bat.FromFloats(cols[i])
@@ -180,7 +218,11 @@ func Tra(a []*bat.BAT) []*bat.BAT {
 // Algorithm 2 (Gauss-Jordan elimination reduced to BAT operations), with
 // column pivoting added for numerical robustness: at step i the column
 // with the largest |value| in row i is swapped in. All updates are
-// whole-column BAT operations; only pivots use single-element sel.
+// whole-column BAT operations; only pivots use single-element sel. The
+// elimination fan-out over the n-1 non-pivot columns runs column-parallel,
+// and every superseded scratch column is released back to the arena, so
+// the n-step elimination recycles two matrices worth of buffers instead
+// of allocating ~2n² fresh columns.
 func Inv(b []*bat.BAT) ([]*bat.BAT, error) {
 	n := len(b)
 	if n == 0 || rows(b) != n {
@@ -191,6 +233,11 @@ func Inv(b []*bat.BAT) ([]*bat.BAT, error) {
 		work[j] = b[j].Clone()
 	}
 	br := IDMatrix(n)
+	releaseAll := func(cols []*bat.BAT) {
+		for _, c := range cols {
+			bat.Release(c)
+		}
+	}
 	for i := 0; i < n; i++ {
 		// Column pivot: argmax_j>=i |work[j][i]|.
 		p := i
@@ -201,6 +248,8 @@ func Inv(b []*bat.BAT) ([]*bat.BAT, error) {
 			}
 		}
 		if mx == 0 {
+			releaseAll(work)
+			releaseAll(br)
 			return nil, ErrSingular
 		}
 		if p != i {
@@ -208,27 +257,42 @@ func Inv(b []*bat.BAT) ([]*bat.BAT, error) {
 			br[i], br[p] = br[p], br[i]
 		}
 		v1 := bat.Sel(work[i], i)
-		work[i] = bat.DivScalar(work[i], v1)
-		br[i] = bat.DivScalar(br[i], v1)
-		for j := 0; j < n; j++ {
-			if i == j {
-				continue
+		oldW, oldB := work[i], br[i]
+		work[i] = bat.DivScalar(oldW, v1)
+		br[i] = bat.DivScalar(oldB, v1)
+		bat.Release(oldW)
+		bat.Release(oldB)
+		// Pivot-elimination fan-out: the updates of the n-1 other columns
+		// only read work[i]/br[i] and are independent of each other.
+		bat.ParallelFor(n, colMinWork, func(lo, hi int) {
+			for j := lo; j < hi; j++ {
+				if i == j {
+					continue
+				}
+				v2 := bat.Sel(work[j], i)
+				if v2 == 0 {
+					continue
+				}
+				oldW, oldB := work[j], br[j]
+				work[j] = bat.AXPY(oldW, work[i], v2)
+				br[j] = bat.AXPY(oldB, br[i], v2)
+				bat.Release(oldW)
+				bat.Release(oldB)
 			}
-			v2 := bat.Sel(work[j], i)
-			if v2 == 0 {
-				continue
-			}
-			work[j] = bat.AXPY(work[j], work[i], v2)
-			br[j] = bat.AXPY(br[j], br[i], v2)
-		}
+		})
 	}
+	releaseAll(work)
 	return br, nil
 }
 
 // QR computes the thin QR decomposition of an m×n column list (m >= n)
 // with modified Gram-Schmidt — the BAT baseline the paper measures against
 // MKL in Section 8.3. Q has orthonormal columns; R is returned as n
-// columns of length n (upper triangular).
+// columns of length n (upper triangular). The orthogonalization loop is
+// inherently sequential in j and k (each projection reads the updated v),
+// so parallelism comes from the row-parallel Dot/AXPY kernels; the scratch
+// column superseded by each projection is released to the arena, keeping
+// the loop's footprint at one column.
 func QR(a []*bat.BAT) (q, r []*bat.BAT, err error) {
 	n := len(a)
 	m := rows(a)
@@ -238,7 +302,7 @@ func QR(a []*bat.BAT) (q, r []*bat.BAT, err error) {
 	q = make([]*bat.BAT, n)
 	rCols := make([][]float64, n)
 	for j := range rCols {
-		rCols[j] = make([]float64, n)
+		rCols[j] = bat.AllocZero(n)
 	}
 	for j := 0; j < n; j++ {
 		v := a[j].Clone()
@@ -247,15 +311,25 @@ func QR(a []*bat.BAT) (q, r []*bat.BAT, err error) {
 			rkj := bat.Dot(q[k], v)
 			rCols[j][k] = rkj
 			if rkj != 0 {
-				v = bat.AXPY(v, q[k], rkj)
+				old := v
+				v = bat.AXPY(old, q[k], rkj)
+				bat.Release(old)
 			}
 		}
 		norm := math.Sqrt(bat.Dot(v, v))
 		if norm <= 1e-12*orig {
+			bat.Release(v)
+			for k := 0; k < j; k++ {
+				bat.Release(q[k])
+			}
+			for k := range rCols {
+				bat.Free(rCols[k])
+			}
 			return nil, nil, ErrSingular
 		}
 		rCols[j][j] = norm
 		q[j] = bat.DivScalar(v, norm)
+		bat.Release(v)
 	}
 	r = make([]*bat.BAT, n)
 	for j := range r {
@@ -266,7 +340,9 @@ func QR(a []*bat.BAT) (q, r []*bat.BAT, err error) {
 
 // Det computes the determinant by Gaussian elimination over columns with
 // column pivoting: adding a multiple of one column to another preserves
-// the determinant, swaps flip its sign.
+// the determinant, swaps flip its sign. Like Inv, the per-step update of
+// the trailing columns fans out over goroutines and superseded scratch
+// columns return to the arena.
 func Det(b []*bat.BAT) (float64, error) {
 	n := len(b)
 	if n == 0 || rows(b) != n {
@@ -286,6 +362,9 @@ func Det(b []*bat.BAT) (float64, error) {
 			}
 		}
 		if mx == 0 {
+			for j := range work {
+				bat.Release(work[j])
+			}
 			return 0, nil
 		}
 		if p != i {
@@ -294,13 +373,20 @@ func Det(b []*bat.BAT) (float64, error) {
 		}
 		pivot := bat.Sel(work[i], i)
 		det *= pivot
-		for j := i + 1; j < n; j++ {
-			v := bat.Sel(work[j], i)
-			if v == 0 {
-				continue
+		bat.ParallelFor(n-i-1, colMinWork, func(lo, hi int) {
+			for j := i + 1 + lo; j < i+1+hi; j++ {
+				v := bat.Sel(work[j], i)
+				if v == 0 {
+					continue
+				}
+				old := work[j]
+				work[j] = bat.AXPY(old, work[i], v/pivot)
+				bat.Release(old)
 			}
-			work[j] = bat.AXPY(work[j], work[i], v/pivot)
-		}
+		})
+	}
+	for j := range work {
+		bat.Release(work[j])
 	}
 	return det, nil
 }
@@ -316,6 +402,12 @@ func Solve(a []*bat.BAT, rhs *bat.BAT) (*bat.BAT, error) {
 	if err != nil {
 		return nil, err
 	}
+	release := func() {
+		for k := range q {
+			bat.Release(q[k])
+			bat.Release(r[k])
+		}
+	}
 	qtb := make([]float64, n)
 	for k := 0; k < n; k++ {
 		qtb[k] = bat.Dot(q[k], rhs)
@@ -329,9 +421,11 @@ func Solve(a []*bat.BAT, rhs *bat.BAT) (*bat.BAT, error) {
 		}
 		rkk := bat.Sel(r[k], k)
 		if rkk == 0 {
+			release()
 			return nil, ErrSingular
 		}
 		x[k] = s / rkk
 	}
+	release()
 	return bat.FromFloats(x), nil
 }

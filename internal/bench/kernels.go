@@ -1,0 +1,193 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"testing"
+	"time"
+
+	"repro/internal/bat"
+	"repro/internal/batlin"
+	"repro/internal/core"
+	"repro/internal/dataset"
+	"repro/internal/linalg"
+	"repro/internal/matrix"
+)
+
+// KernelResult is one row of the machine-readable benchmark file that
+// cmd/rmabench -json emits: a kernel, its problem size, and the measured
+// throughput and allocation behavior. Future PRs compare their BENCH_<n>
+// files against earlier ones to track the perf trajectory.
+type KernelResult struct {
+	Op          string  `json:"op"`
+	Size        int     `json:"size"` // rows of the dominant operand
+	Cols        int     `json:"cols,omitempty"`
+	NsPerOp     float64 `json:"ns_per_op"`
+	AllocsPerOp int64   `json:"allocs_per_op"`
+	BytesPerOp  int64   `json:"bytes_per_op"`
+}
+
+// KernelReport is the top-level document of a BENCH_<n>.json file.
+type KernelReport struct {
+	GoVersion   string         `json:"go_version"`
+	GOMAXPROCS  int            `json:"gomaxprocs"`
+	Parallelism int            `json:"parallelism"`
+	Timestamp   string         `json:"timestamp"`
+	Results     []KernelResult `json:"results"`
+}
+
+func measure(op string, size, cols int, f func(b *testing.B)) KernelResult {
+	r := testing.Benchmark(f)
+	return KernelResult{
+		Op:          op,
+		Size:        size,
+		Cols:        cols,
+		NsPerOp:     float64(r.NsPerOp()),
+		AllocsPerOp: r.AllocsPerOp(),
+		BytesPerOp:  r.AllocedBytesPerOp(),
+	}
+}
+
+// MicroKernels measures the hot kernels of every execution layer: the raw
+// BAT elementwise/reduction kernels, the column-at-a-time matrix
+// operations of batlin, the dense matmul, and two end-to-end RMA
+// operations at the paper's benchmark sizes (Table 4 add, Table 6 qqr).
+// A setup failure is an error, not a silently missing row — trajectory
+// diffs between BENCH_<n> files must be able to trust completeness.
+func MicroKernels(quick bool) ([]KernelResult, error) {
+	rows := 1 << 20
+	wideRows, wideCols := 1000, 1000
+	qqrRows, qqrCols := 20000, 20
+	mmuRows, mmuK := 4096, 64
+	matmulN := 256
+	if quick {
+		rows = 1 << 16
+		wideRows, wideCols = 200, 200
+		qqrRows, qqrCols = 2000, 10
+		mmuRows, mmuK = 512, 16
+		matmulN = 64
+	}
+
+	var out []KernelResult
+
+	x := bat.FromFloats(seqFloats(rows, 1))
+	y := bat.FromFloats(seqFloats(rows, 2))
+	out = append(out,
+		measure("bat.Add", rows, 1, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bat.Release(bat.Add(x, y))
+			}
+		}),
+		measure("bat.Dot", rows, 1, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bat.Dot(x, y)
+			}
+		}),
+		measure("bat.Sum", rows, 1, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				bat.Sum(x)
+			}
+		}),
+	)
+
+	ma := columnsOf(mmuRows, mmuK, 3)
+	mb := columnsOf(mmuK, mmuK, 4)
+	out = append(out, measure("batlin.MMU", mmuRows, mmuK, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := batlin.MMU(ma, mb)
+			if err != nil {
+				b.Fatal(err)
+			}
+			for _, c := range res {
+				bat.Release(c)
+			}
+		}
+	}))
+
+	mx := matrix.New(matmulN, matmulN)
+	my := matrix.New(matmulN, matmulN)
+	for i := range mx.Data {
+		mx.Data[i] = float64(i % 97)
+		my.Data[i] = float64(i % 89)
+	}
+	out = append(out, measure("linalg.MatMul", matmulN, matmulN, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			linalg.MatMul(mx, my)
+		}
+	}))
+
+	wr := dataset.Uniform(wideRows, wideCols, 3)
+	ws, err := dataset.Uniform(wideRows, wideCols, 4).Rename(map[string]string{"k": "k2"})
+	if err != nil {
+		return nil, fmt.Errorf("bench: table4 setup: %w", err)
+	}
+	out = append(out, measure("core.Add(table4)", wideRows, wideCols, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Add(wr, []string{"k"}, ws, []string{"k2"},
+				&core.Options{SortMode: core.SortOptimized}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	qr := dataset.Uniform(qqrRows, qqrCols, 7)
+	out = append(out, measure("core.Qqr(table6)", qqrRows, qqrCols, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Qqr(qr, []string{"k"},
+				&core.Options{Policy: core.PolicyDense, SortMode: core.SortOptimized}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	return out, nil
+}
+
+// WriteKernelReport runs MicroKernels and writes the JSON document to
+// path (the BENCH_<n>.json convention of the repository roadmap).
+func WriteKernelReport(path string, quick bool) error {
+	results, err := MicroKernels(quick)
+	if err != nil {
+		return err
+	}
+	report := KernelReport{
+		GoVersion:   runtime.Version(),
+		GOMAXPROCS:  runtime.GOMAXPROCS(0),
+		Parallelism: bat.Parallelism(),
+		Timestamp:   time.Now().UTC().Format(time.RFC3339),
+		Results:     results,
+	}
+	data, err := json.MarshalIndent(report, "", "  ")
+	if err != nil {
+		return err
+	}
+	if err := os.WriteFile(path, append(data, '\n'), 0o644); err != nil {
+		return fmt.Errorf("bench: writing %s: %w", path, err)
+	}
+	return nil
+}
+
+func seqFloats(n int, seed int64) []float64 {
+	f := make([]float64, n)
+	for k := range f {
+		f[k] = float64((int64(k)*7919 + seed*104729) % 1000)
+	}
+	return f
+}
+
+func columnsOf(rows, cols int, seed int64) []*bat.BAT {
+	out := make([]*bat.BAT, cols)
+	for j := range out {
+		out[j] = bat.FromFloats(seqFloats(rows, seed+int64(j)))
+	}
+	return out
+}

@@ -145,10 +145,16 @@ func evalBATUnary(op Op, cols []*bat.BAT) ([]*bat.BAT, error) {
 	case OpINV:
 		return batlin.Inv(cols)
 	case OpQQR:
-		q, _, err := batlin.QR(cols)
+		q, r, err := batlin.QR(cols)
+		for _, c := range r {
+			bat.Release(c) // only Q is kept; recycle the R columns
+		}
 		return q, err
 	case OpRQR:
-		_, r, err := batlin.QR(cols)
+		q, r, err := batlin.QR(cols)
+		for _, c := range q {
+			bat.Release(c)
+		}
 		return r, err
 	case OpDET:
 		v, err := batlin.Det(cols)

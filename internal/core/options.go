@@ -1,6 +1,13 @@
 package core
 
-import "time"
+import (
+	"runtime"
+	"sync"
+	"time"
+
+	"repro/internal/bat"
+	"repro/internal/linalg"
+)
 
 // Policy selects the execution engine for the base result (paper §7.3).
 type Policy uint8
@@ -63,6 +70,9 @@ type Stats struct {
 	Sorted bool
 	// UsedDense records whether the dense kernel computed the base result.
 	UsedDense bool
+	// Workers is the worker budget the invocation ran with: the
+	// Parallelism option when set, GOMAXPROCS otherwise.
+	Workers int
 }
 
 // Total returns the instrumented wall time.
@@ -79,10 +89,15 @@ func (s *Stats) TransformShare() float64 {
 }
 
 // Options configures an RMA operation invocation. The zero value is
-// PolicyAuto with full sorting and no instrumentation.
+// PolicyAuto with full sorting, GOMAXPROCS-wide parallelism, and no
+// instrumentation.
 type Options struct {
 	Policy   Policy
 	SortMode SortMode
+	// Parallelism bounds the number of workers used by the invocation's
+	// kernels and copy loops on both the BAT and dense paths. Zero (the
+	// default) means runtime.GOMAXPROCS(0); 1 forces serial execution.
+	Parallelism int
 	// Stats, when non-nil, receives the phase timings of the invocation.
 	Stats *Stats
 }
@@ -92,6 +107,59 @@ func (o *Options) orDefault() *Options {
 		return &Options{}
 	}
 	return o
+}
+
+// workers resolves the effective worker budget of the invocation.
+func (o *Options) workers() int {
+	if o.Parallelism > 0 {
+		return o.Parallelism
+	}
+	return runtime.GOMAXPROCS(0)
+}
+
+// parOverride tracks in-flight Parallelism overrides so overlapping
+// invocations cannot corrupt the process-wide budget: the first override
+// saves the pre-override baseline and only the last one out restores it.
+// While overrides overlap, the kernels see the most recent explicit
+// budget (documented last-write-wins).
+var parOverride struct {
+	mu         sync.Mutex
+	depth      int
+	savedBAT   int
+	savedDense int
+}
+
+// applyParallelism propagates the Parallelism option into the BAT and
+// dense kernel packages for the duration of one invocation, recording the
+// effective worker count in Stats. The returned func undoes the override;
+// after all overlapping overrides finish, the budgets are back at the
+// pre-override baseline.
+func (o *Options) applyParallelism() func() {
+	if o.Stats != nil {
+		o.Stats.Workers = o.workers()
+	}
+	if o.Parallelism <= 0 {
+		return func() {}
+	}
+	parOverride.mu.Lock()
+	if parOverride.depth == 0 {
+		parOverride.savedBAT = bat.SetParallelism(o.Parallelism)
+		parOverride.savedDense = linalg.SetParallelism(o.Parallelism)
+	} else {
+		bat.SetParallelism(o.Parallelism)
+		linalg.SetParallelism(o.Parallelism)
+	}
+	parOverride.depth++
+	parOverride.mu.Unlock()
+	return func() {
+		parOverride.mu.Lock()
+		parOverride.depth--
+		if parOverride.depth == 0 {
+			bat.SetParallelism(parOverride.savedBAT)
+			linalg.SetParallelism(parOverride.savedDense)
+		}
+		parOverride.mu.Unlock()
+	}
 }
 
 type phaseClock struct {

@@ -22,6 +22,7 @@ func Unary(op Op, r *rel.Relation, order []string, opts *Options) (*rel.Relation
 		return nil, fmt.Errorf("rma: %s takes two relations", op)
 	}
 	opts = opts.orDefault()
+	defer opts.applyParallelism()()
 	clock := phaseClock{stats: opts.Stats}
 
 	// Split and sort (context handling).
@@ -63,6 +64,7 @@ func Binary(op Op, r *rel.Relation, rOrder []string, s *rel.Relation, sOrder []s
 		return nil, fmt.Errorf("rma: %s takes one relation", op)
 	}
 	opts = opts.orDefault()
+	defer opts.applyParallelism()()
 	clock := phaseClock{stats: opts.Stats}
 
 	clock.begin()
@@ -113,11 +115,13 @@ func sortBinary(op Op, a, b *argument, opts *Options) error {
 			return err
 		}
 		if a.rows() == b.rows() {
-			align := make([]int, len(b.perm))
+			align := bat.AllocInts(len(b.perm))
 			for k, pa := range a.perm {
 				align[pa] = b.perm[k]
 			}
+			bat.FreeInts(b.perm)
 			b.perm = align
+			bat.FreeInts(a.perm)
 			a.perm = nil // keep a in input order, no gathers
 		}
 		if opts.Stats != nil {

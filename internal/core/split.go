@@ -117,24 +117,35 @@ func (a *argument) orderedAppCols() []*bat.BAT {
 // toMatrix is the matrix constructor µ_Ū(r) for the dense path: it copies
 // the application part, ordered by the permutation, into a contiguous
 // row-major array (the "copy BATs to an MKL compatible format" step whose
-// cost Figure 14 measures).
+// cost Figure 14 measures). The copy-in is column-parallel: each source
+// column scatters into a distinct stride of the row-major array, so the
+// writes are disjoint.
 func (a *argument) toMatrix() (*matrix.Matrix, error) {
 	m := a.rows()
 	n := len(a.appCols)
 	out := matrix.New(m, n)
-	for j, c := range a.appCols {
-		f, err := c.Floats()
+	errs := make([]error, n)
+	bat.ParallelFor(n, 1, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			f, err := a.appCols[j].Floats()
+			if err != nil {
+				errs[j] = err
+				continue
+			}
+			if a.perm == nil {
+				for i := 0; i < m; i++ {
+					out.Data[i*n+j] = f[i]
+				}
+			} else {
+				for i, p := range a.perm {
+					out.Data[i*n+j] = f[p]
+				}
+			}
+		}
+	})
+	for _, err := range errs {
 		if err != nil {
 			return nil, fmt.Errorf("rma: %v", err)
-		}
-		if a.perm == nil {
-			for i := 0; i < m; i++ {
-				out.Data[i*n+j] = f[i]
-			}
-		} else {
-			for i, p := range a.perm {
-				out.Data[i*n+j] = f[p]
-			}
 		}
 	}
 	return out, nil
@@ -172,16 +183,19 @@ func (a *argument) schemaCast() []string {
 }
 
 // matrixToCols converts a dense base result back into one BAT per column
-// (the copy-back half of the transformation).
+// (the copy-back half of the transformation). The materialization is
+// column-parallel and draws the column buffers from the BAT arena.
 func matrixToCols(m *matrix.Matrix) []*bat.BAT {
 	out := make([]*bat.BAT, m.Cols)
-	for j := 0; j < m.Cols; j++ {
-		col := make([]float64, m.Rows)
-		for i := 0; i < m.Rows; i++ {
-			col[i] = m.Data[i*m.Cols+j]
+	bat.ParallelFor(m.Cols, 1, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			col := bat.Alloc(m.Rows)
+			for i := 0; i < m.Rows; i++ {
+				col[i] = m.Data[i*m.Cols+j]
+			}
+			out[j] = bat.FromFloats(col)
 		}
-		out[j] = bat.FromFloats(col)
-	}
+	})
 	return out
 }
 

@@ -11,7 +11,6 @@
 package linalg
 
 import (
-	"runtime"
 	"sync"
 
 	"repro/internal/matrix"
@@ -33,7 +32,7 @@ func MatMul(a, b *matrix.Matrix) *matrix.Matrix {
 	m, kk, n := a.Rows, a.Cols, b.Cols
 	out := matrix.New(m, n)
 	flops := m * kk * n
-	workers := runtime.GOMAXPROCS(0)
+	workers := Parallelism()
 	if flops < parallelThreshold || workers == 1 || m == 1 {
 		mulStripe(a, b, out, 0, m)
 		return out
@@ -119,7 +118,7 @@ func SYRK(a *matrix.Matrix) *matrix.Matrix {
 	n := a.Cols
 	out := matrix.New(n, n)
 	m := a.Rows
-	workers := runtime.GOMAXPROCS(0)
+	workers := Parallelism()
 	if workers > n {
 		workers = n
 	}

@@ -1,0 +1,28 @@
+package linalg
+
+import (
+	"runtime"
+	"sync/atomic"
+)
+
+// parallelism is the process-wide worker budget of the dense kernels
+// (MatMul, SYRK, Householder QR's trailing updates, the Jacobi SVD
+// sweeps), defaulting to GOMAXPROCS. core.Options.Parallelism overrides it
+// per invocation; NewQRSerial ignores it by construction.
+var parallelism atomic.Int32
+
+func init() { parallelism.Store(int32(runtime.GOMAXPROCS(0))) }
+
+// SetParallelism sets the dense-kernel worker budget and returns the
+// previous value. Values below 1 are clamped to 1. The knob is
+// process-wide: concurrent callers setting different budgets see the last
+// write.
+func SetParallelism(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return int(parallelism.Swap(int32(n)))
+}
+
+// Parallelism returns the current dense-kernel worker budget.
+func Parallelism() int { return int(parallelism.Load()) }

@@ -2,7 +2,6 @@ package linalg
 
 import (
 	"math"
-	"runtime"
 	"sync"
 
 	"repro/internal/matrix"
@@ -25,7 +24,7 @@ type QR struct {
 // NewQR factors a with Householder reflections using all cores for the
 // trailing-column updates (the LAPACK/MKL behavior). Requires Rows >= Cols.
 func NewQR(a *matrix.Matrix) (*QR, error) {
-	return newQR(a, runtime.GOMAXPROCS(0))
+	return newQR(a, Parallelism())
 }
 
 // NewQRSerial factors on a single core — the behavior of R's default
@@ -168,7 +167,7 @@ func (d *QR) q(w int) *matrix.Matrix {
 			qcols[j] = col
 		}
 	}
-	workers := runtime.GOMAXPROCS(0)
+	workers := Parallelism()
 	if d.serial || workers <= 1 || w < 2 || m*n < 1<<15 {
 		apply(0, w)
 	} else {

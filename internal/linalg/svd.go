@@ -2,7 +2,6 @@ package linalg
 
 import (
 	"math"
-	"runtime"
 	"sort"
 	"sync"
 
@@ -53,7 +52,7 @@ func NewSVD(a *matrix.Matrix) (*SVD, error) {
 	// Each sweep visits every column pair once. A round-robin tournament
 	// schedule makes the pairs within a round disjoint, so rounds
 	// parallelize across cores (the classic parallel one-sided Jacobi).
-	workers := runtime.GOMAXPROCS(0)
+	workers := Parallelism()
 	players := n
 	if players%2 == 1 {
 		players++
