@@ -1,0 +1,66 @@
+// Command benchdiff is the roadmap's bench-trajectory check: it diffs
+// consecutive BENCH_<n>.json kernel reports (written by rmabench -json) and
+// exits non-zero when any kernel regressed beyond the tolerance or went
+// missing from a newer report. CI runs it over the repository root so every
+// PR's committed report must stay within the perf envelope of its
+// predecessor.
+//
+//	benchdiff                 compare all BENCH_<n>.json in .
+//	benchdiff -dir path       compare all BENCH_<n>.json in path
+//	benchdiff -tol 0.35       loosen the tolerance to +35%
+//	benchdiff OLD.json NEW.json   compare two explicit reports
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"repro/internal/bench"
+)
+
+func main() {
+	dir := flag.String("dir", ".", "directory holding BENCH_<n>.json reports")
+	tol := flag.Float64("tol", bench.DefaultTolerance, "maximum accepted relative slowdown (0.20 = +20%)")
+	flag.Parse()
+
+	if args := flag.Args(); len(args) == 2 {
+		old, err := bench.LoadKernelReport(args[0])
+		if err != nil {
+			fail(err)
+		}
+		new, err := bench.LoadKernelReport(args[1])
+		if err != nil {
+			fail(err)
+		}
+		deltas, missing := bench.CompareReports(old, new, *tol)
+		bad := false
+		for _, d := range deltas {
+			mark := "ok"
+			if d.Regressed {
+				mark = "REGRESSION"
+				bad = true
+			}
+			fmt.Printf("  %-22s %12.0f -> %12.0f ns/op  %6.2fx  %s\n", d.Op, d.OldNs, d.NewNs, d.Ratio, mark)
+		}
+		for _, op := range missing {
+			fmt.Printf("  %-22s MISSING from %s\n", op, args[1])
+			bad = true
+		}
+		if bad {
+			fail(fmt.Errorf("regression beyond +%.0f%% (or missing kernel)", *tol*100))
+		}
+		return
+	}
+
+	report, err := bench.CheckTrajectory(*dir, *tol)
+	fmt.Print(report)
+	if err != nil {
+		fail(err)
+	}
+}
+
+func fail(err error) {
+	fmt.Fprintf(os.Stderr, "benchdiff: %v\n", err)
+	os.Exit(1)
+}

@@ -31,7 +31,29 @@
 //     Gauss-Jordan inversion and Gram-Schmidt QR allocation-flat across
 //     iterations.
 //
+// The relational operators run on the same substrate:
+//
+//   - rel.HashJoin is a hash-partitioned join over typed 64-bit key
+//     hashes (no per-row string keys): the build side is
+//     radix-partitioned in two parallel passes, and the probe runs as a
+//     parallel count pass plus a parallel scatter through per-row output
+//     offsets. Output order is canonical — probe rows in left order,
+//     matches per row in build order — at any worker budget.
+//   - rel.GroupBy folds rows into per-chunk partial aggregation tables
+//     over fixed chunks of bat.SerialCutoff rows, merged in ascending
+//     chunk order, so group order and float sums are bitwise-identical
+//     at any worker budget.
+//   - bat.SortIndex (and rel's ORDER BY path) uses bat.SortStable, a
+//     parallel stable merge sort over arena-backed permutation buffers;
+//     the stable permutation is unique, so the result is independent of
+//     the worker budget.
+//   - The zero-suppressed kernels (bat.SparseAdd, Sparse.Gather,
+//     Sparse.Densify, Sparse.Sum) decompose over OID ranges concatenated
+//     in range order (Sum reduces over fixed chunks), with the same
+//     determinism guarantee.
+//
 // core.Options.Parallelism bounds the worker budget per invocation
 // (default GOMAXPROCS, 1 forces serial); the effective count is recorded
-// in core.Stats.Workers.
+// in core.Stats.Workers. cmd/benchdiff diffs consecutive BENCH_<n>.json
+// kernel reports and fails CI on >20% ns/op regressions.
 package repro

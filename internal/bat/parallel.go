@@ -70,6 +70,18 @@ func ParallelFor(n, minWork int, body func(lo, hi int)) {
 	wg.Wait()
 }
 
+// ParallelRuns returns the contiguous-range decomposition the
+// range-concatenating kernels share: at most Parallelism() runs of at
+// least SerialCutoff elements each, as (count, size) with
+// count = ceil(n/size). Kernels that concatenate per-run outputs in run
+// order produce the same result for any decomposition, so the run count
+// may depend on the worker budget without breaking determinism.
+func ParallelRuns(n int) (runs, size int) {
+	runs = min(Parallelism(), (n+SerialCutoff-1)/SerialCutoff)
+	size = (n + runs - 1) / runs
+	return (n + size - 1) / size, size
+}
+
 // serialFor reports whether ParallelFor would run a range of n elements
 // with minWork SerialCutoff on the calling goroutine. Kernels branch on it
 // before building their ParallelFor closure: a closure capturing the

@@ -2,11 +2,73 @@ package bat
 
 import "sort"
 
+// SortStable computes the stable ascending sort permutation of [0, n) under
+// less, a strict weak ordering over original row positions (less(a, b)
+// reports whether row a orders before row b). At or below SerialCutoff
+// elements — or with a single worker — it defers to sort.SliceStable.
+// Above the cutoff it sorts contiguous runs in parallel and combines them
+// with a stable pairwise merge that prefers the left run on ties. A run
+// always holds smaller original positions than the run to its right, so
+// preferring left preserves stability, and because the stable permutation
+// of a sequence is unique, the result is identical at any worker budget.
+// The permutation buffer comes from the arena; callers done with it may
+// hand it back with FreeInts.
+func SortStable(n int, less func(a, b int) bool) []int {
+	idx := Identity(n)
+	if n <= SerialCutoff || Parallelism() <= 1 {
+		sort.SliceStable(idx, func(a, b int) bool { return less(idx[a], idx[b]) })
+		return idx
+	}
+	runs, size := ParallelRuns(n)
+	ParallelFor(runs, 1, func(lo, hi int) {
+		for r := lo; r < hi; r++ {
+			s := idx[r*size : min((r+1)*size, n)]
+			sort.SliceStable(s, func(a, b int) bool { return less(s[a], s[b]) })
+		}
+	})
+	buf := AllocInts(n)
+	src, dst := idx, buf
+	for width := size; width < n; width *= 2 {
+		pairs := (n + 2*width - 1) / (2 * width)
+		w := width // capture per level
+		ParallelFor(pairs, 1, func(plo, phi int) {
+			for p := plo; p < phi; p++ {
+				lo := p * 2 * w
+				mergeRuns(dst, src, lo, min(lo+w, n), min(lo+2*w, n), less)
+			}
+		})
+		src, dst = dst, src
+	}
+	if &src[0] != &idx[0] {
+		copy(idx, src)
+	}
+	FreeInts(buf)
+	return idx
+}
+
+// mergeRuns stably merges the sorted runs src[lo:mid] and src[mid:hi] into
+// dst[lo:hi], taking from the left run on ties.
+func mergeRuns(dst, src []int, lo, mid, hi int, less func(a, b int) bool) {
+	i, j := lo, mid
+	for k := lo; k < hi; k++ {
+		if i < mid && (j >= hi || !less(src[j], src[i])) {
+			dst[k] = src[i]
+			i++
+		} else {
+			dst[k] = src[j]
+			j++
+		}
+	}
+}
+
 // SortIndex computes the stable ascending sort permutation over one or more
 // key columns (lexicographic, first column most significant). The returned
 // slice idx satisfies: gathering any tail of the same relation by idx yields
 // that tail ordered by the key columns. This is the "sorting" step of the
 // paper's Algorithm 1: G <- sort(D), followed by b↓G for the other tails.
+// Above SerialCutoff elements the permutation is computed by the parallel
+// merge sort of SortStable; the stable permutation is unique, so the result
+// is identical at any worker budget.
 func SortIndex(keys []*BAT) []int {
 	if len(keys) == 0 {
 		return nil
@@ -18,10 +80,6 @@ func SortIndex(keys []*BAT) []int {
 	if keysSorted(keys) {
 		return Identity(n)
 	}
-	idx := AllocInts(n)
-	for k := range idx {
-		idx[k] = k
-	}
 	// Fast path: a single dense key column avoids the per-comparison
 	// column loop and interface dispatch.
 	if len(keys) == 1 && !keys[0].IsSparse() {
@@ -29,30 +87,27 @@ func SortIndex(keys []*BAT) []int {
 		switch v.Type() {
 		case Float:
 			f := v.Floats()
-			sort.SliceStable(idx, func(a, b int) bool { return f[idx[a]] < f[idx[b]] })
+			return SortStable(n, func(a, b int) bool { return f[a] < f[b] })
 		case Int:
 			xs := v.Ints()
-			sort.SliceStable(idx, func(a, b int) bool { return xs[idx[a]] < xs[idx[b]] })
+			return SortStable(n, func(a, b int) bool { return xs[a] < xs[b] })
 		case String:
 			ss := v.Strings()
-			sort.SliceStable(idx, func(a, b int) bool { return ss[idx[a]] < ss[idx[b]] })
+			return SortStable(n, func(a, b int) bool { return ss[a] < ss[b] })
 		}
-		return idx
 	}
 	vecs := make([]*Vector, len(keys))
 	for k, b := range keys {
 		vecs[k] = b.Vector()
 	}
-	sort.SliceStable(idx, func(a, b int) bool {
-		ia, ib := idx[a], idx[b]
+	return SortStable(n, func(a, b int) bool {
 		for _, v := range vecs {
-			if c := v.Compare(ia, v, ib); c != 0 {
+			if c := v.Compare(a, v, b); c != 0 {
 				return c < 0
 			}
 		}
 		return false
 	})
-	return idx
 }
 
 // keysSorted reports whether the key columns are already in ascending

@@ -6,6 +6,13 @@ import "sort"
 // together with their OIDs (ascending). It stands in for the lightweight
 // compression MonetDB applies to value-repetitive columns, which the
 // paper's Table 5 experiment shows speeds up add on sparse relations.
+//
+// The kernels below (SparseAdd, Gather, Densify, Sum) decompose their work
+// through ParallelFor like the dense kernels in bat.go. Each one produces
+// output that is uniquely determined by its inputs — merges and gathers
+// concatenate per-range results in range order, and Sum reduces over fixed
+// chunks combined in chunk order — so results are identical (bitwise, for
+// the float payloads) at any worker budget.
 type Sparse struct {
 	n   int   // logical length
 	oid []int // positions of the non-zero values, strictly ascending
@@ -51,22 +58,50 @@ func (s *Sparse) Get(k int) float64 {
 	return 0
 }
 
-// Densify materializes the column as a dense slice.
+// Densify materializes the column as a dense slice. The buffer comes from
+// the arena; the zero-fill and the non-zero scatter are both decomposed
+// over ParallelFor (scatter positions are distinct, so the writes are
+// disjoint).
 func (s *Sparse) Densify() []float64 {
-	out := make([]float64, s.n)
-	for i, k := range s.oid {
-		out[k] = s.val[i]
+	out := Alloc(s.n)
+	if serialFor(s.n) {
+		clear(out)
+	} else {
+		ParallelFor(s.n, SerialCutoff, func(lo, hi int) {
+			clear(out[lo:hi])
+		})
+	}
+	if serialFor(len(s.oid)) {
+		for i, k := range s.oid {
+			out[k] = s.val[i]
+		}
+	} else {
+		ParallelFor(len(s.oid), SerialCutoff, func(lo, hi int) {
+			for i := lo; i < hi; i++ {
+				out[s.oid[i]] = s.val[i]
+			}
+		})
 	}
 	return out
 }
 
-// Sum returns the sum of all values.
+// Sum returns the sum of all values, accumulating over fixed-size chunks
+// combined in chunk order (bitwise-identical at any worker budget).
 func (s *Sparse) Sum() float64 {
-	var t float64
-	for _, x := range s.val {
-		t += x
+	if len(s.val) <= SerialCutoff { // single chunk: skip the closure
+		var t float64
+		for _, x := range s.val {
+			t += x
+		}
+		return t
 	}
-	return t
+	return parallelReduce(len(s.val), func(lo, hi int) float64 {
+		var t float64
+		for k := lo; k < hi; k++ {
+			t += s.val[k]
+		}
+		return t
+	})
 }
 
 // Clone deep-copies the column.
@@ -79,24 +114,92 @@ func (s *Sparse) Clone() *Sparse {
 }
 
 // Gather applies a positional fetch. The result stays zero-suppressed.
+// Ranges of the index list are gathered in parallel and concatenated in
+// range order.
 func (s *Sparse) Gather(idx []int) *Sparse {
 	out := &Sparse{n: len(idx)}
-	for k, j := range idx {
-		if v := s.Get(j); v != 0 {
-			out.oid = append(out.oid, k)
-			out.val = append(out.val, v)
+	if serialFor(len(idx)) {
+		for k, j := range idx {
+			if v := s.Get(j); v != 0 {
+				out.oid = append(out.oid, k)
+				out.val = append(out.val, v)
+			}
 		}
+		return out
+	}
+	runs, size := ParallelRuns(len(idx))
+	oids := make([][]int, runs)
+	vals := make([][]float64, runs)
+	ParallelFor(runs, 1, func(rlo, rhi int) {
+		for r := rlo; r < rhi; r++ {
+			lo, hi := r*size, min((r+1)*size, len(idx))
+			var o []int
+			var v []float64
+			for k := lo; k < hi; k++ {
+				if x := s.Get(idx[k]); x != 0 {
+					o = append(o, k)
+					v = append(v, x)
+				}
+			}
+			oids[r], vals[r] = o, v
+		}
+	})
+	total := 0
+	for _, o := range oids {
+		total += len(o)
+	}
+	out.oid = make([]int, 0, total)
+	out.val = make([]float64, 0, total)
+	for r := range oids {
+		out.oid = append(out.oid, oids[r]...)
+		out.val = append(out.val, vals[r]...)
 	}
 	return out
 }
 
 // SparseAdd adds two zero-suppressed columns without densifying: a merge
 // over the non-zero positions. Runtime is O(nnz(a)+nnz(b)), which is what
-// makes add on sparse relations faster than on dense ones (Table 5).
+// makes add on sparse relations faster than on dense ones (Table 5). The
+// result has a's logical length; like the dense kernels, the columns are
+// expected to be equally long, and OIDs of b beyond a's length are dropped
+// on both the serial and the parallel path. Above the serial cutoff the
+// OID domain is split into ranges merged in parallel and concatenated in
+// range order; the merge result is unique, so the output is independent of
+// the worker budget.
 func SparseAdd(a, b *Sparse) *Sparse {
-	out := &Sparse{n: a.n}
-	i, j := 0, 0
-	for i < len(a.oid) && j < len(b.oid) {
+	work := len(a.oid) + len(b.oid)
+	if serialFor(work) {
+		out := &Sparse{n: a.n}
+		mergeSparse(out, a, 0, len(a.oid), b, 0, sort.SearchInts(b.oid, a.n))
+		return out
+	}
+	runs, size := ParallelRuns(a.n)
+	parts := make([]Sparse, runs)
+	ParallelFor(runs, 1, func(rlo, rhi int) {
+		for r := rlo; r < rhi; r++ {
+			lo, hi := r*size, min((r+1)*size, a.n)
+			ai, aj := sort.SearchInts(a.oid, lo), sort.SearchInts(a.oid, hi)
+			bi, bj := sort.SearchInts(b.oid, lo), sort.SearchInts(b.oid, hi)
+			mergeSparse(&parts[r], a, ai, aj, b, bi, bj)
+		}
+	})
+	total := 0
+	for r := range parts {
+		total += len(parts[r].oid)
+	}
+	out := &Sparse{n: a.n, oid: make([]int, 0, total), val: make([]float64, 0, total)}
+	for r := range parts {
+		out.oid = append(out.oid, parts[r].oid...)
+		out.val = append(out.val, parts[r].val...)
+	}
+	return out
+}
+
+// mergeSparse merges a.oid[ai:aj] with b.oid[bi:bj] into out, summing
+// values on shared OIDs and suppressing exact-zero results.
+func mergeSparse(out *Sparse, a *Sparse, ai, aj int, b *Sparse, bi, bj int) {
+	i, j := ai, bi
+	for i < aj && j < bj {
 		switch {
 		case a.oid[i] < b.oid[j]:
 			out.oid = append(out.oid, a.oid[i])
@@ -115,13 +218,12 @@ func SparseAdd(a, b *Sparse) *Sparse {
 			j++
 		}
 	}
-	for ; i < len(a.oid); i++ {
+	for ; i < aj; i++ {
 		out.oid = append(out.oid, a.oid[i])
 		out.val = append(out.val, a.val[i])
 	}
-	for ; j < len(b.oid); j++ {
+	for ; j < bj; j++ {
 		out.oid = append(out.oid, b.oid[j])
 		out.val = append(out.val, b.val[j])
 	}
-	return out
 }

@@ -14,6 +14,7 @@ import (
 	"repro/internal/dataset"
 	"repro/internal/linalg"
 	"repro/internal/matrix"
+	"repro/internal/rel"
 )
 
 // KernelResult is one row of the machine-readable benchmark file that
@@ -52,8 +53,10 @@ func measure(op string, size, cols int, f func(b *testing.B)) KernelResult {
 
 // MicroKernels measures the hot kernels of every execution layer: the raw
 // BAT elementwise/reduction kernels, the column-at-a-time matrix
-// operations of batlin, the dense matmul, and two end-to-end RMA
-// operations at the paper's benchmark sizes (Table 4 add, Table 6 qqr).
+// operations of batlin, the dense matmul, two end-to-end RMA operations at
+// the paper's benchmark sizes (Table 4 add, Table 6 qqr), and the parallel
+// relational operators (hash join, grouped aggregation, sort index) plus
+// the zero-suppressed add.
 // A setup failure is an error, not a silently missing row — trajectory
 // diffs between BENCH_<n> files must be able to trust completeness.
 func MicroKernels(quick bool) ([]KernelResult, error) {
@@ -149,7 +152,81 @@ func MicroKernels(quick bool) ([]KernelResult, error) {
 		}
 	}))
 
+	// Relational operators on the parallel substrate: partitioned hash
+	// join (~1 match per probe row), grouped aggregation (256 groups),
+	// and the merge-sorted permutation.
+	joinRows := 1 << 17
+	if quick {
+		joinRows = 1 << 13
+	}
+	jl := intKeyRel("l", joinRows, int64(joinRows), 11)
+	js := intKeyRel("s", joinRows, int64(joinRows), 12)
+	out = append(out, measure("rel.HashJoin", joinRows, 2, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := rel.HashJoin(jl, js, []string{"l_k"}, []string{"s_k"}, rel.Inner); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	gr := intKeyRel("g", joinRows, 256, 13)
+	aggs := []rel.AggSpec{
+		{Func: rel.Count, As: "n"},
+		{Func: rel.Sum, Attr: "g_v", As: "s"},
+		{Func: rel.Min, Attr: "g_v", As: "lo"},
+	}
+	out = append(out, measure("rel.GroupBy", joinRows, 256, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := rel.GroupBy(gr, []string{"g_k"}, aggs); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	sortCol := bat.FromFloats(seqFloats(joinRows, 17))
+	out = append(out, measure("bat.SortIndex", joinRows, 1, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bat.FreeInts(bat.SortIndex([]*bat.BAT{sortCol}))
+		}
+	}))
+
+	spLen := rows
+	sa := sparseOf(spLen, 100, 5) // ~1% density
+	sb := sparseOf(spLen, 100, 6)
+	out = append(out, measure("bat.SparseAdd", spLen, 1, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			bat.SparseAdd(sa, sb)
+		}
+	}))
+
 	return out, nil
+}
+
+// intKeyRel builds a two-column relation (int key of the given cardinality,
+// float value) for the join/group kernels.
+func intKeyRel(name string, n int, card, seed int64) *rel.Relation {
+	keys := make([]int64, n)
+	for k := range keys {
+		keys[k] = (int64(k)*7919 + seed*104729) % card
+	}
+	return rel.MustNew(name, rel.Schema{
+		{Name: name + "_k", Type: bat.Int},
+		{Name: name + "_v", Type: bat.Float},
+	}, []*bat.BAT{bat.FromInts(keys), bat.FromFloats(seqFloats(n, seed))})
+}
+
+// sparseOf builds a zero-suppressed column of length n keeping roughly one
+// in every stride values non-zero.
+func sparseOf(n, stride int, seed int64) *bat.Sparse {
+	f := make([]float64, n)
+	for k := 0; k < n; k += stride {
+		f[k] = float64((int64(k)*7919+seed)%1000 + 1)
+	}
+	return bat.Compress(f)
 }
 
 // WriteKernelReport runs MicroKernels and writes the JSON document to

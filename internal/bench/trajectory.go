@@ -1,0 +1,153 @@
+package bench
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"strconv"
+	"strings"
+)
+
+// This file implements the roadmap's bench-trajectory check: consecutive
+// BENCH_<n>.json kernel reports are diffed op by op, and any kernel whose
+// ns/op grew beyond the tolerance — or that silently disappeared from a
+// newer report — fails the check. cmd/benchdiff wraps it for CI.
+
+// DefaultTolerance is the maximum accepted relative slowdown between
+// consecutive reports (0.20 = +20% ns/op).
+const DefaultTolerance = 0.20
+
+// LoadKernelReport reads one BENCH_<n>.json document.
+func LoadKernelReport(path string) (*KernelReport, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var r KernelReport
+	if err := json.Unmarshal(data, &r); err != nil {
+		return nil, fmt.Errorf("bench: parsing %s: %w", path, err)
+	}
+	return &r, nil
+}
+
+// Delta is one kernel's movement between two reports.
+type Delta struct {
+	Op        string
+	OldNs     float64
+	NewNs     float64
+	Ratio     float64 // NewNs / OldNs
+	Regressed bool
+}
+
+// CompareReports diffs two kernel reports. Kernels present in both are
+// compared by ns/op against the tolerance; kernels present in old but
+// missing from new are reported separately (a dropped kernel hides
+// regressions, so callers treat it as a failure too). Kernels new in the
+// newer report establish a baseline and are ignored here.
+func CompareReports(old, new *KernelReport, tolerance float64) (deltas []Delta, missing []string) {
+	newByOp := make(map[string]KernelResult, len(new.Results))
+	for _, r := range new.Results {
+		newByOp[r.Op] = r
+	}
+	for _, o := range old.Results {
+		n, ok := newByOp[o.Op]
+		if !ok {
+			missing = append(missing, o.Op)
+			continue
+		}
+		ratio := 0.0
+		if o.NsPerOp > 0 {
+			ratio = n.NsPerOp / o.NsPerOp
+		}
+		deltas = append(deltas, Delta{
+			Op:        o.Op,
+			OldNs:     o.NsPerOp,
+			NewNs:     n.NsPerOp,
+			Ratio:     ratio,
+			Regressed: ratio > 1+tolerance,
+		})
+	}
+	return deltas, missing
+}
+
+var benchFileRe = regexp.MustCompile(`^BENCH_(\d+)\.json$`)
+
+// BenchFiles returns the BENCH_<n>.json paths in dir ordered by n.
+func BenchFiles(dir string) ([]string, error) {
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		return nil, err
+	}
+	type numbered struct {
+		n    int
+		path string
+	}
+	var files []numbered
+	for _, e := range entries {
+		m := benchFileRe.FindStringSubmatch(e.Name())
+		if m == nil {
+			continue
+		}
+		n, err := strconv.Atoi(m[1])
+		if err != nil {
+			continue
+		}
+		files = append(files, numbered{n: n, path: filepath.Join(dir, e.Name())})
+	}
+	sort.Slice(files, func(a, b int) bool { return files[a].n < files[b].n })
+	out := make([]string, len(files))
+	for k, f := range files {
+		out[k] = f.path
+	}
+	return out, nil
+}
+
+// CheckTrajectory diffs every consecutive pair of BENCH_<n>.json reports in
+// dir and returns a human-readable table plus an error when any kernel
+// regressed beyond the tolerance or went missing. Fewer than two reports is
+// a pass (nothing to compare).
+func CheckTrajectory(dir string, tolerance float64) (string, error) {
+	files, err := BenchFiles(dir)
+	if err != nil {
+		return "", err
+	}
+	if len(files) < 2 {
+		return fmt.Sprintf("bench trajectory: %d report(s) in %s, nothing to compare\n", len(files), dir), nil
+	}
+	var sb strings.Builder
+	failed := false
+	for k := 1; k < len(files); k++ {
+		oldPath, newPath := files[k-1], files[k]
+		old, err := LoadKernelReport(oldPath)
+		if err != nil {
+			return sb.String(), err
+		}
+		new, err := LoadKernelReport(newPath)
+		if err != nil {
+			return sb.String(), err
+		}
+		deltas, missing := CompareReports(old, new, tolerance)
+		fmt.Fprintf(&sb, "%s -> %s (tolerance +%.0f%%)\n",
+			filepath.Base(oldPath), filepath.Base(newPath), tolerance*100)
+		for _, d := range deltas {
+			mark := "ok"
+			if d.Regressed {
+				mark = "REGRESSION"
+				failed = true
+			}
+			fmt.Fprintf(&sb, "  %-22s %12.0f -> %12.0f ns/op  %6.2fx  %s\n",
+				d.Op, d.OldNs, d.NewNs, d.Ratio, mark)
+		}
+		for _, op := range missing {
+			fmt.Fprintf(&sb, "  %-22s MISSING from %s\n", op, filepath.Base(newPath))
+			failed = true
+		}
+	}
+	if failed {
+		return sb.String(), fmt.Errorf("bench trajectory check failed (>%.0f%% regression or missing kernel)", tolerance*100)
+	}
+	return sb.String(), nil
+}

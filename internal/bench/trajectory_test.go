@@ -1,0 +1,104 @@
+package bench
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func writeReport(t *testing.T, dir, name string, results []KernelResult) {
+	t.Helper()
+	data, err := json.Marshal(KernelReport{Results: results})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, name), data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCompareReports(t *testing.T) {
+	old := &KernelReport{Results: []KernelResult{
+		{Op: "a", NsPerOp: 100},
+		{Op: "b", NsPerOp: 100},
+		{Op: "gone", NsPerOp: 50},
+	}}
+	new := &KernelReport{Results: []KernelResult{
+		{Op: "a", NsPerOp: 115}, // +15%: within tolerance
+		{Op: "b", NsPerOp: 125}, // +25%: regression
+		{Op: "fresh", NsPerOp: 10},
+	}}
+	deltas, missing := CompareReports(old, new, 0.20)
+	if len(deltas) != 2 {
+		t.Fatalf("deltas = %d, want 2", len(deltas))
+	}
+	if deltas[0].Op != "a" || deltas[0].Regressed {
+		t.Errorf("a: %+v", deltas[0])
+	}
+	if deltas[1].Op != "b" || !deltas[1].Regressed {
+		t.Errorf("b: %+v", deltas[1])
+	}
+	if len(missing) != 1 || missing[0] != "gone" {
+		t.Errorf("missing = %v", missing)
+	}
+}
+
+func TestBenchFilesOrdering(t *testing.T) {
+	dir := t.TempDir()
+	writeReport(t, dir, "BENCH_10.json", nil)
+	writeReport(t, dir, "BENCH_2.json", nil)
+	writeReport(t, dir, "BENCH_1.json", nil)
+	if err := os.WriteFile(filepath.Join(dir, "BENCH_x.json"), []byte("{}"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	files, err := BenchFiles(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(files) != 3 {
+		t.Fatalf("files = %v", files)
+	}
+	// Numeric, not lexicographic: 1, 2, 10.
+	for k, want := range []string{"BENCH_1.json", "BENCH_2.json", "BENCH_10.json"} {
+		if filepath.Base(files[k]) != want {
+			t.Errorf("files[%d] = %s, want %s", k, files[k], want)
+		}
+	}
+}
+
+func TestCheckTrajectory(t *testing.T) {
+	dir := t.TempDir()
+	writeReport(t, dir, "BENCH_1.json", []KernelResult{{Op: "a", NsPerOp: 100}})
+	writeReport(t, dir, "BENCH_2.json", []KernelResult{{Op: "a", NsPerOp: 105}})
+	report, err := CheckTrajectory(dir, 0.20)
+	if err != nil {
+		t.Fatalf("clean trajectory failed: %v\n%s", err, report)
+	}
+	if !strings.Contains(report, "ok") {
+		t.Errorf("report missing ok line:\n%s", report)
+	}
+
+	writeReport(t, dir, "BENCH_3.json", []KernelResult{{Op: "a", NsPerOp: 200}})
+	report, err = CheckTrajectory(dir, 0.20)
+	if err == nil {
+		t.Fatalf("2x regression passed:\n%s", report)
+	}
+	if !strings.Contains(report, "REGRESSION") {
+		t.Errorf("report missing REGRESSION line:\n%s", report)
+	}
+
+	// A kernel dropped from the newest report is a failure too.
+	writeReport(t, dir, "BENCH_3.json", []KernelResult{{Op: "other", NsPerOp: 1}})
+	if _, err = CheckTrajectory(dir, 0.20); err == nil {
+		t.Fatal("missing kernel passed")
+	}
+
+	// A single report has nothing to compare.
+	solo := t.TempDir()
+	writeReport(t, solo, "BENCH_1.json", nil)
+	if _, err := CheckTrajectory(solo, 0.20); err != nil {
+		t.Fatalf("single report failed: %v", err)
+	}
+}

@@ -56,10 +56,85 @@ type aggState struct {
 	max   float64
 }
 
+func newAggStates(k int) []aggState {
+	st := make([]aggState, k)
+	for i := range st {
+		st[i].min = math.Inf(1)
+		st[i].max = math.Inf(-1)
+	}
+	return st
+}
+
+// accumulate folds row value v (valid when col != nil) into the state.
+func (st *aggState) accumulate(col []float64, i int) {
+	st.count++
+	if col != nil {
+		v := col[i]
+		st.sum += v
+		if v < st.min {
+			st.min = v
+		}
+		if v > st.max {
+			st.max = v
+		}
+	}
+}
+
+// combine folds a later chunk's partial state into st (chunk order).
+func (st *aggState) combine(o *aggState) {
+	st.count += o.count
+	st.sum += o.sum
+	if o.min < st.min {
+		st.min = o.min
+	}
+	if o.max > st.max {
+		st.max = o.max
+	}
+}
+
+// aggGroup is one group of a partial (per-chunk) or merged aggregation
+// table: the first row carrying the group's key, plus one running state per
+// aggregate.
+type aggGroup struct {
+	row int
+	st  []aggState
+}
+
+// aggTable accumulates groups in first-seen order with hash lookup; the
+// same structure serves the per-chunk partials and the merged result.
+type aggTable struct {
+	groups []aggGroup
+	byHash map[uint64][]int // hash -> indices into groups
+}
+
+func newAggTable(hint int) *aggTable {
+	return &aggTable{byHash: make(map[uint64][]int, hint)}
+}
+
+// find returns the group of row i (keyed by kc/h), creating it when absent.
+func (t *aggTable) find(kc *keyCols, h []uint64, i, nAggs int) *aggGroup {
+	hv := h[i]
+	for _, g := range t.byHash[hv] {
+		if kc.equal(i, kc, t.groups[g].row) {
+			return &t.groups[g]
+		}
+	}
+	t.byHash[hv] = append(t.byHash[hv], len(t.groups))
+	t.groups = append(t.groups, aggGroup{row: i, st: newAggStates(nAggs)})
+	return &t.groups[len(t.groups)-1]
+}
+
 // GroupBy computes ϑ: grouping on the key attributes (none means a single
 // global group) with the given aggregates. The result schema is the keys
 // followed by one column per aggregate. Count yields BIGINT; the other
-// functions yield DOUBLE.
+// functions yield DOUBLE. Groups appear in first-seen row order.
+//
+// The aggregation is chunk-parallel: rows are split into fixed chunks of
+// bat.SerialCutoff (boundaries depend only on the row count, never on the
+// worker budget), each chunk folds its rows into a partial group table in
+// row order, and the partials are merged in ascending chunk order. Sums
+// therefore associate identically at any parallelism, making the output
+// bitwise-reproducible — the same discipline as bat.Sum and bat.Dot.
 func GroupBy(r *Relation, keys []string, aggs []AggSpec) (*Relation, error) {
 	if len(aggs) == 0 {
 		return nil, fmt.Errorf("rel: group by without aggregates")
@@ -83,70 +158,75 @@ func GroupBy(r *Relation, keys []string, aggs []AggSpec) (*Relation, error) {
 		inCols[k] = f
 	}
 
-	keyCols := make([]*bat.BAT, len(keys))
-	for k, name := range keys {
-		c, err := r.Col(name)
+	var kc *keyCols
+	var hash []uint64
+	if len(keys) > 0 {
+		var err error
+		kc, err = newKeyCols(r, keys)
 		if err != nil {
 			return nil, err
 		}
-		keyCols[k] = c
+		hash = kc.hashes()
 	}
 
 	n := r.NumRows()
-	groupOf := make([]int, n)
-	var groups []int // first row of each group, in first-seen order
-	if len(keys) == 0 {
-		for i := range groupOf {
-			groupOf[i] = 0
-		}
-		groups = []int{0}
-		if n == 0 {
-			groups = groups[:0]
-		}
-	} else {
-		seen := make(map[string]int, n/4+1)
-		var sb strings.Builder
-		for i := 0; i < n; i++ {
-			sb.Reset()
-			for _, c := range keyCols {
-				sb.WriteString(c.Get(i).String())
-				sb.WriteByte(0)
+	chunks := (n + bat.SerialCutoff - 1) / bat.SerialCutoff
+	partials := make([]*aggTable, chunks)
+	bat.ParallelFor(chunks, 1, func(clo, chi int) {
+		for c := clo; c < chi; c++ {
+			lo, hi := c*bat.SerialCutoff, min((c+1)*bat.SerialCutoff, n)
+			t := newAggTable((hi-lo)/4 + 1)
+			if kc == nil {
+				g := aggGroup{row: lo, st: newAggStates(len(aggs))}
+				for i := lo; i < hi; i++ {
+					for k := range aggs {
+						g.st[k].accumulate(inCols[k], i)
+					}
+				}
+				t.groups = append(t.groups, g)
+			} else {
+				for i := lo; i < hi; i++ {
+					g := t.find(kc, hash, i, len(aggs))
+					for k := range aggs {
+						g.st[k].accumulate(inCols[k], i)
+					}
+				}
 			}
-			key := sb.String()
-			g, ok := seen[key]
-			if !ok {
-				g = len(groups)
-				seen[key] = g
-				groups = append(groups, i)
-			}
-			groupOf[i] = g
+			partials[c] = t
 		}
-	}
+	})
 
-	states := make([][]aggState, len(aggs))
-	for k := range states {
-		states[k] = make([]aggState, len(groups))
-		for g := range states[k] {
-			states[k][g].min = math.Inf(1)
-			states[k][g].max = math.Inf(-1)
-		}
-	}
-	for i := 0; i < n; i++ {
-		g := groupOf[i]
-		for k := range aggs {
-			st := &states[k][g]
-			st.count++
-			if inCols[k] != nil {
-				v := inCols[k][i]
-				st.sum += v
-				if v < st.min {
-					st.min = v
+	// Merge the chunk partials in ascending chunk order. Global group ids
+	// follow global first-seen order because chunks are contiguous row
+	// ranges visited in order.
+	var merged *aggTable
+	if chunks == 1 {
+		merged = partials[0]
+	} else {
+		merged = newAggTable(0)
+		for _, t := range partials {
+			for li := range t.groups {
+				lg := &t.groups[li]
+				if kc == nil {
+					if len(merged.groups) == 0 {
+						merged.groups = append(merged.groups, aggGroup{row: lg.row, st: newAggStates(len(aggs))})
+					}
+					g := &merged.groups[0]
+					for k := range aggs {
+						g.st[k].combine(&lg.st[k])
+					}
+					continue
 				}
-				if v > st.max {
-					st.max = v
+				g := merged.find(kc, hash, lg.row, len(aggs))
+				for k := range aggs {
+					g.st[k].combine(&lg.st[k])
 				}
 			}
 		}
+	}
+	groups := make([]int, len(merged.groups))
+	for g := range merged.groups {
+		groups[g] = merged.groups[g].row
 	}
 
 	// Assemble the result: key columns first (one representative row per
@@ -170,14 +250,14 @@ func GroupBy(r *Relation, keys []string, aggs []AggSpec) (*Relation, error) {
 		case Count:
 			out := make([]int64, len(groups))
 			for g := range groups {
-				out[g] = states[k][g].count
+				out[g] = merged.groups[g].st[k].count
 			}
 			schema = append(schema, Attr{Name: name, Type: bat.Int})
 			cols = append(cols, bat.FromInts(out))
 		default:
 			out := make([]float64, len(groups))
 			for g := range groups {
-				st := states[k][g]
+				st := &merged.groups[g].st[k]
 				switch a.Func {
 				case Sum:
 					out[g] = st.sum

@@ -2,7 +2,6 @@ package rel
 
 import (
 	"fmt"
-	"strings"
 
 	"repro/internal/bat"
 )
@@ -17,33 +16,90 @@ const (
 	Left
 )
 
-// hashKeys renders the join key of every row as a byte-string. Single
-// numeric keys take a fast path without string formatting.
-func hashKeys(r *Relation, attrs []string) ([]string, error) {
-	cols := make([]*bat.BAT, len(attrs))
-	for k, a := range attrs {
-		c, err := r.Col(a)
-		if err != nil {
-			return nil, err
+// joinTable is the hash-partitioned build-side index of HashJoin: rows of
+// the build relation grouped by key hash, split over 2^k partitions
+// selected by the low hash bits. Row lists are ascending, so probing
+// reproduces the canonical (build-order) match order no matter how the
+// table was built.
+type joinTable struct {
+	mask  uint64
+	parts []map[uint64][]int
+}
+
+func (t *joinTable) lookup(h uint64) []int {
+	return t.parts[h&t.mask][h]
+}
+
+// buildJoinTable indexes the build side from its row hashes. Small inputs
+// (or a single-worker budget) build one partition serially; larger ones are
+// radix-partitioned in two parallel passes — per-chunk histograms, then a
+// scatter through chunk-major offsets — and the per-partition hash tables
+// are built in parallel. Chunk-major offsets keep every partition's row
+// list ascending regardless of the chunk decomposition, which is what makes
+// the join output independent of the worker budget.
+func buildJoinTable(h []uint64) *joinTable {
+	m := len(h)
+	if m <= bat.SerialCutoff || bat.Parallelism() <= 1 {
+		part := make(map[uint64][]int, m/2+1)
+		for j, hv := range h {
+			part[hv] = append(part[hv], j)
 		}
-		cols[k] = c
+		return &joinTable{mask: 0, parts: []map[uint64][]int{part}}
 	}
-	n := r.NumRows()
-	keys := make([]string, n)
-	if len(cols) == 1 && cols[0].Type() == bat.String && !cols[0].IsSparse() {
-		copy(keys, cols[0].Vector().Strings())
-		return keys, nil
+	p := 1
+	for p < bat.Parallelism() && p < 64 {
+		p <<= 1
 	}
-	var sb strings.Builder
-	for i := 0; i < n; i++ {
-		sb.Reset()
-		for _, c := range cols {
-			sb.WriteString(c.Get(i).String())
-			sb.WriteByte(0)
+	mask := uint64(p - 1)
+	chunks, size := bat.ParallelRuns(m)
+
+	hist := make([]int, chunks*p)
+	bat.ParallelFor(chunks, 1, func(clo, chi int) {
+		for c := clo; c < chi; c++ {
+			row := hist[c*p : (c+1)*p]
+			for j := c * size; j < min((c+1)*size, m); j++ {
+				row[h[j]&mask]++
+			}
 		}
-		keys[i] = sb.String()
+	})
+	// Chunk-major prefix sums: partition pt holds chunk 0's rows, then
+	// chunk 1's, …, each ascending — so the whole partition is ascending.
+	partStart := make([]int, p+1)
+	pos := make([]int, chunks*p)
+	off := 0
+	for pt := 0; pt < p; pt++ {
+		partStart[pt] = off
+		for c := 0; c < chunks; c++ {
+			pos[c*p+pt] = off
+			off += hist[c*p+pt]
+		}
 	}
-	return keys, nil
+	partStart[p] = off
+
+	rows := make([]int, m)
+	bat.ParallelFor(chunks, 1, func(clo, chi int) {
+		for c := clo; c < chi; c++ {
+			cursor := pos[c*p : (c+1)*p]
+			for j := c * size; j < min((c+1)*size, m); j++ {
+				pt := h[j] & mask
+				rows[cursor[pt]] = j
+				cursor[pt]++
+			}
+		}
+	})
+
+	parts := make([]map[uint64][]int, p)
+	bat.ParallelFor(p, 1, func(plo, phi int) {
+		for pt := plo; pt < phi; pt++ {
+			span := rows[partStart[pt]:partStart[pt+1]]
+			mp := make(map[uint64][]int, len(span)/2+1)
+			for _, j := range span {
+				mp[h[j]] = append(mp[h[j]], j)
+			}
+			parts[pt] = mp
+		}
+	})
+	return &joinTable{mask: mask, parts: parts}
 }
 
 // HashJoin computes r ⋈ s on equality of the paired key attributes. The
@@ -51,43 +107,24 @@ func hashKeys(r *Relation, attrs []string) ([]string, error) {
 // attributes of s would duplicate r's and are dropped, matching the
 // natural-join convention the paper's examples use). For Left joins,
 // unmatched rows carry zero values in the right-hand attributes.
+//
+// The join is hash-partitioned: typed 64-bit key hashes (no per-row string
+// materialization) index the build side s, and the probe over r runs in two
+// parallel passes — match counting, then a scatter through per-row output
+// offsets. Output order is canonical at any worker budget: probe rows in r
+// order, matches per probe row in s order.
 func HashJoin(r, s *Relation, rKeys, sKeys []string, jt JoinType) (*Relation, error) {
 	if len(rKeys) != len(sKeys) || len(rKeys) == 0 {
 		return nil, fmt.Errorf("rel: join needs matching non-empty key lists")
 	}
-	rk, err := hashKeys(r, rKeys)
+	rkc, err := newKeyCols(r, rKeys)
 	if err != nil {
 		return nil, err
 	}
-	sk, err := hashKeys(s, sKeys)
+	skc, err := newKeyCols(s, sKeys)
 	if err != nil {
 		return nil, err
 	}
-	// Build on s, probe with r.
-	build := make(map[string][]int, len(sk))
-	for j, key := range sk {
-		build[key] = append(build[key], j)
-	}
-	li := make([]int, 0, len(rk))
-	ri := make([]int, 0, len(rk))
-	matched := make([]bool, 0, len(rk)) // parallel to li for Left joins
-	for i, key := range rk {
-		js := build[key]
-		if len(js) == 0 {
-			if jt == Left {
-				li = append(li, i)
-				ri = append(ri, -1)
-				matched = append(matched, false)
-			}
-			continue
-		}
-		for _, j := range js {
-			li = append(li, i)
-			ri = append(ri, j)
-			matched = append(matched, true)
-		}
-	}
-
 	dropped := make(map[string]bool, len(sKeys))
 	for _, a := range sKeys {
 		dropped[a] = true
@@ -102,44 +139,116 @@ func HashJoin(r, s *Relation, rKeys, sKeys []string, jt JoinType) (*Relation, er
 		}
 	}
 
+	// Build on s, probe with r.
+	table := buildJoinTable(skc.hashes())
+	rh := rkc.hashes()
+	n := r.NumRows()
+
+	// Probe pass 1: matches per probe row.
+	counts := bat.AllocInts(n)
+	bat.ParallelFor(n, bat.SerialCutoff, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			cnt := 0
+			for _, j := range table.lookup(rh[i]) {
+				if rkc.equal(i, skc, j) {
+					cnt++
+				}
+			}
+			counts[i] = cnt
+		}
+	})
+
+	// Prefix sum into output offsets (fixed serial combine).
+	total := 0
+	anyUnmatched := false
+	for i := 0; i < n; i++ {
+		c := counts[i]
+		if c == 0 && jt == Left {
+			c = 1
+			anyUnmatched = true
+		}
+		counts[i] = total
+		total += c
+	}
+
+	// Probe pass 2: scatter the match pairs; rows write disjoint ranges.
+	li := bat.AllocInts(total)
+	ri := bat.AllocInts(total)
+	bat.ParallelFor(n, bat.SerialCutoff, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			k := counts[i]
+			wrote := false
+			for _, j := range table.lookup(rh[i]) {
+				if rkc.equal(i, skc, j) {
+					li[k] = i
+					ri[k] = j
+					k++
+					wrote = true
+				}
+			}
+			if !wrote && jt == Left {
+				li[k] = i
+				ri[k] = -1
+			}
+		}
+	})
+	bat.FreeInts(counts)
+
 	left := r.Gather(li)
 	schema := left.Schema.Clone()
 	cols := append([]*bat.BAT(nil), left.Cols...)
 	for _, name := range sAttrs {
 		j := s.Schema.Index(name)
 		schema = append(schema, s.Schema[j])
-		cols = append(cols, gatherWithNulls(s.Cols[j], ri, matched))
+		cols = append(cols, gatherWithNulls(s.Cols[j], ri, jt == Left && anyUnmatched))
 	}
+	bat.FreeInts(li)
+	bat.FreeInts(ri)
 	return New(r.Name, schema, cols)
 }
 
 // gatherWithNulls gathers c by idx; positions with idx < 0 (left-join
-// non-matches) produce the zero value of the column type.
-func gatherWithNulls(c *bat.BAT, idx []int, matched []bool) *bat.BAT {
-	allMatched := true
-	for _, m := range matched {
-		if !m {
-			allMatched = false
-			break
-		}
-	}
-	if allMatched {
+// non-matches) produce the zero value of the column type. The fill is
+// decomposed over ParallelFor with one typed loop per tail domain.
+func gatherWithNulls(c *bat.BAT, idx []int, anyUnmatched bool) *bat.BAT {
+	if !anyUnmatched {
 		return c.Gather(idx)
 	}
-	out := bat.NewEmptyVector(c.Type(), len(idx))
-	for _, j := range idx {
-		if j < 0 {
-			switch c.Type() {
-			case bat.Float:
-				out.Append(bat.FloatValue(0))
-			case bat.Int:
-				out.Append(bat.IntValue(0))
-			case bat.String:
-				out.Append(bat.StringValue(""))
+	switch c.Type() {
+	case bat.Float:
+		f, _ := c.Floats()
+		out := bat.Alloc(len(idx))
+		bat.ParallelFor(len(idx), bat.SerialCutoff, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				if j := idx[k]; j >= 0 {
+					out[k] = f[j]
+				} else {
+					out[k] = 0
+				}
 			}
-			continue
-		}
-		out.Append(c.Get(j))
+		})
+		return bat.FromFloats(out)
+	case bat.Int:
+		xs := c.Vector().Ints()
+		out := make([]int64, len(idx))
+		bat.ParallelFor(len(idx), bat.SerialCutoff, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				if j := idx[k]; j >= 0 {
+					out[k] = xs[j]
+				}
+			}
+		})
+		return bat.FromInts(out)
+	default:
+		ss := c.Vector().Strings()
+		out := make([]string, len(idx))
+		bat.ParallelFor(len(idx), bat.SerialCutoff, func(lo, hi int) {
+			for k := lo; k < hi; k++ {
+				if j := idx[k]; j >= 0 {
+					out[k] = ss[j]
+				}
+			}
+		})
+		return bat.FromStrings(out)
 	}
-	return bat.FromVector(out)
 }

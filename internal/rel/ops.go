@@ -2,8 +2,6 @@ package rel
 
 import (
 	"fmt"
-	"sort"
-	"strings"
 
 	"repro/internal/bat"
 )
@@ -141,20 +139,25 @@ func Union(r, s *Relation) (*Relation, error) {
 }
 
 // Distinct returns r with duplicate rows removed (first occurrence kept).
+// Rows are compared through the typed key hashes of key.go (hash computed
+// in parallel, collisions resolved by column comparison), not through
+// rendered strings.
 func (r *Relation) Distinct() *Relation {
 	n := r.NumRows()
-	seen := make(map[string]bool, n)
+	kc := keyColsOf(n, r.Cols)
+	h := kc.hashes()
+	seen := make(map[uint64][]int, n)
 	idx := make([]int, 0, n)
-	var sb strings.Builder
 	for i := 0; i < n; i++ {
-		sb.Reset()
-		for _, c := range r.Cols {
-			sb.WriteString(c.Get(i).String())
-			sb.WriteByte(0)
+		dup := false
+		for _, j := range seen[h[i]] {
+			if kc.equal(i, kc, j) {
+				dup = true
+				break
+			}
 		}
-		key := sb.String()
-		if !seen[key] {
-			seen[key] = true
+		if !dup {
+			seen[h[i]] = append(seen[h[i]], i)
 			idx = append(idx, i)
 		}
 	}
@@ -167,7 +170,10 @@ type OrderSpec struct {
 	Desc bool
 }
 
-// Sort returns r ordered by the given attributes (stable).
+// Sort returns r ordered by the given attributes (stable). The permutation
+// comes from bat.SortStable — a parallel merge sort above the serial
+// cutoff — and the stable permutation is unique, so the row order is
+// identical at any worker budget.
 func (r *Relation) Sort(specs ...OrderSpec) (*Relation, error) {
 	vecs := make([]*bat.Vector, len(specs))
 	for k, sp := range specs {
@@ -177,11 +183,9 @@ func (r *Relation) Sort(specs ...OrderSpec) (*Relation, error) {
 		}
 		vecs[k] = c.Vector()
 	}
-	idx := bat.Identity(r.NumRows())
-	sort.SliceStable(idx, func(a, b int) bool {
-		ia, ib := idx[a], idx[b]
+	idx := bat.SortStable(r.NumRows(), func(a, b int) bool {
 		for k, v := range vecs {
-			c := v.Compare(ia, v, ib)
+			c := v.Compare(a, v, b)
 			if c != 0 {
 				if specs[k].Desc {
 					return c > 0
@@ -191,7 +195,9 @@ func (r *Relation) Sort(specs ...OrderSpec) (*Relation, error) {
 		}
 		return false
 	})
-	return r.Gather(idx), nil
+	out := r.Gather(idx)
+	bat.FreeInts(idx)
+	return out, nil
 }
 
 // Limit returns the first n rows.

@@ -4,6 +4,13 @@
 // relational half of the mixed workloads in the paper; the RMA operations in
 // internal/core produce and consume the same Relation type, which is what
 // makes the algebra closed.
+//
+// The hash-based operators (HashJoin, GroupBy, Distinct) identify rows by
+// typed 64-bit key hashes with collision resolution against the actual key
+// columns (see key.go) and decompose their scans over bat.ParallelFor.
+// HashJoin, GroupBy, and Sort are deterministic at any worker budget: the
+// same row order and bitwise-identical float payloads whether they run
+// serially or on eight workers.
 package rel
 
 import (

@@ -3,6 +3,7 @@ package sql
 import (
 	"fmt"
 	"sort"
+	"strconv"
 	"strings"
 	"sync"
 
@@ -518,8 +519,13 @@ func keyStrings(s *source, exprs []Expr) ([]string, error) {
 	for i := 0; i < n; i++ {
 		sb.Reset()
 		for _, c := range comps {
-			sb.WriteString(c.fn(i).String())
-			sb.WriteByte(0)
+			// Length-prefix each component: a bare separator byte would
+			// let values containing that byte shift cell boundaries and
+			// collide (e.g. ("a\x00", "b") vs ("a", "\x00b")).
+			v := c.fn(i).String()
+			sb.WriteString(strconv.Itoa(len(v)))
+			sb.WriteByte(':')
+			sb.WriteString(v)
 		}
 		keys[i] = sb.String()
 	}
