@@ -172,7 +172,7 @@ func BenchmarkTable7AddSelect(b *testing.B) {
 			if err != nil {
 				b.Fatal(err)
 			}
-			sum.Select(pred)
+			sum.Select(nil, pred)
 		}
 	})
 	ac := make([][]float64, 10)
@@ -398,7 +398,7 @@ func BenchmarkAblationMatMul(b *testing.B) {
 	})
 	b.Run("blocked-parallel", func(b *testing.B) {
 		for it := 0; it < b.N; it++ {
-			linalg.MatMul(x, y)
+			linalg.MatMul(nil, x, y)
 		}
 	})
 }
@@ -412,12 +412,12 @@ func BenchmarkAblationSYRK(b *testing.B) {
 	}
 	b.Run("syrk", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			linalg.SYRK(a)
+			linalg.SYRK(nil, a)
 		}
 	})
 	b.Run("generic-cpd", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			linalg.CrossProduct(a, a)
+			linalg.CrossProduct(nil, a, a)
 		}
 	})
 }
@@ -452,13 +452,13 @@ func BenchmarkAblationParallelKernels(b *testing.B) {
 		b.Run("add-"+bud.name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				bat.Release(bat.Add(x, y))
+				bat.Release(nil, bat.Add(nil, x, y))
 			}
 		})
 		b.Run("dot-"+bud.name, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				bat.Dot(x, y)
+				bat.Dot(nil, x, y)
 			}
 		})
 		bat.SetParallelism(prev)
@@ -466,7 +466,7 @@ func BenchmarkAblationParallelKernels(b *testing.B) {
 	b.Run("add-no-release", func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			bat.Add(x, y)
+			bat.Add(nil, x, y)
 		}
 	})
 }
@@ -486,12 +486,12 @@ func BenchmarkAblationSparseAdd(b *testing.B) {
 	s2 := bat.FromSparse(bat.Compress(dense2))
 	b.Run("dense", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			bat.Add(d1, d2)
+			bat.Add(nil, d1, d2)
 		}
 	})
 	b.Run("zero-suppressed", func(b *testing.B) {
 		for i := 0; i < b.N; i++ {
-			bat.Add(s1, s2)
+			bat.Add(nil, s1, s2)
 		}
 	})
 }
@@ -503,7 +503,7 @@ func BenchmarkAblationHashJoin(b *testing.B) {
 	stations := dataset.Stations(80, 15)
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
-		if _, err := rel.HashJoin(trips, stations,
+		if _, err := rel.HashJoin(nil, trips, stations,
 			[]string{"start_station"}, []string{"code"}, rel.Inner); err != nil {
 			b.Fatal(err)
 		}

@@ -10,7 +10,8 @@
 // Statements may span lines and end with ';'. With -demo the shell starts
 // with the paper's example database (users, film, rating) loaded.
 // Meta commands: \d lists tables, \policy bat|mkl|auto switches the
-// execution policy, \q quits.
+// execution policy, \workers n bounds the per-statement worker budget
+// (0 restores the default), \q quits.
 package main
 
 import (
@@ -18,11 +19,29 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"strconv"
 	"strings"
 
 	"repro/internal/core"
 	"repro/rma"
 )
+
+// shellOpts is the shell's current execution configuration. Every
+// statement the shell runs gets its own execution context built from
+// these options, so a \workers change applies from the next statement on
+// and never races statements already in flight.
+var shellOpts core.Options
+
+// applyOpts pushes the current options to the database (nil when
+// everything is at its default, restoring auto behavior).
+func applyOpts(db *rma.DB) {
+	if shellOpts == (core.Options{}) {
+		db.SetRMAOptions(nil)
+		return
+	}
+	o := shellOpts
+	db.SetRMAOptions(&o)
+}
 
 const demoScript = `
 CREATE TABLE users (Usr VARCHAR(20), State VARCHAR(2), YoB INT);
@@ -92,18 +111,33 @@ func meta(db *rma.DB, cmd string) bool {
 		arg := strings.TrimSpace(strings.TrimPrefix(cmd, `\policy`))
 		switch arg {
 		case "bat":
-			db.SetRMAOptions(&core.Options{Policy: core.PolicyBAT})
+			shellOpts.Policy = core.PolicyBAT
 		case "mkl", "dense":
-			db.SetRMAOptions(&core.Options{Policy: core.PolicyDense})
+			shellOpts.Policy = core.PolicyDense
 		case "auto", "":
-			db.SetRMAOptions(nil)
+			shellOpts.Policy = core.PolicyAuto
 		default:
 			fmt.Println("usage: \\policy bat|mkl|auto")
 			return false
 		}
+		applyOpts(db)
 		fmt.Println("policy set")
+	case strings.HasPrefix(cmd, `\workers`):
+		arg := strings.TrimSpace(strings.TrimPrefix(cmd, `\workers`))
+		n, err := strconv.Atoi(arg)
+		if err != nil || n < 0 {
+			fmt.Println("usage: \\workers n  (0 restores the default budget)")
+			return false
+		}
+		shellOpts.Parallelism = n
+		applyOpts(db)
+		if n == 0 {
+			fmt.Println("worker budget restored to the process default")
+		} else {
+			fmt.Printf("worker budget set to %d (per statement)\n", n)
+		}
 	default:
-		fmt.Println(`commands: \d (tables), \policy bat|mkl|auto, \q (quit)`)
+		fmt.Println(`commands: \d (tables), \policy bat|mkl|auto, \workers n, \q (quit)`)
 	}
 	return false
 }

@@ -8,28 +8,44 @@
 // writes a machine-readable BENCH_<n>.json kernel report). See README.md,
 // DESIGN.md, and EXPERIMENTS.md.
 //
-// # Parallel execution substrate
+// # Per-query execution contexts
 //
-// All three execution layers share one parallel driver and one buffer
-// arena, both hosted in internal/bat:
+// Every invocation of the stack runs under an explicit execution context
+// (internal/exec.Ctx) carrying three things: the worker budget, a
+// size-classed buffer arena, and a stats sink. Every layer takes the
+// context as its first argument — the vectorized BAT kernels, the sort
+// and sparse kernels, the column loops of package batlin, the dense
+// kernels of package linalg (MatMul, SYRK, QR, SVD), the relational
+// operators of package rel, and the copy-in/copy-out loops of package
+// core. A nil context is valid everywhere and means "default budget,
+// shared arena, no stats".
 //
-//   - bat.ParallelFor splits an index range over at most
-//     bat.Parallelism() goroutines with a serial cutoff
-//     (bat.SerialCutoff elements), so small columns never pay for
-//     scheduling. The vectorized BAT kernels decompose rows through it,
-//     package batlin decomposes independent columns (elementwise family,
-//     mmu/cpd/opd result columns, tra's scatter, the pivot-elimination
-//     fan-out of Algorithm 2), and package core decomposes the dense
-//     path's copy-in (toMatrix) and copy-out (matrixToCols) loops.
-//   - The reductions (bat.Sum, bat.Dot) accumulate over fixed-size
-//     chunks combined in chunk order, so results are bitwise-identical
-//     at any worker budget — asserted by -race property tests.
-//   - The arena (bat.Alloc/AllocZero/Free, bat.Release at the BAT
-//     level, AllocInts/FreeInts for sort permutations) recycles kernel
-//     output buffers through size-classed sync.Pools. Iterative
-//     algorithms release each superseded scratch column, keeping
-//     Gauss-Jordan inversion and Gram-Schmidt QR allocation-flat across
-//     iterations.
+// Because the budget lives in the context rather than in a process-wide
+// knob, concurrent queries with different core.Options.Parallelism
+// settings are race-free by construction: each query's operators resolve
+// workers against the query's own Ctx, and core.Stats.Workers reports
+// that budget per invocation. The former global knobs
+// (bat.SetParallelism, linalg.SetParallelism) survive only as deprecated
+// shims that seed the fallback budget nil contexts resolve against. A
+// dedicated CI step runs the mixed-budget concurrency stress tests under
+// -race with GOMAXPROCS=4.
+//
+//   - Ctx.ParallelFor splits an index range over at most Ctx.Workers()
+//     goroutines with a serial cutoff (exec.SerialCutoff elements), so
+//     small columns never pay for scheduling.
+//   - The reductions (bat.Sum, bat.Dot via Ctx.Reduce) accumulate over
+//     fixed-size chunks combined in chunk order, so results are
+//     bitwise-identical at any worker budget — asserted by -race
+//     property tests that run multiple contexts simultaneously.
+//   - The arena (exec.Arena, reachable as Ctx.Arena) recycles float64,
+//     int, int64, and string buffers through size-classed sync.Pools;
+//     bat.Release retires a whole column tail of any domain. The dense
+//     path's toMatrix operands draw their backing arrays from the
+//     context's arena and return them once the kernel has consumed them.
+//     Iterative algorithms release each superseded scratch column,
+//     keeping Gauss-Jordan inversion and Gram-Schmidt QR allocation-flat
+//     across iterations. Queries wanting buffer isolation can carry a
+//     private exec.NewArena in their context.
 //
 // The relational operators run on the same substrate:
 //
@@ -53,7 +69,12 @@
 //     determinism guarantee.
 //
 // core.Options.Parallelism bounds the worker budget per invocation
-// (default GOMAXPROCS, 1 forces serial); the effective count is recorded
-// in core.Stats.Workers. cmd/benchdiff diffs consecutive BENCH_<n>.json
+// (default GOMAXPROCS, 1 forces serial); core.Options.Ctx builds the
+// invocation's context, and the effective count is recorded in
+// core.Stats.Workers alongside the context's fan-out counters. The SQL
+// layer builds one context per statement, so concurrent statements with
+// different budgets never share a knob; its expression-keyed equi-joins
+// materialize typed key columns and route through rel.EquiJoinPairs (no
+// per-row string keys). cmd/benchdiff diffs consecutive BENCH_<n>.json
 // kernel reports and fails CI on >20% ns/op regressions.
 package repro

@@ -11,17 +11,19 @@ import (
 	"math"
 
 	"repro/internal/dataset"
+	"repro/internal/exec"
 	"repro/internal/rel"
 	"repro/rma"
 )
 
 func main() {
+	ctx := exec.Default()
 	trips := dataset.Trips(200000, 80, 42)
 	stations := dataset.Stations(80, 42)
 
 	// Relational preparation: frequent (start, end) routes with their
 	// average duration.
-	routes, err := rel.GroupBy(trips,
+	routes, err := rel.GroupBy(ctx, trips,
 		[]string{"start_station", "end_station"},
 		[]rel.AggSpec{
 			{Func: rel.Count, As: "n"},
@@ -34,19 +36,19 @@ func main() {
 	if err != nil {
 		log.Fatal(err)
 	}
-	frequent := routes.Select(pred)
+	frequent := routes.Select(ctx, pred)
 	fmt.Printf("%d routes ridden at least 50 times (of %d total)\n",
 		frequent.NumRows(), routes.NumRows())
 
 	// Join both endpoints with the station coordinates.
-	withStart, err := rel.HashJoin(frequent, stations,
+	withStart, err := rel.HashJoin(ctx, frequent, stations,
 		[]string{"start_station"}, []string{"code"}, rel.Inner)
 	if err != nil {
 		log.Fatal(err)
 	}
 	withStart, _ = withStart.Drop("name")
 	withStart, _ = withStart.Rename(map[string]string{"lat": "lat1", "lon": "lon1"})
-	both, err := rel.HashJoin(withStart, stations,
+	both, err := rel.HashJoin(ctx, withStart, stations,
 		[]string{"end_station"}, []string{"code"}, rel.Inner)
 	if err != nil {
 		log.Fatal(err)

@@ -1,130 +1,61 @@
 package bat
 
-import (
-	"math/bits"
-	"sync"
-)
+import "repro/internal/exec"
 
-// The arena recycles the float64 and int buffers that the vectorized
-// kernels produce. Kernels allocate every output through Alloc/AllocZero;
-// callers that know a column is dead — the iterative algorithms of package
-// batlin retire one scratch column per elimination or orthogonalization
-// step — hand it back with Free (or Release at the BAT level) and the next
-// kernel call reuses the memory instead of growing the heap. Buffers are
-// pooled in power-of-two size classes backed by sync.Pool, so anything
-// never freed is simply garbage collected and a Get after a GC falls back
-// to make; the arena can only reduce allocations, never retain memory
-// beyond what the GC allows.
+// The buffer arena moved to package exec as part of the per-query
+// execution-context refactor: every Ctx carries an arena handle
+// (Ctx.Arena), and kernels draw their outputs from it. The helpers below
+// are thin delegates kept so call sites without a context — tests,
+// examples, and the deprecated global-knob paths — stay terse; they all
+// operate on the shared arena.
 
-const (
-	// minPoolShift is the smallest pooled capacity (64 elements): below
-	// that the pool bookkeeping costs more than the allocation.
-	minPoolShift = 6
-	// maxPoolShift caps pooled buffers at 16Mi elements (128 MiB of
-	// float64s); larger columns go straight to the allocator.
-	maxPoolShift = 24
-	poolClasses  = maxPoolShift - minPoolShift + 1
-)
+// Alloc returns a float64 slice of length n from the shared arena. The
+// contents are undefined; use AllocZero when the kernel does not
+// overwrite every element.
+func Alloc(n int) []float64 { return exec.Shared().Floats(n) }
 
-var (
-	floatPools [poolClasses]sync.Pool // class c holds *[]float64 of cap 1<<(minPoolShift+c)
-	intPools   [poolClasses]sync.Pool // class c holds *[]int of cap 1<<(minPoolShift+c)
-)
+// AllocZero returns a zeroed float64 slice of length n from the shared
+// arena.
+func AllocZero(n int) []float64 { return exec.Shared().FloatsZero(n) }
 
-// classFor returns the pool class whose capacity 1<<(minPoolShift+class)
-// is the smallest one holding n elements, or -1 when n is outside the
-// pooled range.
-func classFor(n int) int {
-	if n <= 0 || n > 1<<maxPoolShift {
-		return -1
-	}
-	shift := bits.Len(uint(n - 1))
-	if shift < minPoolShift {
-		shift = minPoolShift
-	}
-	return shift - minPoolShift
-}
+// Free returns a float64 slice to the shared arena. The caller asserts
+// sole ownership: the slice (and any BAT or Vector wrapping it) must not
+// be used afterwards.
+func Free(f []float64) { exec.Shared().FreeFloats(f) }
 
-// capClass returns the pool class for a buffer of exactly capacity c, or
-// -1 when c is not a pooled class size. Only exact class capacities are
-// accepted so foreign slices cannot poison the pool with odd sizes.
-func capClass(c int) int {
-	if c < 1<<minPoolShift || c > 1<<maxPoolShift || c&(c-1) != 0 {
-		return -1
-	}
-	return bits.Len(uint(c)) - 1 - minPoolShift
-}
-
-// Alloc returns a float64 slice of length n, recycled from the arena when
-// a buffer of a suitable class is available. The contents are undefined;
-// use AllocZero when the kernel does not overwrite every element.
-func Alloc(n int) []float64 {
-	c := classFor(n)
-	if c < 0 {
-		return make([]float64, n)
-	}
-	if p, _ := floatPools[c].Get().(*[]float64); p != nil {
-		return (*p)[:n]
-	}
-	return make([]float64, n, 1<<(c+minPoolShift))
-}
-
-// AllocZero returns a zeroed float64 slice of length n from the arena.
-func AllocZero(n int) []float64 {
-	f := Alloc(n)
-	clear(f)
-	return f
-}
-
-// Free returns a float64 slice to the arena. The caller asserts sole
-// ownership: the slice (and any BAT or Vector wrapping it) must not be
-// used afterwards. Slices whose capacity is not an exact arena class are
-// left to the garbage collector.
-func Free(f []float64) {
-	c := capClass(cap(f))
-	if c < 0 {
-		return
-	}
-	f = f[:0]
-	floatPools[c].Put(&f)
-}
-
-// AllocInts returns an int slice of length n from the arena (the
+// AllocInts returns an int slice of length n from the shared arena (the
 // permutation buffers of SortIndex and Identity).
-func AllocInts(n int) []int {
-	c := classFor(n)
-	if c < 0 {
-		return make([]int, n)
-	}
-	if p, _ := intPools[c].Get().(*[]int); p != nil {
-		return (*p)[:n]
-	}
-	return make([]int, n, 1<<(c+minPoolShift))
-}
+func AllocInts(n int) []int { return exec.Shared().Ints(n) }
 
-// FreeInts returns an int slice to the arena under the same ownership
-// contract as Free.
-func FreeInts(idx []int) {
-	c := capClass(cap(idx))
-	if c < 0 {
-		return
-	}
-	idx = idx[:0]
-	intPools[c].Put(&idx)
-}
+// FreeInts returns an int slice to the shared arena under the same
+// ownership contract as Free.
+func FreeInts(idx []int) { exec.Shared().FreeInts(idx) }
 
-// Release returns a BAT's dense float tail to the arena. The caller
+// Release returns a BAT's dense tail to the arena of c. The caller
 // asserts sole ownership of the BAT; neither it nor any slice obtained
-// from it may be used afterwards. Sparse, int, and string tails are left
-// to the garbage collector. This is the retirement half of the kernel
-// contract: every kernel output came from Alloc, so the iterative
-// algorithms in package batlin release superseded columns to keep their
-// working set flat across iterations.
-func Release(b *BAT) {
-	if b == nil || b.vec == nil || b.vec.typ != Float {
+// from it may be used afterwards. Float, int64, and string tails are all
+// recycled (sparse tails are left to the garbage collector). This is the
+// retirement half of the kernel contract: every kernel output came from
+// the context's arena, so the iterative algorithms in package batlin
+// release superseded columns to keep their working set flat across
+// iterations.
+func Release(c *exec.Ctx, b *BAT) {
+	if b == nil || b.vec == nil {
 		return
 	}
-	f := b.vec.f
-	b.vec.f = nil
-	Free(f)
+	a := c.Arena()
+	switch b.vec.typ {
+	case Float:
+		f := b.vec.f
+		b.vec.f = nil
+		a.FreeFloats(f)
+	case Int:
+		xs := b.vec.i
+		b.vec.i = nil
+		a.FreeInt64s(xs)
+	case String:
+		ss := b.vec.s
+		b.vec.s = nil
+		a.FreeStrings(ss)
+	}
 }

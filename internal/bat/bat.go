@@ -1,6 +1,10 @@
 package bat
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/exec"
+)
 
 // BAT is a binary association table with a virtual (dense) OID head and a
 // typed tail. The tail is either a dense Vector or, for float columns with
@@ -48,10 +52,15 @@ func (b *BAT) Len() int {
 	return b.vec.Len()
 }
 
-// Vector returns the dense tail, densifying a sparse tail first.
-func (b *BAT) Vector() *Vector {
+// Vector returns the dense tail, densifying a sparse tail first on the
+// default execution context. Use VectorCtx inside ctx-threaded operators
+// so the densify runs under the invocation's budget and arena.
+func (b *BAT) Vector() *Vector { return b.VectorCtx(nil) }
+
+// VectorCtx is Vector on an explicit execution context.
+func (b *BAT) VectorCtx(c *exec.Ctx) *Vector {
 	if b.sp != nil {
-		return NewFloatVector(b.sp.Densify())
+		return NewFloatVector(b.sp.Densify(c))
 	}
 	return b.vec
 }
@@ -65,12 +74,13 @@ func (b *BAT) Get(k int) Value {
 }
 
 // Gather is leftfetchjoin: b↓idx returns a BAT whose k-th tail value is
-// b[idx[k]]. Sparse tails are gathered without densifying.
-func (b *BAT) Gather(idx []int) *BAT {
+// b[idx[k]], decomposed over the context's workers. Sparse tails are
+// gathered without densifying.
+func (b *BAT) Gather(c *exec.Ctx, idx []int) *BAT {
 	if b.sp != nil {
-		return FromSparse(b.sp.Gather(idx))
+		return FromSparse(b.sp.Gather(c, idx))
 	}
-	return FromVector(b.vec.Gather(idx))
+	return FromVector(b.vec.Gather(c, idx))
 }
 
 // Clone deep-copies the BAT.
@@ -82,15 +92,21 @@ func (b *BAT) Clone() *BAT {
 }
 
 // Floats returns the tail as a float64 slice (densifying sparse tails,
-// converting int tails). An error is returned for string tails.
-func (b *BAT) Floats() ([]float64, error) {
+// converting int tails) on the default execution context. An error is
+// returned for string tails. Use FloatsCtx inside ctx-threaded operators
+// so the densify/convert work runs under the invocation's budget and any
+// conversion buffer comes from its arena.
+func (b *BAT) Floats() ([]float64, error) { return b.FloatsCtx(nil) }
+
+// FloatsCtx is Floats on an explicit execution context.
+func (b *BAT) FloatsCtx(c *exec.Ctx) ([]float64, error) {
 	if b.sp != nil {
-		return b.sp.Densify(), nil
+		return b.sp.Densify(c), nil
 	}
 	if b.vec.Type() == String {
 		return nil, fmt.Errorf("bat: non-numeric column in numeric context")
 	}
-	f, _ := b.vec.AsFloats()
+	f, _ := b.vec.asFloats(c)
 	return f, nil
 }
 
@@ -101,90 +117,91 @@ func (b *BAT) Floats() ([]float64, error) {
 // batlin) are written against: elementwise arithmetic between two tails,
 // tail-scalar arithmetic, and aggregation. All of them produce new BATs.
 //
-// Every kernel decomposes its row range through ParallelFor (serial below
-// SerialCutoff elements) and draws its output buffer from the arena, so a
+// Every kernel takes the invocation's exec.Ctx first (nil is the default
+// context), decomposes its row range through Ctx.ParallelFor (serial below
+// SerialCutoff elements) and draws its output buffer from Ctx.Arena, so a
 // caller that releases dead columns runs allocation-free in steady state.
 // The reductions (Sum, Dot) accumulate over fixed-size chunks combined in
 // chunk order and are therefore bitwise-reproducible at any worker budget.
 
-func floatsOf(b *BAT) []float64 {
-	f, err := b.Floats()
+func floatsOf(c *exec.Ctx, b *BAT) []float64 {
+	f, err := b.FloatsCtx(c)
 	if err != nil {
 		panic(err)
 	}
 	return f
 }
 
-// Add returns b + c elementwise. When both tails are zero-suppressed the
+// Add returns b + x elementwise. When both tails are zero-suppressed the
 // addition runs on the compressed form (the Table 5 fast path).
-func Add(b, c *BAT) *BAT {
-	if b.sp != nil && c.sp != nil {
-		return FromSparse(SparseAdd(b.sp, c.sp))
+func Add(c *exec.Ctx, b, x *BAT) *BAT {
+	if b.sp != nil && x.sp != nil {
+		return FromSparse(SparseAdd(c, b.sp, x.sp))
 	}
-	x, y := floatsOf(b), floatsOf(c)
-	out := Alloc(len(x))
-	if serialFor(len(x)) {
-		for k := range x {
-			out[k] = x[k] + y[k]
+	xs, ys := floatsOf(c, b), floatsOf(c, x)
+	out := c.Arena().Floats(len(xs))
+	if c.Serial(len(xs)) {
+		for k := range xs {
+			out[k] = xs[k] + ys[k]
 		}
 	} else {
-		ParallelFor(len(x), SerialCutoff, func(lo, hi int) {
+		c.ParallelFor(len(xs), SerialCutoff, func(lo, hi int) {
 			for k := lo; k < hi; k++ {
-				out[k] = x[k] + y[k]
+				out[k] = xs[k] + ys[k]
 			}
 		})
 	}
 	return FromFloats(out)
 }
 
-// Sub returns b - c elementwise.
-func Sub(b, c *BAT) *BAT {
-	x, y := floatsOf(b), floatsOf(c)
-	out := Alloc(len(x))
-	if serialFor(len(x)) {
-		for k := range x {
-			out[k] = x[k] - y[k]
+// Sub returns b - x elementwise.
+func Sub(c *exec.Ctx, b, x *BAT) *BAT {
+	xs, ys := floatsOf(c, b), floatsOf(c, x)
+	out := c.Arena().Floats(len(xs))
+	if c.Serial(len(xs)) {
+		for k := range xs {
+			out[k] = xs[k] - ys[k]
 		}
 	} else {
-		ParallelFor(len(x), SerialCutoff, func(lo, hi int) {
+		c.ParallelFor(len(xs), SerialCutoff, func(lo, hi int) {
 			for k := lo; k < hi; k++ {
-				out[k] = x[k] - y[k]
+				out[k] = xs[k] - ys[k]
 			}
 		})
 	}
 	return FromFloats(out)
 }
 
-// Mul returns b * c elementwise.
-func Mul(b, c *BAT) *BAT {
-	x, y := floatsOf(b), floatsOf(c)
-	out := Alloc(len(x))
-	if serialFor(len(x)) {
-		for k := range x {
-			out[k] = x[k] * y[k]
+// Mul returns b * x elementwise.
+func Mul(c *exec.Ctx, b, x *BAT) *BAT {
+	xs, ys := floatsOf(c, b), floatsOf(c, x)
+	out := c.Arena().Floats(len(xs))
+	if c.Serial(len(xs)) {
+		for k := range xs {
+			out[k] = xs[k] * ys[k]
 		}
 	} else {
-		ParallelFor(len(x), SerialCutoff, func(lo, hi int) {
+		c.ParallelFor(len(xs), SerialCutoff, func(lo, hi int) {
 			for k := lo; k < hi; k++ {
-				out[k] = x[k] * y[k]
+				out[k] = xs[k] * ys[k]
 			}
 		})
 	}
 	return FromFloats(out)
 }
 
-// Div returns b / c elementwise.
-func Div(b, c *BAT) *BAT {
-	x, y := floatsOf(b), floatsOf(c)
-	out := Alloc(len(x))
-	if serialFor(len(x)) {
-		for k := range x {
-			out[k] = x[k] / y[k]
+// Div returns b / x elementwise.
+func Div(c *exec.Ctx, b, x *BAT) *BAT {
+	xs, ys := floatsOf(c, b), floatsOf(c, x)
+	out := c.Arena().Floats(len(xs))
+	if c.Serial(len(xs)) {
+		for k := range xs {
+			out[k] = xs[k] / ys[k]
 		}
 	} else {
-		ParallelFor(len(x), SerialCutoff, func(lo, hi int) {
+		c.ParallelFor(len(xs), SerialCutoff, func(lo, hi int) {
 			for k := lo; k < hi; k++ {
-				out[k] = x[k] / y[k]
+				out[k] = xs[k] / ys[k]
 			}
 		})
 	}
@@ -192,17 +209,17 @@ func Div(b, c *BAT) *BAT {
 }
 
 // AddScalar returns b + s elementwise.
-func AddScalar(b *BAT, s float64) *BAT {
-	x := floatsOf(b)
-	out := Alloc(len(x))
-	if serialFor(len(x)) {
-		for k := range x {
-			out[k] = x[k] + s
+func AddScalar(c *exec.Ctx, b *BAT, s float64) *BAT {
+	xs := floatsOf(c, b)
+	out := c.Arena().Floats(len(xs))
+	if c.Serial(len(xs)) {
+		for k := range xs {
+			out[k] = xs[k] + s
 		}
 	} else {
-		ParallelFor(len(x), SerialCutoff, func(lo, hi int) {
+		c.ParallelFor(len(xs), SerialCutoff, func(lo, hi int) {
 			for k := lo; k < hi; k++ {
-				out[k] = x[k] + s
+				out[k] = xs[k] + s
 			}
 		})
 	}
@@ -210,17 +227,17 @@ func AddScalar(b *BAT, s float64) *BAT {
 }
 
 // MulScalar returns b * s elementwise.
-func MulScalar(b *BAT, s float64) *BAT {
-	x := floatsOf(b)
-	out := Alloc(len(x))
-	if serialFor(len(x)) {
-		for k := range x {
-			out[k] = x[k] * s
+func MulScalar(c *exec.Ctx, b *BAT, s float64) *BAT {
+	xs := floatsOf(c, b)
+	out := c.Arena().Floats(len(xs))
+	if c.Serial(len(xs)) {
+		for k := range xs {
+			out[k] = xs[k] * s
 		}
 	} else {
-		ParallelFor(len(x), SerialCutoff, func(lo, hi int) {
+		c.ParallelFor(len(xs), SerialCutoff, func(lo, hi int) {
 			for k := lo; k < hi; k++ {
-				out[k] = x[k] * s
+				out[k] = xs[k] * s
 			}
 		})
 	}
@@ -228,79 +245,79 @@ func MulScalar(b *BAT, s float64) *BAT {
 }
 
 // DivScalar returns b / s elementwise.
-func DivScalar(b *BAT, s float64) *BAT {
-	x := floatsOf(b)
-	out := Alloc(len(x))
-	if serialFor(len(x)) {
-		for k := range x {
-			out[k] = x[k] / s
+func DivScalar(c *exec.Ctx, b *BAT, s float64) *BAT {
+	xs := floatsOf(c, b)
+	out := c.Arena().Floats(len(xs))
+	if c.Serial(len(xs)) {
+		for k := range xs {
+			out[k] = xs[k] / s
 		}
 	} else {
-		ParallelFor(len(x), SerialCutoff, func(lo, hi int) {
+		c.ParallelFor(len(xs), SerialCutoff, func(lo, hi int) {
 			for k := lo; k < hi; k++ {
-				out[k] = x[k] / s
+				out[k] = xs[k] / s
 			}
 		})
 	}
 	return FromFloats(out)
 }
 
-// AXPY returns b - c*s elementwise (the update step of Gauss-Jordan
+// AXPY returns b - x*s elementwise (the update step of Gauss-Jordan
 // elimination in the paper's Algorithm 2: B_j <- B_j - B_i * v2).
-func AXPY(b, c *BAT, s float64) *BAT {
-	x, y := floatsOf(b), floatsOf(c)
-	out := Alloc(len(x))
-	if serialFor(len(x)) {
-		for k := range x {
-			out[k] = x[k] - y[k]*s
+func AXPY(c *exec.Ctx, b, x *BAT, s float64) *BAT {
+	xs, ys := floatsOf(c, b), floatsOf(c, x)
+	out := c.Arena().Floats(len(xs))
+	if c.Serial(len(xs)) {
+		for k := range xs {
+			out[k] = xs[k] - ys[k]*s
 		}
 	} else {
-		ParallelFor(len(x), SerialCutoff, func(lo, hi int) {
+		c.ParallelFor(len(xs), SerialCutoff, func(lo, hi int) {
 			for k := lo; k < hi; k++ {
-				out[k] = x[k] - y[k]*s
+				out[k] = xs[k] - ys[k]*s
 			}
 		})
 	}
 	return FromFloats(out)
 }
 
-// AXPYInto subtracts c*s elementwise into dst: dst_k -= c_k*s. It is the
+// AXPYInto subtracts x*s elementwise into dst: dst_k -= x_k*s. It is the
 // in-place counterpart of AXPY for accumulation chains (MMU, OPD) that
 // would otherwise allocate one column per addend.
-func AXPYInto(dst []float64, c *BAT, s float64) {
-	y := floatsOf(c)
-	if serialFor(len(dst)) {
+func AXPYInto(c *exec.Ctx, dst []float64, x *BAT, s float64) {
+	ys := floatsOf(c, x)
+	if c.Serial(len(dst)) {
 		for k := range dst {
-			dst[k] -= y[k] * s
+			dst[k] -= ys[k] * s
 		}
 	} else {
-		ParallelFor(len(dst), SerialCutoff, func(lo, hi int) {
+		c.ParallelFor(len(dst), SerialCutoff, func(lo, hi int) {
 			for k := lo; k < hi; k++ {
-				dst[k] -= y[k] * s
+				dst[k] -= ys[k] * s
 			}
 		})
 	}
 }
 
 // Sum aggregates the tail: sum(B).
-func Sum(b *BAT) float64 {
+func Sum(c *exec.Ctx, b *BAT) float64 {
 	if b.sp != nil {
-		return b.sp.Sum()
+		return b.sp.Sum(c)
 	}
 	switch b.vec.Type() {
 	case Float:
-		x := b.vec.Floats()
-		if len(x) <= SerialCutoff { // single chunk: skip the closure
+		xs := b.vec.Floats()
+		if len(xs) <= SerialCutoff { // single chunk: skip the closure
 			var s float64
-			for _, v := range x {
+			for _, v := range xs {
 				s += v
 			}
 			return s
 		}
-		return parallelReduce(len(x), func(lo, hi int) float64 {
+		return c.Reduce(len(xs), func(lo, hi int) float64 {
 			var s float64
 			for k := lo; k < hi; k++ {
-				s += x[k]
+				s += xs[k]
 			}
 			return s
 		})
@@ -315,19 +332,19 @@ func Sum(b *BAT) float64 {
 }
 
 // Dot returns the inner product of two tails.
-func Dot(b, c *BAT) float64 {
-	x, y := floatsOf(b), floatsOf(c)
-	if len(x) <= SerialCutoff { // single chunk: skip the closure
+func Dot(c *exec.Ctx, b, x *BAT) float64 {
+	xs, ys := floatsOf(c, b), floatsOf(c, x)
+	if len(xs) <= SerialCutoff { // single chunk: skip the closure
 		var s float64
-		for k := range x {
-			s += x[k] * y[k]
+		for k := range xs {
+			s += xs[k] * ys[k]
 		}
 		return s
 	}
-	return parallelReduce(len(x), func(lo, hi int) float64 {
+	return c.Reduce(len(xs), func(lo, hi int) float64 {
 		var s float64
 		for k := lo; k < hi; k++ {
-			s += x[k] * y[k]
+			s += xs[k] * ys[k]
 		}
 		return s
 	})

@@ -73,7 +73,7 @@ func TestVectorBasics(t *testing.T) {
 
 func TestVectorGather(t *testing.T) {
 	v := NewStringVector([]string{"a", "b", "c", "d"})
-	g := v.Gather([]int{3, 1, 1})
+	g := v.Gather(nil, []int{3, 1, 1})
 	want := []string{"d", "b", "b"}
 	for k, s := range g.Strings() {
 		if s != want[k] {
@@ -122,18 +122,18 @@ func TestBATKernels(t *testing.T) {
 			}
 		}
 	}
-	check("add", Add(a, b), []float64{11, 22, 33})
-	check("sub", Sub(b, a), []float64{9, 18, 27})
-	check("mul", Mul(a, b), []float64{10, 40, 90})
-	check("div", Div(b, a), []float64{10, 10, 10})
-	check("addScalar", AddScalar(a, 1), []float64{2, 3, 4})
-	check("mulScalar", MulScalar(a, 2), []float64{2, 4, 6})
-	check("divScalar", DivScalar(b, 10), []float64{1, 2, 3})
-	check("axpy", AXPY(b, a, 2), []float64{8, 16, 24})
-	if s := Sum(a); s != 6 {
+	check("add", Add(nil, a, b), []float64{11, 22, 33})
+	check("sub", Sub(nil, b, a), []float64{9, 18, 27})
+	check("mul", Mul(nil, a, b), []float64{10, 40, 90})
+	check("div", Div(nil, b, a), []float64{10, 10, 10})
+	check("addScalar", AddScalar(nil, a, 1), []float64{2, 3, 4})
+	check("mulScalar", MulScalar(nil, a, 2), []float64{2, 4, 6})
+	check("divScalar", DivScalar(nil, b, 10), []float64{1, 2, 3})
+	check("axpy", AXPY(nil, b, a, 2), []float64{8, 16, 24})
+	if s := Sum(nil, a); s != 6 {
 		t.Errorf("Sum = %v", s)
 	}
-	if d := Dot(a, b); d != 140 {
+	if d := Dot(nil, a, b); d != 140 {
 		t.Errorf("Dot = %v", d)
 	}
 	if v := Sel(b, 2); v != 30 {
@@ -143,7 +143,7 @@ func TestBATKernels(t *testing.T) {
 
 func TestBATIntTail(t *testing.T) {
 	a := FromInts([]int64{1, 2, 3})
-	if s := Sum(a); s != 6 {
+	if s := Sum(nil, a); s != 6 {
 		t.Errorf("int Sum = %v", s)
 	}
 	f, err := a.Floats()
@@ -157,7 +157,7 @@ func TestBATIntTail(t *testing.T) {
 
 func TestSortIndexSingleKey(t *testing.T) {
 	b := FromFloats([]float64{3, 1, 2, 1})
-	idx := SortIndex([]*BAT{b})
+	idx := SortIndex(nil, []*BAT{b})
 	want := []int{1, 3, 2, 0} // stable: the two 1s keep input order
 	for k := range want {
 		if idx[k] != want[k] {
@@ -172,7 +172,7 @@ func TestSortIndexSingleKey(t *testing.T) {
 func TestSortIndexMultiKey(t *testing.T) {
 	a := FromStrings([]string{"b", "a", "b", "a"})
 	c := FromInts([]int64{1, 2, 0, 1})
-	idx := SortIndex([]*BAT{a, c})
+	idx := SortIndex(nil, []*BAT{a, c})
 	want := []int{3, 1, 2, 0} // (a,1),(a,2),(b,0),(b,1)
 	for k := range want {
 		if idx[k] != want[k] {
@@ -186,23 +186,23 @@ func TestSortIndexMultiKey(t *testing.T) {
 
 func TestSortIndexIntAndString(t *testing.T) {
 	bi := FromInts([]int64{5, -1, 3})
-	if idx := SortIndex([]*BAT{bi}); idx[0] != 1 || idx[1] != 2 || idx[2] != 0 {
+	if idx := SortIndex(nil, []*BAT{bi}); idx[0] != 1 || idx[1] != 2 || idx[2] != 0 {
 		t.Errorf("int sort idx = %v", idx)
 	}
 	bs := FromStrings([]string{"pear", "apple", "fig"})
-	if idx := SortIndex([]*BAT{bs}); idx[0] != 1 || idx[1] != 2 || idx[2] != 0 {
+	if idx := SortIndex(nil, []*BAT{bs}); idx[0] != 1 || idx[1] != 2 || idx[2] != 0 {
 		t.Errorf("string sort idx = %v", idx)
 	}
 }
 
 func TestIsSortedIndexAndIdentity(t *testing.T) {
-	if !IsSortedIndex(Identity(5)) {
+	if !IsSortedIndex(Identity(nil, 5)) {
 		t.Error("identity should be sorted")
 	}
 	if IsSortedIndex([]int{0, 2, 1}) {
 		t.Error("permutation reported sorted")
 	}
-	if SortIndex(nil) != nil {
+	if SortIndex(nil, nil) != nil {
 		t.Error("SortIndex(nil) should be nil")
 	}
 }
@@ -213,7 +213,7 @@ func TestSparseRoundTrip(t *testing.T) {
 	if sp.Len() != 6 || sp.NNZ() != 2 {
 		t.Fatalf("Len/NNZ = %d/%d", sp.Len(), sp.NNZ())
 	}
-	back := sp.Densify()
+	back := sp.Densify(nil)
 	for k := range dense {
 		if back[k] != dense[k] {
 			t.Fatalf("round trip mismatch at %d: %v vs %v", k, back[k], dense[k])
@@ -222,16 +222,16 @@ func TestSparseRoundTrip(t *testing.T) {
 	if sp.Get(1) != 1.5 || sp.Get(0) != 0 {
 		t.Errorf("Get = %v, %v", sp.Get(1), sp.Get(0))
 	}
-	if sp.Sum() != -0.5 {
-		t.Errorf("Sum = %v", sp.Sum())
+	if sp.Sum(nil) != -0.5 {
+		t.Errorf("Sum = %v", sp.Sum(nil))
 	}
 }
 
 func TestSparseGather(t *testing.T) {
 	sp := Compress([]float64{0, 1, 0, 3})
-	g := sp.Gather([]int{3, 0, 1})
+	g := sp.Gather(nil, []int{3, 0, 1})
 	want := []float64{3, 0, 1}
-	got := g.Densify()
+	got := g.Densify(nil)
 	for k := range want {
 		if got[k] != want[k] {
 			t.Fatalf("gather = %v, want %v", got, want)
@@ -256,7 +256,7 @@ func TestSparseAddMatchesDense(t *testing.T) {
 				b[k] = rng.Float64()*10 - 5
 			}
 		}
-		got := SparseAdd(Compress(a), Compress(b)).Densify()
+		got := SparseAdd(nil, Compress(a), Compress(b)).Densify(nil)
 		for k := 0; k < n; k++ {
 			if math.Abs(got[k]-(a[k]+b[k])) > 1e-12 {
 				return false
@@ -272,7 +272,7 @@ func TestSparseAddMatchesDense(t *testing.T) {
 func TestSparseAddViaBAT(t *testing.T) {
 	a := FromSparse(Compress([]float64{0, 1, 0}))
 	b := FromSparse(Compress([]float64{2, 0, 0}))
-	sum := Add(a, b)
+	sum := Add(nil, a, b)
 	if !sum.IsSparse() {
 		t.Error("sparse+sparse should stay sparse")
 	}
@@ -282,7 +282,7 @@ func TestSparseAddViaBAT(t *testing.T) {
 	}
 	// Cancellation removes the entry.
 	c := FromSparse(Compress([]float64{0, -1, 0}))
-	z := Add(a, c)
+	z := Add(nil, a, c)
 	if z.Sparse().NNZ() != 0 {
 		t.Errorf("cancellation kept %d entries", z.Sparse().NNZ())
 	}
@@ -299,7 +299,7 @@ func TestSparseBATOps(t *testing.T) {
 	if Sel(sp, 1) != 4 {
 		t.Errorf("Sel = %v", Sel(sp, 1))
 	}
-	g := sp.Gather([]int{1, 3})
+	g := sp.Gather(nil, []int{1, 3})
 	if f, _ := g.Floats(); f[0] != 4 || f[1] != 6 {
 		t.Errorf("gather floats = %v", f)
 	}
@@ -313,7 +313,7 @@ func TestSparseBATOps(t *testing.T) {
 	}
 	// Dense + sparse mixes densify transparently.
 	d := FromFloats([]float64{1, 1, 1, 1})
-	f, _ := Add(sp, d).Floats()
+	f, _ := Add(nil, sp, d).Floats()
 	if f[0] != 1 || f[1] != 5 {
 		t.Errorf("mixed add = %v", f)
 	}
@@ -329,8 +329,8 @@ func TestSortGatherProperty(t *testing.T) {
 			}
 		}
 		b := FromFloats(xs)
-		idx := SortIndex([]*BAT{b})
-		g, _ := b.Gather(idx).Floats()
+		idx := SortIndex(nil, []*BAT{b})
+		g, _ := b.Gather(nil, idx).Floats()
 		want := append([]float64(nil), xs...)
 		sort.Float64s(want)
 		if len(g) != len(want) {

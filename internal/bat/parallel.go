@@ -1,125 +1,36 @@
 package bat
 
-import (
-	"runtime"
-	"sync"
-	"sync/atomic"
-)
+import "repro/internal/exec"
 
-// SerialCutoff is the number of elements at or below which the vectorized
-// kernels stay on a single goroutine: at 16Ki float64s (128 KiB, two L2
-// tiles) the per-goroutine scheduling cost exceeds the work saved. The
-// first parallel size is SerialCutoff+1. It is also the fixed chunk edge
-// of the deterministic reductions, so tests probe the serial→parallel
-// boundary at SerialCutoff-1, SerialCutoff, SerialCutoff+1.
-const SerialCutoff = 1 << 14
+// SerialCutoff re-exports the serial/parallel boundary of the execution
+// substrate; the chunked kernels and their boundary-probing tests reference
+// it through this package.
+const SerialCutoff = exec.SerialCutoff
 
-// parallelism is the process-wide worker budget for the column kernels,
-// defaulting to GOMAXPROCS. It is read atomically on every kernel call so
-// core.Options.Parallelism can override it per invocation.
-var parallelism atomic.Int32
+// SetParallelism sets the process-wide fallback worker budget and returns
+// the previous value. Values below 1 are clamped to 1.
+//
+// Deprecated: the budget is per-invocation now — pass an exec.Ctx built
+// with exec.New(workers) to the kernels instead. This shim only seeds the
+// default context (exec.SetDefaultWorkers) that nil contexts resolve
+// against; concurrent callers setting different budgets see the last
+// write, which is exactly the global-knob race the context API removes.
+func SetParallelism(n int) int { return exec.SetDefaultWorkers(n) }
 
-func init() { parallelism.Store(int32(runtime.GOMAXPROCS(0))) }
+// Parallelism returns the fallback worker budget of the default context.
+//
+// Deprecated: use exec.Ctx.Workers on the invocation's context.
+func Parallelism() int { return exec.DefaultWorkers() }
 
-// SetParallelism sets the worker budget for all parallel kernels in this
-// package and returns the previous value. Values below 1 are clamped to 1
-// (fully serial execution). The knob is process-wide: concurrent callers
-// setting different budgets see the last write.
-func SetParallelism(n int) int {
-	if n < 1 {
-		n = 1
-	}
-	return int(parallelism.Swap(int32(n)))
-}
-
-// Parallelism returns the current worker budget.
-func Parallelism() int { return int(parallelism.Load()) }
-
-// ParallelFor splits [0, n) into at most Parallelism() contiguous ranges
-// and runs body on every range, on the calling goroutine when n does not
-// exceed minWork (so parallelism engages at n = minWork+1; ranges can be
-// as small as ⌈minWork/workers⌉ right above the boundary). This is the
-// shared parallel driver of the BAT execution stack: the kernels below,
-// the column loops of package batlin, and the copy-in/copy-out loops of
-// package core all decompose their work through it.
+// ParallelFor runs body over [0, n) on the default context.
+//
+// Deprecated: call ParallelFor on the invocation's exec.Ctx.
 func ParallelFor(n, minWork int, body func(lo, hi int)) {
-	if n <= 0 {
-		return
-	}
-	workers := Parallelism()
-	if minWork < 1 {
-		minWork = 1
-	}
-	if ceil := (n + minWork - 1) / minWork; workers > ceil {
-		workers = ceil
-	}
-	if workers <= 1 {
-		body(0, n)
-		return
-	}
-	chunk := (n + workers - 1) / workers
-	var wg sync.WaitGroup
-	for lo := 0; lo < n; lo += chunk {
-		hi := min(lo+chunk, n)
-		wg.Add(1)
-		go func(lo, hi int) {
-			defer wg.Done()
-			body(lo, hi)
-		}(lo, hi)
-	}
-	wg.Wait()
+	exec.Default().ParallelFor(n, minWork, body)
 }
 
-// ParallelRuns returns the contiguous-range decomposition the
-// range-concatenating kernels share: at most Parallelism() runs of at
-// least SerialCutoff elements each, as (count, size) with
-// count = ceil(n/size). Kernels that concatenate per-run outputs in run
-// order produce the same result for any decomposition, so the run count
-// may depend on the worker budget without breaking determinism.
-func ParallelRuns(n int) (runs, size int) {
-	runs = min(Parallelism(), (n+SerialCutoff-1)/SerialCutoff)
-	size = (n + runs - 1) / runs
-	return (n + size - 1) / size, size
-}
-
-// serialFor reports whether ParallelFor would run a range of n elements
-// with minWork SerialCutoff on the calling goroutine. Kernels branch on it
-// before building their ParallelFor closure: a closure capturing the
-// operand slices is a heap allocation, which on the serial path would cost
-// more than it saves.
-func serialFor(n int) bool {
-	return n <= SerialCutoff || Parallelism() <= 1
-}
-
-// parallelReduce sums per-chunk partial results over fixed-size chunks of
-// SerialCutoff elements. Chunk boundaries depend only on n — never on the
-// worker budget — and partials are combined in ascending chunk order, so
-// the result is bitwise-identical at any parallelism (the property the
-// -race tests in parallel_test.go assert).
-func parallelReduce(n int, partial func(lo, hi int) float64) float64 {
-	if n <= 0 {
-		return 0
-	}
-	chunks := (n + SerialCutoff - 1) / SerialCutoff
-	if chunks == 1 {
-		return partial(0, n)
-	}
-	if Parallelism() <= 1 {
-		var s float64
-		for c := 0; c < chunks; c++ {
-			s += partial(c*SerialCutoff, min((c+1)*SerialCutoff, n))
-		}
-		return s
-	}
-	parts := make([]float64, chunks)
-	ParallelFor(chunks, 1, func(clo, chi int) {
-		for c := clo; c < chi; c++ {
-			parts[c] = partial(c*SerialCutoff, min((c+1)*SerialCutoff, n))
-		}
-	})
-	var s float64
-	for _, p := range parts {
-		s += p
-	}
-	return s
-}
+// ParallelRuns returns the default context's contiguous-range
+// decomposition of n elements.
+//
+// Deprecated: call ParallelRuns on the invocation's exec.Ctx.
+func ParallelRuns(n int) (runs, size int) { return exec.Default().ParallelRuns(n) }

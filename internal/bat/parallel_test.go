@@ -50,14 +50,14 @@ func TestElementwiseBitwiseIdentical(t *testing.T) {
 		name string
 		run  func(b, c *BAT) *BAT
 	}{
-		{"add", func(b, c *BAT) *BAT { return Add(b, c) }},
-		{"sub", func(b, c *BAT) *BAT { return Sub(b, c) }},
-		{"mul", func(b, c *BAT) *BAT { return Mul(b, c) }},
-		{"div", func(b, c *BAT) *BAT { return Div(b, c) }},
-		{"axpy", func(b, c *BAT) *BAT { return AXPY(b, c, 1.5) }},
-		{"addscalar", func(b, c *BAT) *BAT { return AddScalar(b, 2.25) }},
-		{"mulscalar", func(b, c *BAT) *BAT { return MulScalar(b, -3.5) }},
-		{"divscalar", func(b, c *BAT) *BAT { return DivScalar(b, 7) }},
+		{"add", func(b, c *BAT) *BAT { return Add(nil, b, c) }},
+		{"sub", func(b, c *BAT) *BAT { return Sub(nil, b, c) }},
+		{"mul", func(b, c *BAT) *BAT { return Mul(nil, b, c) }},
+		{"div", func(b, c *BAT) *BAT { return Div(nil, b, c) }},
+		{"axpy", func(b, c *BAT) *BAT { return AXPY(nil, b, c, 1.5) }},
+		{"addscalar", func(b, c *BAT) *BAT { return AddScalar(nil, b, 2.25) }},
+		{"mulscalar", func(b, c *BAT) *BAT { return MulScalar(nil, b, -3.5) }},
+		{"divscalar", func(b, c *BAT) *BAT { return DivScalar(nil, b, 7) }},
 	}
 	for _, n := range chunkBoundarySizes() {
 		b := FromFloats(randomFloats(n, 1))
@@ -80,8 +80,8 @@ func TestReductionsBitwiseIdentical(t *testing.T) {
 		c := FromFloats(randomFloats(n, 4))
 		for _, workers := range []int{2, 3, 8} {
 			var sum1, sumP, dot1, dotP float64
-			withParallelism(1, func() { sum1, dot1 = Sum(b), Dot(b, c) })
-			withParallelism(workers, func() { sumP, dotP = Sum(b), Dot(b, c) })
+			withParallelism(1, func() { sum1, dot1 = Sum(nil, b), Dot(nil, b, c) })
+			withParallelism(workers, func() { sumP, dotP = Sum(nil, b), Dot(nil, b, c) })
 			if math.Float64bits(sum1) != math.Float64bits(sumP) {
 				t.Fatalf("sum n=%d workers=%d: %v vs %v", n, workers, sum1, sumP)
 			}
@@ -102,8 +102,8 @@ func TestGatherBitwiseIdentical(t *testing.T) {
 		}
 		fb := FromFloats(randomFloats(n, 5))
 		var serial, parallel *BAT
-		withParallelism(1, func() { serial = fb.Gather(idx) })
-		withParallelism(8, func() { parallel = fb.Gather(idx) })
+		withParallelism(1, func() { serial = fb.Gather(nil, idx) })
+		withParallelism(8, func() { parallel = fb.Gather(nil, idx) })
 		bitsEqual(t, "gather-float", n, serial.Vector().Floats(), parallel.Vector().Floats())
 
 		ints := make([]int64, n)
@@ -112,8 +112,8 @@ func TestGatherBitwiseIdentical(t *testing.T) {
 		}
 		ib := FromInts(ints)
 		var is, ip *BAT
-		withParallelism(1, func() { is = ib.Gather(idx) })
-		withParallelism(8, func() { ip = ib.Gather(idx) })
+		withParallelism(1, func() { is = ib.Gather(nil, idx) })
+		withParallelism(8, func() { ip = ib.Gather(nil, idx) })
 		for k := 0; k < n; k++ {
 			if is.Vector().Ints()[k] != ip.Vector().Ints()[k] {
 				t.Fatalf("gather-int n=%d: element %d differs", n, k)
@@ -128,9 +128,9 @@ func TestAXPYIntoMatchesAXPY(t *testing.T) {
 	for _, n := range chunkBoundarySizes() {
 		b := FromFloats(randomFloats(n, 6))
 		c := FromFloats(randomFloats(n, 7))
-		want := AXPY(b, c, 0.75).Vector().Floats()
+		want := AXPY(nil, b, c, 0.75).Vector().Floats()
 		dst := append([]float64(nil), b.Vector().Floats()...)
-		AXPYInto(dst, c, 0.75)
+		AXPYInto(nil, dst, c, 0.75)
 		bitsEqual(t, "axpyinto", n, want, dst)
 	}
 }
@@ -159,10 +159,6 @@ func TestArenaRoundTrip(t *testing.T) {
 		t.Fatalf("Alloc(0): len=%d", len(got))
 	}
 	Free(make([]float64, 100)) // cap 100 is no class size: must be dropped, not pooled
-	huge := 1<<maxPoolShift + 1
-	if c := classFor(huge); c != -1 {
-		t.Fatalf("classFor(%d) = %d, want -1", huge, c)
-	}
 
 	idx := AllocInts(1000)
 	if len(idx) != 1000 || cap(idx) != 1024 {
@@ -171,12 +167,13 @@ func TestArenaRoundTrip(t *testing.T) {
 	FreeInts(idx)
 }
 
-// TestReleaseOwnership checks Release's type gating: only dense float
-// tails return to the arena, and nil/sparse/int BATs are no-ops.
+// TestReleaseOwnership checks Release's gating: dense tails return to
+// the arena (all three domains since the per-query context refactor),
+// nil and sparse BATs are no-ops, and non-class capacities are dropped.
 func TestReleaseOwnership(t *testing.T) {
-	Release(nil)
-	Release(FromInts([]int64{1, 2, 3}))
-	Release(FromSparse(Compress([]float64{0, 1, 0})))
-	b := Add(FromFloats(randomFloats(200, 8)), FromFloats(randomFloats(200, 9)))
-	Release(b) // kernel output came from the arena; returns cleanly
+	Release(nil, nil)
+	Release(nil, FromInts([]int64{1, 2, 3}))
+	Release(nil, FromSparse(Compress([]float64{0, 1, 0})))
+	b := Add(nil, FromFloats(randomFloats(200, 8)), FromFloats(randomFloats(200, 9)))
+	Release(nil, b) // kernel output came from the arena; returns cleanly
 }

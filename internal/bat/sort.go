@@ -1,6 +1,10 @@
 package bat
 
-import "sort"
+import (
+	"sort"
+
+	"repro/internal/exec"
+)
 
 // SortStable computes the stable ascending sort permutation of [0, n) under
 // less, a strict weak ordering over original row positions (less(a, b)
@@ -11,27 +15,27 @@ import "sort"
 // always holds smaller original positions than the run to its right, so
 // preferring left preserves stability, and because the stable permutation
 // of a sequence is unique, the result is identical at any worker budget.
-// The permutation buffer comes from the arena; callers done with it may
-// hand it back with FreeInts.
-func SortStable(n int, less func(a, b int) bool) []int {
-	idx := Identity(n)
-	if n <= SerialCutoff || Parallelism() <= 1 {
+// The permutation buffer comes from the context's arena; callers done with
+// it may hand it back with FreeInts.
+func SortStable(c *exec.Ctx, n int, less func(a, b int) bool) []int {
+	idx := Identity(c, n)
+	if n <= SerialCutoff || c.Workers() <= 1 {
 		sort.SliceStable(idx, func(a, b int) bool { return less(idx[a], idx[b]) })
 		return idx
 	}
-	runs, size := ParallelRuns(n)
-	ParallelFor(runs, 1, func(lo, hi int) {
+	runs, size := c.ParallelRuns(n)
+	c.ParallelFor(runs, 1, func(lo, hi int) {
 		for r := lo; r < hi; r++ {
 			s := idx[r*size : min((r+1)*size, n)]
 			sort.SliceStable(s, func(a, b int) bool { return less(s[a], s[b]) })
 		}
 	})
-	buf := AllocInts(n)
+	buf := c.Arena().Ints(n)
 	src, dst := idx, buf
 	for width := size; width < n; width *= 2 {
 		pairs := (n + 2*width - 1) / (2 * width)
 		w := width // capture per level
-		ParallelFor(pairs, 1, func(plo, phi int) {
+		c.ParallelFor(pairs, 1, func(plo, phi int) {
 			for p := plo; p < phi; p++ {
 				lo := p * 2 * w
 				mergeRuns(dst, src, lo, min(lo+w, n), min(lo+2*w, n), less)
@@ -42,7 +46,7 @@ func SortStable(n int, less func(a, b int) bool) []int {
 	if &src[0] != &idx[0] {
 		copy(idx, src)
 	}
-	FreeInts(buf)
+	c.Arena().FreeInts(buf)
 	return idx
 }
 
@@ -69,7 +73,7 @@ func mergeRuns(dst, src []int, lo, mid, hi int, less func(a, b int) bool) {
 // Above SerialCutoff elements the permutation is computed by the parallel
 // merge sort of SortStable; the stable permutation is unique, so the result
 // is identical at any worker budget.
-func SortIndex(keys []*BAT) []int {
+func SortIndex(c *exec.Ctx, keys []*BAT) []int {
 	if len(keys) == 0 {
 		return nil
 	}
@@ -78,7 +82,7 @@ func SortIndex(keys []*BAT) []int {
 	// same effect and turns sorts over already-ordered keys into no-ops —
 	// crucially before the permutation buffer below is even allocated.
 	if keysSorted(keys) {
-		return Identity(n)
+		return Identity(c, n)
 	}
 	// Fast path: a single dense key column avoids the per-comparison
 	// column loop and interface dispatch.
@@ -87,23 +91,23 @@ func SortIndex(keys []*BAT) []int {
 		switch v.Type() {
 		case Float:
 			f := v.Floats()
-			return SortStable(n, func(a, b int) bool { return f[a] < f[b] })
+			return SortStable(c, n, func(a, b int) bool { return f[a] < f[b] })
 		case Int:
 			xs := v.Ints()
-			return SortStable(n, func(a, b int) bool { return xs[a] < xs[b] })
+			return SortStable(c, n, func(a, b int) bool { return xs[a] < xs[b] })
 		case String:
 			ss := v.Strings()
-			return SortStable(n, func(a, b int) bool { return ss[a] < ss[b] })
+			return SortStable(c, n, func(a, b int) bool { return ss[a] < ss[b] })
 		}
 	}
 	vecs := make([]*Vector, len(keys))
 	for k, b := range keys {
-		vecs[k] = b.Vector()
+		vecs[k] = b.VectorCtx(c)
 	}
-	return SortStable(n, func(a, b int) bool {
+	return SortStable(c, n, func(a, b int) bool {
 		for _, v := range vecs {
-			if c := v.Compare(a, v, b); c != 0 {
-				return c < 0
+			if cmp := v.Compare(a, v, b); cmp != 0 {
+				return cmp < 0
 			}
 		}
 		return false
@@ -176,10 +180,10 @@ func KeyUnique(keys []*BAT, idx []int) bool {
 }
 
 // Identity returns the identity permutation of length n. The buffer comes
-// from the arena; callers done with a permutation may hand it back with
-// FreeInts.
-func Identity(n int) []int {
-	idx := AllocInts(n)
+// from the context's arena; callers done with a permutation may hand it
+// back with FreeInts.
+func Identity(c *exec.Ctx, n int) []int {
+	idx := c.Arena().Ints(n)
 	for k := range idx {
 		idx[k] = k
 	}

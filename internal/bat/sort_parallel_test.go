@@ -44,7 +44,7 @@ func TestSortIndexIdenticalAcrossWorkers(t *testing.T) {
 		b := FromFloats(f)
 		for _, workers := range []int{1, 2, 8} {
 			withParallelism(workers, func() {
-				idx := SortIndex([]*BAT{b})
+				idx := SortIndex(nil, []*BAT{b})
 				permsEqual(t, "sortindex-float", n, workers, idx, want)
 				FreeInts(idx)
 			})
@@ -73,7 +73,7 @@ func TestSortIndexMultiKeyIdenticalAcrossWorkers(t *testing.T) {
 	})
 	for _, workers := range []int{1, 2, 8} {
 		withParallelism(workers, func() {
-			idx := SortIndex([]*BAT{bi, bs})
+			idx := SortIndex(nil, []*BAT{bi, bs})
 			permsEqual(t, "sortindex-multikey", n, workers, idx, want)
 			FreeInts(idx)
 		})
@@ -90,7 +90,7 @@ func TestSortStableIsStable(t *testing.T) {
 			keys[k] = k % 7
 		}
 		withParallelism(8, func() {
-			idx := SortStable(n, func(a, b int) bool { return keys[a] < keys[b] })
+			idx := SortStable(nil, n, func(a, b int) bool { return keys[a] < keys[b] })
 			for k := 1; k < n; k++ {
 				ka, kb := keys[idx[k-1]], keys[idx[k]]
 				if ka > kb {

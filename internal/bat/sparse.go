@@ -1,14 +1,19 @@
 package bat
 
-import "sort"
+import (
+	"sort"
+
+	"repro/internal/exec"
+)
 
 // Sparse is a zero-suppressed float column: only non-zero values are stored
 // together with their OIDs (ascending). It stands in for the lightweight
 // compression MonetDB applies to value-repetitive columns, which the
 // paper's Table 5 experiment shows speeds up add on sparse relations.
 //
-// The kernels below (SparseAdd, Gather, Densify, Sum) decompose their work
-// through ParallelFor like the dense kernels in bat.go. Each one produces
+// The kernels below (SparseAdd, Gather, Densify, Sum) take the
+// invocation's exec.Ctx and decompose their work through its ParallelFor
+// like the dense kernels in bat.go. Each one produces
 // output that is uniquely determined by its inputs — merges and gathers
 // concatenate per-range results in range order, and Sum reduces over fixed
 // chunks combined in chunk order — so results are identical (bitwise, for
@@ -59,24 +64,24 @@ func (s *Sparse) Get(k int) float64 {
 }
 
 // Densify materializes the column as a dense slice. The buffer comes from
-// the arena; the zero-fill and the non-zero scatter are both decomposed
-// over ParallelFor (scatter positions are distinct, so the writes are
-// disjoint).
-func (s *Sparse) Densify() []float64 {
-	out := Alloc(s.n)
-	if serialFor(s.n) {
+// the context's arena; the zero-fill and the non-zero scatter are both
+// decomposed over the context's workers (scatter positions are distinct,
+// so the writes are disjoint).
+func (s *Sparse) Densify(c *exec.Ctx) []float64 {
+	out := c.Arena().Floats(s.n)
+	if c.Serial(s.n) {
 		clear(out)
 	} else {
-		ParallelFor(s.n, SerialCutoff, func(lo, hi int) {
+		c.ParallelFor(s.n, SerialCutoff, func(lo, hi int) {
 			clear(out[lo:hi])
 		})
 	}
-	if serialFor(len(s.oid)) {
+	if c.Serial(len(s.oid)) {
 		for i, k := range s.oid {
 			out[k] = s.val[i]
 		}
 	} else {
-		ParallelFor(len(s.oid), SerialCutoff, func(lo, hi int) {
+		c.ParallelFor(len(s.oid), SerialCutoff, func(lo, hi int) {
 			for i := lo; i < hi; i++ {
 				out[s.oid[i]] = s.val[i]
 			}
@@ -87,7 +92,7 @@ func (s *Sparse) Densify() []float64 {
 
 // Sum returns the sum of all values, accumulating over fixed-size chunks
 // combined in chunk order (bitwise-identical at any worker budget).
-func (s *Sparse) Sum() float64 {
+func (s *Sparse) Sum(c *exec.Ctx) float64 {
 	if len(s.val) <= SerialCutoff { // single chunk: skip the closure
 		var t float64
 		for _, x := range s.val {
@@ -95,7 +100,7 @@ func (s *Sparse) Sum() float64 {
 		}
 		return t
 	}
-	return parallelReduce(len(s.val), func(lo, hi int) float64 {
+	return c.Reduce(len(s.val), func(lo, hi int) float64 {
 		var t float64
 		for k := lo; k < hi; k++ {
 			t += s.val[k]
@@ -116,9 +121,9 @@ func (s *Sparse) Clone() *Sparse {
 // Gather applies a positional fetch. The result stays zero-suppressed.
 // Ranges of the index list are gathered in parallel and concatenated in
 // range order.
-func (s *Sparse) Gather(idx []int) *Sparse {
+func (s *Sparse) Gather(c *exec.Ctx, idx []int) *Sparse {
 	out := &Sparse{n: len(idx)}
-	if serialFor(len(idx)) {
+	if c.Serial(len(idx)) {
 		for k, j := range idx {
 			if v := s.Get(j); v != 0 {
 				out.oid = append(out.oid, k)
@@ -127,10 +132,10 @@ func (s *Sparse) Gather(idx []int) *Sparse {
 		}
 		return out
 	}
-	runs, size := ParallelRuns(len(idx))
+	runs, size := c.ParallelRuns(len(idx))
 	oids := make([][]int, runs)
 	vals := make([][]float64, runs)
-	ParallelFor(runs, 1, func(rlo, rhi int) {
+	c.ParallelFor(runs, 1, func(rlo, rhi int) {
 		for r := rlo; r < rhi; r++ {
 			lo, hi := r*size, min((r+1)*size, len(idx))
 			var o []int
@@ -166,16 +171,16 @@ func (s *Sparse) Gather(idx []int) *Sparse {
 // OID domain is split into ranges merged in parallel and concatenated in
 // range order; the merge result is unique, so the output is independent of
 // the worker budget.
-func SparseAdd(a, b *Sparse) *Sparse {
+func SparseAdd(c *exec.Ctx, a, b *Sparse) *Sparse {
 	work := len(a.oid) + len(b.oid)
-	if serialFor(work) {
+	if c.Serial(work) {
 		out := &Sparse{n: a.n}
 		mergeSparse(out, a, 0, len(a.oid), b, 0, sort.SearchInts(b.oid, a.n))
 		return out
 	}
-	runs, size := ParallelRuns(a.n)
+	runs, size := c.ParallelRuns(a.n)
 	parts := make([]Sparse, runs)
-	ParallelFor(runs, 1, func(rlo, rhi int) {
+	c.ParallelFor(runs, 1, func(rlo, rhi int) {
 		for r := rlo; r < rhi; r++ {
 			lo, hi := r*size, min((r+1)*size, a.n)
 			ai, aj := sort.SearchInts(a.oid, lo), sort.SearchInts(a.oid, hi)

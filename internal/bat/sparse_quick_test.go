@@ -45,7 +45,7 @@ func TestQuickSparseAddMatchesDense(t *testing.T) {
 		for _, w := range []int{1, 2, 8} {
 			ok := true
 			withParallelism(w, func() {
-				got := SparseAdd(a, b).Densify()
+				got := SparseAdd(nil, a, b).Densify(nil)
 				for k := range got {
 					if math.Float64bits(got[k]) != math.Float64bits(fa[k]+fb[k]) {
 						ok = false
@@ -73,10 +73,10 @@ func TestSparseAddParallelBoundary(t *testing.T) {
 	fb := randDense(rng, n, 0.7)
 	a, b := Compress(fa), Compress(fb)
 	var want *Sparse
-	withParallelism(1, func() { want = SparseAdd(a, b) })
+	withParallelism(1, func() { want = SparseAdd(nil, a, b) })
 	for _, w := range []int{2, 8} {
 		withParallelism(w, func() {
-			got := SparseAdd(a, b)
+			got := SparseAdd(nil, a, b)
 			if got.NNZ() != want.NNZ() || got.Len() != want.Len() {
 				t.Fatalf("workers=%d: nnz %d/%d len %d/%d", w, got.NNZ(), want.NNZ(), got.Len(), want.Len())
 			}
@@ -105,7 +105,7 @@ func TestQuickSparseGatherMatchesDense(t *testing.T) {
 		for _, w := range []int{1, 2, 8} {
 			ok := true
 			withParallelism(w, func() {
-				got := sp.Gather(idx).Densify()
+				got := sp.Gather(nil, idx).Densify(nil)
 				if len(got) != len(idx) {
 					ok = false
 					return
@@ -141,13 +141,13 @@ func TestSparseGatherDensifyParallelBoundary(t *testing.T) {
 	}
 	var wantG, wantD []float64
 	withParallelism(1, func() {
-		wantG = sp.Gather(idx).Densify()
-		wantD = sp.Densify()
+		wantG = sp.Gather(nil, idx).Densify(nil)
+		wantD = sp.Densify(nil)
 	})
 	for _, w := range []int{2, 8} {
 		withParallelism(w, func() {
-			bitsEqual(t, "sparse-gather", n, wantG, sp.Gather(idx).Densify())
-			bitsEqual(t, "sparse-densify", n, wantD, sp.Densify())
+			bitsEqual(t, "sparse-gather", n, wantG, sp.Gather(nil, idx).Densify(nil))
+			bitsEqual(t, "sparse-densify", n, wantD, sp.Densify(nil))
 		})
 	}
 }
@@ -160,10 +160,10 @@ func TestSparseSumDeterministicAcrossWorkers(t *testing.T) {
 	fa := randDense(rng, n, 0.8)
 	sp := Compress(fa)
 	var want float64
-	withParallelism(1, func() { want = sp.Sum() })
+	withParallelism(1, func() { want = sp.Sum(nil) })
 	for _, w := range []int{2, 3, 8} {
 		withParallelism(w, func() {
-			if got := sp.Sum(); math.Float64bits(got) != math.Float64bits(want) {
+			if got := sp.Sum(nil); math.Float64bits(got) != math.Float64bits(want) {
 				t.Fatalf("workers=%d: %v vs %v", w, got, want)
 			}
 		})
@@ -185,13 +185,13 @@ func TestSparseDifferentialDegenerate(t *testing.T) {
 	if zero.NNZ() != 0 || dense.NNZ() != 100 {
 		t.Fatalf("nnz: zero=%d dense=%d", zero.NNZ(), dense.NNZ())
 	}
-	sum := SparseAdd(zero, dense)
+	sum := SparseAdd(nil, zero, dense)
 	for k := 0; k < 100; k++ {
 		if sum.Get(k) != dense.Get(k) {
 			t.Fatalf("zero+dense at %d: %v vs %v", k, sum.Get(k), dense.Get(k))
 		}
 	}
-	if s := SparseAdd(zero, zero); s.NNZ() != 0 || s.Sum() != 0 {
-		t.Fatalf("zero+zero: nnz=%d sum=%v", s.NNZ(), s.Sum())
+	if s := SparseAdd(nil, zero, zero); s.NNZ() != 0 || s.Sum(nil) != 0 {
+		t.Fatalf("zero+zero: nnz=%d sum=%v", s.NNZ(), s.Sum(nil))
 	}
 }

@@ -1,6 +1,10 @@
 package bat
 
-import "fmt"
+import (
+	"fmt"
+
+	"repro/internal/exec"
+)
 
 // Vector is a dense typed column: the tail of a BAT. Exactly one of the
 // backing slices is in use, selected by typ. Vectors are the unit of
@@ -153,45 +157,46 @@ func (v *Vector) Clone() *Vector {
 
 // Gather returns a new vector whose k-th value is v[idx[k]]. This is
 // MonetDB's leftfetchjoin: a positional fetch that reorders or filters a
-// tail by a list of OIDs. The fetch is decomposed over ParallelFor; float
-// output comes from the arena.
-func (v *Vector) Gather(idx []int) *Vector {
+// tail by a list of OIDs. The fetch is decomposed over the context's
+// workers; all three tail domains draw their output from the context's
+// arena.
+func (v *Vector) Gather(c *exec.Ctx, idx []int) *Vector {
 	out := &Vector{typ: v.typ}
 	switch v.typ {
 	case Float:
-		out.f = Alloc(len(idx))
-		if serialFor(len(idx)) {
+		out.f = c.Arena().Floats(len(idx))
+		if c.Serial(len(idx)) {
 			for k, j := range idx {
 				out.f[k] = v.f[j]
 			}
 		} else {
-			ParallelFor(len(idx), SerialCutoff, func(lo, hi int) {
+			c.ParallelFor(len(idx), SerialCutoff, func(lo, hi int) {
 				for k := lo; k < hi; k++ {
 					out.f[k] = v.f[idx[k]]
 				}
 			})
 		}
 	case Int:
-		out.i = make([]int64, len(idx))
-		if serialFor(len(idx)) {
+		out.i = c.Arena().Int64s(len(idx))
+		if c.Serial(len(idx)) {
 			for k, j := range idx {
 				out.i[k] = v.i[j]
 			}
 		} else {
-			ParallelFor(len(idx), SerialCutoff, func(lo, hi int) {
+			c.ParallelFor(len(idx), SerialCutoff, func(lo, hi int) {
 				for k := lo; k < hi; k++ {
 					out.i[k] = v.i[idx[k]]
 				}
 			})
 		}
 	case String:
-		out.s = make([]string, len(idx))
-		if serialFor(len(idx)) {
+		out.s = c.Arena().Strings(len(idx))
+		if c.Serial(len(idx)) {
 			for k, j := range idx {
 				out.s[k] = v.s[j]
 			}
 		} else {
-			ParallelFor(len(idx), SerialCutoff, func(lo, hi int) {
+			c.ParallelFor(len(idx), SerialCutoff, func(lo, hi int) {
 				for k := lo; k < hi; k++ {
 					out.s[k] = v.s[idx[k]]
 				}
@@ -201,23 +206,26 @@ func (v *Vector) Gather(idx []int) *Vector {
 	return out
 }
 
-// AsFloats returns the column as a float64 slice, converting integer
-// columns. Float columns are returned without copying; the second result
-// reports whether the slice is shared with the vector (callers that intend
-// to write must copy when shared is true). String columns yield an error
-// at the BAT level before this is reached.
-func (v *Vector) AsFloats() (vals []float64, shared bool) {
+// AsFloats returns the column as a float64 slice on the default context,
+// converting integer columns. Float columns are returned without copying;
+// the second result reports whether the slice is shared with the vector
+// (callers that intend to write must copy when shared is true). String
+// columns yield an error at the BAT level before this is reached.
+func (v *Vector) AsFloats() (vals []float64, shared bool) { return v.asFloats(nil) }
+
+// asFloats is AsFloats on an explicit execution context.
+func (v *Vector) asFloats(c *exec.Ctx) (vals []float64, shared bool) {
 	switch v.typ {
 	case Float:
 		return v.f, true
 	case Int:
-		out := Alloc(len(v.i))
-		if serialFor(len(v.i)) {
+		out := c.Arena().Floats(len(v.i))
+		if c.Serial(len(v.i)) {
 			for k, x := range v.i {
 				out[k] = float64(x)
 			}
 		} else {
-			ParallelFor(len(v.i), SerialCutoff, func(lo, hi int) {
+			c.ParallelFor(len(v.i), SerialCutoff, func(lo, hi int) {
 				for k := lo; k < hi; k++ {
 					out[k] = float64(v.i[k])
 				}

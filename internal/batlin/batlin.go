@@ -14,18 +14,20 @@
 // operations (eigen, SVD, Cholesky) delegate to the dense kernel even in
 // BAT mode, mirroring the paper's policy of delegating complex operations.
 //
-// Execution is parallel on two axes. Within a column, every bat kernel
-// decomposes its row range through bat.ParallelFor (serial below
-// bat.SerialCutoff rows). Across columns, the independent per-column loops
-// — the elementwise family, the result columns of mmu/cpd/opd, the
-// scatter of tra, and the pivot-elimination fan-out of Algorithm 2 — are
-// spread over goroutines with the same driver, so wide-and-short matrices
-// parallelize over columns while tall-and-narrow ones parallelize over
-// rows. Scratch columns come from the bat arena: the iterative algorithms
-// (the elimination loop of Inv/Det, the orthogonalization loop of QR)
-// release each superseded column with bat.Release, so one matrix worth of
-// buffers is recycled across all iterations instead of allocating O(n)
-// fresh columns per step.
+// Every operation takes the invocation's exec.Ctx first; execution is
+// parallel on two axes under that context's worker budget. Within a
+// column, every bat kernel decomposes its row range through
+// Ctx.ParallelFor (serial below exec.SerialCutoff rows). Across columns,
+// the independent per-column loops — the elementwise family, the result
+// columns of mmu/cpd/opd, the scatter of tra, and the pivot-elimination
+// fan-out of Algorithm 2 — are spread over goroutines with the same
+// driver, so wide-and-short matrices parallelize over columns while
+// tall-and-narrow ones parallelize over rows. Scratch columns come from
+// the context's arena: the iterative algorithms (the elimination loop of
+// Inv/Det, the orthogonalization loop of QR) release each superseded
+// column with bat.Release, so one matrix worth of buffers is recycled
+// across all iterations instead of allocating O(n) fresh columns per
+// step.
 package batlin
 
 import (
@@ -34,6 +36,7 @@ import (
 	"math"
 
 	"repro/internal/bat"
+	"repro/internal/exec"
 )
 
 // ErrSingular is returned when elimination meets a vanishing pivot.
@@ -56,10 +59,10 @@ const colMinWork = 1
 
 // IDMatrix returns the identity matrix of size n as a list of BATs (the
 // paper's IDmatrix helper in Algorithm 2). Columns come from the arena.
-func IDMatrix(n int) []*bat.BAT {
+func IDMatrix(c *exec.Ctx, n int) []*bat.BAT {
 	out := make([]*bat.BAT, n)
 	for j := range out {
-		col := bat.AllocZero(n)
+		col := c.Arena().FloatsZero(n)
 		col[j] = 1
 		out[j] = bat.FromFloats(col)
 	}
@@ -68,42 +71,42 @@ func IDMatrix(n int) []*bat.BAT {
 
 // Add returns the columnwise sum of two equally-shaped column lists,
 // computed column-parallel.
-func Add(a, b []*bat.BAT) ([]*bat.BAT, error) {
+func Add(c *exec.Ctx, a, b []*bat.BAT) ([]*bat.BAT, error) {
 	if len(a) != len(b) || rows(a) != rows(b) {
 		return nil, ErrShape
 	}
 	out := make([]*bat.BAT, len(a))
-	bat.ParallelFor(len(a), colMinWork, func(lo, hi int) {
+	c.ParallelFor(len(a), colMinWork, func(lo, hi int) {
 		for j := lo; j < hi; j++ {
-			out[j] = bat.Add(a[j], b[j])
+			out[j] = bat.Add(c, a[j], b[j])
 		}
 	})
 	return out, nil
 }
 
 // Sub returns the columnwise difference a - b, computed column-parallel.
-func Sub(a, b []*bat.BAT) ([]*bat.BAT, error) {
+func Sub(c *exec.Ctx, a, b []*bat.BAT) ([]*bat.BAT, error) {
 	if len(a) != len(b) || rows(a) != rows(b) {
 		return nil, ErrShape
 	}
 	out := make([]*bat.BAT, len(a))
-	bat.ParallelFor(len(a), colMinWork, func(lo, hi int) {
+	c.ParallelFor(len(a), colMinWork, func(lo, hi int) {
 		for j := lo; j < hi; j++ {
-			out[j] = bat.Sub(a[j], b[j])
+			out[j] = bat.Sub(c, a[j], b[j])
 		}
 	})
 	return out, nil
 }
 
 // EMU returns the columnwise Hadamard product, computed column-parallel.
-func EMU(a, b []*bat.BAT) ([]*bat.BAT, error) {
+func EMU(c *exec.Ctx, a, b []*bat.BAT) ([]*bat.BAT, error) {
 	if len(a) != len(b) || rows(a) != rows(b) {
 		return nil, ErrShape
 	}
 	out := make([]*bat.BAT, len(a))
-	bat.ParallelFor(len(a), colMinWork, func(lo, hi int) {
+	c.ParallelFor(len(a), colMinWork, func(lo, hi int) {
 		for j := lo; j < hi; j++ {
-			out[j] = bat.Mul(a[j], b[j])
+			out[j] = bat.Mul(c, a[j], b[j])
 		}
 	})
 	return out, nil
@@ -113,22 +116,22 @@ func EMU(a, b []*bat.BAT) ([]*bat.BAT, error) {
 // is Σ_l a[l]·b[j][l], accumulated in-place into one arena column per
 // result column (k AXPYInto calls instead of k allocating AXPYs). The
 // independent result columns are computed in parallel.
-func MMU(a, b []*bat.BAT) ([]*bat.BAT, error) {
+func MMU(c *exec.Ctx, a, b []*bat.BAT) ([]*bat.BAT, error) {
 	k := len(a)
 	if k == 0 || rows(b) != k {
 		return nil, ErrShape
 	}
 	m := rows(a)
 	out := make([]*bat.BAT, len(b))
-	bat.ParallelFor(len(b), colMinWork, func(lo, hi int) {
+	c.ParallelFor(len(b), colMinWork, func(lo, hi int) {
 		for j := lo; j < hi; j++ {
-			acc := bat.AllocZero(m)
+			acc := c.Arena().FloatsZero(m)
 			for l := 0; l < k; l++ {
 				w := bat.Sel(b[j], l)
 				if w == 0 {
 					continue
 				}
-				bat.AXPYInto(acc, a[l], -w) // acc += a[l]*w
+				bat.AXPYInto(c, acc, a[l], -w) // acc += a[l]*w
 			}
 			out[j] = bat.FromFloats(acc)
 		}
@@ -142,16 +145,16 @@ func MMU(a, b []*bat.BAT) ([]*bat.BAT, error) {
 // calls out as requiring single-element access when done over BATs, which
 // is why RMA+MKL wins by 24-70x on the covariance workload (Fig. 17b).
 // The result columns are independent and computed in parallel.
-func CPD(a, b []*bat.BAT) ([]*bat.BAT, error) {
+func CPD(c *exec.Ctx, a, b []*bat.BAT) ([]*bat.BAT, error) {
 	if rows(a) != rows(b) {
 		return nil, ErrShape
 	}
 	out := make([]*bat.BAT, len(b))
-	bat.ParallelFor(len(b), colMinWork, func(lo, hi int) {
+	c.ParallelFor(len(b), colMinWork, func(lo, hi int) {
 		for j := lo; j < hi; j++ {
-			col := bat.Alloc(len(a))
+			col := c.Arena().Floats(len(a))
 			for p := range a {
-				col[p] = bat.Dot(a[p], b[j])
+				col[p] = bat.Dot(c, a[p], b[j])
 			}
 			out[j] = bat.FromFloats(col)
 		}
@@ -162,22 +165,22 @@ func CPD(a, b []*bat.BAT) ([]*bat.BAT, error) {
 // OPD computes the outer product a·bᵀ of two column lists with the same
 // number of columns: result[i][q] = Σ_l a[l][i]·b[l][q], accumulated
 // in-place per result column, columns in parallel.
-func OPD(a, b []*bat.BAT) ([]*bat.BAT, error) {
+func OPD(c *exec.Ctx, a, b []*bat.BAT) ([]*bat.BAT, error) {
 	if len(a) != len(b) {
 		return nil, ErrShape
 	}
 	m := rows(a)
 	n := rows(b)
 	out := make([]*bat.BAT, n)
-	bat.ParallelFor(n, colMinWork, func(lo, hi int) {
+	c.ParallelFor(n, colMinWork, func(lo, hi int) {
 		for q := lo; q < hi; q++ {
-			acc := bat.AllocZero(m)
+			acc := c.Arena().FloatsZero(m)
 			for l := range a {
 				w := bat.Sel(b[l], q)
 				if w == 0 {
 					continue
 				}
-				bat.AXPYInto(acc, a[l], -w)
+				bat.AXPYInto(c, acc, a[l], -w)
 			}
 			out[q] = bat.FromFloats(acc)
 		}
@@ -189,16 +192,16 @@ func OPD(a, b []*bat.BAT) ([]*bat.BAT, error) {
 // len(a). Transposition over columns is inherently element-at-a-time; the
 // scatter is parallelized over source columns (each source column writes a
 // distinct row of every output column, so the writes are disjoint).
-func Tra(a []*bat.BAT) []*bat.BAT {
+func Tra(c *exec.Ctx, a []*bat.BAT) []*bat.BAT {
 	m := rows(a)
 	n := len(a)
 	cols := make([][]float64, m)
 	for i := range cols {
-		cols[i] = bat.Alloc(n)
+		cols[i] = c.Arena().Floats(n)
 	}
-	bat.ParallelFor(n, colMinWork, func(lo, hi int) {
+	c.ParallelFor(n, colMinWork, func(lo, hi int) {
 		for j := lo; j < hi; j++ {
-			f, err := a[j].Floats()
+			f, err := a[j].FloatsCtx(c)
 			if err != nil {
 				panic(fmt.Sprintf("batlin: %v", err))
 			}
@@ -223,7 +226,7 @@ func Tra(a []*bat.BAT) []*bat.BAT {
 // and every superseded scratch column is released back to the arena, so
 // the n-step elimination recycles two matrices worth of buffers instead
 // of allocating ~2n² fresh columns.
-func Inv(b []*bat.BAT) ([]*bat.BAT, error) {
+func Inv(c *exec.Ctx, b []*bat.BAT) ([]*bat.BAT, error) {
 	n := len(b)
 	if n == 0 || rows(b) != n {
 		return nil, ErrShape
@@ -232,10 +235,10 @@ func Inv(b []*bat.BAT) ([]*bat.BAT, error) {
 	for j := range b {
 		work[j] = b[j].Clone()
 	}
-	br := IDMatrix(n)
+	br := IDMatrix(c, n)
 	releaseAll := func(cols []*bat.BAT) {
-		for _, c := range cols {
-			bat.Release(c)
+		for _, col := range cols {
+			bat.Release(c, col)
 		}
 	}
 	for i := 0; i < n; i++ {
@@ -258,13 +261,13 @@ func Inv(b []*bat.BAT) ([]*bat.BAT, error) {
 		}
 		v1 := bat.Sel(work[i], i)
 		oldW, oldB := work[i], br[i]
-		work[i] = bat.DivScalar(oldW, v1)
-		br[i] = bat.DivScalar(oldB, v1)
-		bat.Release(oldW)
-		bat.Release(oldB)
+		work[i] = bat.DivScalar(c, oldW, v1)
+		br[i] = bat.DivScalar(c, oldB, v1)
+		bat.Release(c, oldW)
+		bat.Release(c, oldB)
 		// Pivot-elimination fan-out: the updates of the n-1 other columns
 		// only read work[i]/br[i] and are independent of each other.
-		bat.ParallelFor(n, colMinWork, func(lo, hi int) {
+		c.ParallelFor(n, colMinWork, func(lo, hi int) {
 			for j := lo; j < hi; j++ {
 				if i == j {
 					continue
@@ -274,10 +277,10 @@ func Inv(b []*bat.BAT) ([]*bat.BAT, error) {
 					continue
 				}
 				oldW, oldB := work[j], br[j]
-				work[j] = bat.AXPY(oldW, work[i], v2)
-				br[j] = bat.AXPY(oldB, br[i], v2)
-				bat.Release(oldW)
-				bat.Release(oldB)
+				work[j] = bat.AXPY(c, oldW, work[i], v2)
+				br[j] = bat.AXPY(c, oldB, br[i], v2)
+				bat.Release(c, oldW)
+				bat.Release(c, oldB)
 			}
 		})
 	}
@@ -293,7 +296,7 @@ func Inv(b []*bat.BAT) ([]*bat.BAT, error) {
 // so parallelism comes from the row-parallel Dot/AXPY kernels; the scratch
 // column superseded by each projection is released to the arena, keeping
 // the loop's footprint at one column.
-func QR(a []*bat.BAT) (q, r []*bat.BAT, err error) {
+func QR(c *exec.Ctx, a []*bat.BAT) (q, r []*bat.BAT, err error) {
 	n := len(a)
 	m := rows(a)
 	if n == 0 || m < n {
@@ -302,34 +305,34 @@ func QR(a []*bat.BAT) (q, r []*bat.BAT, err error) {
 	q = make([]*bat.BAT, n)
 	rCols := make([][]float64, n)
 	for j := range rCols {
-		rCols[j] = bat.AllocZero(n)
+		rCols[j] = c.Arena().FloatsZero(n)
 	}
 	for j := 0; j < n; j++ {
 		v := a[j].Clone()
-		orig := math.Sqrt(bat.Dot(v, v))
+		orig := math.Sqrt(bat.Dot(c, v, v))
 		for k := 0; k < j; k++ {
-			rkj := bat.Dot(q[k], v)
+			rkj := bat.Dot(c, q[k], v)
 			rCols[j][k] = rkj
 			if rkj != 0 {
 				old := v
-				v = bat.AXPY(old, q[k], rkj)
-				bat.Release(old)
+				v = bat.AXPY(c, old, q[k], rkj)
+				bat.Release(c, old)
 			}
 		}
-		norm := math.Sqrt(bat.Dot(v, v))
+		norm := math.Sqrt(bat.Dot(c, v, v))
 		if norm <= 1e-12*orig {
-			bat.Release(v)
+			bat.Release(c, v)
 			for k := 0; k < j; k++ {
-				bat.Release(q[k])
+				bat.Release(c, q[k])
 			}
 			for k := range rCols {
-				bat.Free(rCols[k])
+				c.Arena().FreeFloats(rCols[k])
 			}
 			return nil, nil, ErrSingular
 		}
 		rCols[j][j] = norm
-		q[j] = bat.DivScalar(v, norm)
-		bat.Release(v)
+		q[j] = bat.DivScalar(c, v, norm)
+		bat.Release(c, v)
 	}
 	r = make([]*bat.BAT, n)
 	for j := range r {
@@ -343,7 +346,7 @@ func QR(a []*bat.BAT) (q, r []*bat.BAT, err error) {
 // the determinant, swaps flip its sign. Like Inv, the per-step update of
 // the trailing columns fans out over goroutines and superseded scratch
 // columns return to the arena.
-func Det(b []*bat.BAT) (float64, error) {
+func Det(c *exec.Ctx, b []*bat.BAT) (float64, error) {
 	n := len(b)
 	if n == 0 || rows(b) != n {
 		return 0, ErrShape
@@ -363,7 +366,7 @@ func Det(b []*bat.BAT) (float64, error) {
 		}
 		if mx == 0 {
 			for j := range work {
-				bat.Release(work[j])
+				bat.Release(c, work[j])
 			}
 			return 0, nil
 		}
@@ -373,44 +376,44 @@ func Det(b []*bat.BAT) (float64, error) {
 		}
 		pivot := bat.Sel(work[i], i)
 		det *= pivot
-		bat.ParallelFor(n-i-1, colMinWork, func(lo, hi int) {
+		c.ParallelFor(n-i-1, colMinWork, func(lo, hi int) {
 			for j := i + 1 + lo; j < i+1+hi; j++ {
 				v := bat.Sel(work[j], i)
 				if v == 0 {
 					continue
 				}
 				old := work[j]
-				work[j] = bat.AXPY(old, work[i], v/pivot)
-				bat.Release(old)
+				work[j] = bat.AXPY(c, old, work[i], v/pivot)
+				bat.Release(c, old)
 			}
 		})
 	}
 	for j := range work {
-		bat.Release(work[j])
+		bat.Release(c, work[j])
 	}
 	return det, nil
 }
 
 // Solve solves A·x = rhs for square or overdetermined A (least squares via
 // Gram-Schmidt QR): x = R⁻¹·Qᵀ·rhs.
-func Solve(a []*bat.BAT, rhs *bat.BAT) (*bat.BAT, error) {
+func Solve(c *exec.Ctx, a []*bat.BAT, rhs *bat.BAT) (*bat.BAT, error) {
 	n := len(a)
 	if rows(a) != rhs.Len() {
 		return nil, ErrShape
 	}
-	q, r, err := QR(a)
+	q, r, err := QR(c, a)
 	if err != nil {
 		return nil, err
 	}
 	release := func() {
 		for k := range q {
-			bat.Release(q[k])
-			bat.Release(r[k])
+			bat.Release(c, q[k])
+			bat.Release(c, r[k])
 		}
 	}
 	qtb := make([]float64, n)
 	for k := 0; k < n; k++ {
-		qtb[k] = bat.Dot(q[k], rhs)
+		qtb[k] = bat.Dot(c, q[k], rhs)
 	}
 	// Back substitution on the columnar R (r[j][k] = R[k][j]).
 	x := make([]float64, n)

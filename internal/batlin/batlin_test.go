@@ -45,28 +45,28 @@ func TestElementwiseAgainstDense(t *testing.T) {
 	rng := rand.New(rand.NewSource(1))
 	a := randMat(rng, 20, 5)
 	b := randMat(rng, 20, 5)
-	sum, err := Add(toCols(a), toCols(b))
+	sum, err := Add(nil, toCols(a), toCols(b))
 	if err != nil {
 		t.Fatal(err)
 	}
 	if !matrix.ApproxEqual(toMatrix(sum), matrix.Add(a, b), 1e-12) {
 		t.Error("Add mismatch")
 	}
-	diff, _ := Sub(toCols(a), toCols(b))
+	diff, _ := Sub(nil, toCols(a), toCols(b))
 	if !matrix.ApproxEqual(toMatrix(diff), matrix.Sub(a, b), 1e-12) {
 		t.Error("Sub mismatch")
 	}
-	had, _ := EMU(toCols(a), toCols(b))
+	had, _ := EMU(nil, toCols(a), toCols(b))
 	if !matrix.ApproxEqual(toMatrix(had), matrix.EMU(a, b), 1e-12) {
 		t.Error("EMU mismatch")
 	}
-	if _, err := Add(toCols(a), toCols(randMat(rng, 19, 5))); err != ErrShape {
+	if _, err := Add(nil, toCols(a), toCols(randMat(rng, 19, 5))); err != ErrShape {
 		t.Error("shape mismatch accepted")
 	}
-	if _, err := Sub(toCols(a), toCols(randMat(rng, 20, 4))); err != ErrShape {
+	if _, err := Sub(nil, toCols(a), toCols(randMat(rng, 20, 4))); err != ErrShape {
 		t.Error("shape mismatch accepted")
 	}
-	if _, err := EMU(toCols(a), toCols(randMat(rng, 20, 4))); err != ErrShape {
+	if _, err := EMU(nil, toCols(a), toCols(randMat(rng, 20, 4))); err != ErrShape {
 		t.Error("shape mismatch accepted")
 	}
 }
@@ -75,14 +75,14 @@ func TestMMUAgainstDense(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	a := randMat(rng, 9, 4)
 	b := randMat(rng, 4, 6)
-	got, err := MMU(toCols(a), toCols(b))
+	got, err := MMU(nil, toCols(a), toCols(b))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !matrix.ApproxEqual(toMatrix(got), linalg.MatMul(a, b), 1e-10) {
+	if !matrix.ApproxEqual(toMatrix(got), linalg.MatMul(nil, a, b), 1e-10) {
 		t.Error("MMU mismatch")
 	}
-	if _, err := MMU(toCols(a), toCols(randMat(rng, 5, 2))); err != ErrShape {
+	if _, err := MMU(nil, toCols(a), toCols(randMat(rng, 5, 2))); err != ErrShape {
 		t.Error("inner mismatch accepted")
 	}
 }
@@ -91,33 +91,33 @@ func TestCPDOPDAgainstDense(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	a := randMat(rng, 12, 3)
 	b := randMat(rng, 12, 5)
-	got, err := CPD(toCols(a), toCols(b))
+	got, err := CPD(nil, toCols(a), toCols(b))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !matrix.ApproxEqual(toMatrix(got), linalg.CrossProduct(a, b), 1e-10) {
+	if !matrix.ApproxEqual(toMatrix(got), linalg.CrossProduct(nil, a, b), 1e-10) {
 		t.Error("CPD mismatch")
 	}
 	c := randMat(rng, 4, 3)
 	d := randMat(rng, 7, 3)
-	god, err := OPD(toCols(c), toCols(d))
+	god, err := OPD(nil, toCols(c), toCols(d))
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !matrix.ApproxEqual(toMatrix(god), linalg.OuterProduct(c, d), 1e-10) {
+	if !matrix.ApproxEqual(toMatrix(god), linalg.OuterProduct(nil, c, d), 1e-10) {
 		t.Error("OPD mismatch")
 	}
-	if _, err := CPD(toCols(a), toCols(c)); err != ErrShape {
+	if _, err := CPD(nil, toCols(a), toCols(c)); err != ErrShape {
 		t.Error("CPD row mismatch accepted")
 	}
-	if _, err := OPD(toCols(a), toCols(b)); err != ErrShape {
+	if _, err := OPD(nil, toCols(a), toCols(b)); err != ErrShape {
 		t.Error("OPD col mismatch accepted")
 	}
 }
 
 func TestTra(t *testing.T) {
 	a := matrix.FromRows([][]float64{{1, 2, 3}, {4, 5, 6}})
-	got := toMatrix(Tra(toCols(a)))
+	got := toMatrix(Tra(nil, toCols(a)))
 	if !matrix.ApproxEqual(got, a.T(), 0) {
 		t.Errorf("Tra = %v", got)
 	}
@@ -126,7 +126,7 @@ func TestTra(t *testing.T) {
 func TestInvAlgorithm2(t *testing.T) {
 	// The paper's Figure 3 example.
 	a := matrix.FromRows([][]float64{{6, 7}, {8, 5}})
-	inv, err := Inv(toCols(a))
+	inv, err := Inv(nil, toCols(a))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -143,11 +143,11 @@ func TestInvRandomAgainstDense(t *testing.T) {
 		for i := 0; i < n; i++ {
 			a.Set(i, i, a.At(i, i)+float64(n)+2)
 		}
-		got, err := Inv(toCols(a))
+		got, err := Inv(nil, toCols(a))
 		if err != nil {
 			t.Fatalf("n=%d: %v", n, err)
 		}
-		if !matrix.ApproxEqual(linalg.MatMul(a, toMatrix(got)), matrix.Identity(n), 1e-8) {
+		if !matrix.ApproxEqual(linalg.MatMul(nil, a, toMatrix(got)), matrix.Identity(n), 1e-8) {
 			t.Fatalf("n=%d: A·A⁻¹ != I", n)
 		}
 	}
@@ -156,7 +156,7 @@ func TestInvRandomAgainstDense(t *testing.T) {
 func TestInvNeedsPivoting(t *testing.T) {
 	// Zero on the diagonal: plain Algorithm 2 would divide by zero.
 	a := matrix.FromRows([][]float64{{0, 1}, {1, 0}})
-	inv, err := Inv(toCols(a))
+	inv, err := Inv(nil, toCols(a))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -166,13 +166,13 @@ func TestInvNeedsPivoting(t *testing.T) {
 }
 
 func TestInvErrors(t *testing.T) {
-	if _, err := Inv(toCols(matrix.New(2, 3))); err != ErrShape {
+	if _, err := Inv(nil, toCols(matrix.New(2, 3))); err != ErrShape {
 		t.Error("non-square accepted")
 	}
-	if _, err := Inv(toCols(matrix.FromRows([][]float64{{1, 2}, {2, 4}}))); err != ErrSingular {
+	if _, err := Inv(nil, toCols(matrix.FromRows([][]float64{{1, 2}, {2, 4}}))); err != ErrSingular {
 		t.Error("singular accepted")
 	}
-	if _, err := Inv(nil); err != ErrShape {
+	if _, err := Inv(nil, nil); err != ErrShape {
 		t.Error("empty accepted")
 	}
 }
@@ -181,15 +181,15 @@ func TestGramSchmidtQR(t *testing.T) {
 	rng := rand.New(rand.NewSource(5))
 	for _, dims := range [][2]int{{4, 4}, {12, 5}, {60, 10}} {
 		a := randMat(rng, dims[0], dims[1])
-		q, r, err := QR(toCols(a))
+		q, r, err := QR(nil, toCols(a))
 		if err != nil {
 			t.Fatal(err)
 		}
 		qm, rm := toMatrix(q), toMatrix(r)
-		if !matrix.ApproxEqual(linalg.MatMul(qm, rm), a, 1e-8) {
+		if !matrix.ApproxEqual(linalg.MatMul(nil, qm, rm), a, 1e-8) {
 			t.Fatalf("%v: Q·R != A", dims)
 		}
-		if !matrix.ApproxEqual(linalg.CrossProduct(qm, qm), matrix.Identity(dims[1]), 1e-8) {
+		if !matrix.ApproxEqual(linalg.CrossProduct(nil, qm, qm), matrix.Identity(dims[1]), 1e-8) {
 			t.Fatalf("%v: QᵀQ != I", dims)
 		}
 		for j := 0; j < dims[1]; j++ {
@@ -200,10 +200,10 @@ func TestGramSchmidtQR(t *testing.T) {
 			}
 		}
 	}
-	if _, _, err := QR(toCols(matrix.New(2, 3))); err != ErrShape {
+	if _, _, err := QR(nil, toCols(matrix.New(2, 3))); err != ErrShape {
 		t.Error("wide QR accepted")
 	}
-	if _, _, err := QR(toCols(matrix.FromRows([][]float64{{1, 1}, {1, 1}}))); err != ErrSingular {
+	if _, _, err := QR(nil, toCols(matrix.FromRows([][]float64{{1, 1}, {1, 1}}))); err != ErrSingular {
 		t.Error("rank-deficient QR accepted")
 	}
 }
@@ -212,7 +212,7 @@ func TestDetAgainstDense(t *testing.T) {
 	rng := rand.New(rand.NewSource(6))
 	for _, n := range []int{1, 2, 5, 12} {
 		a := randMat(rng, n, n)
-		got, err := Det(toCols(a))
+		got, err := Det(nil, toCols(a))
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -221,10 +221,10 @@ func TestDetAgainstDense(t *testing.T) {
 			t.Fatalf("n=%d: det = %v, want %v", n, got, want)
 		}
 	}
-	if d, err := Det(toCols(matrix.FromRows([][]float64{{1, 2}, {2, 4}}))); err != nil || d != 0 {
+	if d, err := Det(nil, toCols(matrix.FromRows([][]float64{{1, 2}, {2, 4}}))); err != nil || d != 0 {
 		t.Errorf("singular det = %v, %v", d, err)
 	}
-	if _, err := Det(toCols(matrix.New(2, 3))); err != ErrShape {
+	if _, err := Det(nil, toCols(matrix.New(2, 3))); err != ErrShape {
 		t.Error("non-square det accepted")
 	}
 }
@@ -234,7 +234,7 @@ func TestSolve(t *testing.T) {
 	a := randMat(rng, 10, 3)
 	want := []float64{2, -1, 0.5}
 	rhs := linalg.MatVec(a, want)
-	x, err := Solve(toCols(a), bat.FromFloats(rhs))
+	x, err := Solve(nil, toCols(a), bat.FromFloats(rhs))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -244,13 +244,13 @@ func TestSolve(t *testing.T) {
 			t.Fatalf("solve = %v", f)
 		}
 	}
-	if _, err := Solve(toCols(a), bat.FromFloats(make([]float64, 9))); err != ErrShape {
+	if _, err := Solve(nil, toCols(a), bat.FromFloats(make([]float64, 9))); err != ErrShape {
 		t.Error("rhs length mismatch accepted")
 	}
 }
 
 func TestIDMatrix(t *testing.T) {
-	id := toMatrix(IDMatrix(4))
+	id := toMatrix(IDMatrix(nil, 4))
 	if !matrix.ApproxEqual(id, matrix.Identity(4), 0) {
 		t.Errorf("IDMatrix = %v", id)
 	}

@@ -65,11 +65,11 @@ func TestColumnKernelsBitwiseIdentical(t *testing.T) {
 			}
 			colsBitsEqual(t, name, rows, serial, parallel)
 		}
-		run("add", func() ([]*bat.BAT, error) { return Add(a, b) })
-		run("sub", func() ([]*bat.BAT, error) { return Sub(a, b) })
-		run("emu", func() ([]*bat.BAT, error) { return EMU(a, b) })
-		run("mmu", func() ([]*bat.BAT, error) { return MMU(a, sq) })
-		run("tra", func() ([]*bat.BAT, error) { return Tra(a), nil })
+		run("add", func() ([]*bat.BAT, error) { return Add(nil, a, b) })
+		run("sub", func() ([]*bat.BAT, error) { return Sub(nil, a, b) })
+		run("emu", func() ([]*bat.BAT, error) { return EMU(nil, a, b) })
+		run("mmu", func() ([]*bat.BAT, error) { return MMU(nil, a, sq) })
+		run("tra", func() ([]*bat.BAT, error) { return Tra(nil, a), nil })
 	}
 }
 
@@ -84,12 +84,12 @@ func TestInvDetParallelFanOut(t *testing.T) {
 	var detSerial, detParallel float64
 	var err1, err2, err3, err4 error
 	withParallelism(1, func() {
-		invSerial, err1 = Inv(a)
-		detSerial, err2 = Det(a)
+		invSerial, err1 = Inv(nil, a)
+		detSerial, err2 = Det(nil, a)
 	})
 	withParallelism(8, func() {
-		invParallel, err3 = Inv(a)
-		detParallel, err4 = Det(a)
+		invParallel, err3 = Inv(nil, a)
+		detParallel, err4 = Det(nil, a)
 	})
 	for _, err := range []error{err1, err2, err3, err4} {
 		if err != nil {
@@ -108,13 +108,13 @@ func TestInvDetParallelFanOut(t *testing.T) {
 func TestQRScratchReuse(t *testing.T) {
 	m, n := 512, 8
 	a := randomCols(m, n, 7)
-	q, r, err := QR(a)
+	q, r, err := QR(nil, a)
 	if err != nil {
 		t.Fatal(err)
 	}
 	for i := 0; i < n; i++ {
 		for j := i; j < n; j++ {
-			got := bat.Dot(q[i], q[j])
+			got := bat.Dot(nil, q[i], q[j])
 			want := 0.0
 			if i == j {
 				want = 1
@@ -125,7 +125,7 @@ func TestQRScratchReuse(t *testing.T) {
 		}
 	}
 	// Reconstruct a = q·r and compare.
-	recon, err := MMU(q, r)
+	recon, err := MMU(nil, q, r)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -9,6 +9,7 @@ import (
 	"repro/internal/competitor/madlib"
 	"repro/internal/competitor/rsim"
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/linalg"
 	"repro/internal/matrix"
 	"repro/internal/rel"
@@ -22,7 +23,7 @@ const journeyCap = 20000
 // legsOf aggregates trips into frequent legs with distance and average
 // duration: (ss, es, n, dur, dist).
 func legsOf(trips, stations *rel.Relation, minCount float64) (*rel.Relation, error) {
-	routes, err := rel.GroupBy(trips, []string{"start_station", "end_station"},
+	routes, err := rel.GroupBy(exec.Default(), trips, []string{"start_station", "end_station"},
 		[]rel.AggSpec{
 			{Func: rel.Count, As: "n"},
 			{Func: rel.Avg, Attr: "duration", As: "dur"},
@@ -32,14 +33,14 @@ func legsOf(trips, stations *rel.Relation, minCount float64) (*rel.Relation, err
 	}
 	nCol, _ := routes.Col("n")
 	nInt := nCol.Vector().Ints()
-	freq := routes.Select(func(i int) bool { return float64(nInt[i]) >= minCount })
+	freq := routes.Select(nil, func(i int) bool { return float64(nInt[i]) >= minCount })
 	s1, _ := stations.Rename(map[string]string{"code": "c1", "name": "n1", "lat": "lat1", "lon": "lon1"})
 	s2, _ := stations.Rename(map[string]string{"code": "c2", "name": "n2", "lat": "lat2", "lon": "lon2"})
-	j1, err := rel.HashJoin(freq, s1, []string{"start_station"}, []string{"c1"}, rel.Inner)
+	j1, err := rel.HashJoin(nil, freq, s1, []string{"start_station"}, []string{"c1"}, rel.Inner)
 	if err != nil {
 		return nil, err
 	}
-	j2, err := rel.HashJoin(j1, s2, []string{"end_station"}, []string{"c2"}, rel.Inner)
+	j2, err := rel.HashJoin(nil, j1, s2, []string{"end_station"}, []string{"c2"}, rel.Inner)
 	if err != nil {
 		return nil, err
 	}
@@ -76,7 +77,7 @@ func composeChains(legs *rel.Relation, k int) (*rel.Relation, error) {
 		if err != nil {
 			return nil, err
 		}
-		joined, err := rel.HashJoin(chain, next, []string{"es"}, []string{"ss_j"}, rel.Inner)
+		joined, err := rel.HashJoin(nil, chain, next, []string{"es"}, []string{"ss_j"}, rel.Inner)
 		if err != nil {
 			return nil, err
 		}
@@ -121,13 +122,13 @@ func composeChains(legs *rel.Relation, k int) (*rel.Relation, error) {
 		// Keep the most supported chains (the ≥50 filter + cap).
 		nC, _ := chain.Col("n")
 		ni := nC.Vector().Ints()
-		chain = chain.Select(func(i int) bool { return ni[i] >= 50 })
+		chain = chain.Select(nil, func(i int) bool { return ni[i] >= 50 })
 		if chain.NumRows() > journeyCap {
-			chain, err = chain.Sort(rel.OrderSpec{Attr: "n", Desc: true})
+			chain, err = chain.Sort(nil, rel.OrderSpec{Attr: "n", Desc: true})
 			if err != nil {
 				return nil, err
 			}
-			chain = chain.Limit(journeyCap)
+			chain = chain.Limit(nil, journeyCap)
 		}
 	}
 	return chain, nil
@@ -262,12 +263,12 @@ func denseMLR(a *matrix.Matrix, y []float64) ([]float64, error) {
 	for i, v := range y {
 		ym.Set(i, 0, v)
 	}
-	ata := linalg.CrossProduct(a, a)
+	ata := linalg.CrossProduct(nil, a, a)
 	inv, err := linalg.Inverse(ata)
 	if err != nil {
 		return nil, err
 	}
-	beta := linalg.MatMul(inv, linalg.CrossProduct(a, ym))
+	beta := linalg.MatMul(nil, inv, linalg.CrossProduct(nil, a, ym))
 	return beta.Column(0), nil
 }
 

@@ -5,6 +5,7 @@ import (
 	"fmt"
 	"os"
 	"runtime"
+	"sync"
 	"testing"
 	"time"
 
@@ -12,6 +13,7 @@ import (
 	"repro/internal/batlin"
 	"repro/internal/core"
 	"repro/internal/dataset"
+	"repro/internal/exec"
 	"repro/internal/linalg"
 	"repro/internal/matrix"
 	"repro/internal/rel"
@@ -81,19 +83,19 @@ func MicroKernels(quick bool) ([]KernelResult, error) {
 		measure("bat.Add", rows, 1, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				bat.Release(bat.Add(x, y))
+				bat.Release(nil, bat.Add(nil, x, y))
 			}
 		}),
 		measure("bat.Dot", rows, 1, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				bat.Dot(x, y)
+				bat.Dot(nil, x, y)
 			}
 		}),
 		measure("bat.Sum", rows, 1, func(b *testing.B) {
 			b.ReportAllocs()
 			for i := 0; i < b.N; i++ {
-				bat.Sum(x)
+				bat.Sum(nil, x)
 			}
 		}),
 	)
@@ -103,12 +105,12 @@ func MicroKernels(quick bool) ([]KernelResult, error) {
 	out = append(out, measure("batlin.MMU", mmuRows, mmuK, func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			res, err := batlin.MMU(ma, mb)
+			res, err := batlin.MMU(nil, ma, mb)
 			if err != nil {
 				b.Fatal(err)
 			}
 			for _, c := range res {
-				bat.Release(c)
+				bat.Release(nil, c)
 			}
 		}
 	}))
@@ -122,7 +124,7 @@ func MicroKernels(quick bool) ([]KernelResult, error) {
 	out = append(out, measure("linalg.MatMul", matmulN, matmulN, func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			linalg.MatMul(mx, my)
+			linalg.MatMul(nil, mx, my)
 		}
 	}))
 
@@ -138,6 +140,28 @@ func MicroKernels(quick bool) ([]KernelResult, error) {
 				&core.Options{SortMode: core.SortOptimized}); err != nil {
 				b.Fatal(err)
 			}
+		}
+	}))
+
+	// Concurrent mixed-budget queries: one serial and one 8-wide core.Add
+	// run simultaneously, each under its own per-invocation execution
+	// context (the workload the Ctx refactor makes race-free; before it,
+	// both invocations fought over a process-wide worker knob).
+	out = append(out, measure("core.Add(mixed-budget x2)", wideRows, wideCols, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			var wg sync.WaitGroup
+			for _, workers := range []int{1, 8} {
+				wg.Add(1)
+				go func(workers int) {
+					defer wg.Done()
+					if _, err := core.Add(wr, []string{"k"}, ws, []string{"k2"},
+						&core.Options{SortMode: core.SortOptimized, Parallelism: workers}); err != nil {
+						b.Error(err)
+					}
+				}(workers)
+			}
+			wg.Wait()
 		}
 	}))
 
@@ -164,7 +188,7 @@ func MicroKernels(quick bool) ([]KernelResult, error) {
 	out = append(out, measure("rel.HashJoin", joinRows, 2, func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := rel.HashJoin(jl, js, []string{"l_k"}, []string{"s_k"}, rel.Inner); err != nil {
+			if _, err := rel.HashJoin(nil, jl, js, []string{"l_k"}, []string{"s_k"}, rel.Inner); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -179,7 +203,7 @@ func MicroKernels(quick bool) ([]KernelResult, error) {
 	out = append(out, measure("rel.GroupBy", joinRows, 256, func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			if _, err := rel.GroupBy(gr, []string{"g_k"}, aggs); err != nil {
+			if _, err := rel.GroupBy(nil, gr, []string{"g_k"}, aggs); err != nil {
 				b.Fatal(err)
 			}
 		}
@@ -189,7 +213,7 @@ func MicroKernels(quick bool) ([]KernelResult, error) {
 	out = append(out, measure("bat.SortIndex", joinRows, 1, func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			bat.FreeInts(bat.SortIndex([]*bat.BAT{sortCol}))
+			bat.FreeInts(bat.SortIndex(nil, []*bat.BAT{sortCol}))
 		}
 	}))
 
@@ -199,7 +223,7 @@ func MicroKernels(quick bool) ([]KernelResult, error) {
 	out = append(out, measure("bat.SparseAdd", spLen, 1, func(b *testing.B) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
-			bat.SparseAdd(sa, sb)
+			bat.SparseAdd(nil, sa, sb)
 		}
 	}))
 
@@ -239,7 +263,7 @@ func WriteKernelReport(path string, quick bool) error {
 	report := KernelReport{
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),
-		Parallelism: bat.Parallelism(),
+		Parallelism: exec.DefaultWorkers(),
 		Timestamp:   time.Now().UTC().Format(time.RFC3339),
 		Results:     results,
 	}

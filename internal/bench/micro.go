@@ -278,7 +278,7 @@ func init() {
 					if err != nil {
 						return err
 					}
-					sum.Select(pred)
+					sum.Select(nil, pred)
 					return nil
 				})
 				if err != nil {
@@ -411,14 +411,14 @@ func runFig14R(w io.Writer, rowSizes []int) error {
 				}
 				transform += time.Since(t0)
 				t1 := time.Now()
-				prod := linalg.MatMul(m1, mb)
+				prod := linalg.MatMul(nil, m1, mb)
 				kernel = time.Since(t1)
 				t2 := time.Now()
 				rsim.FromMatrix(prod, names)
 				transform += time.Since(t2)
 			case "QQR":
 				t1 := time.Now()
-				q, err := linalg.QQR(m1)
+				q, err := linalg.QQR(nil, m1)
 				if err != nil {
 					return err
 				}
@@ -428,7 +428,7 @@ func runFig14R(w io.Writer, rowSizes []int) error {
 				transform += time.Since(t2)
 			case "DSV":
 				t1 := time.Now()
-				sv, err := linalg.SingularValues(m1)
+				sv, err := linalg.SingularValues(nil, m1)
 				if err != nil {
 					return err
 				}
@@ -438,7 +438,7 @@ func runFig14R(w io.Writer, rowSizes []int) error {
 				transform += time.Since(t2)
 			case "VSV":
 				t1 := time.Now()
-				d, err := linalg.NewSVD(m1)
+				d, err := linalg.NewSVD(nil, m1)
 				if err != nil {
 					return err
 				}

@@ -48,19 +48,19 @@ type tripPrep struct {
 // aggregate routes, keep those ridden at least minCount times, join the
 // station coordinates for both endpoints, compute distances.
 func prepareTripsNative(trips, stations *rel.Relation, minCount float64) (*tripPrep, error) {
-	counts, err := rel.GroupBy(trips, []string{"start_station", "end_station"},
+	counts, err := rel.GroupBy(nil, trips, []string{"start_station", "end_station"},
 		[]rel.AggSpec{{Func: rel.Count, As: "n"}})
 	if err != nil {
 		return nil, err
 	}
 	nCol, _ := counts.Col("n")
 	nInt := nCol.Vector().Ints()
-	frequent := counts.Select(func(i int) bool { return float64(nInt[i]) >= minCount })
+	frequent := counts.Select(nil, func(i int) bool { return float64(nInt[i]) >= minCount })
 	frequent, err = frequent.Drop("n")
 	if err != nil {
 		return nil, err
 	}
-	kept, err := rel.HashJoin(trips, frequent,
+	kept, err := rel.HashJoin(nil, trips, frequent,
 		[]string{"start_station", "end_station"},
 		[]string{"start_station", "end_station"}, rel.Inner)
 	if err != nil {
@@ -74,11 +74,11 @@ func prepareTripsNative(trips, stations *rel.Relation, minCount float64) (*tripP
 	if err != nil {
 		return nil, err
 	}
-	j1, err := rel.HashJoin(kept, s1, []string{"start_station"}, []string{"c1"}, rel.Inner)
+	j1, err := rel.HashJoin(nil, kept, s1, []string{"start_station"}, []string{"c1"}, rel.Inner)
 	if err != nil {
 		return nil, err
 	}
-	j2, err := rel.HashJoin(j1, s2, []string{"end_station"}, []string{"c2"}, rel.Inner)
+	j2, err := rel.HashJoin(nil, j1, s2, []string{"end_station"}, []string{"c2"}, rel.Inner)
 	if err != nil {
 		return nil, err
 	}
@@ -193,16 +193,16 @@ func TripsAIDA(trips, stations *rel.Relation) (WorkloadResult, error) {
 	// Same relational plan as RMA+, but the joined trip table crosses
 	// into Python before the distance computation, as AIDA's host-side
 	// workflow does — including its date and string columns.
-	counts, err := rel.GroupBy(trips, []string{"start_station", "end_station"},
+	counts, err := rel.GroupBy(nil, trips, []string{"start_station", "end_station"},
 		[]rel.AggSpec{{Func: rel.Count, As: "n"}})
 	if err != nil {
 		return res, err
 	}
 	nCol, _ := counts.Col("n")
 	nInt := nCol.Vector().Ints()
-	frequent := counts.Select(func(i int) bool { return float64(nInt[i]) >= 50 })
+	frequent := counts.Select(nil, func(i int) bool { return float64(nInt[i]) >= 50 })
 	frequent, _ = frequent.Drop("n")
-	kept, err := rel.HashJoin(trips, frequent,
+	kept, err := rel.HashJoin(nil, trips, frequent,
 		[]string{"start_station", "end_station"},
 		[]string{"start_station", "end_station"}, rel.Inner)
 	if err != nil {
@@ -210,11 +210,11 @@ func TripsAIDA(trips, stations *rel.Relation) (WorkloadResult, error) {
 	}
 	s1, _ := stations.Rename(map[string]string{"code": "c1", "name": "n1", "lat": "lat1", "lon": "lon1"})
 	s2, _ := stations.Rename(map[string]string{"code": "c2", "name": "n2", "lat": "lat2", "lon": "lon2"})
-	j1, err := rel.HashJoin(kept, s1, []string{"start_station"}, []string{"c1"}, rel.Inner)
+	j1, err := rel.HashJoin(nil, kept, s1, []string{"start_station"}, []string{"c1"}, rel.Inner)
 	if err != nil {
 		return res, err
 	}
-	j2, err := rel.HashJoin(j1, s2, []string{"end_station"}, []string{"c2"}, rel.Inner)
+	j2, err := rel.HashJoin(nil, j1, s2, []string{"end_station"}, []string{"c2"}, rel.Inner)
 	if err != nil {
 		return res, err
 	}
@@ -253,12 +253,12 @@ func olsDense(dist, dur []float64) (float64, error) {
 		a.Set(i, 1, dist[i])
 		v.Set(i, 0, dur[i])
 	}
-	ata := linalg.CrossProduct(a, a)
+	ata := linalg.CrossProduct(nil, a, a)
 	inv, err := linalg.Inverse(ata)
 	if err != nil {
 		return 0, err
 	}
-	beta := linalg.MatMul(inv, linalg.CrossProduct(a, v))
+	beta := linalg.MatMul(nil, inv, linalg.CrossProduct(nil, a, v))
 	return beta.At(1, 0), nil
 }
 
@@ -417,13 +417,13 @@ func CovarianceRMA(pubs, ranking *rel.Relation, policy core.Policy) (WorkloadRes
 	nRows := float64(pubs.NumRows())
 	scale := 1 / (nRows - 1)
 	for k := 1; k < cov.NumCols(); k++ {
-		cov.Cols[k] = bat.MulScalar(cov.Cols[k], scale)
+		cov.Cols[k] = bat.MulScalar(nil, cov.Cols[k], scale)
 	}
 	res.Matrix = time.Since(t1)
 
 	// Relational tail: join with the ranking, keep A++ conferences.
 	t2 := time.Now()
-	joined, err := rel.HashJoin(cov, ranking, []string{"C"}, []string{"conf"}, rel.Inner)
+	joined, err := rel.HashJoin(nil, cov, ranking, []string{"C"}, []string{"conf"}, rel.Inner)
 	if err != nil {
 		return res, err
 	}
@@ -431,7 +431,7 @@ func CovarianceRMA(pubs, ranking *rel.Relation, policy core.Policy) (WorkloadRes
 	if err != nil {
 		return res, err
 	}
-	app := joined.Select(pred)
+	app := joined.Select(nil, pred)
 	res.Prep += time.Since(t2)
 	res.Check = float64(app.NumRows())
 	_ = names
@@ -446,8 +446,8 @@ func centerNative(pubs *rel.Relation) (*rel.Relation, []string, error) {
 	cols[0] = pubs.Cols[0]
 	names := make([]string, 0, len(pubs.Cols)-1)
 	for k := 1; k < len(pubs.Cols); k++ {
-		sum := bat.Sum(pubs.Cols[k])
-		cols[k] = bat.AddScalar(pubs.Cols[k], -sum/float64(n))
+		sum := bat.Sum(nil, pubs.Cols[k])
+		cols[k] = bat.AddScalar(nil, pubs.Cols[k], -sum/float64(n))
 		names = append(names, pubs.Schema[k].Name)
 	}
 	out, err := rel.New(pubs.Name, pubs.Schema, cols)
@@ -482,7 +482,7 @@ func CovarianceR(pubs, ranking *rel.Relation) (WorkloadResult, error) {
 			m.Set(i, j, m.At(i, j)-mean)
 		}
 	}
-	cov := linalg.SYRK(m).Scale(1 / float64(nRows-1))
+	cov := linalg.SYRK(nil, m).Scale(1 / float64(nRows-1))
 	covDF := rsim.FromMatrix(cov, names)
 	res.Matrix = time.Since(t1)
 
@@ -535,13 +535,13 @@ func CovarianceAIDA(pubs, ranking *rel.Relation) (WorkloadResult, error) {
 			m.Set(i, j, m.At(i, j)-mean)
 		}
 	}
-	cov := linalg.SYRK(m).Scale(1 / float64(nRows-1))
+	cov := linalg.SYRK(nil, m).Scale(1 / float64(nRows-1))
 	res.Matrix = time.Since(t1)
 
 	t2 := time.Now()
 	// Manual context re-attachment, then the join runs back in MonetDB.
 	covRel := relFromMatrix(cov, names)
-	joined, err := rel.HashJoin(covRel, ranking, []string{"C"}, []string{"conf"}, rel.Inner)
+	joined, err := rel.HashJoin(nil, covRel, ranking, []string{"C"}, []string{"conf"}, rel.Inner)
 	if err != nil {
 		return res, err
 	}
@@ -549,7 +549,7 @@ func CovarianceAIDA(pubs, ranking *rel.Relation) (WorkloadResult, error) {
 	if err != nil {
 		return res, err
 	}
-	app := joined.Select(pred)
+	app := joined.Select(nil, pred)
 	res.Prep += time.Since(t2)
 	res.Check = float64(app.NumRows())
 	return res, nil
@@ -606,7 +606,7 @@ func TripCountRMA(y1, y2 *rel.Relation, policy core.Policy) (WorkloadResult, err
 	if err != nil {
 		return res, err
 	}
-	res.Check = bat.Sum(c)
+	res.Check = bat.Sum(nil, c)
 	return res, nil
 }
 

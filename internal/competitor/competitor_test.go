@@ -294,7 +294,7 @@ func TestEnginesAgreeOnOLS(t *testing.T) {
 		xr[i] = []float64{1, f[i]}
 	}
 	// Native dense path.
-	xtx := linalg.CrossProduct(x, x)
+	xtx := linalg.CrossProduct(nil, x, x)
 	inv, err := linalg.Inverse(xtx)
 	if err != nil {
 		t.Fatal(err)
@@ -303,7 +303,7 @@ func TestEnginesAgreeOnOLS(t *testing.T) {
 	for i, v := range y {
 		ym.Set(i, 0, v)
 	}
-	beta := linalg.MatMul(inv, linalg.CrossProduct(x, ym))
+	beta := linalg.MatMul(nil, inv, linalg.CrossProduct(nil, x, ym))
 	// MADlib path.
 	mbeta, err := madlib.LinRegr(xr, y)
 	if err != nil {

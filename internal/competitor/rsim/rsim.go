@@ -141,7 +141,7 @@ func (df *DataFrame) Filter(pred func(i int) bool) *DataFrame {
 	}
 	out := &DataFrame{Names: df.Names}
 	for _, c := range df.Cols {
-		out.Cols = append(out.Cols, c.Gather(idx))
+		out.Cols = append(out.Cols, c.Gather(nil, idx))
 	}
 	return out
 }
@@ -171,14 +171,14 @@ func Merge(l, r *DataFrame, lKey, rKey string) (*DataFrame, error) {
 	out := &DataFrame{}
 	for k, c := range l.Cols {
 		out.Names = append(out.Names, l.Names[k])
-		out.Cols = append(out.Cols, c.Gather(li))
+		out.Cols = append(out.Cols, c.Gather(nil, li))
 	}
 	for k, c := range r.Cols {
 		if r.Names[k] == rKey {
 			continue
 		}
 		out.Names = append(out.Names, r.Names[k])
-		out.Cols = append(out.Cols, c.Gather(ri))
+		out.Cols = append(out.Cols, c.Gather(nil, ri))
 	}
 	return out, nil
 }

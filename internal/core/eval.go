@@ -5,6 +5,7 @@ import (
 
 	"repro/internal/bat"
 	"repro/internal/batlin"
+	"repro/internal/exec"
 	"repro/internal/linalg"
 	"repro/internal/matrix"
 )
@@ -35,7 +36,7 @@ func checkUnaryShape(op Op, a *argument) error {
 
 // evalDenseUnary computes the base result of a unary operation with the
 // dense kernels.
-func evalDenseUnary(op Op, a *matrix.Matrix) (*matrix.Matrix, error) {
+func evalDenseUnary(c *exec.Ctx, op Op, a *matrix.Matrix) (*matrix.Matrix, error) {
 	switch op {
 	case OpTRA:
 		return a.T(), nil
@@ -54,11 +55,11 @@ func evalDenseUnary(op Op, a *matrix.Matrix) (*matrix.Matrix, error) {
 		}
 		return out, nil
 	case OpQQR:
-		return linalg.QQR(a)
+		return linalg.QQR(c, a)
 	case OpRQR:
-		return linalg.RQR(a)
+		return linalg.RQR(c, a)
 	case OpDSV:
-		sv, err := linalg.SingularValues(a)
+		sv, err := linalg.SingularValues(c, a)
 		if err != nil {
 			return nil, err
 		}
@@ -67,13 +68,13 @@ func evalDenseUnary(op Op, a *matrix.Matrix) (*matrix.Matrix, error) {
 		copy(d, sv)
 		return matrix.Diag(d), nil
 	case OpUSV:
-		d, err := linalg.NewSVD(a)
+		d, err := linalg.NewSVD(c, a)
 		if err != nil {
 			return nil, err
 		}
 		return d.FullU(), nil
 	case OpVSV:
-		d, err := linalg.NewSVD(a)
+		d, err := linalg.NewSVD(c, a)
 		if err != nil {
 			return nil, err
 		}
@@ -87,7 +88,7 @@ func evalDenseUnary(op Op, a *matrix.Matrix) (*matrix.Matrix, error) {
 		}
 		return matrix.FromRows([][]float64{{v}}), nil
 	case OpRNK:
-		r, err := linalg.Rank(a)
+		r, err := linalg.Rank(c, a)
 		if err != nil {
 			return nil, err
 		}
@@ -98,7 +99,7 @@ func evalDenseUnary(op Op, a *matrix.Matrix) (*matrix.Matrix, error) {
 
 // evalDenseBinary computes the base result of a binary operation with the
 // dense kernels.
-func evalDenseBinary(op Op, a, b *matrix.Matrix) (*matrix.Matrix, error) {
+func evalDenseBinary(c *exec.Ctx, op Op, a, b *matrix.Matrix) (*matrix.Matrix, error) {
 	switch op {
 	case OpADD:
 		return matrix.Add(a, b), nil
@@ -107,13 +108,13 @@ func evalDenseBinary(op Op, a, b *matrix.Matrix) (*matrix.Matrix, error) {
 	case OpEMU:
 		return matrix.EMU(a, b), nil
 	case OpMMU:
-		return linalg.MatMul(a, b), nil
+		return linalg.MatMul(c, a, b), nil
 	case OpCPD:
-		return linalg.CrossProduct(a, b), nil
+		return linalg.CrossProduct(c, a, b), nil
 	case OpOPD:
-		return linalg.OuterProduct(a, b), nil
+		return linalg.OuterProduct(c, a, b), nil
 	case OpSOL:
-		x, err := linalg.Solve(a, b.Column(0))
+		x, err := linalg.Solve(c, a, b.Column(0))
 		if err != nil {
 			return nil, err
 		}
@@ -138,26 +139,26 @@ func batUnarySupported(op Op) bool {
 }
 
 // evalBATUnary computes the base result column-at-a-time over BATs.
-func evalBATUnary(op Op, cols []*bat.BAT) ([]*bat.BAT, error) {
+func evalBATUnary(c *exec.Ctx, op Op, cols []*bat.BAT) ([]*bat.BAT, error) {
 	switch op {
 	case OpTRA:
-		return batlin.Tra(cols), nil
+		return batlin.Tra(c, cols), nil
 	case OpINV:
-		return batlin.Inv(cols)
+		return batlin.Inv(c, cols)
 	case OpQQR:
-		q, r, err := batlin.QR(cols)
-		for _, c := range r {
-			bat.Release(c) // only Q is kept; recycle the R columns
+		q, r, err := batlin.QR(c, cols)
+		for _, col := range r {
+			bat.Release(c, col) // only Q is kept; recycle the R columns
 		}
 		return q, err
 	case OpRQR:
-		q, r, err := batlin.QR(cols)
-		for _, c := range q {
-			bat.Release(c)
+		q, r, err := batlin.QR(c, cols)
+		for _, col := range q {
+			bat.Release(c, col)
 		}
 		return r, err
 	case OpDET:
-		v, err := batlin.Det(cols)
+		v, err := batlin.Det(c, cols)
 		if err != nil {
 			return nil, err
 		}
@@ -175,22 +176,22 @@ func batBinarySupported(op Op) bool {
 }
 
 // evalBATBinary computes the base result of a binary operation over BATs.
-func evalBATBinary(op Op, a, b []*bat.BAT) ([]*bat.BAT, error) {
+func evalBATBinary(c *exec.Ctx, op Op, a, b []*bat.BAT) ([]*bat.BAT, error) {
 	switch op {
 	case OpADD:
-		return batlin.Add(a, b)
+		return batlin.Add(c, a, b)
 	case OpSUB:
-		return batlin.Sub(a, b)
+		return batlin.Sub(c, a, b)
 	case OpEMU:
-		return batlin.EMU(a, b)
+		return batlin.EMU(c, a, b)
 	case OpMMU:
-		return batlin.MMU(a, b)
+		return batlin.MMU(c, a, b)
 	case OpCPD:
-		return batlin.CPD(a, b)
+		return batlin.CPD(c, a, b)
 	case OpOPD:
-		return batlin.OPD(a, b)
+		return batlin.OPD(c, a, b)
 	case OpSOL:
-		x, err := batlin.Solve(a, b[0])
+		x, err := batlin.Solve(c, a, b[0])
 		if err != nil {
 			return nil, err
 		}

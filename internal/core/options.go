@@ -1,12 +1,9 @@
 package core
 
 import (
-	"runtime"
-	"sync"
 	"time"
 
-	"repro/internal/bat"
-	"repro/internal/linalg"
+	"repro/internal/exec"
 )
 
 // Policy selects the execution engine for the base result (paper §7.3).
@@ -71,8 +68,18 @@ type Stats struct {
 	// UsedDense records whether the dense kernel computed the base result.
 	UsedDense bool
 	// Workers is the worker budget the invocation ran with: the
-	// Parallelism option when set, GOMAXPROCS otherwise.
+	// Parallelism option when set, the process default otherwise. It is
+	// recorded from the invocation's own execution context, so two
+	// concurrent invocations with different budgets each report their
+	// own value.
 	Workers int
+	// ParallelSections counts the parallel fan-outs of the invocation's
+	// context (sections that actually spawned goroutines), and
+	// ParallelGoroutines the goroutines those sections spawned. Both
+	// accumulate across invocations sharing one Stats, like the phase
+	// timings.
+	ParallelSections   int64
+	ParallelGoroutines int64
 }
 
 // Total returns the instrumented wall time.
@@ -89,14 +96,16 @@ func (s *Stats) TransformShare() float64 {
 }
 
 // Options configures an RMA operation invocation. The zero value is
-// PolicyAuto with full sorting, GOMAXPROCS-wide parallelism, and no
+// PolicyAuto with full sorting, default-budget parallelism, and no
 // instrumentation.
 type Options struct {
 	Policy   Policy
 	SortMode SortMode
 	// Parallelism bounds the number of workers used by the invocation's
 	// kernels and copy loops on both the BAT and dense paths. Zero (the
-	// default) means runtime.GOMAXPROCS(0); 1 forces serial execution.
+	// default) follows the process default budget (exec.DefaultWorkers,
+	// GOMAXPROCS unless the deprecated SetParallelism shims moved it);
+	// 1 forces serial execution.
 	Parallelism int
 	// Stats, when non-nil, receives the phase timings of the invocation.
 	Stats *Stats
@@ -109,56 +118,36 @@ func (o *Options) orDefault() *Options {
 	return o
 }
 
-// workers resolves the effective worker budget of the invocation.
-func (o *Options) workers() int {
-	if o.Parallelism > 0 {
-		return o.Parallelism
+// Ctx builds the per-invocation execution context from the options: the
+// Parallelism budget (zero follows the process default), the shared
+// arena, and a fresh stats sink when Stats is set. Nothing process-wide
+// is touched — concurrent invocations with different budgets each carry
+// their own context, which is what makes mixed-budget query streams
+// race-free. A nil receiver yields the default context.
+func (o *Options) Ctx() *exec.Ctx {
+	if o == nil {
+		return exec.Default()
 	}
-	return runtime.GOMAXPROCS(0)
-}
-
-// parOverride tracks in-flight Parallelism overrides so overlapping
-// invocations cannot corrupt the process-wide budget: the first override
-// saves the pre-override baseline and only the last one out restores it.
-// While overrides overlap, the kernels see the most recent explicit
-// budget (documented last-write-wins).
-var parOverride struct {
-	mu         sync.Mutex
-	depth      int
-	savedBAT   int
-	savedDense int
-}
-
-// applyParallelism propagates the Parallelism option into the BAT and
-// dense kernel packages for the duration of one invocation, recording the
-// effective worker count in Stats. The returned func undoes the override;
-// after all overlapping overrides finish, the budgets are back at the
-// pre-override baseline.
-func (o *Options) applyParallelism() func() {
+	var sink *exec.Stats
 	if o.Stats != nil {
-		o.Stats.Workers = o.workers()
+		sink = &exec.Stats{}
 	}
-	if o.Parallelism <= 0 {
-		return func() {}
+	c := exec.NewCtx(o.Parallelism, nil, sink)
+	if o.Stats != nil {
+		o.Stats.Workers = sink.Workers
 	}
-	parOverride.mu.Lock()
-	if parOverride.depth == 0 {
-		parOverride.savedBAT = bat.SetParallelism(o.Parallelism)
-		parOverride.savedDense = linalg.SetParallelism(o.Parallelism)
-	} else {
-		bat.SetParallelism(o.Parallelism)
-		linalg.SetParallelism(o.Parallelism)
+	return c
+}
+
+// finishCtx folds the context's execution counters back into Stats at the
+// end of one invocation.
+func (o *Options) finishCtx(c *exec.Ctx) {
+	if o.Stats == nil {
+		return
 	}
-	parOverride.depth++
-	parOverride.mu.Unlock()
-	return func() {
-		parOverride.mu.Lock()
-		parOverride.depth--
-		if parOverride.depth == 0 {
-			bat.SetParallelism(parOverride.savedBAT)
-			linalg.SetParallelism(parOverride.savedDense)
-		}
-		parOverride.mu.Unlock()
+	if s := c.Stats(); s != nil {
+		o.Stats.ParallelSections += s.Sections.Load()
+		o.Stats.ParallelGoroutines += s.Goroutines.Load()
 	}
 }
 

@@ -39,7 +39,7 @@ func spdRelation(rng *rand.Rand, n int) *rel.Relation {
 	for i := range raw.Data {
 		raw.Data[i] = rng.NormFloat64()
 	}
-	a := linalg.CrossProduct(raw, raw)
+	a := linalg.CrossProduct(nil, raw, raw)
 	for i := 0; i < n; i++ {
 		a.Set(i, i, a.At(i, i)+1)
 	}
@@ -66,7 +66,7 @@ func reduce(t *testing.T, v *rel.Relation, order []string) *matrix.Matrix {
 	for k, a := range order {
 		specs[k] = rel.OrderSpec{Attr: a}
 	}
-	sorted, err := v.Sort(specs...)
+	sorted, err := v.Sort(nil, specs...)
 	if err != nil {
 		t.Fatalf("reduce sort: %v", err)
 	}
@@ -110,18 +110,18 @@ func TestMatrixConsistencyUnary(t *testing.T) {
 		order []string // order schema U' of the result for reduction
 	}{
 		{OpTRA, tall, func() *matrix.Matrix { return tallM.T() }, []string{"C"}},
-		{OpQQR, tall, func() *matrix.Matrix { m, _ := linalg.QQR(tallM); return m }, []string{"Kr"}},
-		{OpRQR, tall, func() *matrix.Matrix { m, _ := linalg.RQR(tallM); return m }, []string{"C"}},
+		{OpQQR, tall, func() *matrix.Matrix { m, _ := linalg.QQR(nil, tallM); return m }, []string{"Kr"}},
+		{OpRQR, tall, func() *matrix.Matrix { m, _ := linalg.RQR(nil, tallM); return m }, []string{"C"}},
 		{OpDSV, tall, func() *matrix.Matrix {
-			sv, _ := linalg.SingularValues(tallM)
+			sv, _ := linalg.SingularValues(nil, tallM)
 			d := make([]float64, tallM.Cols)
 			copy(d, sv)
 			return matrix.Diag(d)
 		}, []string{"C"}},
-		{OpVSV, tall, func() *matrix.Matrix { d, _ := linalg.NewSVD(tallM); return d.FullV() }, []string{"C"}},
-		{OpUSV, tall, func() *matrix.Matrix { d, _ := linalg.NewSVD(tallM); return d.FullU() }, []string{"Kr"}},
+		{OpVSV, tall, func() *matrix.Matrix { d, _ := linalg.NewSVD(nil, tallM); return d.FullV() }, []string{"C"}},
+		{OpUSV, tall, func() *matrix.Matrix { d, _ := linalg.NewSVD(nil, tallM); return d.FullU() }, []string{"Kr"}},
 		{OpRNK, tall, func() *matrix.Matrix {
-			r, _ := linalg.Rank(tallM)
+			r, _ := linalg.Rank(nil, tallM)
 			return matrix.FromRows([][]float64{{float64(r)}})
 		}, []string{"C"}},
 		{OpINV, square, func() *matrix.Matrix { m, _ := linalg.Inverse(squareM); return m }, []string{"K"}},
@@ -195,7 +195,7 @@ func TestMatrixConsistencyBinary(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !matrix.ApproxEqual(reduce(t, v, []string{"Kr"}), linalg.MatMul(mr, msq), 1e-9) {
+	if !matrix.ApproxEqual(reduce(t, v, []string{"Kr"}), linalg.MatMul(nil, mr, msq), 1e-9) {
 		t.Error("mmu: not reducible to base result")
 	}
 
@@ -204,7 +204,7 @@ func TestMatrixConsistencyBinary(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if !matrix.ApproxEqual(reduce(t, v, []string{"C"}), linalg.CrossProduct(mr, ms), 1e-9) {
+	if !matrix.ApproxEqual(reduce(t, v, []string{"C"}), linalg.CrossProduct(nil, mr, ms), 1e-9) {
 		t.Error("cpd: not reducible to base result")
 	}
 
@@ -216,7 +216,7 @@ func TestMatrixConsistencyBinary(t *testing.T) {
 	// Column names are ▽Ks = "0".."5"; they sort as strings, so reduce by
 	// Kr and compare against OPD with s columns permuted to string order.
 	got := reduce(t, v, []string{"Kr"})
-	want := linalg.OuterProduct(mr, ms)
+	want := linalg.OuterProduct(nil, mr, ms)
 	if got.Rows != want.Rows || got.Cols != want.Cols {
 		t.Fatalf("opd shape %dx%d, want %dx%d", got.Rows, got.Cols, want.Rows, want.Cols)
 	}
@@ -231,7 +231,7 @@ func TestMatrixConsistencyBinary(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	x, err := linalg.Solve(mr, mb.Column(0))
+	x, err := linalg.Solve(nil, mr, mb.Column(0))
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -307,7 +307,7 @@ func TestOriginsDefinition(t *testing.T) {
 func TestOriginsConnectValues(t *testing.T) {
 	r := weather()
 	pred, _ := r.StringPred("T", func(s string) bool { return s > "6am" })
-	sel := r.Select(pred)
+	sel := r.Select(nil, pred)
 	v, err := Inv(sel, []string{"T"}, nil)
 	if err != nil {
 		t.Fatal(err)
@@ -388,7 +388,7 @@ func TestClosure(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sel := inv.Select(pred)
+	sel := inv.Select(nil, pred)
 	// RMA op on relational output of RMA output.
 	back, err := Inv(sel, []string{"K"}, nil)
 	if err != nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/bat"
+	"repro/internal/exec"
 	"repro/internal/linalg"
 	"repro/internal/rel"
 )
@@ -22,7 +23,8 @@ func Unary(op Op, r *rel.Relation, order []string, opts *Options) (*rel.Relation
 		return nil, fmt.Errorf("rma: %s takes two relations", op)
 	}
 	opts = opts.orDefault()
-	defer opts.applyParallelism()()
+	c := opts.Ctx()
+	defer opts.finishCtx(c)
 	clock := phaseClock{stats: opts.Stats}
 
 	// Split and sort (context handling).
@@ -33,7 +35,7 @@ func Unary(op Op, r *rel.Relation, order []string, opts *Options) (*rel.Relation
 	}
 	doSort := !(opts.SortMode == SortOptimized && sortNeedOf(op) == needNone)
 	if doSort {
-		if err := a.sortArg(); err != nil {
+		if err := a.sortArg(c); err != nil {
 			return nil, err
 		}
 		if opts.Stats != nil {
@@ -46,14 +48,14 @@ func Unary(op Op, r *rel.Relation, order []string, opts *Options) (*rel.Relation
 	clock.endContext()
 
 	// Evaluate the base result.
-	baseCols, err := evalUnaryBase(op, a, opts, &clock)
+	baseCols, err := evalUnaryBase(c, op, a, opts, &clock)
 	if err != nil {
 		return nil, err
 	}
 
 	// Morph and merge (context handling).
 	clock.begin()
-	res, err := assemble(op, a, nil, baseCols)
+	res, err := assemble(c, op, a, nil, baseCols)
 	clock.endContext()
 	return res, err
 }
@@ -64,7 +66,8 @@ func Binary(op Op, r *rel.Relation, rOrder []string, s *rel.Relation, sOrder []s
 		return nil, fmt.Errorf("rma: %s takes one relation", op)
 	}
 	opts = opts.orDefault()
-	defer opts.applyParallelism()()
+	c := opts.Ctx()
+	defer opts.finishCtx(c)
 	clock := phaseClock{stats: opts.Stats}
 
 	clock.begin()
@@ -76,7 +79,7 @@ func Binary(op Op, r *rel.Relation, rOrder []string, s *rel.Relation, sOrder []s
 	if err != nil {
 		return nil, err
 	}
-	if err := sortBinary(op, a, b, opts); err != nil {
+	if err := sortBinary(c, op, a, b, opts); err != nil {
 		return nil, err
 	}
 	if err := checkBinaryShape(op, a, b); err != nil {
@@ -84,13 +87,13 @@ func Binary(op Op, r *rel.Relation, rOrder []string, s *rel.Relation, sOrder []s
 	}
 	clock.endContext()
 
-	baseCols, err := evalBinaryBase(op, a, b, opts, &clock)
+	baseCols, err := evalBinaryBase(c, op, a, b, opts, &clock)
 	if err != nil {
 		return nil, err
 	}
 
 	clock.begin()
-	res, err := assemble(op, a, b, baseCols)
+	res, err := assemble(c, op, a, b, baseCols)
 	clock.endContext()
 	return res, err
 }
@@ -98,7 +101,7 @@ func Binary(op Op, r *rel.Relation, rOrder []string, s *rel.Relation, sOrder []s
 // sortBinary applies the sorting strategy for two-argument operations:
 // full sorting, or the Section 8.1 optimizations (relative sorting of the
 // second argument; second-only sorting for mmu/opd).
-func sortBinary(op Op, a, b *argument, opts *Options) error {
+func sortBinary(c *exec.Ctx, op Op, a, b *argument, opts *Options) error {
 	need := sortNeedOf(op)
 	if opts.SortMode != SortOptimized {
 		need = needFull
@@ -108,37 +111,37 @@ func sortBinary(op Op, a, b *argument, opts *Options) error {
 		// Both sort indexes are computed (also verifying the key
 		// property), but only the second argument's columns are gathered:
 		// b is aligned to a's input order, a stays in place.
-		if err := a.sortArg(); err != nil {
+		if err := a.sortArg(c); err != nil {
 			return err
 		}
-		if err := b.sortArg(); err != nil {
+		if err := b.sortArg(c); err != nil {
 			return err
 		}
 		if a.rows() == b.rows() {
-			align := bat.AllocInts(len(b.perm))
+			align := c.Arena().Ints(len(b.perm))
 			for k, pa := range a.perm {
 				align[pa] = b.perm[k]
 			}
-			bat.FreeInts(b.perm)
+			c.Arena().FreeInts(b.perm)
 			b.perm = align
-			bat.FreeInts(a.perm)
+			c.Arena().FreeInts(a.perm)
 			a.perm = nil // keep a in input order, no gathers
 		}
 		if opts.Stats != nil {
 			opts.Stats.Sorted = true
 		}
 	case needSecondOnly:
-		if err := b.sortArg(); err != nil {
+		if err := b.sortArg(c); err != nil {
 			return err
 		}
 		if opts.Stats != nil {
 			opts.Stats.Sorted = true
 		}
 	default:
-		if err := a.sortArg(); err != nil {
+		if err := a.sortArg(c); err != nil {
 			return err
 		}
-		if err := b.sortArg(); err != nil {
+		if err := b.sortArg(c); err != nil {
 			return err
 		}
 		if opts.Stats != nil {
@@ -197,38 +200,39 @@ func checkBinaryShape(op Op, a, b *argument) error {
 
 // evalUnaryBase computes the base result as a list of BATs, routing
 // through the BAT or dense engine per policy and timing the phases.
-func evalUnaryBase(op Op, a *argument, opts *Options, clock *phaseClock) ([]*bat.BAT, error) {
+func evalUnaryBase(c *exec.Ctx, op Op, a *argument, opts *Options, clock *phaseClock) ([]*bat.BAT, error) {
 	if useDense(op, opts.Policy, false) {
 		if opts.Stats != nil {
 			opts.Stats.UsedDense = true
 		}
 		clock.begin()
-		m, err := a.toMatrix()
+		m, err := a.toMatrix(c)
 		clock.endTransform()
 		if err != nil {
 			return nil, err
 		}
 		clock.begin()
-		res, err := evalDenseUnary(op, m)
+		res, err := evalDenseUnary(c, op, m)
 		clock.endKernel()
+		releaseMatrix(c, m) // the kernels never alias operands into results
 		if err != nil {
 			return nil, err
 		}
 		clock.begin()
-		cols := matrixToCols(res)
+		cols := matrixToCols(c, res)
 		clock.endTransform()
 		return cols, nil
 	}
 	clock.begin()
-	cols := a.orderedAppCols() // no-copy µ: gathered views of the BATs
+	cols := a.orderedAppCols(c) // no-copy µ: gathered views of the BATs
 	clock.endContext()
 	clock.begin()
-	res, err := evalBATUnary(op, cols)
+	res, err := evalBATUnary(c, op, cols)
 	clock.endKernel()
 	return res, err
 }
 
-func evalBinaryBase(op Op, a, b *argument, opts *Options, clock *phaseClock) ([]*bat.BAT, error) {
+func evalBinaryBase(c *exec.Ctx, op Op, a, b *argument, opts *Options, clock *phaseClock) ([]*bat.BAT, error) {
 	if useDense(op, opts.Policy, true) {
 		if opts.Stats != nil {
 			opts.Stats.UsedDense = true
@@ -238,46 +242,50 @@ func evalBinaryBase(op Op, a, b *argument, opts *Options, clock *phaseClock) ([]
 		// rank-k kernel, the paper's cblas_dsyrk route.
 		if op == OpCPD && sameApplicationPart(a, b) {
 			clock.begin()
-			ma, err := a.toMatrix()
+			ma, err := a.toMatrix(c)
 			clock.endTransform()
 			if err != nil {
 				return nil, err
 			}
 			clock.begin()
-			res := linalg.SYRK(ma)
+			res := linalg.SYRK(c, ma)
 			clock.endKernel()
+			releaseMatrix(c, ma)
 			clock.begin()
-			cols := matrixToCols(res)
+			cols := matrixToCols(c, res)
 			clock.endTransform()
 			return cols, nil
 		}
 		clock.begin()
-		ma, err := a.toMatrix()
+		ma, err := a.toMatrix(c)
 		if err != nil {
 			return nil, err
 		}
-		mb, err := b.toMatrix()
+		mb, err := b.toMatrix(c)
 		clock.endTransform()
 		if err != nil {
+			releaseMatrix(c, ma)
 			return nil, err
 		}
 		clock.begin()
-		res, err := evalDenseBinary(op, ma, mb)
+		res, err := evalDenseBinary(c, op, ma, mb)
 		clock.endKernel()
+		releaseMatrix(c, ma)
+		releaseMatrix(c, mb)
 		if err != nil {
 			return nil, err
 		}
 		clock.begin()
-		cols := matrixToCols(res)
+		cols := matrixToCols(c, res)
 		clock.endTransform()
 		return cols, nil
 	}
 	clock.begin()
-	ca := a.orderedAppCols()
-	cb := b.orderedAppCols()
+	ca := a.orderedAppCols(c)
+	cb := b.orderedAppCols(c)
 	clock.endContext()
 	clock.begin()
-	res, err := evalBATBinary(op, ca, cb)
+	res, err := evalBATBinary(c, op, ca, cb)
 	clock.endKernel()
 	return res, err
 }
@@ -316,7 +324,7 @@ func sameApplicationPart(a, b *argument) bool {
 // assemble merges contextual information with the base result according to
 // the operation's shape type (the relation constructor γ applications of
 // paper Table 2).
-func assemble(op Op, a, b *argument, baseCols []*bat.BAT) (*rel.Relation, error) {
+func assemble(c *exec.Ctx, op Op, a, b *argument, baseCols []*bat.BAT) (*rel.Relation, error) {
 	shape := ShapeOf(op)
 	name := a.rel.Name
 
@@ -329,9 +337,9 @@ func assemble(op Op, a, b *argument, baseCols []*bat.BAT) (*rel.Relation, error)
 	case DimC2:
 		colNames = b.appSchema.Names()
 	case DimR1:
-		colNames, err = a.columnCast() // ▽U
+		colNames, err = a.columnCast(c) // ▽U
 	case DimR2:
-		colNames, err = b.columnCast() // ▽V
+		colNames, err = b.columnCast(c) // ▽V
 	case DimOne:
 		colNames = []string{string(op)}
 	}
@@ -348,12 +356,12 @@ func assemble(op Op, a, b *argument, baseCols []*bat.BAT) (*rel.Relation, error)
 	switch shape.Row {
 	case DimR1:
 		schema = append(schema, a.orderSchema...)
-		cols = append(cols, a.orderedOrderCols()...)
+		cols = append(cols, a.orderedOrderCols(c)...)
 	case DimRStar:
 		schema = append(schema, a.orderSchema...)
-		cols = append(cols, a.orderedOrderCols()...)
+		cols = append(cols, a.orderedOrderCols(c)...)
 		schema = append(schema, b.orderSchema...)
-		cols = append(cols, b.orderedOrderCols()...)
+		cols = append(cols, b.orderedOrderCols(c)...)
 	case DimC1:
 		vals := a.schemaCast() // ∆Ū
 		schema = append(schema, rel.Attr{Name: contextAttr, Type: bat.String})

@@ -32,7 +32,7 @@ func TestInvPaperFigure3(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sel := r.Select(pred)
+	sel := r.Select(nil, pred)
 	if sel.NumRows() != 2 {
 		t.Fatalf("selection rows = %d", sel.NumRows())
 	}
@@ -255,8 +255,8 @@ func TestAddOptimizedRelativeSortMatchesFull(t *testing.T) {
 		t.Fatal(err)
 	}
 	// Same set of tuples (row order may differ): sort both by K.
-	fs, _ := full.Sort(rel.OrderSpec{Attr: "K"})
-	os_, _ := opt.Sort(rel.OrderSpec{Attr: "K"})
+	fs, _ := full.Sort(nil, rel.OrderSpec{Attr: "K"})
+	os_, _ := opt.Sort(nil, rel.OrderSpec{Attr: "K"})
 	if fs.NumRows() != os_.NumRows() {
 		t.Fatalf("row counts differ: %d vs %d", fs.NumRows(), os_.NumRows())
 	}
@@ -616,8 +616,8 @@ func TestNoSortOptimizationKeepsTuples(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	fs, _ := full.Sort(rel.OrderSpec{Attr: "T"})
-	os_, _ := opt.Sort(rel.OrderSpec{Attr: "T"})
+	fs, _ := full.Sort(nil, rel.OrderSpec{Attr: "T"})
+	os_, _ := opt.Sort(nil, rel.OrderSpec{Attr: "T"})
 	for i := 0; i < fs.NumRows(); i++ {
 		if fs.Value(i, 0).S != os_.Value(i, 0).S {
 			t.Fatalf("origin mismatch row %d", i)

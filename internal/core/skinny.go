@@ -5,6 +5,7 @@ import (
 	"sort"
 
 	"repro/internal/bat"
+	"repro/internal/exec"
 	"repro/internal/rel"
 )
 
@@ -32,7 +33,8 @@ func ToSkinny(r *rel.Relation, order []string) (*rel.Relation, error) {
 	if err != nil {
 		return nil, err
 	}
-	if err := a.sortArg(); err != nil {
+	c := exec.Default()
+	if err := a.sortArg(c); err != nil {
 		return nil, err
 	}
 	if r.Schema.Index(SkinnyAttr) >= 0 || r.Schema.Index(SkinnyValue) >= 0 {
@@ -51,13 +53,13 @@ func ToSkinny(r *rel.Relation, order []string) (*rel.Relation, error) {
 		rel.Attr{Name: SkinnyAttr, Type: bat.String},
 		rel.Attr{Name: SkinnyValue, Type: bat.Float})
 	cols := make([]*bat.BAT, 0, len(schema))
-	for _, c := range a.orderCols {
-		cols = append(cols, c.Gather(idx))
+	for _, col := range a.orderCols {
+		cols = append(cols, col.Gather(c, idx))
 	}
 	attrs := make([]string, 0, n*k)
 	vals := make([]float64, 0, n*k)
-	for j, c := range a.appCols {
-		f, err := c.Floats()
+	for j, col := range a.appCols {
+		f, err := col.Floats()
 		if err != nil {
 			return nil, err
 		}
@@ -169,8 +171,8 @@ func FromSkinny(r *rel.Relation, order []string) (*rel.Relation, error) {
 
 	schema := orderSchema.Clone()
 	cols := make([]*bat.BAT, 0, len(order)+width)
-	for _, c := range orderCols {
-		cols = append(cols, c.Gather(keyRows))
+	for _, col := range orderCols {
+		cols = append(cols, col.Gather(exec.Default(), keyRows))
 	}
 	for j, name := range attrNames {
 		schema = append(schema, rel.Attr{Name: name, Type: bat.Float})

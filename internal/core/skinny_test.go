@@ -76,7 +76,7 @@ func TestSkinnyErrors(t *testing.T) {
 	for i := range idx {
 		idx[i] = i
 	}
-	if _, err := FromSkinny(skinny.Gather(idx), []string{"Kr"}); err == nil {
+	if _, err := FromSkinny(skinny.Gather(nil, idx), []string{"Kr"}); err == nil {
 		t.Error("non-dense skinny accepted")
 	}
 	// Duplicate a row: duplicate cell.
@@ -84,7 +84,7 @@ func TestSkinnyErrors(t *testing.T) {
 	for i := range dup {
 		dup[i] = i % skinny.NumRows()
 	}
-	if _, err := FromSkinny(skinny.Gather(dup), []string{"Kr"}); err == nil {
+	if _, err := FromSkinny(skinny.Gather(nil, dup), []string{"Kr"}); err == nil {
 		t.Error("duplicate cell accepted")
 	}
 	if _, err := FromSkinny(r, []string{"Kr"}); err == nil {

@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/bat"
+	"repro/internal/exec"
 	"repro/internal/matrix"
 	"repro/internal/rel"
 )
@@ -62,18 +63,18 @@ func split(r *rel.Relation, order []string) (*argument, error) {
 
 // sortArg computes the sort permutation over the order schema and verifies
 // the key property (the Sorting step of Algorithm 1).
-func (a *argument) sortArg() error {
+func (a *argument) sortArg(c *exec.Ctx) error {
 	if len(a.orderCols) == 0 {
 		// An empty order schema is permitted only for single-row inputs,
 		// where order is trivially immaterial and the key is empty.
 		if a.rel.NumRows() > 1 {
 			return fmt.Errorf("rma: relation %s needs an order schema (BY clause)", a.rel.Name)
 		}
-		a.perm = bat.Identity(a.rel.NumRows())
+		a.perm = bat.Identity(c, a.rel.NumRows())
 		a.sorted = true
 		return nil
 	}
-	idx := bat.SortIndex(a.orderCols)
+	idx := bat.SortIndex(c, a.orderCols)
 	if !bat.KeyUnique(a.orderCols, idx) {
 		return fmt.Errorf("rma: order schema %v of %s is not a key", a.orderSchema.Names(), a.rel.Name)
 	}
@@ -87,13 +88,13 @@ func (a *argument) rows() int { return a.rel.NumRows() }
 
 // orderedOrderCols returns the order part gathered into operation order
 // (X in Algorithm 1 for shape (r,·) operations).
-func (a *argument) orderedOrderCols() []*bat.BAT {
+func (a *argument) orderedOrderCols(c *exec.Ctx) []*bat.BAT {
 	out := make([]*bat.BAT, len(a.orderCols))
-	for k, c := range a.orderCols {
+	for k, col := range a.orderCols {
 		if a.perm == nil || bat.IsSortedIndex(a.perm) {
-			out[k] = c
+			out[k] = col
 		} else {
-			out[k] = c.Gather(a.perm)
+			out[k] = col.Gather(c, a.perm)
 		}
 	}
 	return out
@@ -102,13 +103,13 @@ func (a *argument) orderedOrderCols() []*bat.BAT {
 // orderedAppCols returns the application part gathered into operation
 // order (Y in Algorithm 1) — the no-copy µ constructor used by the BAT
 // execution path.
-func (a *argument) orderedAppCols() []*bat.BAT {
+func (a *argument) orderedAppCols(c *exec.Ctx) []*bat.BAT {
 	out := make([]*bat.BAT, len(a.appCols))
-	for k, c := range a.appCols {
+	for k, col := range a.appCols {
 		if a.perm == nil || bat.IsSortedIndex(a.perm) {
-			out[k] = c
+			out[k] = col
 		} else {
-			out[k] = c.Gather(a.perm)
+			out[k] = col.Gather(c, a.perm)
 		}
 	}
 	return out
@@ -119,15 +120,17 @@ func (a *argument) orderedAppCols() []*bat.BAT {
 // row-major array (the "copy BATs to an MKL compatible format" step whose
 // cost Figure 14 measures). The copy-in is column-parallel: each source
 // column scatters into a distinct stride of the row-major array, so the
-// writes are disjoint.
-func (a *argument) toMatrix() (*matrix.Matrix, error) {
+// writes are disjoint. The backing array is drawn from the context's
+// arena — every cell is overwritten below — and handed back with
+// releaseMatrix once the kernel has consumed the operand.
+func (a *argument) toMatrix(c *exec.Ctx) (*matrix.Matrix, error) {
 	m := a.rows()
 	n := len(a.appCols)
-	out := matrix.New(m, n)
+	out := &matrix.Matrix{Rows: m, Cols: n, Data: c.Arena().Floats(m * n)}
 	errs := make([]error, n)
-	bat.ParallelFor(n, 1, func(lo, hi int) {
+	c.ParallelFor(n, 1, func(lo, hi int) {
 		for j := lo; j < hi; j++ {
-			f, err := a.appCols[j].Floats()
+			f, err := a.appCols[j].FloatsCtx(c)
 			if err != nil {
 				errs[j] = err
 				continue
@@ -145,16 +148,30 @@ func (a *argument) toMatrix() (*matrix.Matrix, error) {
 	})
 	for _, err := range errs {
 		if err != nil {
+			releaseMatrix(c, out)
 			return nil, fmt.Errorf("rma: %v", err)
 		}
 	}
 	return out, nil
 }
 
+// releaseMatrix returns a toMatrix backing array to the context's arena
+// once the dense kernel has consumed the operand (the kernels never alias
+// their inputs into their results). The matrix must not be used
+// afterwards.
+func releaseMatrix(c *exec.Ctx, m *matrix.Matrix) {
+	if m == nil || m.Data == nil {
+		return
+	}
+	data := m.Data
+	m.Data = nil
+	c.Arena().FreeFloats(data)
+}
+
 // columnCast is ▽U: the sorted values of a single-attribute order schema,
 // rendered as strings, used as attribute names of result application
 // schemas (usv, opd, tra). The key property guarantees uniqueness.
-func (a *argument) columnCast() ([]string, error) {
+func (a *argument) columnCast(c *exec.Ctx) ([]string, error) {
 	if len(a.orderCols) != 1 {
 		return nil, fmt.Errorf("rma: column cast needs an order schema of cardinality one, got %v",
 			a.orderSchema.Names())
@@ -162,16 +179,16 @@ func (a *argument) columnCast() ([]string, error) {
 	perm := a.perm
 	if perm == nil {
 		// Names must be sorted even when row sorting was optimized away.
-		perm = bat.SortIndex(a.orderCols)
+		perm = bat.SortIndex(c, a.orderCols)
 		if !bat.KeyUnique(a.orderCols, perm) {
 			return nil, fmt.Errorf("rma: order schema %v of %s is not a key",
 				a.orderSchema.Names(), a.rel.Name)
 		}
 	}
-	c := a.orderCols[0]
+	col := a.orderCols[0]
 	names := make([]string, len(perm))
 	for i, p := range perm {
-		names[i] = c.Get(p).String()
+		names[i] = col.Get(p).String()
 	}
 	return names, nil
 }
@@ -184,12 +201,12 @@ func (a *argument) schemaCast() []string {
 
 // matrixToCols converts a dense base result back into one BAT per column
 // (the copy-back half of the transformation). The materialization is
-// column-parallel and draws the column buffers from the BAT arena.
-func matrixToCols(m *matrix.Matrix) []*bat.BAT {
+// column-parallel and draws the column buffers from the context's arena.
+func matrixToCols(c *exec.Ctx, m *matrix.Matrix) []*bat.BAT {
 	out := make([]*bat.BAT, m.Cols)
-	bat.ParallelFor(m.Cols, 1, func(lo, hi int) {
+	c.ParallelFor(m.Cols, 1, func(lo, hi int) {
 		for j := lo; j < hi; j++ {
-			col := bat.Alloc(m.Rows)
+			col := c.Arena().Floats(m.Rows)
 			for i := 0; i < m.Rows; i++ {
 				col[i] = m.Data[i*m.Cols+j]
 			}

@@ -1,0 +1,183 @@
+package exec
+
+import (
+	"math/bits"
+	"sync"
+)
+
+// Arena recycles the buffers the vectorized kernels produce: float64
+// tails, int permutations, and — since the per-query context refactor —
+// int64 and string tails. Kernels allocate every output through the
+// arena of their Ctx; callers that know a buffer is dead hand it back
+// with the matching Free method (or bat.Release at the BAT level) and the
+// next allocation reuses the memory instead of growing the heap.
+//
+// Buffers are pooled in power-of-two size classes backed by sync.Pool, so
+// anything never freed is simply garbage collected and a Get after a GC
+// falls back to make; an arena can only reduce allocations, never retain
+// memory beyond what the GC allows. Each Arena instance owns its own
+// pools: the shared arena serves default contexts, while a query that
+// wants buffer isolation (per-tenant accounting, bounded interference)
+// carries a private NewArena in its Ctx. Buffers may migrate between
+// arenas — Free only checks the capacity class, never the origin — which
+// trades strict ownership for zero bookkeeping.
+type Arena struct {
+	floats  [poolClasses]sync.Pool // class c holds *[]float64 of cap 1<<(minPoolShift+c)
+	ints    [poolClasses]sync.Pool // class c holds *[]int
+	int64s  [poolClasses]sync.Pool // class c holds *[]int64
+	strings [poolClasses]sync.Pool // class c holds *[]string
+}
+
+const (
+	// minPoolShift is the smallest pooled capacity (64 elements): below
+	// that the pool bookkeeping costs more than the allocation.
+	minPoolShift = 6
+	// maxPoolShift caps pooled buffers at 16Mi elements (128 MiB of
+	// float64s); larger columns go straight to the allocator.
+	maxPoolShift = 24
+	poolClasses  = maxPoolShift - minPoolShift + 1
+)
+
+// shared is the process-wide arena behind Shared() and every Ctx without
+// a private arena.
+var shared Arena
+
+// Shared returns the process-wide arena.
+func Shared() *Arena { return &shared }
+
+// NewArena returns a fresh arena with empty pools.
+func NewArena() *Arena { return &Arena{} }
+
+// classFor returns the pool class whose capacity 1<<(minPoolShift+class)
+// is the smallest one holding n elements, or -1 when n is outside the
+// pooled range.
+func classFor(n int) int {
+	if n <= 0 || n > 1<<maxPoolShift {
+		return -1
+	}
+	shift := bits.Len(uint(n - 1))
+	if shift < minPoolShift {
+		shift = minPoolShift
+	}
+	return shift - minPoolShift
+}
+
+// capClass returns the pool class for a buffer of exactly capacity c, or
+// -1 when c is not a pooled class size. Only exact class capacities are
+// accepted so foreign slices cannot poison the pool with odd sizes.
+func capClass(c int) int {
+	if c < 1<<minPoolShift || c > 1<<maxPoolShift || c&(c-1) != 0 {
+		return -1
+	}
+	return bits.Len(uint(c)) - 1 - minPoolShift
+}
+
+// alloc returns a slice of length n from the size-classed pools, falling
+// back to make outside the pooled range. Contents are undefined.
+func alloc[T any](pools *[poolClasses]sync.Pool, n int) []T {
+	c := classFor(n)
+	if c < 0 {
+		return make([]T, n)
+	}
+	if p, _ := pools[c].Get().(*[]T); p != nil {
+		return (*p)[:n]
+	}
+	return make([]T, n, 1<<(c+minPoolShift))
+}
+
+// free returns a slice to the pools. clearRefs zeroes the full capacity
+// first — required for pointer-carrying element types (strings) so pooled
+// buffers do not pin dead values against the garbage collector.
+func free[T any](pools *[poolClasses]sync.Pool, s []T, clearRefs bool) {
+	c := capClass(cap(s))
+	if c < 0 {
+		return
+	}
+	if clearRefs {
+		clear(s[:cap(s)])
+	}
+	s = s[:0]
+	pools[c].Put(&s)
+}
+
+// Floats returns a float64 slice of length n, recycled when a buffer of a
+// suitable class is available. The contents are undefined; use FloatsZero
+// when the kernel does not overwrite every element. Nil-safe: a nil arena
+// delegates to the shared one.
+func (a *Arena) Floats(n int) []float64 {
+	if a == nil {
+		a = Shared()
+	}
+	return alloc[float64](&a.floats, n)
+}
+
+// FloatsZero returns a zeroed float64 slice of length n.
+func (a *Arena) FloatsZero(n int) []float64 {
+	f := a.Floats(n)
+	clear(f)
+	return f
+}
+
+// FreeFloats returns a float64 slice to the arena. The caller asserts
+// sole ownership: the slice (and any BAT or Vector wrapping it) must not
+// be used afterwards. Slices whose capacity is not an exact arena class
+// are left to the garbage collector.
+func (a *Arena) FreeFloats(f []float64) {
+	if a == nil {
+		a = Shared()
+	}
+	free(&a.floats, f, false)
+}
+
+// Ints returns an int slice of length n (the permutation buffers of
+// SortIndex and Identity).
+func (a *Arena) Ints(n int) []int {
+	if a == nil {
+		a = Shared()
+	}
+	return alloc[int](&a.ints, n)
+}
+
+// FreeInts returns an int slice to the arena under the same ownership
+// contract as FreeFloats.
+func (a *Arena) FreeInts(idx []int) {
+	if a == nil {
+		a = Shared()
+	}
+	free(&a.ints, idx, false)
+}
+
+// Int64s returns an int64 slice of length n (the int tails of gathered
+// and padded columns).
+func (a *Arena) Int64s(n int) []int64 {
+	if a == nil {
+		a = Shared()
+	}
+	return alloc[int64](&a.int64s, n)
+}
+
+// FreeInt64s returns an int64 slice to the arena.
+func (a *Arena) FreeInt64s(xs []int64) {
+	if a == nil {
+		a = Shared()
+	}
+	free(&a.int64s, xs, false)
+}
+
+// Strings returns a string slice of length n. Recycled buffers come back
+// zeroed (FreeStrings clears them), so every element is the empty string.
+func (a *Arena) Strings(n int) []string {
+	if a == nil {
+		a = Shared()
+	}
+	return alloc[string](&a.strings, n)
+}
+
+// FreeStrings returns a string slice to the arena, clearing it first so
+// the pool does not pin the released values against the collector.
+func (a *Arena) FreeStrings(ss []string) {
+	if a == nil {
+		a = Shared()
+	}
+	free(&a.strings, ss, true)
+}

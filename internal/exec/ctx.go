@@ -1,0 +1,230 @@
+// Package exec provides the per-invocation execution context of the RMA
+// stack: a worker budget, a size-classed buffer arena, and a stats sink,
+// bundled in a Ctx that every layer — the BAT kernels, the dense linear
+// algebra, the column-at-a-time matrix operations, the relational
+// operators, and the RMA core — takes explicitly.
+//
+// Before this package existed the worker budget lived in process-wide
+// atomics (bat.SetParallelism, linalg.SetParallelism), so two concurrent
+// queries with different budgets raced on a global knob. A Ctx scopes the
+// budget to one invocation: concurrent queries each carry their own Ctx
+// and never observe each other's settings. The process-wide knobs survive
+// as deprecated shims that seed the default Ctx (see DefaultWorkers).
+//
+// A nil *Ctx is valid everywhere and behaves like Default(): the default
+// worker budget, the shared arena, and no stats. Kernels therefore never
+// need to guard against a missing context.
+package exec
+
+import (
+	"runtime"
+	"sync"
+	"sync/atomic"
+)
+
+// SerialCutoff is the number of elements at or below which the vectorized
+// kernels stay on a single goroutine: at 16Ki float64s (128 KiB, two L2
+// tiles) the per-goroutine scheduling cost exceeds the work saved. The
+// first parallel size is SerialCutoff+1. It is also the fixed chunk edge
+// of the deterministic reductions, so tests probe the serial→parallel
+// boundary at SerialCutoff-1, SerialCutoff, SerialCutoff+1.
+const SerialCutoff = 1 << 14
+
+// defaultWorkers is the process-wide fallback budget used by contexts
+// without an explicit budget (and by nil contexts), defaulting to
+// GOMAXPROCS. The deprecated bat.SetParallelism / linalg.SetParallelism
+// shims write it.
+var defaultWorkers atomic.Int32
+
+func init() { defaultWorkers.Store(int32(runtime.GOMAXPROCS(0))) }
+
+// DefaultWorkers returns the process-wide fallback worker budget.
+func DefaultWorkers() int { return int(defaultWorkers.Load()) }
+
+// SetDefaultWorkers sets the fallback budget and returns the previous
+// value. Values below 1 are clamped to 1. Prefer per-invocation contexts
+// (New); this knob only exists so legacy callers and tests can steer code
+// paths that run without an explicit Ctx.
+func SetDefaultWorkers(n int) int {
+	if n < 1 {
+		n = 1
+	}
+	return int(defaultWorkers.Swap(int32(n)))
+}
+
+// Stats is the per-invocation sink of execution counters. Workers is
+// recorded at context construction; the atomic counters are bumped by the
+// parallel drivers as sections fan out. One Stats must not be shared
+// between invocations that should be accounted separately.
+type Stats struct {
+	// Workers is the budget the owning context resolved at construction.
+	Workers int
+	// Sections counts parallel sections that actually fanned out to more
+	// than one goroutine (serial-cutoff sections are not counted).
+	Sections atomic.Int64
+	// Goroutines counts goroutines spawned by those sections.
+	Goroutines atomic.Int64
+}
+
+// section records one fan-out of g goroutines; nil-safe.
+func (s *Stats) section(g int) {
+	if s != nil {
+		s.Sections.Add(1)
+		s.Goroutines.Add(int64(g))
+	}
+}
+
+// Ctx is one invocation's execution context. The zero value (and nil) is
+// the default context: fallback worker budget, shared arena, no stats.
+type Ctx struct {
+	workers int    // 0 means "track DefaultWorkers dynamically"
+	arena   *Arena // nil means the shared arena
+	stats   *Stats
+}
+
+// defaultCtx backs Default; its zero fields resolve dynamically.
+var defaultCtx Ctx
+
+// Default returns the process default context: DefaultWorkers() workers,
+// the shared arena, no stats sink.
+func Default() *Ctx { return &defaultCtx }
+
+// New returns a context with a fixed worker budget. workers <= 0 leaves
+// the budget dynamic (the context follows DefaultWorkers, the documented
+// fallback for zero/absent budgets); workers == 1 forces serial execution.
+func New(workers int) *Ctx {
+	if workers < 0 {
+		workers = 0
+	}
+	return &Ctx{workers: workers}
+}
+
+// NewCtx returns a fully specified context. arena == nil selects the
+// shared arena; stats == nil disables instrumentation. When stats is
+// non-nil its Workers field is set to the resolved budget.
+func NewCtx(workers int, arena *Arena, stats *Stats) *Ctx {
+	c := New(workers)
+	c.arena = arena
+	c.stats = stats
+	if stats != nil {
+		stats.Workers = c.Workers()
+	}
+	return c
+}
+
+// Workers resolves the context's worker budget; nil-safe. A context built
+// without an explicit budget follows DefaultWorkers.
+func (c *Ctx) Workers() int {
+	if c == nil || c.workers <= 0 {
+		return DefaultWorkers()
+	}
+	return c.workers
+}
+
+// Arena returns the context's buffer arena; nil-safe (the shared arena).
+func (c *Ctx) Arena() *Arena {
+	if c == nil || c.arena == nil {
+		return Shared()
+	}
+	return c.arena
+}
+
+// Stats returns the context's stats sink, or nil; nil-safe.
+func (c *Ctx) Stats() *Stats {
+	if c == nil {
+		return nil
+	}
+	return c.stats
+}
+
+// ParallelFor splits [0, n) into at most Workers() contiguous ranges and
+// runs body on every range, on the calling goroutine when n does not
+// exceed minWork (so parallelism engages at n = minWork+1; ranges can be
+// as small as ⌈minWork/workers⌉ right above the boundary). This is the
+// shared parallel driver of the execution stack: the BAT kernels, the
+// column loops of package batlin, and the copy-in/copy-out loops of
+// package core all decompose their work through it.
+func (c *Ctx) ParallelFor(n, minWork int, body func(lo, hi int)) {
+	if n <= 0 {
+		return
+	}
+	workers := c.Workers()
+	if minWork < 1 {
+		minWork = 1
+	}
+	if ceil := (n + minWork - 1) / minWork; workers > ceil {
+		workers = ceil
+	}
+	if workers <= 1 {
+		body(0, n)
+		return
+	}
+	chunk := (n + workers - 1) / workers
+	spawned := (n + chunk - 1) / chunk
+	c.Stats().section(spawned)
+	var wg sync.WaitGroup
+	for lo := 0; lo < n; lo += chunk {
+		hi := min(lo+chunk, n)
+		wg.Add(1)
+		go func(lo, hi int) {
+			defer wg.Done()
+			body(lo, hi)
+		}(lo, hi)
+	}
+	wg.Wait()
+}
+
+// ParallelRuns returns the contiguous-range decomposition the
+// range-concatenating kernels share: at most Workers() runs of at least
+// SerialCutoff elements each, as (count, size) with count = ceil(n/size).
+// Kernels that concatenate per-run outputs in run order produce the same
+// result for any decomposition, so the run count may depend on the worker
+// budget without breaking determinism.
+func (c *Ctx) ParallelRuns(n int) (runs, size int) {
+	runs = min(c.Workers(), (n+SerialCutoff-1)/SerialCutoff)
+	size = (n + runs - 1) / runs
+	return (n + size - 1) / size, size
+}
+
+// Serial reports whether ParallelFor would run a range of n elements with
+// minWork SerialCutoff on the calling goroutine. Kernels branch on it
+// before building their ParallelFor closure: a closure capturing the
+// operand slices is a heap allocation, which on the serial path would
+// cost more than it saves.
+func (c *Ctx) Serial(n int) bool {
+	return n <= SerialCutoff || c.Workers() <= 1
+}
+
+// Reduce sums per-chunk partial results over fixed-size chunks of
+// SerialCutoff elements. Chunk boundaries depend only on n — never on the
+// worker budget — and partials are combined in ascending chunk order, so
+// the result is bitwise-identical at any parallelism (the property the
+// -race tests across the stack assert).
+func (c *Ctx) Reduce(n int, partial func(lo, hi int) float64) float64 {
+	if n <= 0 {
+		return 0
+	}
+	chunks := (n + SerialCutoff - 1) / SerialCutoff
+	if chunks == 1 {
+		return partial(0, n)
+	}
+	if c.Workers() <= 1 {
+		var s float64
+		for ch := 0; ch < chunks; ch++ {
+			s += partial(ch*SerialCutoff, min((ch+1)*SerialCutoff, n))
+		}
+		return s
+	}
+	parts := c.Arena().Floats(chunks)
+	c.ParallelFor(chunks, 1, func(clo, chi int) {
+		for ch := clo; ch < chi; ch++ {
+			parts[ch] = partial(ch*SerialCutoff, min((ch+1)*SerialCutoff, n))
+		}
+	})
+	var s float64
+	for _, p := range parts {
+		s += p
+	}
+	c.Arena().FreeFloats(parts)
+	return s
+}

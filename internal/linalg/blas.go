@@ -13,6 +13,7 @@ package linalg
 import (
 	"sync"
 
+	"repro/internal/exec"
 	"repro/internal/matrix"
 )
 
@@ -24,15 +25,15 @@ const blockSize = 64
 const parallelThreshold = 1 << 18
 
 // MatMul returns a·b (MMU) using an ikj loop order with cache blocking,
-// parallelized over row stripes.
-func MatMul(a, b *matrix.Matrix) *matrix.Matrix {
+// parallelized over row stripes under the context's worker budget.
+func MatMul(c *exec.Ctx, a, b *matrix.Matrix) *matrix.Matrix {
 	if a.Cols != b.Rows {
 		panic("linalg: matmul inner dimension mismatch")
 	}
 	m, kk, n := a.Rows, a.Cols, b.Cols
 	out := matrix.New(m, n)
 	flops := m * kk * n
-	workers := Parallelism()
+	workers := c.Workers()
 	if flops < parallelThreshold || workers == 1 || m == 1 {
 		mulStripe(a, b, out, 0, m)
 		return out
@@ -95,30 +96,30 @@ func mulStripe(a, b, out *matrix.Matrix, lo, hi int) {
 // CrossProduct returns aᵀ·b (CPD). Implemented as an explicit transpose
 // followed by the blocked multiply; the O(mn) transpose is negligible next
 // to the O(mnk) product.
-func CrossProduct(a, b *matrix.Matrix) *matrix.Matrix {
+func CrossProduct(c *exec.Ctx, a, b *matrix.Matrix) *matrix.Matrix {
 	if a.Rows != b.Rows {
 		panic("linalg: cross product row mismatch")
 	}
-	return MatMul(a.T(), b)
+	return MatMul(c, a.T(), b)
 }
 
 // OuterProduct returns a·bᵀ (OPD); the operands must have the same number
 // of columns.
-func OuterProduct(a, b *matrix.Matrix) *matrix.Matrix {
+func OuterProduct(c *exec.Ctx, a, b *matrix.Matrix) *matrix.Matrix {
 	if a.Cols != b.Cols {
 		panic("linalg: outer product column mismatch")
 	}
-	return MatMul(a, b.T())
+	return MatMul(c, a, b.T())
 }
 
 // SYRK returns aᵀ·a exploiting the symmetry of the result (the
 // cblas_dsyrk route the paper uses for covariance, Section 8.6(3)): only
 // the upper triangle is computed and then mirrored.
-func SYRK(a *matrix.Matrix) *matrix.Matrix {
+func SYRK(c *exec.Ctx, a *matrix.Matrix) *matrix.Matrix {
 	n := a.Cols
 	out := matrix.New(n, n)
 	m := a.Rows
-	workers := Parallelism()
+	workers := c.Workers()
 	if workers > n {
 		workers = n
 	}

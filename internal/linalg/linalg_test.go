@@ -28,7 +28,7 @@ func wellConditioned(rng *rand.Rand, n int) *matrix.Matrix {
 
 func spd(rng *rand.Rand, n int) *matrix.Matrix {
 	b := randMatrix(rng, n, n)
-	a := CrossProduct(b, b) // BᵀB is PSD
+	a := CrossProduct(nil, b, b) // BᵀB is PSD
 	for i := 0; i < n; i++ {
 		a.Set(i, i, a.At(i, i)+1) // make it PD
 	}
@@ -38,7 +38,7 @@ func spd(rng *rand.Rand, n int) *matrix.Matrix {
 func TestMatMulSmall(t *testing.T) {
 	a := matrix.FromRows([][]float64{{1, 2}, {3, 4}})
 	b := matrix.FromRows([][]float64{{5, 6}, {7, 8}})
-	got := MatMul(a, b)
+	got := MatMul(nil, a, b)
 	want := matrix.FromRows([][]float64{{19, 22}, {43, 50}})
 	if !matrix.ApproxEqual(got, want, 1e-12) {
 		t.Fatalf("MatMul = %v", got)
@@ -50,7 +50,7 @@ func TestMatMulAgainstNaive(t *testing.T) {
 	for _, dims := range [][3]int{{1, 1, 1}, {3, 4, 5}, {64, 64, 64}, {65, 127, 33}, {200, 50, 120}} {
 		m, k, n := dims[0], dims[1], dims[2]
 		a, b := randMatrix(rng, m, k), randMatrix(rng, k, n)
-		got := MatMul(a, b)
+		got := MatMul(nil, a, b)
 		want := matrix.New(m, n)
 		for i := 0; i < m; i++ {
 			for j := 0; j < n; j++ {
@@ -73,27 +73,27 @@ func TestMatMulShapePanic(t *testing.T) {
 			t.Error("inner dimension mismatch should panic")
 		}
 	}()
-	MatMul(matrix.New(2, 3), matrix.New(2, 3))
+	MatMul(nil, matrix.New(2, 3), matrix.New(2, 3))
 }
 
 func TestCrossOuterProduct(t *testing.T) {
 	rng := rand.New(rand.NewSource(2))
 	a := randMatrix(rng, 7, 3)
 	b := randMatrix(rng, 7, 4)
-	cpd := CrossProduct(a, b)
+	cpd := CrossProduct(nil, a, b)
 	if cpd.Rows != 3 || cpd.Cols != 4 {
 		t.Fatalf("CPD shape %dx%d", cpd.Rows, cpd.Cols)
 	}
-	if !matrix.ApproxEqual(cpd, MatMul(a.T(), b), 1e-12) {
+	if !matrix.ApproxEqual(cpd, MatMul(nil, a.T(), b), 1e-12) {
 		t.Error("CPD != AᵀB")
 	}
 	c := randMatrix(rng, 5, 3)
 	d := randMatrix(rng, 6, 3)
-	opd := OuterProduct(c, d)
+	opd := OuterProduct(nil, c, d)
 	if opd.Rows != 5 || opd.Cols != 6 {
 		t.Fatalf("OPD shape %dx%d", opd.Rows, opd.Cols)
 	}
-	if !matrix.ApproxEqual(opd, MatMul(c, d.T()), 1e-12) {
+	if !matrix.ApproxEqual(opd, MatMul(nil, c, d.T()), 1e-12) {
 		t.Error("OPD != ABᵀ")
 	}
 }
@@ -102,8 +102,8 @@ func TestSYRK(t *testing.T) {
 	rng := rand.New(rand.NewSource(3))
 	for _, dims := range [][2]int{{5, 3}, {100, 20}, {301, 57}} {
 		a := randMatrix(rng, dims[0], dims[1])
-		got := SYRK(a)
-		want := CrossProduct(a, a)
+		got := SYRK(nil, a)
+		want := CrossProduct(nil, a, a)
 		if !matrix.ApproxEqual(got, want, 1e-9) {
 			t.Fatalf("SYRK %v mismatch", dims)
 		}
@@ -111,7 +111,7 @@ func TestSYRK(t *testing.T) {
 			t.Fatal("SYRK result not symmetric")
 		}
 	}
-	if SYRK(matrix.New(0, 0)).Rows != 0 {
+	if SYRK(nil, matrix.New(0, 0)).Rows != 0 {
 		t.Error("SYRK of empty broken")
 	}
 }
@@ -135,7 +135,7 @@ func TestLUInverse(t *testing.T) {
 		if err != nil {
 			t.Fatalf("n=%d: %v", n, err)
 		}
-		if !matrix.ApproxEqual(MatMul(a, inv), matrix.Identity(n), 1e-8) {
+		if !matrix.ApproxEqual(MatMul(nil, a, inv), matrix.Identity(n), 1e-8) {
 			t.Fatalf("n=%d: A·A⁻¹ != I", n)
 		}
 	}
@@ -187,7 +187,7 @@ func TestDet(t *testing.T) {
 	x, y := wellConditioned(rng, 6), wellConditioned(rng, 6)
 	dx, _ := Det(x)
 	dy, _ := Det(y)
-	dxy, _ := Det(MatMul(x, y))
+	dxy, _ := Det(MatMul(nil, x, y))
 	if math.Abs(dxy-dx*dy) > 1e-6*math.Abs(dx*dy) {
 		t.Errorf("det(AB)=%v, det(A)det(B)=%v", dxy, dx*dy)
 	}
@@ -201,7 +201,7 @@ func TestSolveSquare(t *testing.T) {
 		want[i] = rng.NormFloat64()
 	}
 	b := MatVec(a, want)
-	got, err := Solve(a, b)
+	got, err := Solve(nil, a, b)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -216,17 +216,17 @@ func TestSolveLeastSquares(t *testing.T) {
 	// Overdetermined: best fit of y = 2x + 1 through noisy-free points is exact.
 	a := matrix.FromRows([][]float64{{1, 0}, {1, 1}, {1, 2}, {1, 3}})
 	b := []float64{1, 3, 5, 7}
-	x, err := Solve(a, b)
+	x, err := Solve(nil, a, b)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if math.Abs(x[0]-1) > 1e-10 || math.Abs(x[1]-2) > 1e-10 {
 		t.Fatalf("lstsq = %v", x)
 	}
-	if _, err := Solve(matrix.New(2, 3), []float64{1, 2}); err != ErrShape {
+	if _, err := Solve(nil, matrix.New(2, 3), []float64{1, 2}); err != ErrShape {
 		t.Error("underdetermined solve accepted")
 	}
-	if _, err := Solve(matrix.New(2, 2), []float64{1}); err != ErrShape {
+	if _, err := Solve(nil, matrix.New(2, 2), []float64{1}); err != ErrShape {
 		t.Error("rhs length mismatch accepted")
 	}
 }
@@ -236,7 +236,7 @@ func TestQRReconstruction(t *testing.T) {
 	for _, dims := range [][2]int{{3, 3}, {10, 4}, {50, 50}, {100, 7}} {
 		m, n := dims[0], dims[1]
 		a := randMatrix(rng, m, n)
-		d, err := NewQR(a)
+		d, err := NewQR(nil, a)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -244,11 +244,11 @@ func TestQRReconstruction(t *testing.T) {
 		if q.Rows != m || q.Cols != n || r.Rows != n || r.Cols != n {
 			t.Fatalf("QR shapes: Q %dx%d R %dx%d", q.Rows, q.Cols, r.Rows, r.Cols)
 		}
-		if !matrix.ApproxEqual(MatMul(q, r), a, 1e-9) {
+		if !matrix.ApproxEqual(MatMul(nil, q, r), a, 1e-9) {
 			t.Fatalf("Q·R != A for %v", dims)
 		}
 		// QᵀQ = I (orthonormal columns).
-		if !matrix.ApproxEqual(CrossProduct(q, q), matrix.Identity(n), 1e-9) {
+		if !matrix.ApproxEqual(CrossProduct(nil, q, q), matrix.Identity(n), 1e-9) {
 			t.Fatalf("QᵀQ != I for %v", dims)
 		}
 		// R upper triangular.
@@ -265,12 +265,12 @@ func TestQRReconstruction(t *testing.T) {
 func TestFullQ(t *testing.T) {
 	rng := rand.New(rand.NewSource(8))
 	a := randMatrix(rng, 6, 2)
-	d, _ := NewQR(a)
+	d, _ := NewQR(nil, a)
 	fq := d.FullQ()
 	if fq.Rows != 6 || fq.Cols != 6 {
 		t.Fatalf("FullQ shape %dx%d", fq.Rows, fq.Cols)
 	}
-	if !matrix.ApproxEqual(CrossProduct(fq, fq), matrix.Identity(6), 1e-9) {
+	if !matrix.ApproxEqual(CrossProduct(nil, fq, fq), matrix.Identity(6), 1e-9) {
 		t.Error("FullQ not orthogonal")
 	}
 }
@@ -278,15 +278,15 @@ func TestFullQ(t *testing.T) {
 func TestQQRRQRAndErrors(t *testing.T) {
 	rng := rand.New(rand.NewSource(9))
 	a := randMatrix(rng, 5, 3)
-	q, err := QQR(a)
+	q, err := QQR(nil, a)
 	if err != nil || q.Rows != 5 || q.Cols != 3 {
 		t.Fatalf("QQR: %v %v", q, err)
 	}
-	r, err := RQR(a)
+	r, err := RQR(nil, a)
 	if err != nil || r.Rows != 3 || r.Cols != 3 {
 		t.Fatalf("RQR: %v %v", r, err)
 	}
-	if _, err := NewQR(matrix.New(2, 3)); err != ErrShape {
+	if _, err := NewQR(nil, matrix.New(2, 3)); err != ErrShape {
 		t.Error("wide QR accepted")
 	}
 	// Rank-deficient column (zero) must not crash.
@@ -294,7 +294,7 @@ func TestQQRRQRAndErrors(t *testing.T) {
 	for i := 0; i < 4; i++ {
 		z.Set(i, 0, float64(i+1))
 	}
-	if _, err := NewQR(z); err != nil {
+	if _, err := NewQR(nil, z); err != nil {
 		t.Errorf("QR with zero column: %v", err)
 	}
 }
@@ -304,7 +304,7 @@ func TestSVDReconstruction(t *testing.T) {
 	for _, dims := range [][2]int{{4, 4}, {10, 3}, {3, 10}, {60, 20}} {
 		m, n := dims[0], dims[1]
 		a := randMatrix(rng, m, n)
-		d, err := NewSVD(a)
+		d, err := NewSVD(nil, a)
 		if err != nil {
 			t.Fatal(err)
 		}
@@ -320,14 +320,14 @@ func TestSVDReconstruction(t *testing.T) {
 				t.Fatalf("%v: singular values not descending: %v", dims, d.S)
 			}
 		}
-		recon := MatMul(MatMul(d.U, matrix.Diag(d.S)), d.V.T())
+		recon := MatMul(nil, MatMul(nil, d.U, matrix.Diag(d.S)), d.V.T())
 		if !matrix.ApproxEqual(recon, a, 1e-8) {
 			t.Fatalf("%v: U·S·Vᵀ != A", dims)
 		}
-		if !matrix.ApproxEqual(CrossProduct(d.U, d.U), matrix.Identity(d.U.Cols), 1e-8) {
+		if !matrix.ApproxEqual(CrossProduct(nil, d.U, d.U), matrix.Identity(d.U.Cols), 1e-8) {
 			t.Fatalf("%v: U columns not orthonormal", dims)
 		}
-		if !matrix.ApproxEqual(CrossProduct(d.V, d.V), matrix.Identity(d.V.Cols), 1e-8) {
+		if !matrix.ApproxEqual(CrossProduct(nil, d.V, d.V), matrix.Identity(d.V.Cols), 1e-8) {
 			t.Fatalf("%v: V not orthogonal", dims)
 		}
 	}
@@ -337,17 +337,17 @@ func TestSVDRankDeficient(t *testing.T) {
 	// Rank-1 matrix: second singular value ~0, U completion must still be
 	// orthonormal.
 	a := matrix.FromRows([][]float64{{1, 2}, {2, 4}, {3, 6}})
-	d, err := NewSVD(a)
+	d, err := NewSVD(nil, a)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if d.S[1] > 1e-10 {
 		t.Errorf("rank-1 second singular value = %v", d.S[1])
 	}
-	if !matrix.ApproxEqual(CrossProduct(d.U, d.U), matrix.Identity(2), 1e-8) {
+	if !matrix.ApproxEqual(CrossProduct(nil, d.U, d.U), matrix.Identity(2), 1e-8) {
 		t.Error("U completion not orthonormal")
 	}
-	r, err := Rank(a)
+	r, err := Rank(nil, a)
 	if err != nil || r != 1 {
 		t.Errorf("Rank = %d, %v", r, err)
 	}
@@ -356,16 +356,16 @@ func TestSVDRankDeficient(t *testing.T) {
 func TestFullU(t *testing.T) {
 	rng := rand.New(rand.NewSource(11))
 	a := randMatrix(rng, 7, 3)
-	d, _ := NewSVD(a)
+	d, _ := NewSVD(nil, a)
 	fu := d.FullU()
 	if fu.Rows != 7 || fu.Cols != 7 {
 		t.Fatalf("FullU shape %dx%d", fu.Rows, fu.Cols)
 	}
-	if !matrix.ApproxEqual(CrossProduct(fu, fu), matrix.Identity(7), 1e-8) {
+	if !matrix.ApproxEqual(CrossProduct(nil, fu, fu), matrix.Identity(7), 1e-8) {
 		t.Error("FullU not orthogonal")
 	}
 	sq := randMatrix(rng, 4, 4)
-	dsq, _ := NewSVD(sq)
+	dsq, _ := NewSVD(nil, sq)
 	if fsq := dsq.FullU(); fsq.Rows != 4 || fsq.Cols != 4 {
 		t.Error("square FullU shape")
 	}
@@ -374,20 +374,20 @@ func TestFullU(t *testing.T) {
 func TestRankAndSingularValues(t *testing.T) {
 	rng := rand.New(rand.NewSource(12))
 	a := wellConditioned(rng, 8)
-	r, err := Rank(a)
+	r, err := Rank(nil, a)
 	if err != nil || r != 8 {
 		t.Errorf("full rank = %d, %v", r, err)
 	}
-	sv, err := SingularValues(a)
+	sv, err := SingularValues(nil, a)
 	if err != nil || len(sv) != 8 {
 		t.Errorf("SingularValues = %v, %v", sv, err)
 	}
 	z := matrix.New(3, 3)
-	rz, err := Rank(z)
+	rz, err := Rank(nil, z)
 	if err != nil || rz != 0 {
 		t.Errorf("zero matrix rank = %d, %v", rz, err)
 	}
-	if _, err := NewSVD(matrix.New(0, 0)); err != ErrShape {
+	if _, err := NewSVD(nil, matrix.New(0, 0)); err != ErrShape {
 		t.Error("empty SVD accepted")
 	}
 }
@@ -488,7 +488,7 @@ func TestCholesky(t *testing.T) {
 		if err != nil {
 			t.Fatal(err)
 		}
-		if !matrix.ApproxEqual(CrossProduct(r, r), a, 1e-7*(1+a.MaxAbs())) {
+		if !matrix.ApproxEqual(CrossProduct(nil, r, r), a, 1e-7*(1+a.MaxAbs())) {
 			t.Fatalf("n=%d: Rᵀ·R != A", n)
 		}
 		for i := 1; i < n; i++ {
@@ -513,7 +513,7 @@ func TestCholesky(t *testing.T) {
 func TestPaperRQRExample(t *testing.T) {
 	// Figure 8: RQR of g = [[1,3],[1,4],[6,7],[8,5]] ≈ [[-10.1,-8.8],[0,-4.6]]
 	g := matrix.FromRows([][]float64{{1, 3}, {1, 4}, {6, 7}, {8, 5}})
-	r, err := RQR(g)
+	r, err := RQR(nil, g)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -544,13 +544,13 @@ func TestOLSViaPaperFormula(t *testing.T) {
 		a.Set(i, 1, x)
 		v.Set(i, 0, 3+2*x)
 	}
-	ata := CrossProduct(a, a)
-	atv := CrossProduct(a, v)
+	ata := CrossProduct(nil, a, a)
+	atv := CrossProduct(nil, a, v)
 	inv, err := Inverse(ata)
 	if err != nil {
 		t.Fatal(err)
 	}
-	beta := MatMul(inv, atv)
+	beta := MatMul(nil, inv, atv)
 	if math.Abs(beta.At(0, 0)-3) > 1e-8 || math.Abs(beta.At(1, 0)-2) > 1e-8 {
 		t.Fatalf("OLS beta = %v", beta)
 	}

@@ -4,6 +4,7 @@ import (
 	"errors"
 	"math"
 
+	"repro/internal/exec"
 	"repro/internal/matrix"
 )
 
@@ -153,7 +154,7 @@ func Det(a *matrix.Matrix) (float64, error) {
 // exactly via LU; for overdetermined systems (Rows > Cols) it returns the
 // least-squares solution via QR, matching the paper's use of sol for
 // regression workloads.
-func Solve(a *matrix.Matrix, b []float64) ([]float64, error) {
+func Solve(c *exec.Ctx, a *matrix.Matrix, b []float64) ([]float64, error) {
 	if a.Rows != len(b) {
 		return nil, ErrShape
 	}
@@ -165,7 +166,7 @@ func Solve(a *matrix.Matrix, b []float64) ([]float64, error) {
 		}
 		return lu.SolveVec(b)
 	case a.Rows > a.Cols:
-		return lstsq(a, b)
+		return lstsq(c, a, b)
 	default:
 		return nil, ErrShape
 	}

@@ -1,28 +1,22 @@
 package linalg
 
-import (
-	"runtime"
-	"sync/atomic"
-)
+import "repro/internal/exec"
 
-// parallelism is the process-wide worker budget of the dense kernels
-// (MatMul, SYRK, Householder QR's trailing updates, the Jacobi SVD
-// sweeps), defaulting to GOMAXPROCS. core.Options.Parallelism overrides it
-// per invocation; NewQRSerial ignores it by construction.
-var parallelism atomic.Int32
+// The dense kernels (MatMul, SYRK, Householder QR's trailing updates, the
+// Jacobi SVD sweeps) resolve their worker budget from the exec.Ctx passed
+// per invocation; NewQRSerial pins a single worker by construction. The
+// process-wide knob below survives as a compatibility shim over the
+// default context's fallback budget.
 
-func init() { parallelism.Store(int32(runtime.GOMAXPROCS(0))) }
+// SetParallelism sets the fallback worker budget of the default context
+// and returns the previous value. Values below 1 are clamped to 1.
+//
+// Deprecated: pass an exec.Ctx built with exec.New(workers) to the
+// kernels instead; this shim writes the same process-wide default as
+// bat.SetParallelism and is only kept for legacy callers and tests.
+func SetParallelism(n int) int { return exec.SetDefaultWorkers(n) }
 
-// SetParallelism sets the dense-kernel worker budget and returns the
-// previous value. Values below 1 are clamped to 1. The knob is
-// process-wide: concurrent callers setting different budgets see the last
-// write.
-func SetParallelism(n int) int {
-	if n < 1 {
-		n = 1
-	}
-	return int(parallelism.Swap(int32(n)))
-}
-
-// Parallelism returns the current dense-kernel worker budget.
-func Parallelism() int { return int(parallelism.Load()) }
+// Parallelism returns the fallback worker budget of the default context.
+//
+// Deprecated: use exec.Ctx.Workers on the invocation's context.
+func Parallelism() int { return exec.DefaultWorkers() }

@@ -4,6 +4,7 @@ import (
 	"math"
 	"sync"
 
+	"repro/internal/exec"
 	"repro/internal/matrix"
 )
 
@@ -14,17 +15,18 @@ import (
 // kernel fast — with the Householder vectors stored below the diagonal and
 // R strictly above it; R's diagonal lives in tau.
 type QR struct {
-	v      [][]float64 // n columns of length m
-	tau    []float64
-	rows   int
-	cols   int
-	serial bool // single-threaded accumulation (NewQRSerial)
+	v       [][]float64 // n columns of length m
+	tau     []float64
+	rows    int
+	cols    int
+	workers int // the factoring context's budget, reused by Q accumulation
 }
 
-// NewQR factors a with Householder reflections using all cores for the
-// trailing-column updates (the LAPACK/MKL behavior). Requires Rows >= Cols.
-func NewQR(a *matrix.Matrix) (*QR, error) {
-	return newQR(a, Parallelism())
+// NewQR factors a with Householder reflections using the context's
+// worker budget for the trailing-column updates (the LAPACK/MKL
+// behavior). Requires Rows >= Cols.
+func NewQR(c *exec.Ctx, a *matrix.Matrix) (*QR, error) {
+	return newQR(a, c.Workers())
 }
 
 // NewQRSerial factors on a single core — the behavior of R's default
@@ -65,7 +67,7 @@ func newQR(a *matrix.Matrix, workers int) (*QR, error) {
 		// Householder vector), so it is carried in tau.
 		tau[k] = -norm
 	}
-	return &QR{v: v, tau: tau, rows: m, cols: n, serial: workers <= 1}, nil
+	return &QR{v: v, tau: tau, rows: m, cols: n, workers: workers}, nil
 }
 
 // applyReflector updates columns k+1..n with the reflector stored in
@@ -167,8 +169,8 @@ func (d *QR) q(w int) *matrix.Matrix {
 			qcols[j] = col
 		}
 	}
-	workers := Parallelism()
-	if d.serial || workers <= 1 || w < 2 || m*n < 1<<15 {
+	workers := d.workers
+	if workers <= 1 || w < 2 || m*n < 1<<15 {
 		apply(0, w)
 	} else {
 		if workers > w {
@@ -197,8 +199,8 @@ func (d *QR) q(w int) *matrix.Matrix {
 
 // QQR returns matrix Q of the QR decomposition (the paper's QQR, shape
 // (r1,c1): m×n in, m×n out).
-func QQR(a *matrix.Matrix) (*matrix.Matrix, error) {
-	d, err := NewQR(a)
+func QQR(c *exec.Ctx, a *matrix.Matrix) (*matrix.Matrix, error) {
+	d, err := NewQR(c, a)
 	if err != nil {
 		return nil, err
 	}
@@ -207,8 +209,8 @@ func QQR(a *matrix.Matrix) (*matrix.Matrix, error) {
 
 // RQR returns matrix R of the QR decomposition (the paper's RQR, shape
 // (c1,c1): m×n in, n×n out).
-func RQR(a *matrix.Matrix) (*matrix.Matrix, error) {
-	d, err := NewQR(a)
+func RQR(c *exec.Ctx, a *matrix.Matrix) (*matrix.Matrix, error) {
+	d, err := NewQR(c, a)
 	if err != nil {
 		return nil, err
 	}
@@ -217,8 +219,8 @@ func RQR(a *matrix.Matrix) (*matrix.Matrix, error) {
 
 // lstsq solves min ‖a·x − b‖₂ for overdetermined a via QR, applying the
 // reflectors to b directly (no Q materialization).
-func lstsq(a *matrix.Matrix, b []float64) ([]float64, error) {
-	d, err := NewQR(a)
+func lstsq(c *exec.Ctx, a *matrix.Matrix, b []float64) ([]float64, error) {
+	d, err := NewQR(c, a)
 	if err != nil {
 		return nil, err
 	}

@@ -9,7 +9,7 @@ import (
 	"repro/internal/matrix"
 )
 
-// TestQuickSolveRoundTrip: x = Solve(A, A·x₀) recovers x₀ for random
+// TestQuickSolveRoundTrip: x = Solve(nil, A, A·x₀) recovers x₀ for random
 // well-conditioned systems.
 func TestQuickSolveRoundTrip(t *testing.T) {
 	f := func(seed int64) bool {
@@ -21,7 +21,7 @@ func TestQuickSolveRoundTrip(t *testing.T) {
 			want[i] = rng.NormFloat64()
 		}
 		b := MatVec(a, want)
-		got, err := Solve(a, b)
+		got, err := Solve(nil, a, b)
 		if err != nil {
 			return false
 		}
@@ -52,7 +52,7 @@ func TestQuickDetProduct(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		dab, err := Det(MatMul(a, b))
+		dab, err := Det(MatMul(nil, a, b))
 		if err != nil {
 			return false
 		}
@@ -76,14 +76,14 @@ func TestQuickQRReconstruction(t *testing.T) {
 		if serial {
 			d, err = NewQRSerial(a)
 		} else {
-			d, err = NewQR(a)
+			d, err = NewQR(nil, a)
 		}
 		if err != nil {
 			return false
 		}
 		q, r := d.Q(), d.R()
-		return matrix.ApproxEqual(MatMul(q, r), a, 1e-8) &&
-			matrix.ApproxEqual(CrossProduct(q, q), matrix.Identity(n), 1e-8)
+		return matrix.ApproxEqual(MatMul(nil, q, r), a, 1e-8) &&
+			matrix.ApproxEqual(CrossProduct(nil, q, q), matrix.Identity(n), 1e-8)
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
@@ -98,11 +98,11 @@ func TestQuickSVDSingularValuesMatchEigen(t *testing.T) {
 		n := 1 + rng.Intn(5)
 		m := n + rng.Intn(10)
 		a := randMatrix(rng, m, n)
-		sv, err := SingularValues(a)
+		sv, err := SingularValues(nil, a)
 		if err != nil {
 			return false
 		}
-		ev, err := Eigenvalues(CrossProduct(a, a))
+		ev, err := Eigenvalues(CrossProduct(nil, a, a))
 		if err != nil {
 			return false
 		}
@@ -133,7 +133,7 @@ func TestQuickCholeskySolvesSPD(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		return matrix.ApproxEqual(CrossProduct(r, r), a, 1e-7*(1+a.MaxAbs()))
+		return matrix.ApproxEqual(CrossProduct(nil, r, r), a, 1e-7*(1+a.MaxAbs()))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
@@ -148,7 +148,7 @@ func TestQuickRankBounds(t *testing.T) {
 		n := 1 + rng.Intn(6)
 		m := n + rng.Intn(10)
 		a := randMatrix(rng, m, n)
-		r, err := Rank(a)
+		r, err := Rank(nil, a)
 		if err != nil {
 			return false
 		}
@@ -156,7 +156,7 @@ func TestQuickRankBounds(t *testing.T) {
 			return false
 		}
 		sq := wellConditioned(rng, n)
-		rs, err := Rank(sq)
+		rs, err := Rank(nil, sq)
 		if err != nil {
 			return false
 		}
@@ -178,8 +178,8 @@ func TestQuickMatMulAssociativity(t *testing.T) {
 		a := randMatrix(rng, m, k)
 		b := randMatrix(rng, k, l)
 		c := randMatrix(rng, l, n)
-		lhs := MatMul(MatMul(a, b), c)
-		rhs := MatMul(a, MatMul(b, c))
+		lhs := MatMul(nil, MatMul(nil, a, b), c)
+		rhs := MatMul(nil, a, MatMul(nil, b, c))
 		return matrix.ApproxEqual(lhs, rhs, 1e-8*(1+lhs.MaxAbs()))
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {

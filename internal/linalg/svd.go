@@ -5,6 +5,7 @@ import (
 	"sort"
 	"sync"
 
+	"repro/internal/exec"
 	"repro/internal/matrix"
 )
 
@@ -24,13 +25,13 @@ const (
 	svdEps       = 1e-14
 )
 
-// NewSVD computes the decomposition.
-func NewSVD(a *matrix.Matrix) (*SVD, error) {
+// NewSVD computes the decomposition under the context's worker budget.
+func NewSVD(c *exec.Ctx, a *matrix.Matrix) (*SVD, error) {
 	if a.Rows == 0 || a.Cols == 0 {
 		return nil, ErrShape
 	}
 	if a.Rows < a.Cols {
-		t, err := NewSVD(a.T())
+		t, err := NewSVD(c, a.T())
 		if err != nil {
 			return nil, err
 		}
@@ -52,7 +53,7 @@ func NewSVD(a *matrix.Matrix) (*SVD, error) {
 	// Each sweep visits every column pair once. A round-robin tournament
 	// schedule makes the pairs within a round disjoint, so rounds
 	// parallelize across cores (the classic parallel one-sided Jacobi).
-	workers := Parallelism()
+	workers := c.Workers()
 	players := n
 	if players%2 == 1 {
 		players++
@@ -292,8 +293,8 @@ func extendOrthonormal(u *matrix.Matrix) *matrix.Matrix {
 
 // SingularValues returns the singular values of a in descending order
 // (the DSV base result is diag of these).
-func SingularValues(a *matrix.Matrix) ([]float64, error) {
-	d, err := NewSVD(a)
+func SingularValues(c *exec.Ctx, a *matrix.Matrix) ([]float64, error) {
+	d, err := NewSVD(c, a)
 	if err != nil {
 		return nil, err
 	}
@@ -302,8 +303,8 @@ func SingularValues(a *matrix.Matrix) ([]float64, error) {
 
 // Rank returns the numerical rank: the number of singular values above
 // max(m,n)·eps·σmax (the RNK operation).
-func Rank(a *matrix.Matrix) (int, error) {
-	d, err := NewSVD(a)
+func Rank(c *exec.Ctx, a *matrix.Matrix) (int, error) {
+	d, err := NewSVD(c, a)
 	if err != nil {
 		return 0, err
 	}

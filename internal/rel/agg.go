@@ -6,6 +6,7 @@ import (
 	"strings"
 
 	"repro/internal/bat"
+	"repro/internal/exec"
 )
 
 // AggFunc enumerates the supported aggregation functions.
@@ -135,7 +136,7 @@ func (t *aggTable) find(kc *keyCols, h []uint64, i, nAggs int) *aggGroup {
 // row order, and the partials are merged in ascending chunk order. Sums
 // therefore associate identically at any parallelism, making the output
 // bitwise-reproducible — the same discipline as bat.Sum and bat.Dot.
-func GroupBy(r *Relation, keys []string, aggs []AggSpec) (*Relation, error) {
+func GroupBy(c *exec.Ctx, r *Relation, keys []string, aggs []AggSpec) (*Relation, error) {
 	if len(aggs) == 0 {
 		return nil, fmt.Errorf("rel: group by without aggregates")
 	}
@@ -147,11 +148,11 @@ func GroupBy(r *Relation, keys []string, aggs []AggSpec) (*Relation, error) {
 			}
 			continue
 		}
-		c, err := r.Col(a.Attr)
+		col, err := r.Col(a.Attr)
 		if err != nil {
 			return nil, err
 		}
-		f, err := c.Floats()
+		f, err := col.FloatsCtx(c)
 		if err != nil {
 			return nil, fmt.Errorf("rel: aggregate %v over non-numeric %q", a.Func, a.Attr)
 		}
@@ -162,19 +163,19 @@ func GroupBy(r *Relation, keys []string, aggs []AggSpec) (*Relation, error) {
 	var hash []uint64
 	if len(keys) > 0 {
 		var err error
-		kc, err = newKeyCols(r, keys)
+		kc, err = newKeyCols(c, r, keys)
 		if err != nil {
 			return nil, err
 		}
-		hash = kc.hashes()
+		hash = kc.hashes(c)
 	}
 
 	n := r.NumRows()
 	chunks := (n + bat.SerialCutoff - 1) / bat.SerialCutoff
 	partials := make([]*aggTable, chunks)
-	bat.ParallelFor(chunks, 1, func(clo, chi int) {
-		for c := clo; c < chi; c++ {
-			lo, hi := c*bat.SerialCutoff, min((c+1)*bat.SerialCutoff, n)
+	c.ParallelFor(chunks, 1, func(clo, chi int) {
+		for ch := clo; ch < chi; ch++ {
+			lo, hi := ch*bat.SerialCutoff, min((ch+1)*bat.SerialCutoff, n)
 			t := newAggTable((hi-lo)/4 + 1)
 			if kc == nil {
 				g := aggGroup{row: lo, st: newAggStates(len(aggs))}
@@ -192,7 +193,7 @@ func GroupBy(r *Relation, keys []string, aggs []AggSpec) (*Relation, error) {
 					}
 				}
 			}
-			partials[c] = t
+			partials[ch] = t
 		}
 	})
 
@@ -234,7 +235,7 @@ func GroupBy(r *Relation, keys []string, aggs []AggSpec) (*Relation, error) {
 	schema := make(Schema, 0, len(keys)+len(aggs))
 	cols := make([]*bat.BAT, 0, len(keys)+len(aggs))
 	if len(keys) > 0 {
-		rep := r.Gather(groups)
+		rep := r.Gather(c, groups)
 		for _, name := range keys {
 			j := rep.Schema.Index(name)
 			schema = append(schema, rep.Schema[j])

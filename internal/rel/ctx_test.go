@@ -1,0 +1,134 @@
+package rel
+
+import (
+	"sync"
+	"testing"
+
+	"repro/internal/bat"
+	"repro/internal/exec"
+)
+
+// This file tests the per-query execution contexts of the relational
+// operators: explicit exec.Ctx budgets (no process-wide knob), results
+// bitwise-identical across budgets {1, 2, 8} while two contexts run
+// simultaneously, and the EquiJoinPairs entry point the SQL layer uses.
+
+// relPipeline runs join → group → sort under one context, the mixed
+// relational pipeline of the concurrency property test. It returns an
+// error instead of failing the test so goroutines other than the test's
+// own can call it (FailNow must not run off the test goroutine).
+func relPipeline(c *exec.Ctx, r, s *Relation) (*Relation, error) {
+	j, err := HashJoin(c, r, s, []string{"r_k"}, []string{"s_k"}, Inner)
+	if err != nil {
+		return nil, err
+	}
+	g, err := GroupBy(c, j, []string{"r_t"}, []AggSpec{
+		{Func: Count, As: "n"},
+		{Func: Sum, Attr: "r_v", As: "sv"},
+		{Func: Sum, Attr: "s_v", As: "sw"},
+	})
+	if err != nil {
+		return nil, err
+	}
+	return g.Sort(c, OrderSpec{Attr: "sv", Desc: true}, OrderSpec{Attr: "r_t"})
+}
+
+// TestSimultaneousCtxsBitwiseIdentical runs the join/group/sort pipeline
+// under budgets {1, 2, 8} from concurrent goroutines — every context
+// carries its own budget, nothing is process-wide — and asserts each
+// result is bitwise-identical to the serial baseline. Run with -race this
+// is the operator-level half of the mixed-budget acceptance criterion.
+func TestSimultaneousCtxsBitwiseIdentical(t *testing.T) {
+	n := bat.SerialCutoff + 101
+	r := boundaryRel("r", n, 64)
+	s := boundaryRel("s", n, 64)
+	want, err := relPipeline(exec.New(1), r, s)
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	var wg sync.WaitGroup
+	for _, budget := range []int{1, 2, 8} {
+		wg.Add(1)
+		go func(budget int) {
+			defer wg.Done()
+			c := exec.New(budget)
+			for round := 0; round < 3; round++ {
+				got, err := relPipeline(c, r, s)
+				if err != nil {
+					t.Errorf("budget %d: %v", budget, err)
+					return
+				}
+				if !equalRelations(got, want) {
+					t.Errorf("budget %d: pipeline differs from serial", budget)
+					return
+				}
+			}
+		}(budget)
+	}
+	wg.Wait()
+}
+
+// TestEquiJoinPairsMatchesHashJoin checks the SQL layer's typed-key entry
+// point against HashJoin's canonical pair order: joining on materialized
+// key columns yields exactly the pairs the relation-level join produces,
+// for inner and left-outer semantics and across worker budgets.
+func TestEquiJoinPairsMatchesHashJoin(t *testing.T) {
+	for _, n := range []int{0, 1, 7, 1000, bat.SerialCutoff + 1} {
+		r := boundaryRel("r", n, int64(n/3+2))
+		s := boundaryRel("s", n, int64(n/3+2))
+		rKey, _ := r.Col("r_k")
+		sKey, _ := s.Col("s_k")
+		for _, leftOuter := range []bool{false, true} {
+			var wantL, wantR []int
+			rkc := keyColsOf(nil, n, []*bat.BAT{rKey})
+			skc := keyColsOf(nil, n, []*bat.BAT{sKey})
+			wantL, wantR, _ = joinPairs(exec.New(1), rkc, skc, leftOuter)
+			for _, budget := range []int{1, 8} {
+				li, ri, err := EquiJoinPairs(exec.New(budget), []*bat.BAT{rKey}, []*bat.BAT{sKey}, leftOuter)
+				if err != nil {
+					t.Fatal(err)
+				}
+				if len(li) != len(wantL) {
+					t.Fatalf("n=%d outer=%v budget=%d: %d pairs, want %d", n, leftOuter, budget, len(li), len(wantL))
+				}
+				for k := range li {
+					if li[k] != wantL[k] || ri[k] != wantR[k] {
+						t.Fatalf("n=%d outer=%v budget=%d: pair %d = (%d,%d), want (%d,%d)",
+							n, leftOuter, budget, k, li[k], ri[k], wantL[k], wantR[k])
+					}
+				}
+				bat.FreeInts(li)
+				bat.FreeInts(ri)
+			}
+			bat.FreeInts(wantL)
+			bat.FreeInts(wantR)
+		}
+	}
+	// Mismatched and empty key lists are rejected.
+	if _, _, err := EquiJoinPairs(nil, nil, nil, false); err == nil {
+		t.Error("EquiJoinPairs accepted empty key lists")
+	}
+}
+
+// TestCrossTypeEquiJoinPairs asserts int and float key columns holding
+// the same values join against each other (canonical float-bit hashing),
+// the coercion the SQL layer leans on after dropping string keys.
+func TestCrossTypeEquiJoinPairs(t *testing.T) {
+	ints := bat.FromInts([]int64{1, 2, 3, 4})
+	floats := bat.FromFloats([]float64{2, 4, 6, 2})
+	li, ri, err := EquiJoinPairs(nil, []*bat.BAT{ints}, []*bat.BAT{floats}, false)
+	if err != nil {
+		t.Fatal(err)
+	}
+	type pair struct{ l, r int }
+	want := []pair{{1, 0}, {1, 3}, {3, 1}} // 2 matches twice, 4 once
+	if len(li) != len(want) {
+		t.Fatalf("got %d pairs, want %d", len(li), len(want))
+	}
+	for k, w := range want {
+		if li[k] != w.l || ri[k] != w.r {
+			t.Fatalf("pair %d = (%d,%d), want (%d,%d)", k, li[k], ri[k], w.l, w.r)
+		}
+	}
+}

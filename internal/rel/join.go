@@ -4,6 +4,7 @@ import (
 	"fmt"
 
 	"repro/internal/bat"
+	"repro/internal/exec"
 )
 
 // JoinType selects the join semantics.
@@ -37,9 +38,9 @@ func (t *joinTable) lookup(h uint64) []int {
 // are built in parallel. Chunk-major offsets keep every partition's row
 // list ascending regardless of the chunk decomposition, which is what makes
 // the join output independent of the worker budget.
-func buildJoinTable(h []uint64) *joinTable {
+func buildJoinTable(c *exec.Ctx, h []uint64) *joinTable {
 	m := len(h)
-	if m <= bat.SerialCutoff || bat.Parallelism() <= 1 {
+	if m <= bat.SerialCutoff || c.Workers() <= 1 {
 		part := make(map[uint64][]int, m/2+1)
 		for j, hv := range h {
 			part[hv] = append(part[hv], j)
@@ -47,17 +48,17 @@ func buildJoinTable(h []uint64) *joinTable {
 		return &joinTable{mask: 0, parts: []map[uint64][]int{part}}
 	}
 	p := 1
-	for p < bat.Parallelism() && p < 64 {
+	for p < c.Workers() && p < 64 {
 		p <<= 1
 	}
 	mask := uint64(p - 1)
-	chunks, size := bat.ParallelRuns(m)
+	chunks, size := c.ParallelRuns(m)
 
 	hist := make([]int, chunks*p)
-	bat.ParallelFor(chunks, 1, func(clo, chi int) {
-		for c := clo; c < chi; c++ {
-			row := hist[c*p : (c+1)*p]
-			for j := c * size; j < min((c+1)*size, m); j++ {
+	c.ParallelFor(chunks, 1, func(clo, chi int) {
+		for ch := clo; ch < chi; ch++ {
+			row := hist[ch*p : (ch+1)*p]
+			for j := ch * size; j < min((ch+1)*size, m); j++ {
 				row[h[j]&mask]++
 			}
 		}
@@ -69,18 +70,18 @@ func buildJoinTable(h []uint64) *joinTable {
 	off := 0
 	for pt := 0; pt < p; pt++ {
 		partStart[pt] = off
-		for c := 0; c < chunks; c++ {
-			pos[c*p+pt] = off
-			off += hist[c*p+pt]
+		for ch := 0; ch < chunks; ch++ {
+			pos[ch*p+pt] = off
+			off += hist[ch*p+pt]
 		}
 	}
 	partStart[p] = off
 
 	rows := make([]int, m)
-	bat.ParallelFor(chunks, 1, func(clo, chi int) {
-		for c := clo; c < chi; c++ {
-			cursor := pos[c*p : (c+1)*p]
-			for j := c * size; j < min((c+1)*size, m); j++ {
+	c.ParallelFor(chunks, 1, func(clo, chi int) {
+		for ch := clo; ch < chi; ch++ {
+			cursor := pos[ch*p : (ch+1)*p]
+			for j := ch * size; j < min((ch+1)*size, m); j++ {
 				pt := h[j] & mask
 				rows[cursor[pt]] = j
 				cursor[pt]++
@@ -89,7 +90,7 @@ func buildJoinTable(h []uint64) *joinTable {
 	})
 
 	parts := make([]map[uint64][]int, p)
-	bat.ParallelFor(p, 1, func(plo, phi int) {
+	c.ParallelFor(p, 1, func(plo, phi int) {
 		for pt := plo; pt < phi; pt++ {
 			span := rows[partStart[pt]:partStart[pt+1]]
 			mp := make(map[uint64][]int, len(span)/2+1)
@@ -100,6 +101,89 @@ func buildJoinTable(h []uint64) *joinTable {
 		}
 	})
 	return &joinTable{mask: mask, parts: parts}
+}
+
+// joinPairs computes the matching (probe, build) row index pairs of an
+// equi-join between two typed key views: build a hash table on skc, probe
+// with rkc in two parallel passes — match counting, then a scatter through
+// per-row output offsets. leftOuter emits (i, -1) for unmatched probe
+// rows. Output order is canonical at any worker budget: probe rows in
+// probe order, matches per probe row in build order. The returned index
+// slices come from the context's arena; callers done with them hand them
+// back with FreeInts.
+func joinPairs(c *exec.Ctx, rkc, skc *keyCols, leftOuter bool) (li, ri []int, anyUnmatched bool) {
+	table := buildJoinTable(c, skc.hashes(c))
+	rh := rkc.hashes(c)
+	n := rkc.n
+
+	// Probe pass 1: matches per probe row.
+	counts := c.Arena().Ints(n)
+	c.ParallelFor(n, bat.SerialCutoff, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			cnt := 0
+			for _, j := range table.lookup(rh[i]) {
+				if rkc.equal(i, skc, j) {
+					cnt++
+				}
+			}
+			counts[i] = cnt
+		}
+	})
+
+	// Prefix sum into output offsets (fixed serial combine).
+	total := 0
+	for i := 0; i < n; i++ {
+		cnt := counts[i]
+		if cnt == 0 && leftOuter {
+			cnt = 1
+			anyUnmatched = true
+		}
+		counts[i] = total
+		total += cnt
+	}
+
+	// Probe pass 2: scatter the match pairs; rows write disjoint ranges.
+	li = c.Arena().Ints(total)
+	ri = c.Arena().Ints(total)
+	c.ParallelFor(n, bat.SerialCutoff, func(lo, hi int) {
+		for i := lo; i < hi; i++ {
+			k := counts[i]
+			wrote := false
+			for _, j := range table.lookup(rh[i]) {
+				if rkc.equal(i, skc, j) {
+					li[k] = i
+					ri[k] = j
+					k++
+					wrote = true
+				}
+			}
+			if !wrote && leftOuter {
+				li[k] = i
+				ri[k] = -1
+			}
+		}
+	})
+	c.Arena().FreeInts(counts)
+	return li, ri, anyUnmatched
+}
+
+// EquiJoinPairs computes the matching (probe, build) row index pairs of an
+// equi-join keyed by two already-materialized column lists of equal arity
+// (probeKeys[k] pairs with buildKeys[k]). It is the entry point the SQL
+// layer uses for expression-keyed joins: the key expressions are
+// materialized into typed columns once, and the join runs over typed
+// 64-bit hashes — no per-row string keys. leftOuter emits (i, -1) for
+// unmatched probe rows. The returned slices come from the context's arena;
+// callers done with them may hand them back with bat.FreeInts.
+func EquiJoinPairs(c *exec.Ctx, probeKeys, buildKeys []*bat.BAT, leftOuter bool) (li, ri []int, err error) {
+	if len(probeKeys) != len(buildKeys) || len(probeKeys) == 0 {
+		return nil, nil, fmt.Errorf("rel: equi-join needs matching non-empty key lists")
+	}
+	pn, bn := probeKeys[0].Len(), buildKeys[0].Len()
+	rkc := keyColsOf(c, pn, probeKeys)
+	skc := keyColsOf(c, bn, buildKeys)
+	li, ri, _ = joinPairs(c, rkc, skc, leftOuter)
+	return li, ri, nil
 }
 
 // HashJoin computes r ⋈ s on equality of the paired key attributes. The
@@ -113,15 +197,15 @@ func buildJoinTable(h []uint64) *joinTable {
 // parallel passes — match counting, then a scatter through per-row output
 // offsets. Output order is canonical at any worker budget: probe rows in r
 // order, matches per probe row in s order.
-func HashJoin(r, s *Relation, rKeys, sKeys []string, jt JoinType) (*Relation, error) {
+func HashJoin(c *exec.Ctx, r, s *Relation, rKeys, sKeys []string, jt JoinType) (*Relation, error) {
 	if len(rKeys) != len(sKeys) || len(rKeys) == 0 {
 		return nil, fmt.Errorf("rel: join needs matching non-empty key lists")
 	}
-	rkc, err := newKeyCols(r, rKeys)
+	rkc, err := newKeyCols(c, r, rKeys)
 	if err != nil {
 		return nil, err
 	}
-	skc, err := newKeyCols(s, sKeys)
+	skc, err := newKeyCols(c, s, sKeys)
 	if err != nil {
 		return nil, err
 	}
@@ -140,85 +224,34 @@ func HashJoin(r, s *Relation, rKeys, sKeys []string, jt JoinType) (*Relation, er
 	}
 
 	// Build on s, probe with r.
-	table := buildJoinTable(skc.hashes())
-	rh := rkc.hashes()
-	n := r.NumRows()
+	li, ri, anyUnmatched := joinPairs(c, rkc, skc, jt == Left)
 
-	// Probe pass 1: matches per probe row.
-	counts := bat.AllocInts(n)
-	bat.ParallelFor(n, bat.SerialCutoff, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			cnt := 0
-			for _, j := range table.lookup(rh[i]) {
-				if rkc.equal(i, skc, j) {
-					cnt++
-				}
-			}
-			counts[i] = cnt
-		}
-	})
-
-	// Prefix sum into output offsets (fixed serial combine).
-	total := 0
-	anyUnmatched := false
-	for i := 0; i < n; i++ {
-		c := counts[i]
-		if c == 0 && jt == Left {
-			c = 1
-			anyUnmatched = true
-		}
-		counts[i] = total
-		total += c
-	}
-
-	// Probe pass 2: scatter the match pairs; rows write disjoint ranges.
-	li := bat.AllocInts(total)
-	ri := bat.AllocInts(total)
-	bat.ParallelFor(n, bat.SerialCutoff, func(lo, hi int) {
-		for i := lo; i < hi; i++ {
-			k := counts[i]
-			wrote := false
-			for _, j := range table.lookup(rh[i]) {
-				if rkc.equal(i, skc, j) {
-					li[k] = i
-					ri[k] = j
-					k++
-					wrote = true
-				}
-			}
-			if !wrote && jt == Left {
-				li[k] = i
-				ri[k] = -1
-			}
-		}
-	})
-	bat.FreeInts(counts)
-
-	left := r.Gather(li)
+	left := r.Gather(c, li)
 	schema := left.Schema.Clone()
 	cols := append([]*bat.BAT(nil), left.Cols...)
 	for _, name := range sAttrs {
 		j := s.Schema.Index(name)
 		schema = append(schema, s.Schema[j])
-		cols = append(cols, gatherWithNulls(s.Cols[j], ri, jt == Left && anyUnmatched))
+		cols = append(cols, gatherWithNulls(c, s.Cols[j], ri, jt == Left && anyUnmatched))
 	}
-	bat.FreeInts(li)
-	bat.FreeInts(ri)
+	c.Arena().FreeInts(li)
+	c.Arena().FreeInts(ri)
 	return New(r.Name, schema, cols)
 }
 
-// gatherWithNulls gathers c by idx; positions with idx < 0 (left-join
+// gatherWithNulls gathers col by idx; positions with idx < 0 (left-join
 // non-matches) produce the zero value of the column type. The fill is
-// decomposed over ParallelFor with one typed loop per tail domain.
-func gatherWithNulls(c *bat.BAT, idx []int, anyUnmatched bool) *bat.BAT {
+// decomposed over the context's workers with one typed loop per tail
+// domain; all three domains draw their output from the context's arena.
+func gatherWithNulls(c *exec.Ctx, col *bat.BAT, idx []int, anyUnmatched bool) *bat.BAT {
 	if !anyUnmatched {
-		return c.Gather(idx)
+		return col.Gather(c, idx)
 	}
-	switch c.Type() {
+	switch col.Type() {
 	case bat.Float:
-		f, _ := c.Floats()
-		out := bat.Alloc(len(idx))
-		bat.ParallelFor(len(idx), bat.SerialCutoff, func(lo, hi int) {
+		f, _ := col.FloatsCtx(c)
+		out := c.Arena().Floats(len(idx))
+		c.ParallelFor(len(idx), bat.SerialCutoff, func(lo, hi int) {
 			for k := lo; k < hi; k++ {
 				if j := idx[k]; j >= 0 {
 					out[k] = f[j]
@@ -229,23 +262,27 @@ func gatherWithNulls(c *bat.BAT, idx []int, anyUnmatched bool) *bat.BAT {
 		})
 		return bat.FromFloats(out)
 	case bat.Int:
-		xs := c.Vector().Ints()
-		out := make([]int64, len(idx))
-		bat.ParallelFor(len(idx), bat.SerialCutoff, func(lo, hi int) {
+		xs := col.VectorCtx(c).Ints()
+		out := c.Arena().Int64s(len(idx))
+		c.ParallelFor(len(idx), bat.SerialCutoff, func(lo, hi int) {
 			for k := lo; k < hi; k++ {
 				if j := idx[k]; j >= 0 {
 					out[k] = xs[j]
+				} else {
+					out[k] = 0
 				}
 			}
 		})
 		return bat.FromInts(out)
 	default:
-		ss := c.Vector().Strings()
-		out := make([]string, len(idx))
-		bat.ParallelFor(len(idx), bat.SerialCutoff, func(lo, hi int) {
+		ss := col.VectorCtx(c).Strings()
+		out := c.Arena().Strings(len(idx))
+		c.ParallelFor(len(idx), bat.SerialCutoff, func(lo, hi int) {
 			for k := lo; k < hi; k++ {
 				if j := idx[k]; j >= 0 {
 					out[k] = ss[j]
+				} else {
+					out[k] = ""
 				}
 			}
 		})

@@ -65,7 +65,7 @@ func naiveJoin(t *testing.T, r, s *Relation, rKeys, sKeys []string, jt JoinType)
 	for _, a := range sKeys {
 		dropped[a] = true
 	}
-	left := r.Gather(li)
+	left := r.Gather(nil, li)
 	schema := left.Schema.Clone()
 	cols := append([]*bat.BAT(nil), left.Cols...)
 	for _, a := range s.Schema {
@@ -164,7 +164,7 @@ func TestQuickHashJoinMatchesNaive(t *testing.T) {
 				for _, w := range []int{1, 2, 8} {
 					ok := false
 					withWorkers(w, func() {
-						got, err := HashJoin(r, s, rKeys, sKeys, tc.jt)
+						got, err := HashJoin(nil, r, s, rKeys, sKeys, tc.jt)
 						ok = err == nil && equalRelations(got, want)
 					})
 					if !ok {
@@ -186,17 +186,17 @@ func TestHashJoinEmptyInputs(t *testing.T) {
 	empty := Empty("r", Schema{{Name: "r_k", Type: bat.Int}, {Name: "r_v", Type: bat.Float}})
 	s := MustNew("s", Schema{{Name: "s_k", Type: bat.Int}, {Name: "s_v", Type: bat.Float}},
 		[]*bat.BAT{bat.FromInts([]int64{1, 2}), bat.FromFloats([]float64{10, 20})})
-	j, err := HashJoin(empty, s, []string{"r_k"}, []string{"s_k"}, Inner)
+	j, err := HashJoin(nil, empty, s, []string{"r_k"}, []string{"s_k"}, Inner)
 	if err != nil || j.NumRows() != 0 {
 		t.Fatalf("empty probe: %v rows, err %v", j.NumRows(), err)
 	}
 	sEmpty := Empty("s", Schema{{Name: "s_k", Type: bat.Int}, {Name: "s_v", Type: bat.Float}})
 	r := MustNew("r", Schema{{Name: "r_k", Type: bat.Int}},
 		[]*bat.BAT{bat.FromInts([]int64{1, 2})})
-	if j, err = HashJoin(r, sEmpty, []string{"r_k"}, []string{"s_k"}, Inner); err != nil || j.NumRows() != 0 {
+	if j, err = HashJoin(nil, r, sEmpty, []string{"r_k"}, []string{"s_k"}, Inner); err != nil || j.NumRows() != 0 {
 		t.Fatalf("empty build inner: %v rows, err %v", j.NumRows(), err)
 	}
-	if j, err = HashJoin(r, sEmpty, []string{"r_k"}, []string{"s_k"}, Left); err != nil || j.NumRows() != 2 {
+	if j, err = HashJoin(nil, r, sEmpty, []string{"r_k"}, []string{"s_k"}, Left); err != nil || j.NumRows() != 2 {
 		t.Fatalf("empty build left: %v rows, err %v", j.NumRows(), err)
 	}
 	v, _ := j.Col("s_v")

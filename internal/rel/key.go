@@ -4,6 +4,7 @@ import (
 	"math"
 
 	"repro/internal/bat"
+	"repro/internal/exec"
 )
 
 // This file implements typed multi-column row keys for the hash-based
@@ -26,32 +27,32 @@ type keyCols struct {
 }
 
 // newKeyCols resolves the named attributes of r into typed key views.
-func newKeyCols(r *Relation, attrs []string) (*keyCols, error) {
+func newKeyCols(c *exec.Ctx, r *Relation, attrs []string) (*keyCols, error) {
 	cols := make([]*bat.BAT, len(attrs))
 	for k, a := range attrs {
-		c, err := r.Col(a)
+		col, err := r.Col(a)
 		if err != nil {
 			return nil, err
 		}
-		cols[k] = c
+		cols[k] = col
 	}
-	return keyColsOf(r.NumRows(), cols), nil
+	return keyColsOf(c, r.NumRows(), cols), nil
 }
 
 // keyColsOf builds typed key views over already-resolved columns.
-func keyColsOf(n int, cols []*bat.BAT) *keyCols {
+func keyColsOf(c *exec.Ctx, n int, cols []*bat.BAT) *keyCols {
 	kc := &keyCols{
 		n: n,
 		f: make([][]float64, len(cols)),
 		i: make([][]int64, len(cols)),
 		s: make([][]string, len(cols)),
 	}
-	for k, c := range cols {
-		if c.IsSparse() {
-			kc.f[k] = c.Sparse().Densify()
+	for k, col := range cols {
+		if col.IsSparse() {
+			kc.f[k] = col.Sparse().Densify(c)
 			continue
 		}
-		v := c.Vector()
+		v := col.Vector()
 		switch v.Type() {
 		case bat.Float:
 			kc.f[k] = v.Floats()
@@ -128,10 +129,11 @@ func (kc *keyCols) hashRow(i int) uint64 {
 	return mix64(h)
 }
 
-// hashes computes the key hash of every row, decomposed over ParallelFor.
-func (kc *keyCols) hashes() []uint64 {
+// hashes computes the key hash of every row, decomposed over the
+// context's workers.
+func (kc *keyCols) hashes(c *exec.Ctx) []uint64 {
 	h := make([]uint64, kc.n)
-	bat.ParallelFor(kc.n, bat.SerialCutoff, func(lo, hi int) {
+	c.ParallelFor(kc.n, bat.SerialCutoff, func(lo, hi int) {
 		for i := lo; i < hi; i++ {
 			h[i] = kc.hashRow(i)
 		}

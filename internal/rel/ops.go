@@ -4,14 +4,16 @@ import (
 	"fmt"
 
 	"repro/internal/bat"
+	"repro/internal/exec"
 )
 
 // Gather returns the relation restricted/reordered to the given row indexes
-// (the relational counterpart of leftfetchjoin across all columns).
-func (r *Relation) Gather(idx []int) *Relation {
+// (the relational counterpart of leftfetchjoin across all columns),
+// decomposed over the context's workers.
+func (r *Relation) Gather(c *exec.Ctx, idx []int) *Relation {
 	cols := make([]*bat.BAT, len(r.Cols))
-	for k, c := range r.Cols {
-		cols[k] = c.Gather(idx)
+	for k, col := range r.Cols {
+		cols[k] = col.Gather(c, idx)
 	}
 	return &Relation{Name: r.Name, Schema: r.Schema, Cols: cols}
 }
@@ -19,7 +21,7 @@ func (r *Relation) Gather(idx []int) *Relation {
 // Select returns σ_pred(r). The predicate sees the row index and reads
 // columns through the relation; scans stay columnar for the common
 // comparison shapes via the helper constructors below.
-func (r *Relation) Select(pred func(i int) bool) *Relation {
+func (r *Relation) Select(c *exec.Ctx, pred func(i int) bool) *Relation {
 	n := r.NumRows()
 	idx := make([]int, 0, n/4+1)
 	for i := 0; i < n; i++ {
@@ -27,7 +29,7 @@ func (r *Relation) Select(pred func(i int) bool) *Relation {
 			idx = append(idx, i)
 		}
 	}
-	return r.Gather(idx)
+	return r.Gather(c, idx)
 }
 
 // FloatPred builds a vectorized predicate over one float/int column.
@@ -100,7 +102,7 @@ func (r *Relation) Rename(mapping map[string]string) (*Relation, error) {
 }
 
 // Cross returns r × s. Attribute names must be disjoint.
-func Cross(r, s *Relation) (*Relation, error) {
+func Cross(c *exec.Ctx, r, s *Relation) (*Relation, error) {
 	for _, a := range s.Schema {
 		if r.Schema.Index(a.Name) >= 0 {
 			return nil, fmt.Errorf("rel: cross: duplicate attribute %q", a.Name)
@@ -115,8 +117,8 @@ func Cross(r, s *Relation) (*Relation, error) {
 			ri = append(ri, j)
 		}
 	}
-	left := r.Gather(li)
-	right := s.Gather(ri)
+	left := r.Gather(c, li)
+	right := s.Gather(c, ri)
 	return New(r.Name, append(left.Schema.Clone(), right.Schema...), append(left.Cols, right.Cols...))
 }
 
@@ -142,10 +144,10 @@ func Union(r, s *Relation) (*Relation, error) {
 // Rows are compared through the typed key hashes of key.go (hash computed
 // in parallel, collisions resolved by column comparison), not through
 // rendered strings.
-func (r *Relation) Distinct() *Relation {
+func (r *Relation) Distinct(c *exec.Ctx) *Relation {
 	n := r.NumRows()
-	kc := keyColsOf(n, r.Cols)
-	h := kc.hashes()
+	kc := keyColsOf(c, n, r.Cols)
+	h := kc.hashes(c)
 	seen := make(map[uint64][]int, n)
 	idx := make([]int, 0, n)
 	for i := 0; i < n; i++ {
@@ -161,7 +163,7 @@ func (r *Relation) Distinct() *Relation {
 			idx = append(idx, i)
 		}
 	}
-	return r.Gather(idx)
+	return r.Gather(c, idx)
 }
 
 // OrderSpec describes one ORDER BY item.
@@ -174,34 +176,34 @@ type OrderSpec struct {
 // comes from bat.SortStable — a parallel merge sort above the serial
 // cutoff — and the stable permutation is unique, so the row order is
 // identical at any worker budget.
-func (r *Relation) Sort(specs ...OrderSpec) (*Relation, error) {
+func (r *Relation) Sort(c *exec.Ctx, specs ...OrderSpec) (*Relation, error) {
 	vecs := make([]*bat.Vector, len(specs))
 	for k, sp := range specs {
-		c, err := r.Col(sp.Attr)
+		col, err := r.Col(sp.Attr)
 		if err != nil {
 			return nil, err
 		}
-		vecs[k] = c.Vector()
+		vecs[k] = col.VectorCtx(c)
 	}
-	idx := bat.SortStable(r.NumRows(), func(a, b int) bool {
+	idx := bat.SortStable(c, r.NumRows(), func(a, b int) bool {
 		for k, v := range vecs {
-			c := v.Compare(a, v, b)
-			if c != 0 {
+			cmp := v.Compare(a, v, b)
+			if cmp != 0 {
 				if specs[k].Desc {
-					return c > 0
+					return cmp > 0
 				}
-				return c < 0
+				return cmp < 0
 			}
 		}
 		return false
 	})
-	out := r.Gather(idx)
-	bat.FreeInts(idx)
+	out := r.Gather(c, idx)
+	c.Arena().FreeInts(idx)
 	return out, nil
 }
 
 // Limit returns the first n rows.
-func (r *Relation) Limit(n int) *Relation {
+func (r *Relation) Limit(c *exec.Ctx, n int) *Relation {
 	if n > r.NumRows() {
 		n = r.NumRows()
 	}
@@ -209,5 +211,5 @@ func (r *Relation) Limit(n int) *Relation {
 	for k := range idx {
 		idx[k] = k
 	}
-	return r.Gather(idx)
+	return r.Gather(c, idx)
 }

@@ -50,7 +50,7 @@ func TestGroupByBitwiseIdenticalAcrossWorkers(t *testing.T) {
 		r := boundaryRel("r", n, 64)
 		var want *Relation
 		withWorkers(1, func() {
-			g, err := GroupBy(r, []string{"r_k", "r_t"}, aggs)
+			g, err := GroupBy(nil, r, []string{"r_k", "r_t"}, aggs)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -58,7 +58,7 @@ func TestGroupByBitwiseIdenticalAcrossWorkers(t *testing.T) {
 		})
 		for _, w := range []int{2, 8} {
 			withWorkers(w, func() {
-				got, err := GroupBy(r, []string{"r_k", "r_t"}, aggs)
+				got, err := GroupBy(nil, r, []string{"r_k", "r_t"}, aggs)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -69,10 +69,10 @@ func TestGroupByBitwiseIdenticalAcrossWorkers(t *testing.T) {
 		}
 		// Global group (no keys): the chunked sum must also be stable.
 		var wantG *Relation
-		withWorkers(1, func() { wantG, _ = GroupBy(r, nil, aggs) })
+		withWorkers(1, func() { wantG, _ = GroupBy(nil, r, nil, aggs) })
 		for _, w := range []int{2, 8} {
 			withWorkers(w, func() {
-				got, _ := GroupBy(r, nil, aggs)
+				got, _ := GroupBy(nil, r, nil, aggs)
 				if !equalRelations(got, wantG) {
 					t.Fatalf("global GroupBy n=%d workers=%d differs from serial", n, w)
 				}
@@ -91,7 +91,7 @@ func TestHashJoinBitwiseIdenticalAcrossWorkers(t *testing.T) {
 		for _, jt := range []JoinType{Inner, Left} {
 			var want *Relation
 			withWorkers(1, func() {
-				j, err := HashJoin(r, s, []string{"r_k"}, []string{"s_k"}, jt)
+				j, err := HashJoin(nil, r, s, []string{"r_k"}, []string{"s_k"}, jt)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -99,7 +99,7 @@ func TestHashJoinBitwiseIdenticalAcrossWorkers(t *testing.T) {
 			})
 			for _, w := range []int{2, 8} {
 				withWorkers(w, func() {
-					got, err := HashJoin(r, s, []string{"r_k"}, []string{"s_k"}, jt)
+					got, err := HashJoin(nil, r, s, []string{"r_k"}, []string{"s_k"}, jt)
 					if err != nil {
 						t.Fatal(err)
 					}
@@ -121,7 +121,7 @@ func TestSortBitwiseIdenticalAcrossWorkers(t *testing.T) {
 		specs := []OrderSpec{{Attr: "r_t"}, {Attr: "r_k", Desc: true}}
 		var want *Relation
 		withWorkers(1, func() {
-			s, err := r.Sort(specs...)
+			s, err := r.Sort(nil, specs...)
 			if err != nil {
 				t.Fatal(err)
 			}
@@ -129,7 +129,7 @@ func TestSortBitwiseIdenticalAcrossWorkers(t *testing.T) {
 		})
 		for _, w := range []int{2, 8} {
 			withWorkers(w, func() {
-				got, err := r.Sort(specs...)
+				got, err := r.Sort(nil, specs...)
 				if err != nil {
 					t.Fatal(err)
 				}
@@ -159,7 +159,7 @@ func nulRel(name, a1, a2 string) *Relation {
 func TestHashJoinNulSeparatorRegression(t *testing.T) {
 	l := nulRel("l", "A", "B")
 	r := nulRel("r", "C", "D")
-	j, err := HashJoin(l, r, []string{"A", "B"}, []string{"C", "D"}, Inner)
+	j, err := HashJoin(nil, l, r, []string{"A", "B"}, []string{"C", "D"}, Inner)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -177,14 +177,14 @@ func TestHashJoinNulSeparatorRegression(t *testing.T) {
 // TestDistinctNulSeparatorRegression: the two distinct rows must both
 // survive.
 func TestDistinctNulSeparatorRegression(t *testing.T) {
-	if got := nulRel("r", "A", "B").Distinct().NumRows(); got != 2 {
+	if got := nulRel("r", "A", "B").Distinct(nil).NumRows(); got != 2 {
 		t.Fatalf("distinct over NUL keys = %d rows, want 2", got)
 	}
 }
 
 // TestGroupByNulSeparatorRegression: the two rows form two groups.
 func TestGroupByNulSeparatorRegression(t *testing.T) {
-	g, err := GroupBy(nulRel("r", "A", "B"), []string{"A", "B"}, []AggSpec{{Func: Count, As: "n"}})
+	g, err := GroupBy(nil, nulRel("r", "A", "B"), []string{"A", "B"}, []AggSpec{{Func: Count, As: "n"}})
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -34,7 +34,7 @@ func TestQuickJoinCardinality(t *testing.T) {
 		rng := rand.New(rand.NewSource(seed))
 		r := randRel(rng, "r", 1+rng.Intn(60))
 		s := randRel(rng, "s", 1+rng.Intn(60))
-		j, err := HashJoin(r, s, []string{"r_k"}, []string{"s_k"}, Inner)
+		j, err := HashJoin(nil, r, s, []string{"r_k"}, []string{"s_k"}, Inner)
 		if err != nil {
 			return false
 		}
@@ -66,7 +66,7 @@ func TestQuickGroupBySums(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		r := randRel(rng, "r", 1+rng.Intn(80))
-		g, err := GroupBy(r, []string{"r_t"}, []AggSpec{
+		g, err := GroupBy(nil, r, []string{"r_t"}, []AggSpec{
 			{Func: Count, As: "n"},
 			{Func: Sum, Attr: "r_v", As: "s"},
 		})
@@ -121,7 +121,7 @@ func TestQuickSelectPartition(t *testing.T) {
 		if err != nil {
 			return false
 		}
-		return r.Select(pred).NumRows()+r.Select(neg).NumRows() == r.NumRows()
+		return r.Select(nil, pred).NumRows()+r.Select(nil, neg).NumRows() == r.NumRows()
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
 		t.Error(err)
@@ -134,8 +134,8 @@ func TestQuickDistinctIdempotent(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		r := randRel(rng, "r", 1+rng.Intn(60))
-		d1 := r.Distinct()
-		d2 := d1.Distinct()
+		d1 := r.Distinct(nil)
+		d2 := d1.Distinct(nil)
 		return d1.NumRows() <= r.NumRows() && d1.NumRows() == d2.NumRows()
 	}
 	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
@@ -149,7 +149,7 @@ func TestQuickSortPermutation(t *testing.T) {
 	f := func(seed int64) bool {
 		rng := rand.New(rand.NewSource(seed))
 		r := randRel(rng, "r", 1+rng.Intn(60))
-		s, err := r.Sort(OrderSpec{Attr: "r_v"})
+		s, err := r.Sort(nil, OrderSpec{Attr: "r_v"})
 		if err != nil {
 			return false
 		}

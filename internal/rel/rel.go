@@ -7,10 +7,12 @@
 //
 // The hash-based operators (HashJoin, GroupBy, Distinct) identify rows by
 // typed 64-bit key hashes with collision resolution against the actual key
-// columns (see key.go) and decompose their scans over bat.ParallelFor.
-// HashJoin, GroupBy, and Sort are deterministic at any worker budget: the
-// same row order and bitwise-identical float payloads whether they run
-// serially or on eight workers.
+// columns (see key.go) and decompose their scans over the exec.Ctx passed
+// per invocation — concurrent queries with different worker budgets each
+// carry their own context and never share a knob. HashJoin, GroupBy, and
+// Sort are deterministic at any worker budget: the same row order and
+// bitwise-identical float payloads whether they run serially or on eight
+// workers.
 package rel
 
 import (

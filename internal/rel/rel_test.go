@@ -77,7 +77,7 @@ func TestSelectProject(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	sel := r.Select(pred)
+	sel := r.Select(nil, pred)
 	if sel.NumRows() != 2 {
 		t.Fatalf("selected %d rows", sel.NumRows())
 	}
@@ -102,7 +102,7 @@ func TestStringPredAndDrop(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	ca := u.Select(pred)
+	ca := u.Select(nil, pred)
 	if ca.NumRows() != 2 {
 		t.Fatalf("CA users = %d", ca.NumRows())
 	}
@@ -143,7 +143,7 @@ func TestHashJoinInner(t *testing.T) {
 	// The paper's w1 preparation: users ⋈ ratings on User, CA only.
 	u := users()
 	r := ratings()
-	j, err := HashJoin(u, r, []string{"User"}, []string{"User"}, Inner)
+	j, err := HashJoin(nil, u, r, []string{"User"}, []string{"User"}, Inner)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -156,7 +156,7 @@ func TestHashJoinInner(t *testing.T) {
 		t.Fatalf("join schema = %v", got)
 	}
 	pred, _ := j.StringPred("State", func(s string) bool { return s == "CA" })
-	ca := j.Select(pred)
+	ca := j.Select(nil, pred)
 	if ca.NumRows() != 2 {
 		t.Errorf("CA join rows = %d", ca.NumRows())
 	}
@@ -173,7 +173,7 @@ func TestHashJoinMultiKeyAndDuplicates(t *testing.T) {
 	b2.MustAdd(bat.IntValue(1), bat.IntValue(1), bat.FloatValue(200)) // duplicate key
 	b2.MustAdd(bat.IntValue(9), bat.IntValue(9), bat.FloatValue(300))
 	rr := b2.Relation()
-	j, err := HashJoin(l, rr, []string{"A", "B"}, []string{"C", "D"}, Inner)
+	j, err := HashJoin(nil, l, rr, []string{"A", "B"}, []string{"C", "D"}, Inner)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -192,7 +192,7 @@ func TestHashJoinLeft(t *testing.T) {
 		[]*bat.BAT{bat.FromInts([]int64{1, 2})})
 	r := MustNew("r", Schema{{Name: "K2", Type: bat.Int}, {Name: "V", Type: bat.Float}},
 		[]*bat.BAT{bat.FromInts([]int64{1}), bat.FromFloats([]float64{7})})
-	j, err := HashJoin(l, r, []string{"K"}, []string{"K2"}, Left)
+	j, err := HashJoin(nil, l, r, []string{"K"}, []string{"K2"}, Left)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -210,13 +210,13 @@ func TestJoinErrors(t *testing.T) {
 	l := MustNew("l", Schema{{Name: "K", Type: bat.Int}}, []*bat.BAT{bat.FromInts([]int64{1})})
 	r := MustNew("r", Schema{{Name: "K", Type: bat.Int}, {Name: "V", Type: bat.Float}},
 		[]*bat.BAT{bat.FromInts([]int64{1}), bat.FromFloats([]float64{7})})
-	if _, err := HashJoin(l, r, nil, nil, Inner); err == nil {
+	if _, err := HashJoin(nil, l, r, nil, nil, Inner); err == nil {
 		t.Error("empty key list accepted")
 	}
 	// Name clash: r.V vs a second relation also exposing V.
 	l2 := MustNew("l2", Schema{{Name: "K", Type: bat.Int}, {Name: "V", Type: bat.Float}},
 		[]*bat.BAT{bat.FromInts([]int64{1}), bat.FromFloats([]float64{1})})
-	if _, err := HashJoin(l2, r, []string{"K"}, []string{"K"}, Inner); err == nil {
+	if _, err := HashJoin(nil, l2, r, []string{"K"}, []string{"K"}, Inner); err == nil {
 		t.Error("duplicate non-key attribute accepted")
 	}
 }
@@ -224,14 +224,14 @@ func TestJoinErrors(t *testing.T) {
 func TestCross(t *testing.T) {
 	a := MustNew("a", Schema{{Name: "X", Type: bat.Int}}, []*bat.BAT{bat.FromInts([]int64{1, 2})})
 	b := MustNew("b", Schema{{Name: "Y", Type: bat.Int}}, []*bat.BAT{bat.FromInts([]int64{10, 20, 30})})
-	c, err := Cross(a, b)
+	c, err := Cross(nil, a, b)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if c.NumRows() != 6 || c.NumCols() != 2 {
 		t.Fatalf("cross size = %dx%d", c.NumRows(), c.NumCols())
 	}
-	if _, err := Cross(a, a); err == nil {
+	if _, err := Cross(nil, a, a); err == nil {
 		t.Error("cross with duplicate attributes accepted")
 	}
 }
@@ -246,7 +246,7 @@ func TestUnionDistinct(t *testing.T) {
 	if u.NumRows() != 4 {
 		t.Fatalf("bag union rows = %d", u.NumRows())
 	}
-	d := u.Distinct()
+	d := u.Distinct(nil)
 	if d.NumRows() != 3 {
 		t.Errorf("distinct rows = %d", d.NumRows())
 	}
@@ -257,8 +257,8 @@ func TestUnionDistinct(t *testing.T) {
 }
 
 func TestGroupBy(t *testing.T) {
-	j, _ := HashJoin(users(), ratings(), []string{"User"}, []string{"User"}, Inner)
-	g, err := GroupBy(j, []string{"State"}, []AggSpec{
+	j, _ := HashJoin(nil, users(), ratings(), []string{"User"}, []string{"User"}, Inner)
+	g, err := GroupBy(nil, j, []string{"State"}, []AggSpec{
 		{Func: Count, As: "n"},
 		{Func: Avg, Attr: "Heat", As: "avg_heat"},
 		{Func: Sum, Attr: "Balto", As: "sum_balto"},
@@ -291,7 +291,7 @@ func TestGroupBy(t *testing.T) {
 
 func TestGroupByGlobal(t *testing.T) {
 	r := ratings()
-	g, err := GroupBy(r, nil, []AggSpec{{Func: Count, As: "M"}})
+	g, err := GroupBy(nil, r, nil, []AggSpec{{Func: Count, As: "M"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -299,7 +299,7 @@ func TestGroupByGlobal(t *testing.T) {
 		t.Fatalf("global count = %v", g.Value(0, 0))
 	}
 	empty := Empty("e", Schema{{Name: "A", Type: bat.Float}})
-	g2, err := GroupBy(empty, nil, []AggSpec{{Func: Count, As: "M"}})
+	g2, err := GroupBy(nil, empty, nil, []AggSpec{{Func: Count, As: "M"}})
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -310,41 +310,41 @@ func TestGroupByGlobal(t *testing.T) {
 
 func TestGroupByErrors(t *testing.T) {
 	r := ratings()
-	if _, err := GroupBy(r, nil, nil); err == nil {
+	if _, err := GroupBy(nil, r, nil, nil); err == nil {
 		t.Error("no aggregates accepted")
 	}
-	if _, err := GroupBy(r, nil, []AggSpec{{Func: Avg}}); err == nil {
+	if _, err := GroupBy(nil, r, nil, []AggSpec{{Func: Avg}}); err == nil {
 		t.Error("AVG(*) accepted")
 	}
-	if _, err := GroupBy(r, nil, []AggSpec{{Func: Sum, Attr: "User"}}); err == nil {
+	if _, err := GroupBy(nil, r, nil, []AggSpec{{Func: Sum, Attr: "User"}}); err == nil {
 		t.Error("SUM over string accepted")
 	}
-	if _, err := GroupBy(r, []string{"Nope"}, []AggSpec{{Func: Count}}); err == nil {
+	if _, err := GroupBy(nil, r, []string{"Nope"}, []AggSpec{{Func: Count}}); err == nil {
 		t.Error("grouping on missing attribute accepted")
 	}
 }
 
 func TestSortLimit(t *testing.T) {
 	r := ratings()
-	s, err := r.Sort(OrderSpec{Attr: "Heat", Desc: true})
+	s, err := r.Sort(nil, OrderSpec{Attr: "Heat", Desc: true})
 	if err != nil {
 		t.Fatal(err)
 	}
 	if s.Value(0, 0).S != "Jan" {
 		t.Errorf("desc sort first = %v", s.Value(0, 0))
 	}
-	s2, _ := r.Sort(OrderSpec{Attr: "User"})
+	s2, _ := r.Sort(nil, OrderSpec{Attr: "User"})
 	if s2.Value(0, 0).S != "Ann" || s2.Value(2, 0).S != "Tom" {
 		t.Errorf("asc sort = %v %v", s2.Value(0, 0), s2.Value(2, 0))
 	}
-	l := s2.Limit(2)
+	l := s2.Limit(nil, 2)
 	if l.NumRows() != 2 {
 		t.Errorf("limit rows = %d", l.NumRows())
 	}
-	if s2.Limit(99).NumRows() != 3 {
+	if s2.Limit(nil, 99).NumRows() != 3 {
 		t.Error("limit beyond size should clamp")
 	}
-	if _, err := r.Sort(OrderSpec{Attr: "Nope"}); err == nil {
+	if _, err := r.Sort(nil, OrderSpec{Attr: "Nope"}); err == nil {
 		t.Error("sorting on missing attribute accepted")
 	}
 }

@@ -3,12 +3,12 @@ package sql
 import (
 	"fmt"
 	"sort"
-	"strconv"
 	"strings"
 	"sync"
 
 	"repro/internal/bat"
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/rel"
 )
 
@@ -65,7 +65,9 @@ func (db *DB) Tables() []string {
 }
 
 // Exec parses and executes a script and returns the result of the last
-// SELECT (nil if the script contains none).
+// SELECT (nil if the script contains none). Every statement runs under
+// its own execution context (see stmtCtx), so concurrent scripts with
+// different parallelism budgets never share a worker knob.
 func (db *DB) Exec(src string) (*rel.Relation, error) {
 	stmts, err := Parse(src)
 	if err != nil {
@@ -73,7 +75,7 @@ func (db *DB) Exec(src string) (*rel.Relation, error) {
 	}
 	var last *rel.Relation
 	for _, s := range stmts {
-		res, err := db.run(s)
+		res, err := db.run(db.stmtCtx(), s)
 		if err != nil {
 			return nil, err
 		}
@@ -82,6 +84,21 @@ func (db *DB) Exec(src string) (*rel.Relation, error) {
 		}
 	}
 	return last, nil
+}
+
+// stmtCtx builds one statement's execution context from the configured
+// RMA options: the Parallelism budget scopes to this statement only (zero
+// follows the process default). The relational operators of the SELECT
+// pipeline run under it; RMA table functions build their own context from
+// the same options inside core.Unary/Binary.
+func (db *DB) stmtCtx() *exec.Ctx {
+	db.mu.RLock()
+	opts := db.rmaOpts
+	db.mu.RUnlock()
+	if opts == nil {
+		return exec.New(0)
+	}
+	return exec.New(opts.Parallelism)
 }
 
 // Query executes a single SELECT statement.
@@ -96,10 +113,10 @@ func (db *DB) Query(src string) (*rel.Relation, error) {
 	return res, nil
 }
 
-func (db *DB) run(s Statement) (*rel.Relation, error) {
+func (db *DB) run(c *exec.Ctx, s Statement) (*rel.Relation, error) {
 	switch x := s.(type) {
 	case *SelectStmt:
-		src, err := db.execSelect(x)
+		src, err := db.execSelect(c, x)
 		if err != nil {
 			return nil, err
 		}
@@ -107,7 +124,7 @@ func (db *DB) run(s Statement) (*rel.Relation, error) {
 	case *CreateStmt:
 		return nil, db.runCreate(x)
 	case *InsertStmt:
-		return nil, db.runInsert(x)
+		return nil, db.runInsert(c, x)
 	case *DropStmt:
 		db.mu.Lock()
 		defer db.mu.Unlock()
@@ -134,14 +151,14 @@ func (db *DB) runCreate(x *CreateStmt) error {
 	return nil
 }
 
-func (db *DB) runInsert(x *InsertStmt) error {
+func (db *DB) runInsert(c *exec.Ctx, x *InsertStmt) error {
 	tbl, err := db.Table(x.Table)
 	if err != nil {
 		return err
 	}
 	var rows *rel.Relation
 	if x.Select != nil {
-		rows, err = db.execSelect(x.Select)
+		rows, err = db.execSelect(c, x.Select)
 		if err != nil {
 			return err
 		}
@@ -197,7 +214,7 @@ func coerceCols(r *rel.Relation, target rel.Schema) []*bat.BAT {
 
 // --- FROM clause ----------------------------------------------------------
 
-func (db *DB) buildFrom(te TableExpr) (*source, error) {
+func (db *DB) buildFrom(c *exec.Ctx, te TableExpr) (*source, error) {
 	switch x := te.(type) {
 	case *TableRef:
 		r, err := db.Table(x.Name)
@@ -210,21 +227,21 @@ func (db *DB) buildFrom(te TableExpr) (*source, error) {
 		}
 		return newSource(r, qual), nil
 	case *SubqueryRef:
-		r, err := db.execSelect(x.Select)
+		r, err := db.execSelect(c, x.Select)
 		if err != nil {
 			return nil, err
 		}
 		return newSource(r, x.Alias), nil
 	case *RMARef:
-		return db.buildRMA(x)
+		return db.buildRMA(c, x)
 	case *JoinExpr:
-		return db.buildJoin(x)
+		return db.buildJoin(c, x)
 	}
 	return nil, fmt.Errorf("sql: unsupported table expression %T", te)
 }
 
-func (db *DB) buildRMA(x *RMARef) (*source, error) {
-	res, err := db.evalRMA(x)
+func (db *DB) buildRMA(c *exec.Ctx, x *RMARef) (*source, error) {
+	res, err := db.evalRMA(c, x)
 	if err != nil {
 		return nil, err
 	}
@@ -233,26 +250,26 @@ func (db *DB) buildRMA(x *RMARef) (*source, error) {
 
 // relationOf evaluates an RMA argument relation with its original
 // attribute names intact (BY clauses reference them).
-func (db *DB) relationOf(te TableExpr) (*rel.Relation, error) {
+func (db *DB) relationOf(c *exec.Ctx, te TableExpr) (*rel.Relation, error) {
 	switch x := te.(type) {
 	case *TableRef:
 		return db.Table(x.Name)
 	case *SubqueryRef:
-		return db.execSelect(x.Select)
+		return db.execSelect(c, x.Select)
 	case *RMARef:
-		return db.evalRMA(x)
+		return db.evalRMA(c, x)
 	}
 	return nil, fmt.Errorf("sql: unsupported RMA argument %T", te)
 }
 
-func (db *DB) evalRMA(x *RMARef) (*rel.Relation, error) {
+func (db *DB) evalRMA(c *exec.Ctx, x *RMARef) (*rel.Relation, error) {
 	op, err := core.ParseOp(x.Op)
 	if err != nil {
 		return nil, err
 	}
 	args := make([]*rel.Relation, len(x.Args))
 	for k, a := range x.Args {
-		r, err := db.relationOf(a.Rel)
+		r, err := db.relationOf(c, a.Rel)
 		if err != nil {
 			return nil, err
 		}
@@ -273,20 +290,20 @@ func (db *DB) evalRMA(x *RMARef) (*rel.Relation, error) {
 	return core.Unary(op, args[0], x.Args[0].By, opts)
 }
 
-func (db *DB) buildJoin(x *JoinExpr) (*source, error) {
-	left, err := db.buildFrom(x.Left)
+func (db *DB) buildJoin(c *exec.Ctx, x *JoinExpr) (*source, error) {
+	left, err := db.buildFrom(c, x.Left)
 	if err != nil {
 		return nil, err
 	}
-	right, err := db.buildFrom(x.Right)
+	right, err := db.buildFrom(c, x.Right)
 	if err != nil {
 		return nil, err
 	}
 	switch x.Kind {
 	case JoinCross:
-		return crossSources(left, right)
+		return crossSources(c, left, right)
 	default:
-		return joinSources(left, right, x.On, x.Kind)
+		return joinSources(c, left, right, x.On, x.Kind)
 	}
 }
 
@@ -310,7 +327,7 @@ func combineSchemas(left, right *source, cols []*bat.BAT) (*source, error) {
 	return &source{rel: r, syms: syms}, nil
 }
 
-func crossSources(left, right *source) (*source, error) {
+func crossSources(c *exec.Ctx, left, right *source) (*source, error) {
 	nl, nr := left.rel.NumRows(), right.rel.NumRows()
 	li := make([]int, 0, nl*nr)
 	ri := make([]int, 0, nl*nr)
@@ -320,23 +337,23 @@ func crossSources(left, right *source) (*source, error) {
 			ri = append(ri, j)
 		}
 	}
-	return gatherPairs(left, right, li, ri)
+	return gatherPairs(c, left, right, li, ri)
 }
 
-func gatherPairs(left, right *source, li, ri []int) (*source, error) {
+func gatherPairs(c *exec.Ctx, left, right *source, li, ri []int) (*source, error) {
 	cols := make([]*bat.BAT, 0, len(left.rel.Cols)+len(right.rel.Cols))
-	for _, c := range left.rel.Cols {
-		cols = append(cols, c.Gather(li))
+	for _, col := range left.rel.Cols {
+		cols = append(cols, col.Gather(c, li))
 	}
-	for _, c := range right.rel.Cols {
-		cols = append(cols, gatherPadded(c, ri))
+	for _, col := range right.rel.Cols {
+		cols = append(cols, gatherPadded(c, col, ri))
 	}
 	return combineSchemas(left, right, cols)
 }
 
-// gatherPadded gathers c by idx, emitting the zero value where idx < 0
+// gatherPadded gathers col by idx, emitting the zero value where idx < 0
 // (left-join non-matches).
-func gatherPadded(c *bat.BAT, idx []int) *bat.BAT {
+func gatherPadded(c *exec.Ctx, col *bat.BAT, idx []int) *bat.BAT {
 	pad := false
 	for _, j := range idx {
 		if j < 0 {
@@ -345,12 +362,12 @@ func gatherPadded(c *bat.BAT, idx []int) *bat.BAT {
 		}
 	}
 	if !pad {
-		return c.Gather(idx)
+		return col.Gather(c, idx)
 	}
-	out := bat.NewEmptyVector(c.Type(), len(idx))
+	out := bat.NewEmptyVector(col.Type(), len(idx))
 	for _, j := range idx {
 		if j < 0 {
-			switch c.Type() {
+			switch col.Type() {
 			case bat.Float:
 				out.Append(bat.FloatValue(0))
 			case bat.Int:
@@ -360,7 +377,7 @@ func gatherPadded(c *bat.BAT, idx []int) *bat.BAT {
 			}
 			continue
 		}
-		out.Append(c.Get(j))
+		out.Append(col.Get(j))
 	}
 	return bat.FromVector(out)
 }
@@ -451,105 +468,83 @@ func collectCols(e Expr, acc []*ColRef) []*ColRef {
 	return acc
 }
 
-func joinSources(left, right *source, on Expr, kind JoinKind) (*source, error) {
+func joinSources(c *exec.Ctx, left, right *source, on Expr, kind JoinKind) (*source, error) {
 	lk, rk, residual := extractEqui(on, left, right)
 	if len(lk) == 0 {
 		if kind == JoinLeft {
 			return nil, fmt.Errorf("sql: LEFT JOIN requires an equi-join condition")
 		}
 		// Nested-loop fallback: cross then filter on the full ON clause.
-		crossed, err := crossSources(left, right)
+		crossed, err := crossSources(c, left, right)
 		if err != nil {
 			return nil, err
 		}
-		return filterSource(crossed, on)
+		return filterSource(c, crossed, on)
 	}
-	// Hash join: build on the right, probe from the left.
-	lkeys, err := keyStrings(left, lk)
+	// Hash join: build on the right, probe from the left. The key
+	// expressions are materialized into typed columns once and joined
+	// through rel's 64-bit row hashes — no per-row string keys.
+	lkeys, err := keyCols(left, lk)
 	if err != nil {
 		return nil, err
 	}
-	rkeys, err := keyStrings(right, rk)
+	rkeys, err := keyCols(right, rk)
 	if err != nil {
 		return nil, err
 	}
-	build := make(map[string][]int, len(rkeys))
-	for j, k := range rkeys {
-		build[k] = append(build[k], j)
+	li, ri, err := rel.EquiJoinPairs(c, lkeys, rkeys, kind == JoinLeft)
+	if err != nil {
+		return nil, err
 	}
-	var li, ri []int
-	for i, k := range lkeys {
-		matches := build[k]
-		if len(matches) == 0 {
-			if kind == JoinLeft {
-				li = append(li, i)
-				ri = append(ri, -1)
-			}
-			continue
-		}
-		for _, j := range matches {
-			li = append(li, i)
-			ri = append(ri, j)
-		}
-	}
-	joined, err := gatherPairs(left, right, li, ri)
+	joined, err := gatherPairs(c, left, right, li, ri)
+	bat.FreeInts(li)
+	bat.FreeInts(ri)
 	if err != nil {
 		return nil, err
 	}
 	for _, res := range residual {
-		if joined, err = filterSource(joined, res); err != nil {
+		if joined, err = filterSource(c, joined, res); err != nil {
 			return nil, err
 		}
 	}
 	return joined, nil
 }
 
-func keyStrings(s *source, exprs []Expr) ([]string, error) {
+// keyCols materializes join-key expressions into typed columns for the
+// hash join. Cross-type numeric keys (an int expression against a float
+// one) hash and compare through canonical float bits inside rel, so no
+// coercion is needed here.
+func keyCols(s *source, exprs []Expr) ([]*bat.BAT, error) {
 	n := s.rel.NumRows()
-	comps := make([]*compiled, len(exprs))
+	cols := make([]*bat.BAT, len(exprs))
 	for k, e := range exprs {
 		c, err := compileExpr(e, s)
 		if err != nil {
 			return nil, err
 		}
-		comps[k] = c
+		cols[k] = materialize(c, n)
 	}
-	keys := make([]string, n)
-	var sb strings.Builder
-	for i := 0; i < n; i++ {
-		sb.Reset()
-		for _, c := range comps {
-			// Length-prefix each component: a bare separator byte would
-			// let values containing that byte shift cell boundaries and
-			// collide (e.g. ("a\x00", "b") vs ("a", "\x00b")).
-			v := c.fn(i).String()
-			sb.WriteString(strconv.Itoa(len(v)))
-			sb.WriteByte(':')
-			sb.WriteString(v)
-		}
-		keys[i] = sb.String()
-	}
-	return keys, nil
+	return cols, nil
 }
 
-func filterSource(s *source, pred Expr) (*source, error) {
-	c, err := compileExpr(pred, s)
+func filterSource(c *exec.Ctx, s *source, pred Expr) (*source, error) {
+	comp, err := compileExpr(pred, s)
 	if err != nil {
 		return nil, err
 	}
-	filtered := s.rel.Select(func(i int) bool { return truthy(c.fn(i)) })
+	filtered := s.rel.Select(c, func(i int) bool { return truthy(comp.fn(i)) })
 	return &source{rel: filtered, syms: s.syms}, nil
 }
 
 // --- SELECT pipeline -------------------------------------------------------
 
-func (db *DB) execSelect(sel *SelectStmt) (*rel.Relation, error) {
-	src, err := db.buildFrom(sel.From)
+func (db *DB) execSelect(c *exec.Ctx, sel *SelectStmt) (*rel.Relation, error) {
+	src, err := db.buildFrom(c, sel.From)
 	if err != nil {
 		return nil, err
 	}
 	if sel.Where != nil {
-		if src, err = filterSource(src, sel.Where); err != nil {
+		if src, err = filterSource(c, src, sel.Where); err != nil {
 			return nil, err
 		}
 	}
@@ -574,7 +569,7 @@ func (db *DB) execSelect(sel *SelectStmt) (*rel.Relation, error) {
 	// Aggregation.
 	aggs := findAggregates(items, sel.Having)
 	if len(aggs) > 0 || len(sel.GroupBy) > 0 {
-		if src, err = groupSource(src, sel.GroupBy, aggs); err != nil {
+		if src, err = groupSource(c, src, sel.GroupBy, aggs); err != nil {
 			return nil, err
 		}
 		rewrites := make(map[string]Expr)
@@ -589,7 +584,7 @@ func (db *DB) execSelect(sel *SelectStmt) (*rel.Relation, error) {
 		}
 		if sel.Having != nil {
 			having := rewrite(sel.Having, rewrites)
-			if src, err = filterSource(src, having); err != nil {
+			if src, err = filterSource(c, src, having); err != nil {
 				return nil, err
 			}
 		}
@@ -604,7 +599,7 @@ func (db *DB) execSelect(sel *SelectStmt) (*rel.Relation, error) {
 	outSyms := make([]sym, len(items))
 	seen := map[string]int{}
 	for k, it := range items {
-		c, err := compileExpr(it.Expr, src)
+		comp, err := compileExpr(it.Expr, src)
 		if err != nil {
 			return nil, err
 		}
@@ -628,8 +623,8 @@ func (db *DB) execSelect(sel *SelectStmt) (*rel.Relation, error) {
 			}
 		}
 		seen[name] = k
-		outSchema[k] = rel.Attr{Name: name, Type: c.typ}
-		outCols[k] = materialize(c, n)
+		outSchema[k] = rel.Attr{Name: name, Type: comp.typ}
+		outCols[k] = materialize(comp, n)
 		outSyms[k] = sym{name: name}
 	}
 	out, err := rel.New("", outSchema, outCols)
@@ -638,28 +633,28 @@ func (db *DB) execSelect(sel *SelectStmt) (*rel.Relation, error) {
 	}
 
 	if sel.Distinct {
-		out = out.Distinct()
+		out = out.Distinct(c)
 	}
 
 	if len(sel.OrderBy) > 0 {
 		outSrc := &source{rel: out, syms: outSyms}
 		comps := make([]*compiled, len(sel.OrderBy))
 		for k, ob := range sel.OrderBy {
-			c, err := compileExpr(ob.Expr, outSrc)
+			comp, err := compileExpr(ob.Expr, outSrc)
 			if err != nil && !sel.Distinct && src.rel.NumRows() == out.NumRows() {
 				// Fall back to the pre-projection source: ORDER BY may
 				// reference input columns that were not selected.
-				c, err = compileExpr(ob.Expr, src)
+				comp, err = compileExpr(ob.Expr, src)
 			}
 			if err != nil {
 				return nil, err
 			}
-			comps[k] = c
+			comps[k] = comp
 		}
-		idx := bat.Identity(out.NumRows())
+		idx := bat.Identity(c, out.NumRows())
 		sort.SliceStable(idx, func(a, b int) bool {
-			for k, c := range comps {
-				va, vb := c.fn(idx[a]), c.fn(idx[b])
+			for k, comp := range comps {
+				va, vb := comp.fn(idx[a]), comp.fn(idx[b])
 				if va.Equal(vb) {
 					continue
 				}
@@ -670,11 +665,12 @@ func (db *DB) execSelect(sel *SelectStmt) (*rel.Relation, error) {
 			}
 			return false
 		})
-		out = out.Gather(idx)
+		out = out.Gather(c, idx)
+		bat.FreeInts(idx)
 	}
 
 	if sel.Limit >= 0 {
-		out = out.Limit(sel.Limit)
+		out = out.Limit(c, sel.Limit)
 	}
 	return out, nil
 }
@@ -722,19 +718,19 @@ func findAggregates(items []SelectItem, having Expr) []*FuncCall {
 
 // groupSource materializes group keys and aggregate inputs, runs the
 // grouping operator, and exposes the result under the #grp qualifier.
-func groupSource(src *source, groupBy []Expr, aggs []*FuncCall) (*source, error) {
+func groupSource(c *exec.Ctx, src *source, groupBy []Expr, aggs []*FuncCall) (*source, error) {
 	n := src.rel.NumRows()
 	schema := rel.Schema{}
 	cols := []*bat.BAT{}
 	var keyNames []string
 	for k, g := range groupBy {
-		c, err := compileExpr(g, src)
+		comp, err := compileExpr(g, src)
 		if err != nil {
 			return nil, err
 		}
 		name := fmt.Sprintf("g%d", k)
-		schema = append(schema, rel.Attr{Name: name, Type: c.typ})
-		cols = append(cols, materialize(c, n))
+		schema = append(schema, rel.Attr{Name: name, Type: comp.typ})
+		cols = append(cols, materialize(comp, n))
 		keyNames = append(keyNames, name)
 	}
 	specs := make([]rel.AggSpec, len(aggs))
@@ -745,13 +741,13 @@ func groupSource(src *source, groupBy []Expr, aggs []*FuncCall) (*source, error)
 			if len(a.Args) != 1 {
 				return nil, fmt.Errorf("sql: %s takes one argument", a.Name)
 			}
-			c, err := compileExpr(a.Args[0], src)
+			comp, err := compileExpr(a.Args[0], src)
 			if err != nil {
 				return nil, err
 			}
 			name := fmt.Sprintf("a%d", k)
-			schema = append(schema, rel.Attr{Name: name, Type: c.typ})
-			cols = append(cols, materialize(c, n))
+			schema = append(schema, rel.Attr{Name: name, Type: comp.typ})
+			cols = append(cols, materialize(comp, n))
 			spec.Attr = name
 		} else if fn != rel.Count {
 			return nil, fmt.Errorf("sql: %s(*) not supported", a.Name)
@@ -768,7 +764,7 @@ func groupSource(src *source, groupBy []Expr, aggs []*FuncCall) (*source, error)
 	if err != nil {
 		return nil, err
 	}
-	grouped, err := rel.GroupBy(tmp, keyNames, specs)
+	grouped, err := rel.GroupBy(c, tmp, keyNames, specs)
 	if err != nil {
 		return nil, err
 	}
