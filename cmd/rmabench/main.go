@@ -14,6 +14,7 @@
 package main
 
 import (
+	"expvar"
 	"flag"
 	"fmt"
 	"os"
@@ -21,9 +22,14 @@ import (
 	"time"
 
 	"repro/internal/bench"
+	"repro/internal/exec"
 )
 
 func main() {
+	// Per-tenant memory metrics (live/peak bytes, pool hit rates) of the
+	// default governor, published for scraping when the process exposes
+	// /debug/vars — the same surface rmacli's \stats prints.
+	expvar.Publish("rma.memory", expvar.Func(func() any { return exec.Metrics() }))
 	list := flag.Bool("list", false, "list experiments")
 	run := flag.String("run", "", "comma-separated experiment ids")
 	all := flag.Bool("all", false, "run all experiments")

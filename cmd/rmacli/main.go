@@ -11,11 +11,18 @@
 // with the paper's example database (users, film, rating) loaded.
 // Meta commands: \d lists tables, \policy bat|mkl|auto switches the
 // execution policy, \workers n bounds the per-statement worker budget
-// (0 restores the default), \q quits.
+// (0 restores the default), \mem n caps the per-tenant live arena
+// memory at n MiB (0 removes the cap), \tenant name switches the
+// accounting principal, \stats prints the per-tenant memory metrics,
+// \q quits.
+//
+// The per-tenant metrics are also published through expvar under
+// "rma.memory" for scraping when the process exposes /debug/vars.
 package main
 
 import (
 	"bufio"
+	"expvar"
 	"flag"
 	"fmt"
 	"os"
@@ -23,6 +30,7 @@ import (
 	"strings"
 
 	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/rma"
 )
 
@@ -58,6 +66,7 @@ func main() {
 	flag.Parse()
 
 	db := rma.NewDB()
+	expvar.Publish("rma.memory", expvar.Func(func() any { return db.Metrics() }))
 	if *demo {
 		db.MustExec(demoScript)
 		fmt.Println("demo database loaded: users, film, rating")
@@ -136,10 +145,80 @@ func meta(db *rma.DB, cmd string) bool {
 		} else {
 			fmt.Printf("worker budget set to %d (per statement)\n", n)
 		}
+	case strings.HasPrefix(cmd, `\mem`):
+		arg := strings.TrimSpace(strings.TrimPrefix(cmd, `\mem`))
+		n, err := strconv.Atoi(arg)
+		if err != nil || n < 0 {
+			fmt.Println("usage: \\mem n  (cap live arena memory at n MiB per tenant; 0 removes the cap)")
+			return false
+		}
+		shellOpts.MemoryBudget = int64(n) << 20
+		// Push the cap onto the tenant directly: Governor.Tenant treats a
+		// zero budget as "leave the existing cap alone", so removing a
+		// previously-set cap needs the explicit SetBudget(0).
+		exec.DefaultGovernor().Tenant(tenantName(), 0).SetBudget(shellOpts.MemoryBudget)
+		applyOpts(db)
+		if n == 0 {
+			fmt.Printf("memory budget removed (tenant %q)\n", tenantName())
+		} else {
+			fmt.Printf("memory budget set to %d MiB (tenant %q; statements over budget retry serially, then fail typed)\n",
+				n, tenantName())
+		}
+	case strings.HasPrefix(cmd, `\tenant`):
+		arg := strings.TrimSpace(strings.TrimPrefix(cmd, `\tenant`))
+		if arg == "" {
+			fmt.Printf("tenant is %q\n", tenantName())
+			return false
+		}
+		shellOpts.Tenant = arg
+		applyOpts(db)
+		fmt.Printf("tenant set to %q\n", arg)
+	case cmd == `\stats`:
+		printStats(db)
 	default:
-		fmt.Println(`commands: \d (tables), \policy bat|mkl|auto, \workers n, \q (quit)`)
+		fmt.Println(`commands: \d (tables), \policy bat|mkl|auto, \workers n, \mem n, \tenant name, \stats, \q (quit)`)
 	}
 	return false
+}
+
+// tenantName mirrors the governed-invocation default: an explicit
+// tenant, or exec.DefaultTenant once a budget is set.
+func tenantName() string {
+	if shellOpts.Tenant != "" {
+		return shellOpts.Tenant
+	}
+	return exec.DefaultTenant
+}
+
+// printStats renders the governor metrics: admission state plus one row
+// per tenant with live/peak bytes and the pool hit rate.
+func printStats(db *rma.DB) {
+	m := db.Metrics()
+	fmt.Printf("admission: running=%d queued=%d reserved=%s cap=%s admitted=%d\n",
+		m.Running, m.Queued, mib(m.ReservedBytes), mib(m.GlobalCapBytes), m.Admitted)
+	if len(m.Tenants) == 0 {
+		fmt.Println("tenants: none (set \\mem or \\tenant to start accounting)")
+		return
+	}
+	fmt.Println("tenants:")
+	for _, tn := range m.Tenants {
+		tot := tn.Total()
+		fmt.Printf("  %-12s budget=%-8s live=%-8s peak=%-8s pool-hit=%4.0f%%  allocs=%d frees=%d\n",
+			tn.Tenant, mib(tn.BudgetBytes), mib(tn.LiveBytes), mib(tn.PeakBytes),
+			100*tn.HitRate(), tot.Allocs, tot.Frees)
+	}
+}
+
+// mib renders a byte count human-readably.
+func mib(b int64) string {
+	switch {
+	case b == 0:
+		return "0"
+	case b < 1<<20:
+		return fmt.Sprintf("%.1fKiB", float64(b)/(1<<10))
+	default:
+		return fmt.Sprintf("%.1fMiB", float64(b)/(1<<20))
+	}
 }
 
 func run(db *rma.DB, src string, maxRows int) {

@@ -45,7 +45,59 @@
 //     Iterative algorithms release each superseded scratch column,
 //     keeping Gauss-Jordan inversion and Gram-Schmidt QR allocation-flat
 //     across iterations. Queries wanting buffer isolation can carry a
-//     private exec.NewArena in their context.
+//     private exec.NewArena in their context; multi-tenant deployments
+//     use accounted arenas instead (see below).
+//
+// # Memory governance
+//
+// Multi-tenant execution is governed by exec.Governor: each tenant is
+// an accounting principal with an optional byte budget, and every
+// governed query draws its buffers from a per-query accounted arena
+// (Tenant.NewArena) charging that tenant. Accounted arenas track
+// live/peak bytes and per-domain pool hit/miss/free counters, and
+// verify buffer origin through a per-arena ledger — a buffer freed into
+// an arena that did not allocate it is left to the garbage collector
+// rather than corrupting the tenant's byte count or smuggling
+// unaccounted memory into the pools. Arena.Close at end of query
+// releases the query's outstanding charges, so failed or abandoned
+// queries cannot strand bytes against a budget; result columns handed
+// to the caller simply leave the governed scope (the budget bounds
+// in-flight execution memory, not retained results).
+//
+// An allocation that would push a tenant past its budget fails the
+// query with an error matching exec.ErrMemoryBudget — never a panic —
+// and the charge is checked before any memory is committed, so a
+// rejected request cannot spike the process's physical footprint.
+// Tenant caps persist on the governor: core.Options.MemoryBudget zero
+// preserves a previously set cap, negative explicitly removes it
+// (exec.Governor.ArenaFor is the single resolution point).
+// Internally the overrun unwinds the kernels as a typed panic that
+// every error-returning API boundary (bat, batlin, rel, core, sql)
+// converts back through exec.CatchBudget; the parallel drivers forward
+// worker-goroutine panics to the caller so the conversion works inside
+// fan-outs too. core.Unary/Binary retry a budget-failed invocation once
+// serially — the parallel kernels need extra scratch (merge-sort double
+// buffers) that the serial paths do not, and all kernels are
+// bitwise-deterministic across worker budgets, so a fallback result is
+// identical to the parallel one (core.Stats.SerialFallback records the
+// downgrade). sql.DB applies the same retry per statement.
+//
+// Admission control is reservation-based: a governor built with a
+// global cap admits a query only when the sum of admitted budgets stays
+// under the cap (plus an optional concurrent-query limit), queueing
+// excess queries instead of overcommitting; sql.DB admits every
+// statement against its governor. Known limits: per-tenant budgets are
+// enforced at allocation time only for arena-drawn buffers (per-run
+// staging slices allocated with make are unaccounted), and a buffer
+// freed into a foreign arena stays charged to its owner until the
+// owning arena closes.
+//
+// The surface is observable end to end: core.Options{Tenant,
+// MemoryBudget, Governor} governs one invocation and snapshots the
+// tenant counters into core.Stats.Arena; exec.Metrics() (the default
+// governor) and sql.DB.Metrics() return per-tenant live/peak bytes and
+// pool hit rates; rmacli exposes \mem n, \tenant name and \stats; both
+// CLIs publish the snapshot through expvar as "rma.memory".
 //
 // The relational operators run on the same substrate:
 //
@@ -69,9 +121,10 @@
 //     determinism guarantee.
 //
 // core.Options.Parallelism bounds the worker budget per invocation
-// (default GOMAXPROCS, 1 forces serial); core.Options.Ctx builds the
-// invocation's context, and the effective count is recorded in
-// core.Stats.Workers alongside the context's fan-out counters. The SQL
+// (default GOMAXPROCS, 1 forces serial); core.Unary/Binary build the
+// invocation's context from the options, and the effective count is
+// recorded in core.Stats.Workers alongside the context's fan-out
+// counters. The SQL
 // layer builds one context per statement, so concurrent statements with
 // different budgets never share a knob; its expression-keyed equi-joins
 // materialize typed key columns and route through rel.EquiJoinPairs (no

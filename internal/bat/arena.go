@@ -8,6 +8,17 @@ import "repro/internal/exec"
 // are thin delegates kept so call sites without a context — tests,
 // examples, and the deprecated global-knob paths — stay terse; they all
 // operate on the shared arena.
+//
+// Governed queries carry an accounted arena instead (exec.Tenant's
+// NewArena): every allocation a kernel makes through its Ctx is then
+// charged against the tenant's memory budget, and an allocation that
+// cannot fit unwinds the kernel as a typed panic that the nearest
+// error-returning caller converts to exec.ErrMemoryBudget (see
+// exec.CatchBudget). Kernels themselves need no budget awareness —
+// which is why the BAT kernel signatures are unchanged — but they must
+// route every buffer through the arena for the accounting to hold,
+// and release dead buffers (bat.Release, FreeInts) so budgeted queries
+// do not pay twice for scratch that could have been recycled.
 
 // Alloc returns a float64 slice of length n from the shared arena. The
 // contents are undefined; use AllocZero when the kernel does not
@@ -38,7 +49,10 @@ func FreeInts(idx []int) { exec.Shared().FreeInts(idx) }
 // retirement half of the kernel contract: every kernel output came from
 // the context's arena, so the iterative algorithms in package batlin
 // release superseded columns to keep their working set flat across
-// iterations.
+// iterations. On an accounted arena the release also uncharges the
+// tail's bytes from the tenant's budget — after verifying through the
+// arena's ledger that the tail was actually drawn from this arena, so a
+// column migrating in from elsewhere cannot corrupt the byte count.
 func Release(c *exec.Ctx, b *BAT) {
 	if b == nil || b.vec == nil {
 		return

@@ -110,6 +110,20 @@ func (b *BAT) FloatsCtx(c *exec.Ctx) ([]float64, error) {
 	return f, nil
 }
 
+// ReleaseFloats hands back a buffer obtained from FloatsCtx once the
+// caller is done reading it: buffers FloatsCtx drew from the context's
+// arena (densified sparse tails, converted int tails) are freed, while
+// views borrowed from a dense float tail are left untouched. The slice
+// must not be used afterwards. Nil-safe on the buffer.
+func (b *BAT) ReleaseFloats(c *exec.Ctx, f []float64) {
+	if f == nil {
+		return
+	}
+	if b.sp != nil || b.vec.Type() == Int {
+		c.Arena().FreeFloats(f)
+	}
+}
+
 // --- Vectorized kernels -------------------------------------------------
 //
 // These are the BAT operations that MonetDB's kernel exposes and that both

@@ -71,7 +71,8 @@ func IDMatrix(c *exec.Ctx, n int) []*bat.BAT {
 
 // Add returns the columnwise sum of two equally-shaped column lists,
 // computed column-parallel.
-func Add(c *exec.Ctx, a, b []*bat.BAT) ([]*bat.BAT, error) {
+func Add(c *exec.Ctx, a, b []*bat.BAT) (res []*bat.BAT, err error) {
+	defer exec.CatchBudget(&err)
 	if len(a) != len(b) || rows(a) != rows(b) {
 		return nil, ErrShape
 	}
@@ -85,7 +86,8 @@ func Add(c *exec.Ctx, a, b []*bat.BAT) ([]*bat.BAT, error) {
 }
 
 // Sub returns the columnwise difference a - b, computed column-parallel.
-func Sub(c *exec.Ctx, a, b []*bat.BAT) ([]*bat.BAT, error) {
+func Sub(c *exec.Ctx, a, b []*bat.BAT) (res []*bat.BAT, err error) {
+	defer exec.CatchBudget(&err)
 	if len(a) != len(b) || rows(a) != rows(b) {
 		return nil, ErrShape
 	}
@@ -99,7 +101,8 @@ func Sub(c *exec.Ctx, a, b []*bat.BAT) ([]*bat.BAT, error) {
 }
 
 // EMU returns the columnwise Hadamard product, computed column-parallel.
-func EMU(c *exec.Ctx, a, b []*bat.BAT) ([]*bat.BAT, error) {
+func EMU(c *exec.Ctx, a, b []*bat.BAT) (res []*bat.BAT, err error) {
+	defer exec.CatchBudget(&err)
 	if len(a) != len(b) || rows(a) != rows(b) {
 		return nil, ErrShape
 	}
@@ -116,7 +119,8 @@ func EMU(c *exec.Ctx, a, b []*bat.BAT) ([]*bat.BAT, error) {
 // is Σ_l a[l]·b[j][l], accumulated in-place into one arena column per
 // result column (k AXPYInto calls instead of k allocating AXPYs). The
 // independent result columns are computed in parallel.
-func MMU(c *exec.Ctx, a, b []*bat.BAT) ([]*bat.BAT, error) {
+func MMU(c *exec.Ctx, a, b []*bat.BAT) (res []*bat.BAT, err error) {
+	defer exec.CatchBudget(&err)
 	k := len(a)
 	if k == 0 || rows(b) != k {
 		return nil, ErrShape
@@ -145,7 +149,8 @@ func MMU(c *exec.Ctx, a, b []*bat.BAT) ([]*bat.BAT, error) {
 // calls out as requiring single-element access when done over BATs, which
 // is why RMA+MKL wins by 24-70x on the covariance workload (Fig. 17b).
 // The result columns are independent and computed in parallel.
-func CPD(c *exec.Ctx, a, b []*bat.BAT) ([]*bat.BAT, error) {
+func CPD(c *exec.Ctx, a, b []*bat.BAT) (res []*bat.BAT, err error) {
+	defer exec.CatchBudget(&err)
 	if rows(a) != rows(b) {
 		return nil, ErrShape
 	}
@@ -165,7 +170,8 @@ func CPD(c *exec.Ctx, a, b []*bat.BAT) ([]*bat.BAT, error) {
 // OPD computes the outer product a·bᵀ of two column lists with the same
 // number of columns: result[i][q] = Σ_l a[l][i]·b[l][q], accumulated
 // in-place per result column, columns in parallel.
-func OPD(c *exec.Ctx, a, b []*bat.BAT) ([]*bat.BAT, error) {
+func OPD(c *exec.Ctx, a, b []*bat.BAT) (res []*bat.BAT, err error) {
+	defer exec.CatchBudget(&err)
 	if len(a) != len(b) {
 		return nil, ErrShape
 	}
@@ -208,6 +214,7 @@ func Tra(c *exec.Ctx, a []*bat.BAT) []*bat.BAT {
 			for i, v := range f {
 				cols[i][j] = v
 			}
+			a[j].ReleaseFloats(c, f)
 		}
 	})
 	out := make([]*bat.BAT, m)
@@ -226,7 +233,8 @@ func Tra(c *exec.Ctx, a []*bat.BAT) []*bat.BAT {
 // and every superseded scratch column is released back to the arena, so
 // the n-step elimination recycles two matrices worth of buffers instead
 // of allocating ~2n² fresh columns.
-func Inv(c *exec.Ctx, b []*bat.BAT) ([]*bat.BAT, error) {
+func Inv(c *exec.Ctx, b []*bat.BAT) (res []*bat.BAT, err error) {
+	defer exec.CatchBudget(&err)
 	n := len(b)
 	if n == 0 || rows(b) != n {
 		return nil, ErrShape
@@ -297,6 +305,7 @@ func Inv(c *exec.Ctx, b []*bat.BAT) ([]*bat.BAT, error) {
 // column superseded by each projection is released to the arena, keeping
 // the loop's footprint at one column.
 func QR(c *exec.Ctx, a []*bat.BAT) (q, r []*bat.BAT, err error) {
+	defer exec.CatchBudget(&err)
 	n := len(a)
 	m := rows(a)
 	if n == 0 || m < n {
@@ -346,7 +355,8 @@ func QR(c *exec.Ctx, a []*bat.BAT) (q, r []*bat.BAT, err error) {
 // the determinant, swaps flip its sign. Like Inv, the per-step update of
 // the trailing columns fans out over goroutines and superseded scratch
 // columns return to the arena.
-func Det(c *exec.Ctx, b []*bat.BAT) (float64, error) {
+func Det(c *exec.Ctx, b []*bat.BAT) (d float64, err error) {
+	defer exec.CatchBudget(&err)
 	n := len(b)
 	if n == 0 || rows(b) != n {
 		return 0, ErrShape
@@ -396,7 +406,8 @@ func Det(c *exec.Ctx, b []*bat.BAT) (float64, error) {
 
 // Solve solves A·x = rhs for square or overdetermined A (least squares via
 // Gram-Schmidt QR): x = R⁻¹·Qᵀ·rhs.
-func Solve(c *exec.Ctx, a []*bat.BAT, rhs *bat.BAT) (*bat.BAT, error) {
+func Solve(c *exec.Ctx, a []*bat.BAT, rhs *bat.BAT) (res *bat.BAT, err error) {
+	defer exec.CatchBudget(&err)
 	n := len(a)
 	if rows(a) != rhs.Len() {
 		return nil, ErrShape

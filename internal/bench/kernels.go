@@ -165,6 +165,25 @@ func MicroKernels(quick bool) ([]KernelResult, error) {
 		}
 	}))
 
+	// Arena pressure: the same ADD once on the shared (unaccounted)
+	// arena and once through a budgeted tenant arena, so the trajectory
+	// tracks what the per-tenant byte accounting (ledger + budget check
+	// per allocation) costs on a transform-heavy operation. The budget
+	// is generous — the kernel measures accounting overhead, not
+	// rejection. The default governor carries the charges so rmabench's
+	// expvar "rma.memory" surface (exec.Metrics) shows the bench tenant
+	// while the suite runs.
+	out = append(out, measure("core.Add(arena-budgeted)", wideRows, wideCols, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := core.Add(wr, []string{"k"}, ws, []string{"k2"},
+				&core.Options{SortMode: core.SortOptimized, Tenant: "bench",
+					MemoryBudget: 1 << 30}); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
 	qr := dataset.Uniform(qqrRows, qqrCols, 7)
 	out = append(out, measure("core.Qqr(table6)", qqrRows, qqrCols, func(b *testing.B) {
 		b.ReportAllocs()

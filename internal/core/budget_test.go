@@ -1,0 +1,230 @@
+package core
+
+import (
+	"errors"
+	"sync"
+	"testing"
+
+	"repro/internal/bat"
+	"repro/internal/exec"
+	"repro/internal/rel"
+)
+
+// budgetRows is sized above the serial cutoff so the order-schema sort
+// takes the parallel merge-sort path, whose double buffer is the extra
+// arena scratch the serial fallback avoids.
+const budgetRows = 3 * bat.SerialCutoff
+
+// sparseShuffledRel builds a relation whose columns are both
+// zero-suppressed: a shuffled distinct key (so sorting really runs) and
+// a sparse value column. With sparse tails, the gathers and the add
+// kernel allocate outside the arena, which makes the sort scratch the
+// dominant accounted allocation — the shape that separates the parallel
+// and serial peaks.
+func sparseShuffledRel(name, key, val string, n int) *rel.Relation {
+	kf := make([]float64, n)
+	vf := make([]float64, n)
+	for i := 0; i < n; i++ {
+		kf[i] = float64((i*5+3)%n + 1) // 5 is coprime to n: a permutation
+		if i%3 == 0 {
+			vf[i] = float64(i + 1)
+		}
+	}
+	return rel.MustNew(name, rel.Schema{
+		{Name: key, Type: bat.Float},
+		{Name: val, Type: bat.Float},
+	}, []*bat.BAT{
+		bat.FromSparse(bat.Compress(kf)),
+		bat.FromSparse(bat.Compress(vf)),
+	})
+}
+
+// governedAdd runs one ADD under the given tenant/budget/parallelism
+// against gov and returns the result, the stats, and the error.
+func governedAdd(workers int, budget int64, tenant string, gov *exec.Governor) (*rel.Relation, *Stats, error) {
+	r := sparseShuffledRel("r", "ka", "va", budgetRows)
+	s := sparseShuffledRel("s", "kb", "vb", budgetRows)
+	st := &Stats{}
+	res, err := Add(r, []string{"ka"}, s, []string{"kb"}, &Options{
+		Policy:       PolicyBAT,
+		Parallelism:  workers,
+		Tenant:       tenant,
+		MemoryBudget: budget,
+		Governor:     gov,
+		Stats:        st,
+	})
+	return res, st, err
+}
+
+func sameRelation(a, b *rel.Relation) bool {
+	if a.NumRows() != b.NumRows() || a.NumCols() != b.NumCols() {
+		return false
+	}
+	for j := range a.Cols {
+		for i := 0; i < a.NumRows(); i++ {
+			if !a.Cols[j].Get(i).Equal(b.Cols[j].Get(i)) {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+// TestMemoryBudgetGovernsInvocation is the acceptance test of the
+// memory governance: a budgeted invocation never exceeds its cap in
+// live arena bytes, degrades to a serial retry when the parallel
+// scratch does not fit — producing a bitwise-identical result — and
+// returns the typed error (never a panic) when even the serial run
+// cannot fit.
+func TestMemoryBudgetGovernsInvocation(t *testing.T) {
+	gov := exec.NewGovernor(0, 0)
+
+	// Measure the ungoverned (unlimited-budget) peaks of both modes on
+	// fresh tenants.
+	serialRes, serialStats, err := governedAdd(1, 0, "measure-serial", gov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	parRes, parStats, err := governedAdd(8, 0, "measure-parallel", gov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !sameRelation(serialRes, parRes) {
+		t.Fatal("serial and parallel ungoverned results differ")
+	}
+	pSerial, pPar := serialStats.Arena.PeakBytes, parStats.Arena.PeakBytes
+	if pSerial <= 0 || pPar <= pSerial {
+		t.Fatalf("peaks: serial=%d parallel=%d, want 0 < serial < parallel (the sort double buffer)",
+			pSerial, pPar)
+	}
+
+	// A budget between the two peaks: the parallel attempt must fail,
+	// the serial fallback must fit and reproduce the result exactly.
+	budget := (pSerial + pPar) / 2
+	res, st, err := governedAdd(8, budget, "governed", gov)
+	if err != nil {
+		t.Fatalf("budgeted invocation failed despite a feasible serial plan: %v", err)
+	}
+	if !st.SerialFallback {
+		t.Fatal("SerialFallback not recorded; the parallel attempt should have exceeded the budget")
+	}
+	if got := st.Arena.PeakBytes; got > budget {
+		t.Fatalf("peak %d exceeded the budget %d", got, budget)
+	}
+	if got := gov.Tenant("governed", 0).PeakBytes(); got > budget {
+		t.Fatalf("tenant peak %d exceeded the budget %d", got, budget)
+	}
+	if st.Arena.Tenant != "governed" {
+		t.Fatalf("Stats.Arena.Tenant = %q", st.Arena.Tenant)
+	}
+	if !sameRelation(res, serialRes) {
+		t.Fatal("serial-fallback result differs from the ungoverned result")
+	}
+
+	// A budget no plan fits under yields the typed error — through the
+	// normal error return, not a panic.
+	_, _, err = governedAdd(8, 4096, "starved", gov)
+	if err == nil {
+		t.Fatal("starved invocation succeeded under a 4 KiB budget")
+	}
+	if !errors.Is(err, exec.ErrMemoryBudget) {
+		t.Fatalf("starved invocation error = %v, want ErrMemoryBudget", err)
+	}
+	// Failed invocations must not strand charges against the tenant.
+	if got := gov.Tenant("starved", 0).LiveBytes(); got != 0 {
+		t.Fatalf("starved tenant live = %d after failure, want 0", got)
+	}
+}
+
+// TestConcurrentTenantGovernance runs two tenants with distinct budgets
+// simultaneously under -race: a tight tenant whose budget forces the
+// serial fallback on every query, and a roomy tenant that never falls
+// back. Both must produce results identical to an ungoverned reference
+// on every round, their peaks must respect their own budgets, and both
+// must drain to zero live bytes — isolation plus determinism under
+// budget pressure.
+func TestConcurrentTenantGovernance(t *testing.T) {
+	gov := exec.NewGovernor(0, 0)
+	ref, refStats, err := governedAdd(1, 0, "ref", gov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	_, parStats, err := governedAdd(8, 0, "ref-par", gov)
+	if err != nil {
+		t.Fatal(err)
+	}
+	pSerial, pPar := refStats.Arena.PeakBytes, parStats.Arena.PeakBytes
+	if pPar <= pSerial {
+		t.Fatalf("peaks: serial=%d parallel=%d, want a parallel-only scratch gap", pSerial, pPar)
+	}
+	tight := (pSerial + pPar) / 2
+	roomy := 4 * pPar
+
+	var wg sync.WaitGroup
+	for _, tc := range []struct {
+		tenant       string
+		budget       int64
+		wantFallback bool
+	}{
+		{"tight", tight, true},
+		{"roomy", roomy, false},
+	} {
+		wg.Add(1)
+		go func(tenant string, budget int64, wantFallback bool) {
+			defer wg.Done()
+			for round := 0; round < 3; round++ {
+				res, st, err := governedAdd(8, budget, tenant, gov)
+				if err != nil {
+					t.Errorf("tenant %s round %d: %v", tenant, round, err)
+					return
+				}
+				if st.SerialFallback != wantFallback {
+					t.Errorf("tenant %s round %d: SerialFallback = %v, want %v",
+						tenant, round, st.SerialFallback, wantFallback)
+					return
+				}
+				if !sameRelation(res, ref) {
+					t.Errorf("tenant %s round %d: result diverged from the reference", tenant, round)
+					return
+				}
+			}
+		}(tc.tenant, tc.budget, tc.wantFallback)
+	}
+	wg.Wait()
+
+	if got := gov.Tenant("tight", 0).PeakBytes(); got > tight {
+		t.Errorf("tight tenant peak %d exceeded its budget %d", got, tight)
+	}
+	if got := gov.Tenant("roomy", 0).PeakBytes(); got > roomy {
+		t.Errorf("roomy tenant peak %d exceeded its budget %d", got, roomy)
+	}
+	for _, tenant := range []string{"tight", "roomy"} {
+		if got := gov.Tenant(tenant, 0).LiveBytes(); got != 0 {
+			t.Errorf("tenant %s live = %d after drain, want 0", tenant, got)
+		}
+	}
+}
+
+// TestTenantSharedAcrossInvocations checks that two invocations naming
+// the same tenant share one byte ledger: the tenant's counters
+// accumulate across both.
+func TestTenantSharedAcrossInvocations(t *testing.T) {
+	gov := exec.NewGovernor(0, 0)
+	if _, _, err := governedAdd(1, 0, "shared", gov); err != nil {
+		t.Fatal(err)
+	}
+	first := gov.Tenant("shared", 0).Stats().Total().Allocs
+	if first == 0 {
+		t.Fatal("no accounted allocations in a governed invocation")
+	}
+	if _, _, err := governedAdd(1, 0, "shared", gov); err != nil {
+		t.Fatal(err)
+	}
+	second := gov.Tenant("shared", 0).Stats().Total().Allocs
+	if second <= first {
+		t.Fatalf("tenant allocs did not accumulate: %d then %d", first, second)
+	}
+	if got := gov.Tenant("shared", 0).LiveBytes(); got != 0 {
+		t.Fatalf("tenant live = %d after both invocations closed, want 0", got)
+	}
+}

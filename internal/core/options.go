@@ -80,6 +80,18 @@ type Stats struct {
 	// timings.
 	ParallelSections   int64
 	ParallelGoroutines int64
+	// SerialFallback records that the invocation exceeded its memory
+	// budget at the configured parallelism and was retried — and
+	// completed — serially (see Options.MemoryBudget). It stays false
+	// when the serial retry failed too.
+	SerialFallback bool
+	// Arena is the tenant's counter snapshot at the end of the
+	// invocation: live/peak bytes and per-domain pool hit/miss/free
+	// counts. Only populated for budgeted/tenant invocations (zero
+	// otherwise). The counters are cumulative for the tenant — shared
+	// with every other invocation charging the same tenant — so
+	// consecutive snapshots overwrite rather than accumulate.
+	Arena exec.TenantStats
 }
 
 // Total returns the instrumented wall time.
@@ -107,6 +119,31 @@ type Options struct {
 	// GOMAXPROCS unless the deprecated SetParallelism shims moved it);
 	// 1 forces serial execution.
 	Parallelism int
+	// Tenant names the accounting principal the invocation's arena
+	// buffers are charged to. Empty with a zero MemoryBudget means
+	// ungoverned execution on the shared arena; empty with a budget set
+	// charges the "default" tenant.
+	Tenant string
+	// MemoryBudget, when positive, caps the tenant's live arena bytes.
+	// The invocation draws every kernel buffer from a private accounted
+	// arena charging the tenant; an allocation that would push the
+	// tenant past the cap fails the invocation with an error matching
+	// exec.ErrMemoryBudget — after one serial retry, since a serial run
+	// needs less scratch (see Stats.SerialFallback). The budget governs
+	// in-flight execution memory: the result relation returned to the
+	// caller leaves the governed scope when the invocation ends.
+	//
+	// Tenant caps persist on the governor: zero leaves a previously set
+	// cap in place (repeated invocations need not restate it), so going
+	// back to MemoryBudget 0 with a Tenant still set does NOT lift an
+	// earlier cap. A negative MemoryBudget explicitly removes the
+	// tenant's cap — accounting continues unlimited.
+	MemoryBudget int64
+	// Governor resolves the tenant; nil uses exec.DefaultGovernor().
+	// Admission control (queueing whole queries against a global cap) is
+	// the governor's job and is applied by callers that own a query
+	// boundary, like sql.DB — not per operation here.
+	Governor *exec.Governor
 	// Stats, when non-nil, receives the phase timings of the invocation.
 	Stats *Stats
 }
@@ -118,21 +155,28 @@ func (o *Options) orDefault() *Options {
 	return o
 }
 
-// Ctx builds the per-invocation execution context from the options: the
-// Parallelism budget (zero follows the process default), the shared
-// arena, and a fresh stats sink when Stats is set. Nothing process-wide
-// is touched — concurrent invocations with different budgets each carry
-// their own context, which is what makes mixed-budget query streams
-// race-free. A nil receiver yields the default context.
-func (o *Options) Ctx() *exec.Ctx {
-	if o == nil {
-		return exec.Default()
-	}
+// ctxWorkers builds the per-invocation execution context from the
+// options with an explicit worker budget (so the memory-budget serial
+// fallback can rebuild the context at parallelism 1 without mutating
+// the caller's options): the arena is a private accounted arena
+// charging the options' tenant when Tenant or MemoryBudget is set, the
+// shared arena otherwise, and a fresh stats sink is attached when Stats
+// is set. Nothing process-wide is touched — concurrent invocations with
+// different budgets each carry their own context, which is what makes
+// mixed-budget query streams race-free. Unary/Binary own the context's
+// lifecycle: finishCtx must run when the invocation ends, because it is
+// what closes an accounted arena and releases its charges — which is
+// why this constructor is not exported.
+func (o *Options) ctxWorkers(workers int) *exec.Ctx {
 	var sink *exec.Stats
 	if o.Stats != nil {
 		sink = &exec.Stats{}
 	}
-	c := exec.NewCtx(o.Parallelism, nil, sink)
+	gov := o.Governor
+	if gov == nil {
+		gov = exec.DefaultGovernor()
+	}
+	c := exec.NewCtx(workers, gov.ArenaFor(o.Tenant, o.MemoryBudget), sink)
 	if o.Stats != nil {
 		o.Stats.Workers = sink.Workers
 	}
@@ -140,8 +184,17 @@ func (o *Options) Ctx() *exec.Ctx {
 }
 
 // finishCtx folds the context's execution counters back into Stats at the
-// end of one invocation.
+// end of one invocation and, for governed invocations, snapshots the
+// tenant's arena counters and closes the per-invocation arena so its
+// outstanding charges (the result columns, typically) leave the
+// governed scope.
 func (o *Options) finishCtx(c *exec.Ctx) {
+	if tn := c.Arena().Tenant(); tn != nil {
+		if o.Stats != nil {
+			o.Stats.Arena = tn.Stats()
+		}
+		c.Arena().Close()
+	}
 	if o.Stats == nil {
 		return
 	}

@@ -1,6 +1,7 @@
 package core
 
 import (
+	"errors"
 	"fmt"
 
 	"repro/internal/bat"
@@ -18,13 +19,61 @@ const contextAttr = "C"
 // Algorithm 1: split, sort, morph, evaluate, merge. The order attributes
 // must form a key of r; all remaining attributes form the application
 // schema and must be numeric.
+//
+// A governed invocation (Options.MemoryBudget) that fails its budget at
+// the configured parallelism is retried once serially: the parallel
+// kernels need extra scratch (merge-sort double buffers, per-run
+// staging) that the serial paths do not, and every kernel is
+// bitwise-deterministic across worker budgets, so the fallback result
+// is identical to the parallel one. If the serial retry exceeds the
+// budget too, the typed error (matching exec.ErrMemoryBudget) is
+// returned — never a panic.
 func Unary(op Op, r *rel.Relation, order []string, opts *Options) (*rel.Relation, error) {
 	if op.Binary() {
 		return nil, fmt.Errorf("rma: %s takes two relations", op)
 	}
 	opts = opts.orDefault()
-	c := opts.Ctx()
+	res, err := runUnary(op, r, order, opts, opts.Parallelism)
+	if retrySerial(opts, err) {
+		resetStats(opts)
+		res, err = runUnary(op, r, order, opts, 1)
+		if err == nil && opts.Stats != nil {
+			opts.Stats.SerialFallback = true
+		}
+	}
+	return res, err
+}
+
+// retrySerial reports whether a failed governed invocation should be
+// rerun at parallelism 1: only when the first attempt actually ran with
+// more than one worker — a serial (or serially-resolved dynamic) run
+// that exceeded its budget would fail identically, since the kernels
+// are deterministic across worker budgets.
+func retrySerial(opts *Options, err error) bool {
+	if err == nil || !errors.Is(err, exec.ErrMemoryBudget) {
+		return false
+	}
+	workers := opts.Parallelism
+	if workers <= 0 {
+		workers = exec.DefaultWorkers()
+	}
+	return workers > 1
+}
+
+// resetStats clears the caller's Stats before the serial retry so the
+// failed parallel attempt's phase timings and fan-out counters do not
+// pollute the retry's report: after a fallback, Stats describe exactly
+// the run that produced the result (Workers=1, zero parallel sections).
+func resetStats(opts *Options) {
+	if opts.Stats != nil {
+		*opts.Stats = Stats{}
+	}
+}
+
+func runUnary(op Op, r *rel.Relation, order []string, opts *Options, workers int) (res *rel.Relation, err error) {
+	c := opts.ctxWorkers(workers)
 	defer opts.finishCtx(c)
+	defer exec.CatchBudget(&err)
 	clock := phaseClock{stats: opts.Stats}
 
 	// Split and sort (context handling).
@@ -55,19 +104,33 @@ func Unary(op Op, r *rel.Relation, order []string, opts *Options) (*rel.Relation
 
 	// Morph and merge (context handling).
 	clock.begin()
-	res, err := assemble(c, op, a, nil, baseCols)
+	res, err = assemble(c, op, a, nil, baseCols)
 	clock.endContext()
 	return res, err
 }
 
-// Binary executes a binary relational matrix operation op_U;V(r, s).
+// Binary executes a binary relational matrix operation op_U;V(r, s),
+// with the same memory-budget serial fallback as Unary.
 func Binary(op Op, r *rel.Relation, rOrder []string, s *rel.Relation, sOrder []string, opts *Options) (*rel.Relation, error) {
 	if !op.Binary() {
 		return nil, fmt.Errorf("rma: %s takes one relation", op)
 	}
 	opts = opts.orDefault()
-	c := opts.Ctx()
+	res, err := runBinary(op, r, rOrder, s, sOrder, opts, opts.Parallelism)
+	if retrySerial(opts, err) {
+		resetStats(opts)
+		res, err = runBinary(op, r, rOrder, s, sOrder, opts, 1)
+		if err == nil && opts.Stats != nil {
+			opts.Stats.SerialFallback = true
+		}
+	}
+	return res, err
+}
+
+func runBinary(op Op, r *rel.Relation, rOrder []string, s *rel.Relation, sOrder []string, opts *Options, workers int) (res *rel.Relation, err error) {
+	c := opts.ctxWorkers(workers)
 	defer opts.finishCtx(c)
+	defer exec.CatchBudget(&err)
 	clock := phaseClock{stats: opts.Stats}
 
 	clock.begin()
@@ -93,7 +156,7 @@ func Binary(op Op, r *rel.Relation, rOrder []string, s *rel.Relation, sOrder []s
 	}
 
 	clock.begin()
-	res, err := assemble(c, op, a, b, baseCols)
+	res, err = assemble(c, op, a, b, baseCols)
 	clock.endContext()
 	return res, err
 }

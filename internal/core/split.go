@@ -144,6 +144,7 @@ func (a *argument) toMatrix(c *exec.Ctx) (*matrix.Matrix, error) {
 					out.Data[i*n+j] = f[p]
 				}
 			}
+			a.appCols[j].ReleaseFloats(c, f)
 		}
 	})
 	for _, err := range errs {

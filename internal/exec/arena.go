@@ -17,16 +17,54 @@ import (
 // falls back to make; an arena can only reduce allocations, never retain
 // memory beyond what the GC allows. Each Arena instance owns its own
 // pools: the shared arena serves default contexts, while a query that
-// wants buffer isolation (per-tenant accounting, bounded interference)
-// carries a private NewArena in its Ctx. Buffers may migrate between
-// arenas — Free only checks the capacity class, never the origin — which
-// trades strict ownership for zero bookkeeping.
+// wants buffer isolation (bounded interference) carries a private
+// NewArena in its Ctx.
+//
+// Arenas come in two accounting flavors. Plain arenas (Shared, NewArena)
+// keep zero bookkeeping: buffers may migrate between them freely — Free
+// only checks the capacity class, never the origin. Accounted arenas
+// (Tenant.NewArena) additionally charge every allocation's full capacity
+// in bytes against their tenant's live count, enforce the tenant's
+// budget (an overrun unwinds as a typed panic that CatchBudget converts
+// back into ErrMemoryBudget at the nearest error boundary), and verify
+// buffer origin through a per-arena ledger: Free on an accounted arena
+// only uncharges — and only pools — buffers that arena itself handed
+// out, so a buffer migrating in from another arena can neither corrupt
+// the tenant's byte count nor smuggle unaccounted memory into the pools
+// (foreign buffers are left to the garbage collector). Close releases
+// an accounted arena's outstanding charges at end of query.
 type Arena struct {
 	floats  [poolClasses]sync.Pool // class c holds *[]float64 of cap 1<<(minPoolShift+c)
 	ints    [poolClasses]sync.Pool // class c holds *[]int
 	int64s  [poolClasses]sync.Pool // class c holds *[]int64
 	strings [poolClasses]sync.Pool // class c holds *[]string
+
+	acct *acct // nil for plain (unaccounted) arenas
 }
+
+// acct is the accounting state of a budgeted arena: the tenant the
+// bytes are charged to, plus one ledger per element domain mapping a
+// buffer's first-element pointer to the bytes charged for it. The
+// ledger is what lets Free verify origin — only buffers this arena
+// allocated (and has not yet released) appear in it.
+type acct struct {
+	tenant *Tenant
+
+	mu      sync.Mutex
+	closed  bool
+	floats  map[*float64]int64
+	ints    map[*int]int64
+	int64s  map[*int64]int64
+	strings map[*string]int64
+}
+
+// Element sizes charged per domain, in bytes.
+const (
+	floatSize  = 8
+	intSize    = bits.UintSize / 8
+	int64Size  = 8
+	stringSize = 2 * bits.UintSize / 8 // string header: pointer + length
+)
 
 const (
 	// minPoolShift is the smallest pooled capacity (64 elements): below
@@ -100,6 +138,103 @@ func free[T any](pools *[poolClasses]sync.Pool, s []T, clearRefs bool) {
 	pools[c].Put(&s)
 }
 
+// acctAlloc is alloc for accounted arenas: it counts the pool hit/miss,
+// charges the buffer's full capacity against the tenant's budget, and
+// records the buffer in the arena's ledger. A budget overrun panics
+// with the typed budgetPanic (see CatchBudget); the pooled buffer, if
+// any, is returned to the pool first so a rejected allocation strands
+// nothing.
+// The ledger is passed as a pointer to the acct field and dereferenced
+// only under ac.mu: Close nils the field under the same lock, so a
+// racing alloc/free can never act on a stale map snapshot.
+func acctAlloc[T any](ac *acct, pools *[poolClasses]sync.Pool, ctr *domainCounters, owned *map[*T]int64, elemSize, n int) []T {
+	// Charge before allocating: the buffer's capacity is known up front
+	// (the pool class size, or exactly n outside the pooled range — Free
+	// only pools exact class capacities, so a pooled Get always matches),
+	// and an over-budget request must be rejected before any physical
+	// memory is committed, or the budget would not prevent the very
+	// transient spike it exists to bound. Rejected allocations are not
+	// counted: the metrics report buffers actually delivered.
+	cls := classFor(n)
+	capElems := n
+	if cls >= 0 {
+		capElems = 1 << (cls + minPoolShift)
+	}
+	bytes := int64(capElems) * int64(elemSize)
+	if bytes > 0 {
+		if err := ac.tenant.charge(bytes); err != nil {
+			panic(budgetPanic{err})
+		}
+	}
+	var s []T
+	hit := false
+	if cls >= 0 {
+		if p, _ := pools[cls].Get().(*[]T); p != nil {
+			s = (*p)[:n]
+			hit = true
+		} else {
+			s = make([]T, n, capElems)
+		}
+	} else {
+		s = make([]T, n)
+	}
+	ctr.allocs.Add(1)
+	if hit {
+		ctr.hits.Add(1)
+	} else {
+		ctr.misses.Add(1)
+	}
+	if bytes == 0 {
+		return s
+	}
+	key := &s[:1][0]
+	ac.mu.Lock()
+	if ac.closed {
+		ac.mu.Unlock()
+		ac.tenant.uncharge(bytes)
+		return s
+	}
+	(*owned)[key] = bytes
+	ac.mu.Unlock()
+	return s
+}
+
+// acctFree is free for accounted arenas. Origin is verified through the
+// ledger: only buffers this arena handed out are uncharged and pooled;
+// anything else — a buffer from another arena, or a double free — is
+// ignored and left to the garbage collector, so cross-arena migration
+// cannot corrupt the tenant's byte count.
+func acctFree[T any](ac *acct, pools *[poolClasses]sync.Pool, ctr *domainCounters, owned *map[*T]int64, s []T, clearRefs bool) {
+	if cap(s) == 0 {
+		return
+	}
+	key := &s[:1][0]
+	ac.mu.Lock()
+	bytes, ok := (*owned)[key]
+	if ok {
+		delete(*owned, key)
+	}
+	closed := ac.closed
+	ac.mu.Unlock()
+	if !ok {
+		return
+	}
+	ctr.frees.Add(1)
+	ac.tenant.uncharge(bytes)
+	if closed {
+		return
+	}
+	cls := capClass(cap(s))
+	if cls < 0 {
+		return
+	}
+	if clearRefs {
+		clear(s[:cap(s)])
+	}
+	s = s[:0]
+	pools[cls].Put(&s)
+}
+
 // Floats returns a float64 slice of length n, recycled when a buffer of a
 // suitable class is available. The contents are undefined; use FloatsZero
 // when the kernel does not overwrite every element. Nil-safe: a nil arena
@@ -107,6 +242,9 @@ func free[T any](pools *[poolClasses]sync.Pool, s []T, clearRefs bool) {
 func (a *Arena) Floats(n int) []float64 {
 	if a == nil {
 		a = Shared()
+	}
+	if ac := a.acct; ac != nil {
+		return acctAlloc(ac, &a.floats, &ac.tenant.floats, &ac.floats, floatSize, n)
 	}
 	return alloc[float64](&a.floats, n)
 }
@@ -126,6 +264,10 @@ func (a *Arena) FreeFloats(f []float64) {
 	if a == nil {
 		a = Shared()
 	}
+	if ac := a.acct; ac != nil {
+		acctFree(ac, &a.floats, &ac.tenant.floats, &ac.floats, f, false)
+		return
+	}
 	free(&a.floats, f, false)
 }
 
@@ -134,6 +276,9 @@ func (a *Arena) FreeFloats(f []float64) {
 func (a *Arena) Ints(n int) []int {
 	if a == nil {
 		a = Shared()
+	}
+	if ac := a.acct; ac != nil {
+		return acctAlloc(ac, &a.ints, &ac.tenant.ints, &ac.ints, intSize, n)
 	}
 	return alloc[int](&a.ints, n)
 }
@@ -144,6 +289,10 @@ func (a *Arena) FreeInts(idx []int) {
 	if a == nil {
 		a = Shared()
 	}
+	if ac := a.acct; ac != nil {
+		acctFree(ac, &a.ints, &ac.tenant.ints, &ac.ints, idx, false)
+		return
+	}
 	free(&a.ints, idx, false)
 }
 
@@ -153,6 +302,9 @@ func (a *Arena) Int64s(n int) []int64 {
 	if a == nil {
 		a = Shared()
 	}
+	if ac := a.acct; ac != nil {
+		return acctAlloc(ac, &a.int64s, &ac.tenant.int64s, &ac.int64s, int64Size, n)
+	}
 	return alloc[int64](&a.int64s, n)
 }
 
@@ -160,6 +312,10 @@ func (a *Arena) Int64s(n int) []int64 {
 func (a *Arena) FreeInt64s(xs []int64) {
 	if a == nil {
 		a = Shared()
+	}
+	if ac := a.acct; ac != nil {
+		acctFree(ac, &a.int64s, &ac.tenant.int64s, &ac.int64s, xs, false)
+		return
 	}
 	free(&a.int64s, xs, false)
 }
@@ -170,6 +326,9 @@ func (a *Arena) Strings(n int) []string {
 	if a == nil {
 		a = Shared()
 	}
+	if ac := a.acct; ac != nil {
+		return acctAlloc(ac, &a.strings, &ac.tenant.strings, &ac.strings, stringSize, n)
+	}
 	return alloc[string](&a.strings, n)
 }
 
@@ -179,5 +338,56 @@ func (a *Arena) FreeStrings(ss []string) {
 	if a == nil {
 		a = Shared()
 	}
+	if ac := a.acct; ac != nil {
+		acctFree(ac, &a.strings, &ac.tenant.strings, &ac.strings, ss, true)
+		return
+	}
 	free(&a.strings, ss, true)
+}
+
+// Tenant returns the tenant an accounted arena charges, or nil for
+// plain arenas (including the shared one).
+func (a *Arena) Tenant() *Tenant {
+	if a == nil || a.acct == nil {
+		return nil
+	}
+	return a.acct.tenant
+}
+
+// Close ends an accounted arena's accounting: every outstanding charge
+// is released back to the tenant and the ledgers are dropped, so a
+// finished (or failed) query cannot strand bytes against the budget.
+// Buffers still referenced — a query's result columns, typically —
+// remain valid; they simply leave the governed scope, which is the
+// budget's contract: it bounds in-flight execution memory, not results
+// a caller holds on to. Frees arriving after Close are ignored (the
+// ledger no longer knows the buffer) and allocations fall through to
+// the heap uncharged. Close is idempotent and a no-op on plain arenas.
+func (a *Arena) Close() {
+	if a == nil || a.acct == nil {
+		return
+	}
+	ac := a.acct
+	ac.mu.Lock()
+	if ac.closed {
+		ac.mu.Unlock()
+		return
+	}
+	ac.closed = true
+	var total int64
+	for _, b := range ac.floats {
+		total += b
+	}
+	for _, b := range ac.ints {
+		total += b
+	}
+	for _, b := range ac.int64s {
+		total += b
+	}
+	for _, b := range ac.strings {
+		total += b
+	}
+	ac.floats, ac.ints, ac.int64s, ac.strings = nil, nil, nil, nil
+	ac.mu.Unlock()
+	ac.tenant.uncharge(total)
 }

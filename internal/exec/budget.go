@@ -1,0 +1,70 @@
+package exec
+
+import (
+	"errors"
+	"fmt"
+)
+
+// ErrMemoryBudget is the sentinel all memory-budget failures match:
+// errors.Is(err, exec.ErrMemoryBudget) is true for every error produced
+// by a budgeted arena that could not satisfy an allocation. The concrete
+// error is always a *MemoryBudgetError carrying the tenant and the byte
+// counts of the failed request.
+var ErrMemoryBudget = errors.New("exec: memory budget exceeded")
+
+// MemoryBudgetError reports one allocation a budgeted tenant arena
+// rejected: admitting Requested more bytes would have pushed the
+// tenant's live total past its budget.
+type MemoryBudgetError struct {
+	// Tenant is the name of the tenant whose budget was exhausted.
+	Tenant string
+	// Requested is the size of the rejected allocation in bytes.
+	Requested int64
+	// Live is the tenant's live byte count at the time of the rejection.
+	Live int64
+	// Budget is the tenant's cap in bytes.
+	Budget int64
+}
+
+// Error renders the failure with its byte arithmetic.
+func (e *MemoryBudgetError) Error() string {
+	return fmt.Sprintf("exec: tenant %q memory budget exceeded: %d live + %d requested > %d budget",
+		e.Tenant, e.Live, e.Requested, e.Budget)
+}
+
+// Unwrap makes errors.Is(err, ErrMemoryBudget) match.
+func (e *MemoryBudgetError) Unwrap() error { return ErrMemoryBudget }
+
+// budgetPanic is the value a budgeted arena panics with when an
+// allocation would exceed the tenant's cap. The kernels' infallible
+// allocation signatures (Arena.Floats and friends) cannot return errors,
+// so the overrun unwinds the kernel as a panic of this private type and
+// is converted back into the typed error by CatchBudget at the nearest
+// error-returning API boundary — bat/batlin/rel/core/sql callers observe
+// an error, never a panic. Unrelated panics pass through untouched.
+type budgetPanic struct{ err *MemoryBudgetError }
+
+// CatchBudget converts a memory-budget overrun unwinding through the
+// caller into its typed error. Every error-returning entry point above
+// the kernels installs it:
+//
+//	func Op(...) (res *T, err error) {
+//		defer exec.CatchBudget(&err)
+//		...
+//	}
+//
+// Panics that are not budget overruns are re-raised unchanged. The
+// parallel drivers (Ctx.ParallelFor, Ctx.Reduce) forward worker panics
+// to the calling goroutine, so a budget overrun inside a parallel
+// section reaches the caller's CatchBudget like any serial one.
+func CatchBudget(err *error) {
+	r := recover()
+	if r == nil {
+		return
+	}
+	if bp, ok := r.(budgetPanic); ok {
+		*err = bp.err
+		return
+	}
+	panic(r)
+}

@@ -101,12 +101,21 @@ func New(workers int) *Ctx {
 
 // NewCtx returns a fully specified context. arena == nil selects the
 // shared arena; stats == nil disables instrumentation. When stats is
-// non-nil its Workers field is set to the resolved budget.
+// non-nil its Workers field is set to the resolved budget — and a
+// dynamic budget (workers <= 0) is pinned to DefaultWorkers() at
+// construction, so the recorded value can never go stale against the
+// budget the invocation actually runs with: an instrumented context
+// executes with exactly the budget its Stats report, even if the
+// process default changes between construction and the query running.
+// Only uninstrumented contexts keep following the default dynamically.
 func NewCtx(workers int, arena *Arena, stats *Stats) *Ctx {
 	c := New(workers)
 	c.arena = arena
 	c.stats = stats
 	if stats != nil {
+		if c.workers == 0 {
+			c.workers = DefaultWorkers()
+		}
 		stats.Workers = c.Workers()
 	}
 	return c
@@ -162,16 +171,35 @@ func (c *Ctx) ParallelFor(n, minWork int, body func(lo, hi int)) {
 	chunk := (n + workers - 1) / workers
 	spawned := (n + chunk - 1) / chunk
 	c.Stats().section(spawned)
+	// Worker panics are forwarded to the calling goroutine after the
+	// section drains: a budget overrun (or any other panic) inside a
+	// parallel body must unwind the caller — where CatchBudget waits —
+	// not kill the process from an unrecoverable worker goroutine.
 	var wg sync.WaitGroup
+	var panicMu sync.Mutex
+	var panicked bool
+	var panicVal any
 	for lo := 0; lo < n; lo += chunk {
 		hi := min(lo+chunk, n)
 		wg.Add(1)
 		go func(lo, hi int) {
 			defer wg.Done()
+			defer func() {
+				if r := recover(); r != nil {
+					panicMu.Lock()
+					if !panicked {
+						panicked, panicVal = true, r
+					}
+					panicMu.Unlock()
+				}
+			}()
 			body(lo, hi)
 		}(lo, hi)
 	}
 	wg.Wait()
+	if panicked {
+		panic(panicVal)
+	}
 }
 
 // ParallelRuns returns the contiguous-range decomposition the
@@ -179,8 +207,13 @@ func (c *Ctx) ParallelFor(n, minWork int, body func(lo, hi int)) {
 // SerialCutoff elements each, as (count, size) with count = ceil(n/size).
 // Kernels that concatenate per-run outputs in run order produce the same
 // result for any decomposition, so the run count may depend on the worker
-// budget without breaking determinism.
+// budget without breaking determinism. An empty range (n <= 0) yields
+// zero runs with a positive size, so loops over the runs do nothing and
+// ceil-divisions by size stay well-defined.
 func (c *Ctx) ParallelRuns(n int) (runs, size int) {
+	if n <= 0 {
+		return 0, 1
+	}
 	runs = min(c.Workers(), (n+SerialCutoff-1)/SerialCutoff)
 	size = (n + runs - 1) / runs
 	return (n + size - 1) / size, size

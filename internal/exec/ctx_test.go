@@ -130,6 +130,77 @@ func TestStatsSink(t *testing.T) {
 	}
 }
 
+// TestParallelRunsEmptyAndTiny is the regression test for the
+// ParallelRuns divide-by-zero: n == 0 used to yield runs == 0 and panic
+// on size = (n+runs-1)/runs. An empty range must decompose into zero
+// runs with a positive size; a single element into one run of one.
+func TestParallelRunsEmptyAndTiny(t *testing.T) {
+	for _, workers := range []int{1, 2, 8} {
+		c := New(workers)
+		runs, size := c.ParallelRuns(0)
+		if runs != 0 || size < 1 {
+			t.Fatalf("workers=%d: ParallelRuns(0) = (%d, %d), want (0, >=1)", workers, runs, size)
+		}
+		runs, size = c.ParallelRuns(1)
+		if runs != 1 || size != 1 {
+			t.Fatalf("workers=%d: ParallelRuns(1) = (%d, %d), want (1, 1)", workers, runs, size)
+		}
+		// The decomposition must cover [0, n) exactly for a spread of n.
+		for _, n := range []int{2, SerialCutoff, SerialCutoff + 1, 5 * SerialCutoff} {
+			runs, size = c.ParallelRuns(n)
+			if runs < 1 || size < 1 || (runs-1)*size >= n || runs*size < n {
+				t.Fatalf("workers=%d n=%d: ParallelRuns = (%d, %d) does not tile the range",
+					workers, n, runs, size)
+			}
+		}
+	}
+}
+
+// TestParallelForPanicReachesCaller checks that a panic inside a worker
+// goroutine — a memory-budget overrun in a kernel body, most
+// importantly — unwinds the calling goroutine instead of killing the
+// process from an unrecoverable worker.
+func TestParallelForPanicReachesCaller(t *testing.T) {
+	c := New(4)
+	defer func() {
+		if r := recover(); r != "boom" {
+			t.Fatalf("recovered %v, want the worker's panic value", r)
+		}
+	}()
+	c.ParallelFor(4*SerialCutoff, 1, func(lo, hi int) {
+		if lo == 0 {
+			panic("boom")
+		}
+	})
+	t.Fatal("ParallelFor returned past a worker panic")
+}
+
+// TestNewCtxPinsDynamicBudgetForStats is the regression test for the
+// stats-staleness bug: an instrumented context built with a dynamic
+// budget (workers <= 0) recorded DefaultWorkers() into Stats.Workers at
+// construction but kept resolving the live default at run time, so a
+// default change between construction and execution made the recorded
+// value a lie. The context now pins the budget at construction:
+// execution and Stats.Workers always agree.
+func TestNewCtxPinsDynamicBudgetForStats(t *testing.T) {
+	prev := SetDefaultWorkers(3)
+	defer SetDefaultWorkers(prev)
+
+	st := &Stats{}
+	c := NewCtx(0, nil, st)
+	SetDefaultWorkers(5)
+	if got := c.Workers(); got != 3 {
+		t.Fatalf("instrumented dynamic ctx resolves %d workers, want the pinned 3", got)
+	}
+	if st.Workers != 3 {
+		t.Fatalf("Stats.Workers = %d, want 3", st.Workers)
+	}
+	// Uninstrumented dynamic contexts still follow the default.
+	if got := NewCtx(0, nil, nil).Workers(); got != 5 {
+		t.Fatalf("uninstrumented dynamic ctx = %d workers, want 5", got)
+	}
+}
+
 // TestArenaClasses checks the size-class mapping and the round-trip
 // behavior of all four element domains, including the string-clearing
 // contract.

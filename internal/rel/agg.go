@@ -136,11 +136,24 @@ func (t *aggTable) find(kc *keyCols, h []uint64, i, nAggs int) *aggGroup {
 // row order, and the partials are merged in ascending chunk order. Sums
 // therefore associate identically at any parallelism, making the output
 // bitwise-reproducible — the same discipline as bat.Sum and bat.Dot.
-func GroupBy(c *exec.Ctx, r *Relation, keys []string, aggs []AggSpec) (*Relation, error) {
+func GroupBy(c *exec.Ctx, r *Relation, keys []string, aggs []AggSpec) (res *Relation, err error) {
+	defer exec.CatchBudget(&err)
 	if len(aggs) == 0 {
 		return nil, fmt.Errorf("rel: group by without aggregates")
 	}
 	inCols := make([][]float64, len(aggs))
+	srcCols := make([]*bat.BAT, len(aggs))
+	// The aggregate views may be arena-drawn (densified sparse or
+	// converted int tails); hand them back on every exit — including a
+	// budget unwind — so they neither stay charged to the tenant nor
+	// bypass the pools.
+	defer func() {
+		for k, f := range inCols {
+			if srcCols[k] != nil {
+				srcCols[k].ReleaseFloats(c, f)
+			}
+		}
+	}()
 	for k, a := range aggs {
 		if a.Attr == "" {
 			if a.Func != Count {
@@ -156,7 +169,7 @@ func GroupBy(c *exec.Ctx, r *Relation, keys []string, aggs []AggSpec) (*Relation
 		if err != nil {
 			return nil, fmt.Errorf("rel: aggregate %v over non-numeric %q", a.Func, a.Attr)
 		}
-		inCols[k] = f
+		inCols[k], srcCols[k] = f, col
 	}
 
 	var kc *keyCols
@@ -229,6 +242,10 @@ func GroupBy(c *exec.Ctx, r *Relation, keys []string, aggs []AggSpec) (*Relation
 	for g := range merged.groups {
 		groups[g] = merged.groups[g].row
 	}
+	// The key views are done once the groups are merged; return any
+	// densified sparse tails to the per-query arena before the result
+	// assembly below draws from it.
+	kc.release(c)
 
 	// Assemble the result: key columns first (one representative row per
 	// group), then aggregate columns.

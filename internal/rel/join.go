@@ -176,6 +176,7 @@ func joinPairs(c *exec.Ctx, rkc, skc *keyCols, leftOuter bool) (li, ri []int, an
 // unmatched probe rows. The returned slices come from the context's arena;
 // callers done with them may hand them back with bat.FreeInts.
 func EquiJoinPairs(c *exec.Ctx, probeKeys, buildKeys []*bat.BAT, leftOuter bool) (li, ri []int, err error) {
+	defer exec.CatchBudget(&err)
 	if len(probeKeys) != len(buildKeys) || len(probeKeys) == 0 {
 		return nil, nil, fmt.Errorf("rel: equi-join needs matching non-empty key lists")
 	}
@@ -183,6 +184,8 @@ func EquiJoinPairs(c *exec.Ctx, probeKeys, buildKeys []*bat.BAT, leftOuter bool)
 	rkc := keyColsOf(c, pn, probeKeys)
 	skc := keyColsOf(c, bn, buildKeys)
 	li, ri, _ = joinPairs(c, rkc, skc, leftOuter)
+	rkc.release(c)
+	skc.release(c)
 	return li, ri, nil
 }
 
@@ -197,7 +200,8 @@ func EquiJoinPairs(c *exec.Ctx, probeKeys, buildKeys []*bat.BAT, leftOuter bool)
 // parallel passes — match counting, then a scatter through per-row output
 // offsets. Output order is canonical at any worker budget: probe rows in r
 // order, matches per probe row in s order.
-func HashJoin(c *exec.Ctx, r, s *Relation, rKeys, sKeys []string, jt JoinType) (*Relation, error) {
+func HashJoin(c *exec.Ctx, r, s *Relation, rKeys, sKeys []string, jt JoinType) (res *Relation, err error) {
+	defer exec.CatchBudget(&err)
 	if len(rKeys) != len(sKeys) || len(rKeys) == 0 {
 		return nil, fmt.Errorf("rel: join needs matching non-empty key lists")
 	}
@@ -205,10 +209,12 @@ func HashJoin(c *exec.Ctx, r, s *Relation, rKeys, sKeys []string, jt JoinType) (
 	if err != nil {
 		return nil, err
 	}
+	defer rkc.release(c) // idempotent: a no-op after the early release below
 	skc, err := newKeyCols(c, s, sKeys)
 	if err != nil {
 		return nil, err
 	}
+	defer skc.release(c)
 	dropped := make(map[string]bool, len(sKeys))
 	for _, a := range sKeys {
 		dropped[a] = true
@@ -225,6 +231,11 @@ func HashJoin(c *exec.Ctx, r, s *Relation, rKeys, sKeys []string, jt JoinType) (
 
 	// Build on s, probe with r.
 	li, ri, anyUnmatched := joinPairs(c, rkc, skc, jt == Left)
+	// The key views are done once the pairs exist; hand any densified
+	// sparse tails back to the per-query arena before the gathers below
+	// allocate the result columns.
+	rkc.release(c)
+	skc.release(c)
 
 	left := r.Gather(c, li)
 	schema := left.Schema.Clone()
@@ -260,6 +271,7 @@ func gatherWithNulls(c *exec.Ctx, col *bat.BAT, idx []int, anyUnmatched bool) *b
 				}
 			}
 		})
+		col.ReleaseFloats(c, f)
 		return bat.FromFloats(out)
 	case bat.Int:
 		xs := col.VectorCtx(c).Ints()

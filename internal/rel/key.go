@@ -18,12 +18,30 @@ import (
 
 // keyCols binds typed views of a relation's key columns. Sparse float
 // columns are densified once at construction so the per-row accessors are
-// branch-free slice reads.
+// branch-free slice reads; those densified buffers come from the
+// per-query arena and are the only views keyCols owns, so every operator
+// that builds a keyCols hands them back with release once the hashes and
+// collision comparisons are done.
 type keyCols struct {
-	n int
-	f [][]float64 // non-nil for Float columns (and densified sparse tails)
-	i [][]int64   // non-nil for Int columns
-	s [][]string  // non-nil for String columns
+	n     int
+	f     [][]float64 // non-nil for Float columns (and densified sparse tails)
+	i     [][]int64   // non-nil for Int columns
+	s     [][]string  // non-nil for String columns
+	owned [][]float64 // densified sparse tails drawn from the arena
+}
+
+// release returns the densified sparse-key buffers to the context's
+// arena. The keyCols (and any row accessor derived from it) must not be
+// used afterwards. Dense column views are borrowed, not owned, and are
+// untouched. Nil-safe.
+func (kc *keyCols) release(c *exec.Ctx) {
+	if kc == nil {
+		return
+	}
+	for _, f := range kc.owned {
+		c.Arena().FreeFloats(f)
+	}
+	kc.owned = nil
 }
 
 // newKeyCols resolves the named attributes of r into typed key views.
@@ -50,6 +68,7 @@ func keyColsOf(c *exec.Ctx, n int, cols []*bat.BAT) *keyCols {
 	for k, col := range cols {
 		if col.IsSparse() {
 			kc.f[k] = col.Sparse().Densify(c)
+			kc.owned = append(kc.owned, kc.f[k])
 			continue
 		}
 		v := col.Vector()

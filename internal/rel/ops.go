@@ -163,6 +163,7 @@ func (r *Relation) Distinct(c *exec.Ctx) *Relation {
 			idx = append(idx, i)
 		}
 	}
+	kc.release(c)
 	return r.Gather(c, idx)
 }
 
@@ -176,7 +177,8 @@ type OrderSpec struct {
 // comes from bat.SortStable — a parallel merge sort above the serial
 // cutoff — and the stable permutation is unique, so the row order is
 // identical at any worker budget.
-func (r *Relation) Sort(c *exec.Ctx, specs ...OrderSpec) (*Relation, error) {
+func (r *Relation) Sort(c *exec.Ctx, specs ...OrderSpec) (res *Relation, err error) {
+	defer exec.CatchBudget(&err)
 	vecs := make([]*bat.Vector, len(specs))
 	for k, sp := range specs {
 		col, err := r.Col(sp.Attr)

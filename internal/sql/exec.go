@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"errors"
 	"fmt"
 	"sort"
 	"strings"
@@ -15,23 +16,65 @@ import (
 // DB is an in-memory database: a catalog of named relations plus the
 // execution entry points. It is safe for concurrent readers; DDL/DML
 // statements take the write lock.
+//
+// Every statement runs under its own execution context and — when the
+// configured options name a tenant or set a memory budget — draws its
+// buffers from a per-statement accounted arena charging that tenant.
+// Statements are admitted against the database's governor before they
+// run, so a global cap queues excess concurrent queries instead of
+// letting them overcommit memory.
 type DB struct {
 	mu      sync.RWMutex
 	tables  map[string]*rel.Relation
 	rmaOpts *core.Options
+	gov     *exec.Governor
 }
 
-// NewDB returns an empty database.
+// NewDB returns an empty database bound to the process-default
+// governor.
 func NewDB() *DB {
-	return &DB{tables: make(map[string]*rel.Relation)}
+	return &DB{tables: make(map[string]*rel.Relation), gov: exec.DefaultGovernor()}
 }
 
-// SetRMAOptions sets the execution options (policy, sort mode, stats) used
-// by RMA table functions; nil restores the defaults.
+// SetRMAOptions sets the execution options (policy, sort mode, tenant,
+// memory budget, stats) used by RMA table functions and the statement
+// pipeline; nil restores the defaults.
 func (db *DB) SetRMAOptions(opts *core.Options) {
 	db.mu.Lock()
 	defer db.mu.Unlock()
 	db.rmaOpts = opts
+}
+
+// SetGovernor installs the governor statements are admitted against and
+// tenants are resolved through; nil restores the process default.
+func (db *DB) SetGovernor(g *exec.Governor) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if g == nil {
+		g = exec.DefaultGovernor()
+	}
+	db.gov = g
+}
+
+// Metrics snapshots the governor the database runs under: admission
+// state plus per-tenant live/peak bytes and pool counters.
+func (db *DB) Metrics() exec.GovernorMetrics {
+	db.mu.RLock()
+	g := db.governorLocked()
+	db.mu.RUnlock()
+	return g.Metrics()
+}
+
+// governorLocked resolves the governor statements run under: an explicit
+// Options.Governor wins over the database's own, so a caller that
+// configures one through SetRMAOptions gets a single set of books — the
+// statement pipeline, the RMA table functions, admission, and Metrics
+// all land on the same governor. Callers hold db.mu (either mode).
+func (db *DB) governorLocked() *exec.Governor {
+	if db.rmaOpts != nil && db.rmaOpts.Governor != nil {
+		return db.rmaOpts.Governor
+	}
+	return db.gov
 }
 
 // Register stores a relation under a name, replacing any previous one.
@@ -67,7 +110,11 @@ func (db *DB) Tables() []string {
 // Exec parses and executes a script and returns the result of the last
 // SELECT (nil if the script contains none). Every statement runs under
 // its own execution context (see stmtCtx), so concurrent scripts with
-// different parallelism budgets never share a worker knob.
+// different parallelism budgets never share a worker knob. A statement
+// that exceeds its memory budget at the configured parallelism is
+// retried once serially (the serial plans need less scratch and every
+// operator is deterministic across worker budgets); if the retry fails
+// too, the typed error — matching exec.ErrMemoryBudget — is returned.
 func (db *DB) Exec(src string) (*rel.Relation, error) {
 	stmts, err := Parse(src)
 	if err != nil {
@@ -75,7 +122,10 @@ func (db *DB) Exec(src string) (*rel.Relation, error) {
 	}
 	var last *rel.Relation
 	for _, s := range stmts {
-		res, err := db.run(db.stmtCtx(), s)
+		res, err := db.runStmt(s, 0)
+		if err != nil && errors.Is(err, exec.ErrMemoryBudget) && db.stmtWorkers() > 1 {
+			res, err = db.runStmt(s, 1)
+		}
 		if err != nil {
 			return nil, err
 		}
@@ -86,19 +136,66 @@ func (db *DB) Exec(src string) (*rel.Relation, error) {
 	return last, nil
 }
 
+// runStmt admits one statement against the governor, executes it under
+// a fresh per-statement context, and tears the context down: the
+// statement's arena charges are released and the admission reservation
+// is handed back whether the statement succeeded or not. forceSerial
+// overrides the configured parallelism for the memory-budget retry.
+func (db *DB) runStmt(s Statement, forceSerial int) (res *rel.Relation, err error) {
+	c, finish := db.stmtCtx(forceSerial)
+	defer finish()
+	defer exec.CatchBudget(&err)
+	return db.run(c, s)
+}
+
+// stmtWorkers returns the resolved per-statement parallelism: the
+// configured budget, or the process default when dynamic. The serial
+// budget retry keys off this — a statement that already ran with one
+// worker would fail identically on a rerun.
+func (db *DB) stmtWorkers() int {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if db.rmaOpts != nil && db.rmaOpts.Parallelism > 0 {
+		return db.rmaOpts.Parallelism
+	}
+	return exec.DefaultWorkers()
+}
+
 // stmtCtx builds one statement's execution context from the configured
-// RMA options: the Parallelism budget scopes to this statement only (zero
-// follows the process default). The relational operators of the SELECT
-// pipeline run under it; RMA table functions build their own context from
-// the same options inside core.Unary/Binary.
-func (db *DB) stmtCtx() *exec.Ctx {
+// RMA options: the Parallelism budget scopes to this statement only
+// (zero follows the process default; forceSerial > 0 overrides it), and
+// a tenant/memory-budget configuration routes the statement's arena
+// traffic through a per-statement accounted arena charging the tenant.
+// The statement is admitted against the governor before the context is
+// handed out — its declared budget reserves room under the global cap —
+// and the returned finish func must be called when the statement ends:
+// it closes the arena (releasing the statement's outstanding charges)
+// and returns the admission reservation.
+//
+// The relational operators of the SELECT pipeline run under this
+// context; RMA table functions build their own context from the same
+// options inside core.Unary/Binary, charging the same tenant.
+func (db *DB) stmtCtx(forceSerial int) (*exec.Ctx, func()) {
 	db.mu.RLock()
 	opts := db.rmaOpts
+	gov := db.governorLocked()
 	db.mu.RUnlock()
-	if opts == nil {
-		return exec.New(0)
+	var workers int
+	var budget int64
+	var arena *exec.Arena
+	if opts != nil {
+		workers = opts.Parallelism
+		budget = opts.MemoryBudget
+		arena = gov.ArenaFor(opts.Tenant, budget)
 	}
-	return exec.New(opts.Parallelism)
+	if forceSerial > 0 {
+		workers = forceSerial
+	}
+	release := gov.Admit(budget)
+	return exec.NewCtx(workers, arena, nil), func() {
+		arena.Close()
+		release()
+	}
 }
 
 // Query executes a single SELECT statement.
@@ -277,7 +374,23 @@ func (db *DB) evalRMA(c *exec.Ctx, x *RMARef) (*rel.Relation, error) {
 	}
 	db.mu.RLock()
 	opts := db.rmaOpts
+	gov := db.governorLocked()
 	db.mu.RUnlock()
+	// RMA table functions build their own per-invocation context inside
+	// core; route them through the database's governor so their tenant
+	// accounting lands in the same books as the statement pipeline, and
+	// pin them to the statement's resolved worker budget so a
+	// forced-serial budget retry does not re-attempt the op in parallel
+	// (core would just repeat the failed parallel plan plus its own
+	// internal serial retry).
+	if opts != nil {
+		o := *opts
+		if o.Governor == nil {
+			o.Governor = gov
+		}
+		o.Parallelism = c.Workers()
+		opts = &o
+	}
 	if op.Binary() {
 		if len(args) != 2 {
 			return nil, fmt.Errorf("sql: %s takes two relations", strings.ToUpper(x.Op))
