@@ -13,7 +13,9 @@
 // execution policy, \workers n bounds the per-statement worker budget
 // (0 restores the default), \mem n caps the per-tenant live arena
 // memory at n MiB (0 removes the cap), \tenant name switches the
-// accounting principal, \stats prints the per-tenant memory metrics,
+// accounting principal, \stream on|off toggles the morsel-driven
+// streaming SELECT pipeline, \stats prints the per-tenant memory
+// metrics plus the last streamed statement's per-stage counters,
 // \q quits.
 //
 // The per-tenant metrics are also published through expvar under
@@ -173,10 +175,22 @@ func meta(db *rma.DB, cmd string) bool {
 		shellOpts.Tenant = arg
 		applyOpts(db)
 		fmt.Printf("tenant set to %q\n", arg)
+	case strings.HasPrefix(cmd, `\stream`):
+		arg := strings.TrimSpace(strings.TrimPrefix(cmd, `\stream`))
+		switch arg {
+		case "on", "":
+			db.SetStreaming(true)
+			fmt.Println("streaming pipeline on (morsel-driven SELECT execution)")
+		case "off":
+			db.SetStreaming(false)
+			fmt.Println("streaming pipeline off (materializing SELECT execution)")
+		default:
+			fmt.Println("usage: \\stream on|off")
+		}
 	case cmd == `\stats`:
 		printStats(db)
 	default:
-		fmt.Println(`commands: \d (tables), \policy bat|mkl|auto, \workers n, \mem n, \tenant name, \stats, \q (quit)`)
+		fmt.Println(`commands: \d (tables), \policy bat|mkl|auto, \workers n, \mem n, \tenant name, \stream on|off, \stats, \q (quit)`)
 	}
 	return false
 }
@@ -206,6 +220,13 @@ func printStats(db *rma.DB) {
 		fmt.Printf("  %-12s budget=%-8s live=%-8s peak=%-8s pool-hit=%4.0f%%  allocs=%d frees=%d\n",
 			tn.Tenant, mib(tn.BudgetBytes), mib(tn.LiveBytes), mib(tn.PeakBytes),
 			100*tn.HitRate(), tot.Allocs, tot.Frees)
+	}
+	if pipe := db.PipelineStats(); len(pipe) > 0 {
+		fmt.Println("last streamed statement:")
+		for _, st := range pipe {
+			fmt.Printf("  %-12s batches=%-6d rows=%-10d peak=%s\n",
+				st.Name, st.Batches, st.Rows, mib(st.PeakBytes))
+		}
 	}
 }
 

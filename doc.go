@@ -86,11 +86,18 @@
 // global cap admits a query only when the sum of admitted budgets stays
 // under the cap (plus an optional concurrent-query limit), queueing
 // excess queries instead of overcommitting; sql.DB admits every
-// statement against its governor. Known limits: per-tenant budgets are
-// enforced at allocation time only for arena-drawn buffers (per-run
-// staging slices allocated with make are unaccounted), and a buffer
-// freed into a foreign arena stays charged to its owner until the
-// owning arena closes.
+// statement against its governor. The per-run staging of the sparse
+// kernels (Sparse.Gather, bat.SparseAdd) and the join build's
+// partitioning scratch are arena-charged at their upper bounds, the
+// elementwise BAT kernels hand their int→float and densified-sparse
+// conversion views back to the arena as soon as the kernel has read
+// them, and a tenant's arenas share one warm pool set so consecutive
+// statements reuse each other's buffers instead of starting from cold
+// pools. Known limits: a buffer freed into a foreign arena stays
+// charged to its owner until the owning arena closes, and the typed
+// join-key hash slices bypass the arena deliberately — there is no
+// uint64 pool domain, and adding one for a single call site would cost
+// more in pool bookkeeping than the allocation it saves.
 //
 // The surface is observable end to end: core.Options{Tenant,
 // MemoryBudget, Governor} governs one invocation and snapshots the
@@ -120,6 +127,42 @@
 //     in range order (Sum reduces over fixed chunks), with the same
 //     determinism guarantee.
 //
+// # Streaming execution
+//
+// SELECT statements run on a morsel-driven streaming pipeline by
+// default (sql.DB.SetStreaming toggles it). A small logical planner
+// (internal/sql/plan.go) decomposes the statement's FROM tree, pushes
+// WHERE conjuncts down to the deepest input that binds their columns
+// (scan predicates fuse into the scan's morsel loop; probe-side
+// predicates filter join inputs before the build), prunes unreferenced
+// columns, and dry-compiles every expression against zero-row prototype
+// sources at plan time — so a statement that plans successfully cannot
+// fail to compile mid-stream. Any planning error falls back to the
+// materializing executor, which reproduces the exact user-visible
+// error; the two paths share the projection/ORDER BY/DISTINCT/LIMIT
+// tail, so results and error messages are identical by construction
+// (asserted bitwise by the differential tests in stream_test.go).
+//
+// Operators are composed as pull iterators over bat.Batch morsels of
+// bat.MorselSize (4096) rows: next returns the next batch or nil at
+// end-of-stream, close releases held buffers and is safe during
+// unwinds. Scans emit zero-copy column views when no predicate
+// survives pushdown and arena-gathered batches otherwise; each morsel
+// is released as soon as its consumer has drained it, so a
+// filter→join→group pipeline holds one morsel per stage plus the join
+// build and aggregation tables — peak arena bytes become the maximum
+// across stages instead of the sum of full intermediates. Hash joins
+// build once via rel.JoinBuild sized from the (pruned, pre-filtered)
+// build side and probe per morsel; aggregations fold morsels into
+// rel.StreamAgg, which buffers rows into the same
+// bat.SerialCutoff-aligned chunks as rel.GroupBy regardless of morsel
+// boundaries. Both therefore keep the determinism contract: probe
+// output stays in probe-row order with matches in build order, chunked
+// float sums combine in fixed chunk order, and results are
+// bitwise-identical to the materializing path at any worker budget.
+// exec.PipelineStats records per-stage batch/row counts and peak held
+// bytes, surfaced through sql.DB.PipelineStats and rmacli \stats.
+//
 // core.Options.Parallelism bounds the worker budget per invocation
 // (default GOMAXPROCS, 1 forces serial); core.Unary/Binary build the
 // invocation's context from the options, and the effective count is
@@ -129,5 +172,7 @@
 // different budgets never share a knob; its expression-keyed equi-joins
 // materialize typed key columns and route through rel.EquiJoinPairs (no
 // per-row string keys). cmd/benchdiff diffs consecutive BENCH_<n>.json
-// kernel reports and fails CI on >20% ns/op regressions.
+// kernel reports and fails CI on >20% ns/op regressions; rmabench
+// reports each kernel's fastest of three benchmark rounds so host
+// scheduling noise does not masquerade as a regression.
 package repro

@@ -165,6 +165,10 @@ func Add(c *exec.Ctx, b, x *BAT) *BAT {
 			}
 		})
 	}
+	// Conversion views (densified sparse / converted int tails) are dead
+	// once the kernel has read them; dense-float views are no-ops here.
+	b.ReleaseFloats(c, xs)
+	x.ReleaseFloats(c, ys)
 	return FromFloats(out)
 }
 
@@ -183,6 +187,8 @@ func Sub(c *exec.Ctx, b, x *BAT) *BAT {
 			}
 		})
 	}
+	b.ReleaseFloats(c, xs)
+	x.ReleaseFloats(c, ys)
 	return FromFloats(out)
 }
 
@@ -201,6 +207,8 @@ func Mul(c *exec.Ctx, b, x *BAT) *BAT {
 			}
 		})
 	}
+	b.ReleaseFloats(c, xs)
+	x.ReleaseFloats(c, ys)
 	return FromFloats(out)
 }
 
@@ -219,6 +227,8 @@ func Div(c *exec.Ctx, b, x *BAT) *BAT {
 			}
 		})
 	}
+	b.ReleaseFloats(c, xs)
+	x.ReleaseFloats(c, ys)
 	return FromFloats(out)
 }
 
@@ -237,6 +247,7 @@ func AddScalar(c *exec.Ctx, b *BAT, s float64) *BAT {
 			}
 		})
 	}
+	b.ReleaseFloats(c, xs)
 	return FromFloats(out)
 }
 
@@ -255,6 +266,7 @@ func MulScalar(c *exec.Ctx, b *BAT, s float64) *BAT {
 			}
 		})
 	}
+	b.ReleaseFloats(c, xs)
 	return FromFloats(out)
 }
 
@@ -273,6 +285,7 @@ func DivScalar(c *exec.Ctx, b *BAT, s float64) *BAT {
 			}
 		})
 	}
+	b.ReleaseFloats(c, xs)
 	return FromFloats(out)
 }
 
@@ -292,6 +305,8 @@ func AXPY(c *exec.Ctx, b, x *BAT, s float64) *BAT {
 			}
 		})
 	}
+	b.ReleaseFloats(c, xs)
+	x.ReleaseFloats(c, ys)
 	return FromFloats(out)
 }
 
@@ -311,6 +326,7 @@ func AXPYInto(c *exec.Ctx, dst []float64, x *BAT, s float64) {
 			}
 		})
 	}
+	x.ReleaseFloats(c, ys)
 }
 
 // Sum aggregates the tail: sum(B).
@@ -348,20 +364,23 @@ func Sum(c *exec.Ctx, b *BAT) float64 {
 // Dot returns the inner product of two tails.
 func Dot(c *exec.Ctx, b, x *BAT) float64 {
 	xs, ys := floatsOf(c, b), floatsOf(c, x)
+	var s float64
 	if len(xs) <= SerialCutoff { // single chunk: skip the closure
-		var s float64
 		for k := range xs {
 			s += xs[k] * ys[k]
 		}
-		return s
+	} else {
+		s = c.Reduce(len(xs), func(lo, hi int) float64 {
+			var s float64
+			for k := lo; k < hi; k++ {
+				s += xs[k] * ys[k]
+			}
+			return s
+		})
 	}
-	return c.Reduce(len(xs), func(lo, hi int) float64 {
-		var s float64
-		for k := lo; k < hi; k++ {
-			s += xs[k] * ys[k]
-		}
-		return s
-	})
+	b.ReleaseFloats(c, xs)
+	x.ReleaseFloats(c, ys)
+	return s
 }
 
 // Sel returns the i-th tail value as a float (the paper's sel(B, i) single

@@ -135,11 +135,15 @@ func (s *Sparse) Gather(c *exec.Ctx, idx []int) *Sparse {
 	runs, size := c.ParallelRuns(len(idx))
 	oids := make([][]int, runs)
 	vals := make([][]float64, runs)
+	// The per-run staging buffers are charged to the invocation's arena
+	// (sized to the run's upper bound) and handed back after the
+	// concatenation, so a budgeted tenant sees the gather's transient
+	// footprint instead of untracked heap growth.
 	c.ParallelFor(runs, 1, func(rlo, rhi int) {
 		for r := rlo; r < rhi; r++ {
 			lo, hi := r*size, min((r+1)*size, len(idx))
-			var o []int
-			var v []float64
+			o := c.Arena().Ints(hi - lo)[:0]
+			v := c.Arena().Floats(hi - lo)[:0]
 			for k := lo; k < hi; k++ {
 				if x := s.Get(idx[k]); x != 0 {
 					o = append(o, k)
@@ -158,6 +162,8 @@ func (s *Sparse) Gather(c *exec.Ctx, idx []int) *Sparse {
 	for r := range oids {
 		out.oid = append(out.oid, oids[r]...)
 		out.val = append(out.val, vals[r]...)
+		c.Arena().FreeInts(oids[r])
+		c.Arena().FreeFloats(vals[r])
 	}
 	return out
 }
@@ -180,11 +186,18 @@ func SparseAdd(c *exec.Ctx, a, b *Sparse) *Sparse {
 	}
 	runs, size := c.ParallelRuns(a.n)
 	parts := make([]Sparse, runs)
+	// Each range's merge output is at most the stored entries of both
+	// inputs in that range, so the staging buffers can be arena-charged
+	// at their exact upper bound — the appends in mergeSparse never
+	// reallocate past the ledgered capacity.
 	c.ParallelFor(runs, 1, func(rlo, rhi int) {
 		for r := rlo; r < rhi; r++ {
 			lo, hi := r*size, min((r+1)*size, a.n)
 			ai, aj := sort.SearchInts(a.oid, lo), sort.SearchInts(a.oid, hi)
 			bi, bj := sort.SearchInts(b.oid, lo), sort.SearchInts(b.oid, hi)
+			bound := (aj - ai) + (bj - bi)
+			parts[r].oid = c.Arena().Ints(bound)[:0]
+			parts[r].val = c.Arena().Floats(bound)[:0]
 			mergeSparse(&parts[r], a, ai, aj, b, bi, bj)
 		}
 	})
@@ -196,6 +209,8 @@ func SparseAdd(c *exec.Ctx, a, b *Sparse) *Sparse {
 	for r := range parts {
 		out.oid = append(out.oid, parts[r].oid...)
 		out.val = append(out.val, parts[r].val...)
+		c.Arena().FreeInts(parts[r].oid)
+		c.Arena().FreeFloats(parts[r].val)
 	}
 	return out
 }

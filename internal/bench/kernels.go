@@ -17,6 +17,7 @@ import (
 	"repro/internal/linalg"
 	"repro/internal/matrix"
 	"repro/internal/rel"
+	"repro/internal/sql"
 )
 
 // KernelResult is one row of the machine-readable benchmark file that
@@ -30,6 +31,10 @@ type KernelResult struct {
 	NsPerOp     float64 `json:"ns_per_op"`
 	AllocsPerOp int64   `json:"allocs_per_op"`
 	BytesPerOp  int64   `json:"bytes_per_op"`
+	// PeakBytes is the peak accounted arena footprint of one operation,
+	// measured under a dedicated tenant outside the timed loop. Only the
+	// end-to-end statement kernels report it; zero elsewhere.
+	PeakBytes int64 `json:"peak_bytes,omitempty"`
 }
 
 // KernelReport is the top-level document of a BENCH_<n>.json file.
@@ -41,15 +46,28 @@ type KernelReport struct {
 	Results     []KernelResult `json:"results"`
 }
 
+// measureRounds is how many independent testing.Benchmark rounds each
+// kernel gets; the fastest round is reported. On an otherwise idle
+// machine interference only ever adds time, so the minimum is the
+// robust estimator — single-round reports made the BENCH_<n>
+// trajectory a coin flip against benchdiff's 20% tolerance whenever
+// the host scheduler had a bad moment.
+const measureRounds = 3
+
 func measure(op string, size, cols int, f func(b *testing.B)) KernelResult {
-	r := testing.Benchmark(f)
+	best := testing.Benchmark(f)
+	for i := 1; i < measureRounds; i++ {
+		if r := testing.Benchmark(f); r.NsPerOp() < best.NsPerOp() {
+			best = r
+		}
+	}
 	return KernelResult{
 		Op:          op,
 		Size:        size,
 		Cols:        cols,
-		NsPerOp:     float64(r.NsPerOp()),
-		AllocsPerOp: r.AllocsPerOp(),
-		BytesPerOp:  r.AllocedBytesPerOp(),
+		NsPerOp:     float64(best.NsPerOp()),
+		AllocsPerOp: best.AllocsPerOp(),
+		BytesPerOp:  best.AllocedBytesPerOp(),
 	}
 }
 
@@ -246,7 +264,75 @@ func MicroKernels(quick bool) ([]KernelResult, error) {
 		}
 	}))
 
+	// End-to-end statement pipeline: the same filter → join → group-by
+	// SELECT once streamed morsel-at-a-time and once through the
+	// materializing path. Each variant also records the peak accounted
+	// arena bytes of a single run (measured under a dedicated tenant,
+	// outside the timed loop) — the number the streaming pipeline exists
+	// to shrink.
+	sdb, q := streamBenchDB(joinRows)
+	for _, streaming := range []struct {
+		on bool
+		op string
+	}{{true, "sql.Select(filter-join-group, streamed)"}, {false, "sql.Select(filter-join-group, materialized)"}} {
+		sdb.SetStreaming(streaming.on)
+		gov := exec.NewGovernor(1<<33, 4)
+		sdb.SetGovernor(gov)
+		sdb.SetRMAOptions(&core.Options{Tenant: "bench-pipe", MemoryBudget: 1 << 31})
+		if _, err := sdb.Query(q); err != nil {
+			return nil, fmt.Errorf("bench: pipeline setup (streaming=%v): %w", streaming.on, err)
+		}
+		peak := gov.Tenant("bench-pipe", 1<<31).PeakBytes()
+		sdb.SetRMAOptions(nil) // time the pipeline itself, not the accounting
+		kr := measure(streaming.op, joinRows, 3, func(b *testing.B) {
+			b.ReportAllocs()
+			for i := 0; i < b.N; i++ {
+				if _, err := sdb.Query(q); err != nil {
+					b.Fatal(err)
+				}
+			}
+		})
+		kr.PeakBytes = peak
+		out = append(out, kr)
+	}
+
 	return out, nil
+}
+
+// streamBenchDB builds the fact/dimension pair and the statement the
+// pipeline kernels run: a half-selective scan filter, an equi-join into
+// a 500-row dimension, and a 97-group aggregation.
+func streamBenchDB(n int) (*sql.DB, string) {
+	grps := make([]int64, n)
+	vals := make([]float64, n)
+	ws := make([]float64, n)
+	for i := 0; i < n; i++ {
+		grps[i] = int64((i*7919 + 5) % 97)
+		vals[i] = float64(i%211)*0.375 - 39.0
+		ws[i] = float64((i*31)%997) * 0.0625
+	}
+	db := sql.NewDB()
+	db.Register("t", rel.MustNew("t", rel.Schema{
+		{Name: "grp", Type: bat.Int},
+		{Name: "val", Type: bat.Float},
+		{Name: "w", Type: bat.Float},
+	}, []*bat.BAT{bat.FromInts(grps), bat.FromFloats(vals), bat.FromFloats(ws)}))
+
+	const dn = 500
+	ks := make([]int64, dn)
+	bonus := make([]float64, dn)
+	for j := 0; j < dn; j++ {
+		ks[j] = int64((j * 13) % 120)
+		bonus[j] = float64(j%17) * 0.5
+	}
+	db.Register("s", rel.MustNew("s", rel.Schema{
+		{Name: "k", Type: bat.Int},
+		{Name: "bonus", Type: bat.Float},
+	}, []*bat.BAT{bat.FromInts(ks), bat.FromFloats(bonus)}))
+
+	q := "SELECT grp AS g, SUM(val) AS sv, SUM(w) AS sw, COUNT(*) AS n " +
+		"FROM t JOIN s ON t.grp = s.k WHERE t.val > 0 GROUP BY grp ORDER BY g"
+	return db, q
 }
 
 // intKeyRel builds a two-column relation (int key of the given cardinality,

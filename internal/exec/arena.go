@@ -33,13 +33,35 @@ import (
 // the tenant's byte count nor smuggle unaccounted memory into the pools
 // (foreign buffers are left to the garbage collector). Close releases
 // an accounted arena's outstanding charges at end of query.
+//
+// Tenant arenas share their tenant's pool set (warm non-nil) instead of
+// carrying private pools: buffers freed during one statement warm the
+// pools for the tenant's next statement, so budgeted tenants stop paying
+// the cold-pool cost on every query. The ledger stays per-arena, so the
+// shared pools change nothing about origin verification or budgets.
 type Arena struct {
+	local poolSet
+	warm  *poolSet // tenant-shared pools; nil for standalone arenas
+	acct  *acct    // nil for plain (unaccounted) arenas
+}
+
+// poolSet holds one size-classed sync.Pool array per element domain.
+// Standalone arenas embed one; tenants own one shared by all of their
+// arenas.
+type poolSet struct {
 	floats  [poolClasses]sync.Pool // class c holds *[]float64 of cap 1<<(minPoolShift+c)
 	ints    [poolClasses]sync.Pool // class c holds *[]int
 	int64s  [poolClasses]sync.Pool // class c holds *[]int64
 	strings [poolClasses]sync.Pool // class c holds *[]string
+}
 
-	acct *acct // nil for plain (unaccounted) arenas
+// ps returns the pool set this arena draws from: the tenant's shared
+// set when present, otherwise the arena's own.
+func (a *Arena) ps() *poolSet {
+	if a.warm != nil {
+		return a.warm
+	}
+	return &a.local
 }
 
 // acct is the accounting state of a budgeted arena: the tenant the
@@ -244,9 +266,9 @@ func (a *Arena) Floats(n int) []float64 {
 		a = Shared()
 	}
 	if ac := a.acct; ac != nil {
-		return acctAlloc(ac, &a.floats, &ac.tenant.floats, &ac.floats, floatSize, n)
+		return acctAlloc(ac, &a.ps().floats, &ac.tenant.floats, &ac.floats, floatSize, n)
 	}
-	return alloc[float64](&a.floats, n)
+	return alloc[float64](&a.ps().floats, n)
 }
 
 // FloatsZero returns a zeroed float64 slice of length n.
@@ -265,10 +287,10 @@ func (a *Arena) FreeFloats(f []float64) {
 		a = Shared()
 	}
 	if ac := a.acct; ac != nil {
-		acctFree(ac, &a.floats, &ac.tenant.floats, &ac.floats, f, false)
+		acctFree(ac, &a.ps().floats, &ac.tenant.floats, &ac.floats, f, false)
 		return
 	}
-	free(&a.floats, f, false)
+	free(&a.ps().floats, f, false)
 }
 
 // Ints returns an int slice of length n (the permutation buffers of
@@ -278,9 +300,9 @@ func (a *Arena) Ints(n int) []int {
 		a = Shared()
 	}
 	if ac := a.acct; ac != nil {
-		return acctAlloc(ac, &a.ints, &ac.tenant.ints, &ac.ints, intSize, n)
+		return acctAlloc(ac, &a.ps().ints, &ac.tenant.ints, &ac.ints, intSize, n)
 	}
-	return alloc[int](&a.ints, n)
+	return alloc[int](&a.ps().ints, n)
 }
 
 // FreeInts returns an int slice to the arena under the same ownership
@@ -290,10 +312,10 @@ func (a *Arena) FreeInts(idx []int) {
 		a = Shared()
 	}
 	if ac := a.acct; ac != nil {
-		acctFree(ac, &a.ints, &ac.tenant.ints, &ac.ints, idx, false)
+		acctFree(ac, &a.ps().ints, &ac.tenant.ints, &ac.ints, idx, false)
 		return
 	}
-	free(&a.ints, idx, false)
+	free(&a.ps().ints, idx, false)
 }
 
 // Int64s returns an int64 slice of length n (the int tails of gathered
@@ -303,9 +325,9 @@ func (a *Arena) Int64s(n int) []int64 {
 		a = Shared()
 	}
 	if ac := a.acct; ac != nil {
-		return acctAlloc(ac, &a.int64s, &ac.tenant.int64s, &ac.int64s, int64Size, n)
+		return acctAlloc(ac, &a.ps().int64s, &ac.tenant.int64s, &ac.int64s, int64Size, n)
 	}
-	return alloc[int64](&a.int64s, n)
+	return alloc[int64](&a.ps().int64s, n)
 }
 
 // FreeInt64s returns an int64 slice to the arena.
@@ -314,10 +336,10 @@ func (a *Arena) FreeInt64s(xs []int64) {
 		a = Shared()
 	}
 	if ac := a.acct; ac != nil {
-		acctFree(ac, &a.int64s, &ac.tenant.int64s, &ac.int64s, xs, false)
+		acctFree(ac, &a.ps().int64s, &ac.tenant.int64s, &ac.int64s, xs, false)
 		return
 	}
-	free(&a.int64s, xs, false)
+	free(&a.ps().int64s, xs, false)
 }
 
 // Strings returns a string slice of length n. Recycled buffers come back
@@ -327,9 +349,9 @@ func (a *Arena) Strings(n int) []string {
 		a = Shared()
 	}
 	if ac := a.acct; ac != nil {
-		return acctAlloc(ac, &a.strings, &ac.tenant.strings, &ac.strings, stringSize, n)
+		return acctAlloc(ac, &a.ps().strings, &ac.tenant.strings, &ac.strings, stringSize, n)
 	}
-	return alloc[string](&a.strings, n)
+	return alloc[string](&a.ps().strings, n)
 }
 
 // FreeStrings returns a string slice to the arena, clearing it first so
@@ -339,10 +361,10 @@ func (a *Arena) FreeStrings(ss []string) {
 		a = Shared()
 	}
 	if ac := a.acct; ac != nil {
-		acctFree(ac, &a.strings, &ac.tenant.strings, &ac.strings, ss, true)
+		acctFree(ac, &a.ps().strings, &ac.tenant.strings, &ac.strings, ss, true)
 		return
 	}
-	free(&a.strings, ss, true)
+	free(&a.ps().strings, ss, true)
 }
 
 // Tenant returns the tenant an accounted arena charges, or nil for

@@ -86,6 +86,11 @@ type Tenant struct {
 	peak   atomic.Int64 // high-water mark of live
 
 	floats, ints, int64s, strings domainCounters
+
+	// pools is the tenant's warm pool set, shared by every arena the
+	// tenant hands out: buffers freed by one statement are reused by the
+	// next instead of each query starting from cold pools.
+	pools poolSet
 }
 
 // Name returns the tenant's name.
@@ -114,8 +119,10 @@ func (t *Tenant) PeakBytes() int64 { return t.peak.Load() }
 // query (or statement) should draw its own arena and Close it when the
 // query finishes: Close releases the query's outstanding charges, so a
 // failed or abandoned query cannot strand bytes against the budget.
+// The arena draws from the tenant's shared warm pools — only the
+// ledger (origin verification) is per-arena.
 func (t *Tenant) NewArena() *Arena {
-	return &Arena{acct: &acct{
+	return &Arena{warm: &t.pools, acct: &acct{
 		tenant:  t,
 		floats:  make(map[*float64]int64),
 		ints:    make(map[*int]int64),

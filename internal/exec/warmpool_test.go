@@ -1,0 +1,58 @@
+package exec
+
+import "testing"
+
+// TestTenantWarmPoolReuse checks that a tenant's arenas share one warm
+// pool set: a buffer freed by one statement's arena is served back — as
+// a pool hit — to the next statement's fresh arena, so budgeted tenants
+// no longer pay the cold-pool cost on every query.
+func TestTenantWarmPoolReuse(t *testing.T) {
+	g := NewGovernor(0, 0)
+	tn := g.Tenant("warm", 0)
+
+	// sync.Pool deliberately drops a fraction of Puts under the race
+	// detector, so the cross-arena hit is asserted with a bounded retry.
+	hit := false
+	for i := 0; i < 64 && !hit; i++ {
+		a1 := tn.NewArena()
+		f := a1.Floats(1000)
+		a1.FreeFloats(f)
+		a1.Close()
+
+		a2 := tn.NewArena()
+		before := tn.Stats().Floats.PoolHits
+		f2 := a2.Floats(1000)
+		hit = tn.Stats().Floats.PoolHits > before
+		a2.FreeFloats(f2)
+		a2.Close()
+	}
+	if !hit {
+		t.Fatal("buffer freed in one statement arena never warmed the tenant's next arena")
+	}
+	if got := tn.LiveBytes(); got != 0 {
+		t.Fatalf("live after both arenas closed = %d, want 0", got)
+	}
+}
+
+// TestTenantWarmPoolIsolation checks that warm pools stay per-tenant: a
+// buffer freed by one tenant must not be handed to another tenant's
+// arena (the ledger would reject the charge origin anyway, but the
+// pools themselves must not mix either).
+func TestTenantWarmPoolIsolation(t *testing.T) {
+	g := NewGovernor(0, 0)
+	ta := g.Tenant("warm-a", 0)
+	tb := g.Tenant("warm-b", 0)
+
+	a := ta.NewArena()
+	f := a.Floats(1000)
+	a.FreeFloats(f)
+	a.Close()
+
+	b := tb.NewArena()
+	f2 := b.Floats(1000)
+	if got := tb.Stats().Floats.PoolHits; got != 0 {
+		t.Fatalf("tenant B got %d pool hits from tenant A's freed buffers", got)
+	}
+	b.FreeFloats(f2)
+	b.Close()
+}

@@ -136,7 +136,16 @@ func (t *aggTable) find(kc *keyCols, h []uint64, i, nAggs int) *aggGroup {
 // row order, and the partials are merged in ascending chunk order. Sums
 // therefore associate identically at any parallelism, making the output
 // bitwise-reproducible — the same discipline as bat.Sum and bat.Dot.
-func GroupBy(c *exec.Ctx, r *Relation, keys []string, aggs []AggSpec) (res *Relation, err error) {
+func GroupBy(c *exec.Ctx, r *Relation, keys []string, aggs []AggSpec) (*Relation, error) {
+	return GroupBySized(c, r, keys, aggs, 0)
+}
+
+// GroupBySized is GroupBy with a group-cardinality hint: the expected
+// number of distinct groups, used to pre-size the per-chunk and merged
+// hash tables instead of growing them incrementally. A hint ≤ 0 falls
+// back to the default sizing; the hint never affects the result, only
+// allocation behavior.
+func GroupBySized(c *exec.Ctx, r *Relation, keys []string, aggs []AggSpec, groupHint int) (res *Relation, err error) {
 	defer exec.CatchBudget(&err)
 	if len(aggs) == 0 {
 		return nil, fmt.Errorf("rel: group by without aggregates")
@@ -189,7 +198,11 @@ func GroupBy(c *exec.Ctx, r *Relation, keys []string, aggs []AggSpec) (res *Rela
 	c.ParallelFor(chunks, 1, func(clo, chi int) {
 		for ch := clo; ch < chi; ch++ {
 			lo, hi := ch*bat.SerialCutoff, min((ch+1)*bat.SerialCutoff, n)
-			t := newAggTable((hi-lo)/4 + 1)
+			hint := (hi-lo)/4 + 1
+			if groupHint > 0 && groupHint < hint {
+				hint = groupHint + 1
+			}
+			t := newAggTable(hint)
 			if kc == nil {
 				g := aggGroup{row: lo, st: newAggStates(len(aggs))}
 				for i := lo; i < hi; i++ {
@@ -217,7 +230,7 @@ func GroupBy(c *exec.Ctx, r *Relation, keys []string, aggs []AggSpec) (res *Rela
 	if chunks == 1 {
 		merged = partials[0]
 	} else {
-		merged = newAggTable(0)
+		merged = newAggTable(max(groupHint, 0))
 		for _, t := range partials {
 			for li := range t.groups {
 				lg := &t.groups[li]

@@ -31,17 +31,31 @@ func (t *joinTable) lookup(h uint64) []int {
 	return t.parts[h&t.mask][h]
 }
 
-// buildJoinTable indexes the build side from its row hashes. Small inputs
-// (or a single-worker budget) build one partition serially; larger ones are
-// radix-partitioned in two parallel passes — per-chunk histograms, then a
-// scatter through chunk-major offsets — and the per-partition hash tables
-// are built in parallel. Chunk-major offsets keep every partition's row
-// list ascending regardless of the chunk decomposition, which is what makes
-// the join output independent of the worker budget.
+// buildJoinTable indexes the build side from its row hashes with the
+// default sizing (half the rows distinct).
 func buildJoinTable(c *exec.Ctx, h []uint64) *joinTable {
+	return buildJoinTableSized(c, h, 0)
+}
+
+// buildJoinTableSized indexes the build side from its row hashes. Small
+// inputs (or a single-worker budget) build one partition serially; larger
+// ones are radix-partitioned in two parallel passes — per-chunk histograms,
+// then a scatter through chunk-major offsets — and the per-partition hash
+// tables are built in parallel. Chunk-major offsets keep every partition's
+// row list ascending regardless of the chunk decomposition, which is what
+// makes the join output independent of the worker budget.
+//
+// hint is the expected number of distinct keys: the hash maps are
+// pre-sized to it instead of growing incrementally. The partitioning
+// staging (histograms, offsets, the scattered row list) is charged to the
+// invocation's arena and released before return.
+func buildJoinTableSized(c *exec.Ctx, h []uint64, hint int) *joinTable {
 	m := len(h)
+	if hint <= 0 {
+		hint = m/2 + 1
+	}
 	if m <= bat.SerialCutoff || c.Workers() <= 1 {
-		part := make(map[uint64][]int, m/2+1)
+		part := make(map[uint64][]int, hint)
 		for j, hv := range h {
 			part[hv] = append(part[hv], j)
 		}
@@ -54,7 +68,8 @@ func buildJoinTable(c *exec.Ctx, h []uint64) *joinTable {
 	mask := uint64(p - 1)
 	chunks, size := c.ParallelRuns(m)
 
-	hist := make([]int, chunks*p)
+	hist := c.Arena().Ints(chunks * p)
+	clear(hist)
 	c.ParallelFor(chunks, 1, func(clo, chi int) {
 		for ch := clo; ch < chi; ch++ {
 			row := hist[ch*p : (ch+1)*p]
@@ -66,7 +81,7 @@ func buildJoinTable(c *exec.Ctx, h []uint64) *joinTable {
 	// Chunk-major prefix sums: partition pt holds chunk 0's rows, then
 	// chunk 1's, …, each ascending — so the whole partition is ascending.
 	partStart := make([]int, p+1)
-	pos := make([]int, chunks*p)
+	pos := c.Arena().Ints(chunks * p)
 	off := 0
 	for pt := 0; pt < p; pt++ {
 		partStart[pt] = off
@@ -77,7 +92,7 @@ func buildJoinTable(c *exec.Ctx, h []uint64) *joinTable {
 	}
 	partStart[p] = off
 
-	rows := make([]int, m)
+	rows := c.Arena().Ints(m)
 	c.ParallelFor(chunks, 1, func(clo, chi int) {
 		for ch := clo; ch < chi; ch++ {
 			cursor := pos[ch*p : (ch+1)*p]
@@ -93,13 +108,20 @@ func buildJoinTable(c *exec.Ctx, h []uint64) *joinTable {
 	c.ParallelFor(p, 1, func(plo, phi int) {
 		for pt := plo; pt < phi; pt++ {
 			span := rows[partStart[pt]:partStart[pt+1]]
-			mp := make(map[uint64][]int, len(span)/2+1)
+			szHint := len(span) / 2
+			if est := hint / p; est < szHint {
+				szHint = est
+			}
+			mp := make(map[uint64][]int, szHint+1)
 			for _, j := range span {
 				mp[h[j]] = append(mp[h[j]], j)
 			}
 			parts[pt] = mp
 		}
 	})
+	c.Arena().FreeInts(hist)
+	c.Arena().FreeInts(pos)
+	c.Arena().FreeInts(rows)
 	return &joinTable{mask: mask, parts: parts}
 }
 
@@ -113,6 +135,17 @@ func buildJoinTable(c *exec.Ctx, h []uint64) *joinTable {
 // back with FreeInts.
 func joinPairs(c *exec.Ctx, rkc, skc *keyCols, leftOuter bool) (li, ri []int, anyUnmatched bool) {
 	table := buildJoinTable(c, skc.hashes(c))
+	return probePairs(c, table, rkc, skc, leftOuter)
+}
+
+// probePairs is the probe phase of joinPairs over an already-built table:
+// two parallel passes (match counting, then a scatter through per-row
+// output offsets) whose output order is canonical at any worker budget —
+// probe rows in probe order, matches per probe row in build order. The
+// streaming join probes the same table once per morsel through this
+// path, so morsel-probe pair sequences concatenate to exactly the
+// all-at-once sequence.
+func probePairs(c *exec.Ctx, table *joinTable, rkc, skc *keyCols, leftOuter bool) (li, ri []int, anyUnmatched bool) {
 	rh := rkc.hashes(c)
 	n := rkc.n
 
@@ -200,7 +233,16 @@ func EquiJoinPairs(c *exec.Ctx, probeKeys, buildKeys []*bat.BAT, leftOuter bool)
 // parallel passes — match counting, then a scatter through per-row output
 // offsets. Output order is canonical at any worker budget: probe rows in r
 // order, matches per probe row in s order.
-func HashJoin(c *exec.Ctx, r, s *Relation, rKeys, sKeys []string, jt JoinType) (res *Relation, err error) {
+func HashJoin(c *exec.Ctx, r, s *Relation, rKeys, sKeys []string, jt JoinType) (*Relation, error) {
+	return HashJoinSized(c, r, s, rKeys, sKeys, jt, 0)
+}
+
+// HashJoinSized is HashJoin with a build-side cardinality hint: the
+// expected number of distinct build keys, used to pre-size the build hash
+// table instead of growing it incrementally. A hint ≤ 0 falls back to the
+// default sizing (half the build rows); the hint never affects the result,
+// only allocation behavior.
+func HashJoinSized(c *exec.Ctx, r, s *Relation, rKeys, sKeys []string, jt JoinType, buildHint int) (res *Relation, err error) {
 	defer exec.CatchBudget(&err)
 	if len(rKeys) != len(sKeys) || len(rKeys) == 0 {
 		return nil, fmt.Errorf("rel: join needs matching non-empty key lists")
@@ -230,7 +272,8 @@ func HashJoin(c *exec.Ctx, r, s *Relation, rKeys, sKeys []string, jt JoinType) (
 	}
 
 	// Build on s, probe with r.
-	li, ri, anyUnmatched := joinPairs(c, rkc, skc, jt == Left)
+	table := buildJoinTableSized(c, skc.hashes(c), buildHint)
+	li, ri, anyUnmatched := probePairs(c, table, rkc, skc, jt == Left)
 	// The key views are done once the pairs exist; hand any densified
 	// sparse tails back to the per-query arena before the gathers below
 	// allocate the result columns.

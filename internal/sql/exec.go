@@ -24,10 +24,12 @@ import (
 // run, so a global cap queues excess concurrent queries instead of
 // letting them overcommit memory.
 type DB struct {
-	mu      sync.RWMutex
-	tables  map[string]*rel.Relation
-	rmaOpts *core.Options
-	gov     *exec.Governor
+	mu       sync.RWMutex
+	tables   map[string]*rel.Relation
+	rmaOpts  *core.Options
+	gov      *exec.Governor
+	noStream bool
+	lastPipe []exec.StageStats
 }
 
 // NewDB returns an empty database bound to the process-default
@@ -54,6 +56,38 @@ func (db *DB) SetGovernor(g *exec.Governor) {
 		g = exec.DefaultGovernor()
 	}
 	db.gov = g
+}
+
+// SetStreaming toggles the morsel-driven streaming SELECT pipeline
+// (enabled by default). Disabling it routes every SELECT through the
+// materializing path; results are bitwise-identical either way, so the
+// switch exists for comparison and diagnosis, not correctness.
+func (db *DB) SetStreaming(on bool) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	db.noStream = !on
+}
+
+func (db *DB) streamingEnabled() bool {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return !db.noStream
+}
+
+// PipelineStats returns the per-stage morsel counters of the most
+// recently completed streamed SELECT (nil when none has streamed yet).
+// For a script with nested or multiple SELECTs, the outermost statement
+// executed last wins.
+func (db *DB) PipelineStats() []exec.StageStats {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return append([]exec.StageStats(nil), db.lastPipe...)
+}
+
+func (db *DB) storePipelineStats(s []exec.StageStats) {
+	db.mu.Lock()
+	db.lastPipe = s
+	db.mu.Unlock()
 }
 
 // Metrics snapshots the governor the database runs under: admission
@@ -651,7 +685,22 @@ func filterSource(c *exec.Ctx, s *source, pred Expr) (*source, error) {
 
 // --- SELECT pipeline -------------------------------------------------------
 
+// execSelect routes a SELECT through the streaming morsel pipeline when
+// the planner can take it, falling back to the materializing pipeline
+// otherwise (and whenever streaming is disabled). Both paths produce
+// bitwise-identical results; the streaming path just peaks at
+// max-per-stage memory instead of sum-of-intermediates.
 func (db *DB) execSelect(c *exec.Ctx, sel *SelectStmt) (*rel.Relation, error) {
+	if db.streamingEnabled() {
+		res, err := db.execSelectStreaming(c, sel)
+		if !errors.Is(err, errNeedMaterialize) {
+			return res, err
+		}
+	}
+	return db.execSelectMaterialized(c, sel)
+}
+
+func (db *DB) execSelectMaterialized(c *exec.Ctx, sel *SelectStmt) (*rel.Relation, error) {
 	src, err := db.buildFrom(c, sel.From)
 	if err != nil {
 		return nil, err
@@ -705,16 +754,23 @@ func (db *DB) execSelect(c *exec.Ctx, sel *SelectStmt) (*rel.Relation, error) {
 		return nil, fmt.Errorf("sql: HAVING without aggregation")
 	}
 
-	// Projection.
-	n := src.rel.NumRows()
+	return finishSelect(c, sel, items, src)
+}
+
+// projectMeta resolves the projection: compiled evaluators over the
+// given source plus the output schema and symbols, with the duplicate
+// name disambiguation the dialect applies. Both pipelines (and the
+// streaming planner's dry run) funnel through it, so output naming and
+// typing can never diverge between them.
+func projectMeta(items []SelectItem, src *source) (rel.Schema, []sym, []*compiled, error) {
 	outSchema := make(rel.Schema, len(items))
-	outCols := make([]*bat.BAT, len(items))
 	outSyms := make([]sym, len(items))
+	comps := make([]*compiled, len(items))
 	seen := map[string]int{}
 	for k, it := range items {
 		comp, err := compileExpr(it.Expr, src)
 		if err != nil {
-			return nil, err
+			return nil, nil, nil, err
 		}
 		name := it.As
 		if name == "" {
@@ -737,14 +793,40 @@ func (db *DB) execSelect(c *exec.Ctx, sel *SelectStmt) (*rel.Relation, error) {
 		}
 		seen[name] = k
 		outSchema[k] = rel.Attr{Name: name, Type: comp.typ}
-		outCols[k] = materialize(comp, n)
 		outSyms[k] = sym{name: name}
+		comps[k] = comp
+	}
+	return outSchema, outSyms, comps, nil
+}
+
+// finishSelect runs the tail of the SELECT pipeline — projection,
+// DISTINCT, ORDER BY, LIMIT — over a materialized source. The streaming
+// aggregation path funnels through it too (its grouped relation is
+// materialized by the time grouping completes), so the tail semantics
+// cannot diverge between pipelines.
+func finishSelect(c *exec.Ctx, sel *SelectStmt, items []SelectItem, src *source) (*rel.Relation, error) {
+	outSchema, outSyms, comps, err := projectMeta(items, src)
+	if err != nil {
+		return nil, err
+	}
+	n := src.rel.NumRows()
+	outCols := make([]*bat.BAT, len(items))
+	for k := range comps {
+		outCols[k] = materialize(comps[k], n)
 	}
 	out, err := rel.New("", outSchema, outCols)
 	if err != nil {
 		return nil, err
 	}
+	return finishOutput(c, sel, out, outSyms, src)
+}
 
+// finishOutput applies DISTINCT, ORDER BY and LIMIT to the projected
+// output. src, when non-nil, is the pre-projection source ORDER BY may
+// fall back to for sort keys that were not selected; the streaming
+// projection path passes nil (its planner already proved the sort keys
+// compile against the output).
+func finishOutput(c *exec.Ctx, sel *SelectStmt, out *rel.Relation, outSyms []sym, src *source) (*rel.Relation, error) {
 	if sel.Distinct {
 		out = out.Distinct(c)
 	}
@@ -754,7 +836,7 @@ func (db *DB) execSelect(c *exec.Ctx, sel *SelectStmt) (*rel.Relation, error) {
 		comps := make([]*compiled, len(sel.OrderBy))
 		for k, ob := range sel.OrderBy {
 			comp, err := compileExpr(ob.Expr, outSrc)
-			if err != nil && !sel.Distinct && src.rel.NumRows() == out.NumRows() {
+			if err != nil && src != nil && !sel.Distinct && src.rel.NumRows() == out.NumRows() {
 				// Fall back to the pre-projection source: ORDER BY may
 				// reference input columns that were not selected.
 				comp, err = compileExpr(ob.Expr, src)
@@ -884,22 +966,28 @@ func groupSource(c *exec.Ctx, src *source, groupBy []Expr, aggs []*FuncCall) (*s
 	// Global aggregation over an empty input yields one row of zeros
 	// (COUNT(*) = 0), matching SQL semantics.
 	if len(keyNames) == 0 && grouped.NumRows() == 0 {
-		b := rel.NewBuilder("", grouped.Schema)
-		vals := make([]bat.Value, len(grouped.Schema))
-		for k, a := range grouped.Schema {
-			switch a.Type {
-			case bat.Int:
-				vals[k] = bat.IntValue(0)
-			case bat.Float:
-				vals[k] = bat.FloatValue(0)
-			default:
-				vals[k] = bat.StringValue("")
-			}
-		}
-		b.MustAdd(vals...)
-		grouped = b.Relation()
+		grouped = zeroAggRow(grouped)
 	}
 	return newSource(grouped, grpQual), nil
+}
+
+// zeroAggRow is the SQL empty-global-aggregation result: a single row of
+// zero values (COUNT(*) = 0) in the grouped relation's schema.
+func zeroAggRow(grouped *rel.Relation) *rel.Relation {
+	b := rel.NewBuilder("", grouped.Schema)
+	vals := make([]bat.Value, len(grouped.Schema))
+	for k, a := range grouped.Schema {
+		switch a.Type {
+		case bat.Int:
+			vals[k] = bat.IntValue(0)
+		case bat.Float:
+			vals[k] = bat.FloatValue(0)
+		default:
+			vals[k] = bat.StringValue("")
+		}
+	}
+	b.MustAdd(vals...)
+	return b.Relation()
 }
 
 // rewrite replaces sub-expressions whose structural key appears in the map.
