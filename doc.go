@@ -93,11 +93,17 @@
 // conversion views back to the arena as soon as the kernel has read
 // them, and a tenant's arenas share one warm pool set so consecutive
 // statements reuse each other's buffers instead of starting from cold
-// pools. Known limits: a buffer freed into a foreign arena stays
-// charged to its owner until the owning arena closes, and the typed
-// join-key hash slices bypass the arena deliberately — there is no
-// uint64 pool domain, and adding one for a single call site would cost
-// more in pool bookkeeping than the allocation it saves.
+// pools. A buffer freed into a foreign arena is uncharged from its true
+// owner at free time: accounted allocations register in a process-wide
+// owner registry (sync.Map keyed by the buffer's first-element pointer,
+// guarded by an atomic live-count fast path so ungoverned execution
+// pays one atomic load), and any arena's free path consults it before
+// pooling — the owner's ledger and byte count are settled immediately
+// rather than at owner close, while the buffer itself still goes to the
+// garbage collector, never into another tenant's pools. Known limit:
+// the typed join-key hash slices bypass the arena deliberately — there
+// is no uint64 pool domain, and adding one for a single call site would
+// cost more in pool bookkeeping than the allocation it saves.
 //
 // The surface is observable end to end: core.Options{Tenant,
 // MemoryBudget, Governor} governs one invocation and snapshots the
@@ -162,6 +168,52 @@
 // bitwise-identical to the materializing path at any worker budget.
 // exec.PipelineStats records per-stage batch/row counts and peak held
 // bytes, surfaced through sql.DB.PipelineStats and rmacli \stats.
+//
+// # Plan cache
+//
+// sql.DB keeps a bounded LRU plan cache (256 entries) keyed by
+// normalized statement text: statements are re-lexed, keywords
+// uppercased, identifiers and strings canonically quoted, and token
+// text joined with single spaces, so whitespace, comment, and keyword
+// case variants of one statement share an entry. A cache entry holds
+// the parsed SELECT plus its lazily-built streaming plan; plans are
+// finalized at build time (every stage's batch schema precomputed) and
+// never mutated during execution, so one cached plan executes safely
+// from any number of concurrent statements — asserted under -race, and
+// cross-checked against the uncached paths by the differential fuzz
+// oracle (oracle_test.go), which runs randomly generated SELECTs
+// streamed, materialized, and cached at worker budgets {1,2,8} and
+// requires bitwise-identical relations and identical error strings.
+// Only single-statement SELECTs over plain table FROM trees are
+// cacheable (derived tables and RMA table functions execute at plan
+// time, so caching them would freeze data, not shape). The cache
+// invalidates wholesale on CREATE/INSERT/DROP/Register, on the
+// streaming toggle, and on option changes; DB.Metrics carries
+// hit/miss/invalidation counters. Per-statement execution options
+// (tenant, budget, workers) ride DB.ExecWith/QueryWith rather than
+// DB-global state, so a multi-tenant server never serializes on
+// configuration.
+//
+// # Wire-protocol server
+//
+// cmd/rmaserver fronts a sql.DB over HTTP/JSON: API keys map to
+// governed tenants (key=tenant:budgetMiB), every statement is admitted
+// through the governor and executed via ExecWith under its tenant's
+// budget, and result sets stream back as column batches of
+// bat.MorselSize rows. Errors are typed JSON — a tenant over its
+// memory budget gets HTTP 429 with code "memory_budget" and the byte
+// arithmetic; neighbors are untouched. GET /metrics serves the
+// "rma.memory" surface (governor admission state, per-tenant bytes,
+// plan-cache counters) plus per-tenant statement latency p50/p99 from
+// lock-free log-scale histograms; /debug/vars exposes the same through
+// expvar. On SIGINT/SIGTERM the server drains: new statements get 503
+// "draining" while in-flight ones finish and close their arenas, then
+// the process exits. The e2e tests (cmd/rmaserver/server_test.go)
+// drive budget isolation, admission queueing under a single-slot
+// governor, graceful drain, and the 4-tenants-by-8-connections load
+// under -race. rmabench -load NxM replays the same serving mix as a
+// load generator and reports per-tenant quantiles; the sql.Load rows
+// in BENCH_<n>.json track the cached and cache-off serving latency.
 //
 // core.Options.Parallelism bounds the worker budget per invocation
 // (default GOMAXPROCS, 1 forces serial); core.Unary/Binary build the

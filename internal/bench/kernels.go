@@ -365,6 +365,11 @@ func WriteKernelReport(path string, quick bool) error {
 	if err != nil {
 		return err
 	}
+	loadRows, err := LoadKernels(quick)
+	if err != nil {
+		return err
+	}
+	results = append(results, loadRows...)
 	report := KernelReport{
 		GoVersion:   runtime.Version(),
 		GOMAXPROCS:  runtime.GOMAXPROCS(0),

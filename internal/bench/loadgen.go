@@ -1,0 +1,243 @@
+package bench
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"sync"
+	"time"
+
+	"repro/internal/core"
+	"repro/internal/exec"
+)
+
+// This file implements the multi-tenant load generator: N tenants x M
+// concurrent connections against one shared sql.DB, every connection
+// repeating a small cacheable statement mix — the serving workload
+// cmd/rmaserver fronts. The report carries per-tenant latency
+// quantiles and the plan-cache hit rate; the BENCH_<n>.json rows fold
+// the merged p50/p99 into the perf trajectory, cached and cache-off.
+
+// LoadOptions configures one load-generator run.
+type LoadOptions struct {
+	Tenants int  // N concurrent tenants
+	Conns   int  // M concurrent connections per tenant
+	Stmts   int  // statements per connection
+	Rows    int  // fact-table rows behind the statement mix
+	Cache   bool // plan cache on/off
+	// Mix overrides the default statement mix (nil = loadMix). All
+	// statements run against the streamBenchDB catalog (tables t, s).
+	Mix []string
+}
+
+// TenantLoad is one tenant's latency summary.
+type TenantLoad struct {
+	Tenant string
+	Count  int
+	P50    time.Duration
+	P99    time.Duration
+}
+
+// LoadReport is the outcome of one load-generator run.
+type LoadReport struct {
+	Tenants []TenantLoad // sorted by tenant name
+	Total   int          // statements executed
+	Elapsed time.Duration
+	// P50/P99 merge every tenant's samples.
+	P50, P99    time.Duration
+	CacheHits   int64
+	CacheMisses int64
+}
+
+// HitRate returns the plan-cache hit fraction of the run (0 when the
+// cache saw no traffic).
+func (r *LoadReport) HitRate() float64 {
+	total := r.CacheHits + r.CacheMisses
+	if total == 0 {
+		return 0
+	}
+	return float64(r.CacheHits) / float64(total)
+}
+
+// loadMix is the repeated statement mix every connection cycles
+// through: the filter–join–group pipeline statement, a sort-limit, and
+// a filtered scan — all cacheable, so a warm cache serves everything
+// after the first execution of each shape.
+func loadMix(pipeline string) []string {
+	return []string{
+		pipeline,
+		"SELECT val FROM t ORDER BY val LIMIT 10",
+		"SELECT grp, val FROM t WHERE val > 50 LIMIT 100",
+	}
+}
+
+// RunLoad executes the load and reports per-tenant latency quantiles.
+func RunLoad(o LoadOptions) (*LoadReport, error) {
+	if o.Tenants < 1 || o.Conns < 1 || o.Stmts < 1 {
+		return nil, fmt.Errorf("bench: load needs at least 1 tenant, connection, and statement")
+	}
+	db, pipeline := streamBenchDB(o.Rows)
+	db.SetGovernor(exec.NewGovernor(0, 0))
+	db.SetPlanCache(o.Cache)
+	mix := o.Mix
+	if mix == nil {
+		mix = loadMix(pipeline)
+	}
+
+	// Warm outside the timed region: first executions plan (and, when
+	// the cache is on, install the entries) so the measured samples see
+	// the steady serving state.
+	for _, q := range mix {
+		if _, err := db.Query(q); err != nil {
+			return nil, fmt.Errorf("bench: load warmup %q: %w", q, err)
+		}
+	}
+	pcBase := db.Metrics().PlanCache
+
+	durs := make([][]time.Duration, o.Tenants) // [tenant] -> all samples
+	for i := range durs {
+		durs[i] = make([]time.Duration, 0, o.Conns*o.Stmts)
+	}
+	var mu sync.Mutex
+	var wg sync.WaitGroup
+	errs := make(chan error, o.Tenants*o.Conns)
+	start := time.Now()
+	for ti := 0; ti < o.Tenants; ti++ {
+		opts := &core.Options{Tenant: fmt.Sprintf("load-%d", ti), MemoryBudget: 1 << 30}
+		for c := 0; c < o.Conns; c++ {
+			wg.Add(1)
+			go func(ti, c int) {
+				defer wg.Done()
+				local := make([]time.Duration, 0, o.Stmts)
+				for s := 0; s < o.Stmts; s++ {
+					q := mix[(c+s)%len(mix)]
+					t0 := time.Now()
+					if _, err := db.QueryWith(q, opts); err != nil {
+						errs <- fmt.Errorf("bench: load tenant %d %q: %w", ti, q, err)
+						return
+					}
+					local = append(local, time.Since(t0))
+				}
+				mu.Lock()
+				durs[ti] = append(durs[ti], local...)
+				mu.Unlock()
+			}(ti, c)
+		}
+	}
+	wg.Wait()
+	close(errs)
+	if err := <-errs; err != nil {
+		return nil, err
+	}
+	elapsed := time.Since(start)
+
+	pc := db.Metrics().PlanCache
+	rep := &LoadReport{
+		Elapsed:     elapsed,
+		CacheHits:   pc.Hits - pcBase.Hits,
+		CacheMisses: pc.Misses - pcBase.Misses,
+	}
+	var all []time.Duration
+	for ti, d := range durs {
+		sort.Slice(d, func(a, b int) bool { return d[a] < d[b] })
+		rep.Tenants = append(rep.Tenants, TenantLoad{
+			Tenant: fmt.Sprintf("load-%d", ti),
+			Count:  len(d),
+			P50:    quantileDur(d, 0.50),
+			P99:    quantileDur(d, 0.99),
+		})
+		rep.Total += len(d)
+		all = append(all, d...)
+	}
+	sort.Slice(all, func(a, b int) bool { return all[a] < all[b] })
+	rep.P50 = quantileDur(all, 0.50)
+	rep.P99 = quantileDur(all, 0.99)
+	return rep, nil
+}
+
+// quantileDur returns the q-quantile of sorted samples (nearest-rank).
+func quantileDur(sorted []time.Duration, q float64) time.Duration {
+	if len(sorted) == 0 {
+		return 0
+	}
+	k := int(q * float64(len(sorted)-1))
+	return sorted[k]
+}
+
+// PrintLoadReport renders the per-tenant table rmabench -load prints.
+func PrintLoadReport(w io.Writer, o LoadOptions, r *LoadReport) {
+	mode := "cached"
+	if !o.Cache {
+		mode = "cache-off"
+	}
+	fmt.Fprintf(w, "load: %d tenants x %d conns x %d stmts (%s, %d rows)\n",
+		o.Tenants, o.Conns, o.Stmts, mode, o.Rows)
+	for _, t := range r.Tenants {
+		fmt.Fprintf(w, "  %-8s n=%-5d p50=%-10s p99=%s\n", t.Tenant, t.Count,
+			t.P50.Round(time.Microsecond), t.P99.Round(time.Microsecond))
+	}
+	fmt.Fprintf(w, "  overall  n=%-5d p50=%-10s p99=%s  %.0f stmts/s  cache hits=%d misses=%d (%.1f%%)\n",
+		r.Total, r.P50.Round(time.Microsecond), r.P99.Round(time.Microsecond),
+		float64(r.Total)/r.Elapsed.Seconds(), r.CacheHits, r.CacheMisses, 100*r.HitRate())
+}
+
+// loadKernelConfig is one LoadKernels scenario run cached and
+// cache-off.
+type loadKernelConfig struct {
+	label string
+	opts  LoadOptions
+}
+
+// LoadKernels measures the serving workload for the BENCH_<n>.json
+// trajectory, cached and cache-off: merged p50/p99 statement latency
+// under 4 tenants x 8 connections on the full mix (the concurrency
+// trajectory), and the serial point-statement latency where the plan
+// cache's parse+plan saving is a visible fraction of the statement.
+// Best of measureRounds runs per metric, matching the micro-kernel
+// estimator.
+func LoadKernels(quick bool) ([]KernelResult, error) {
+	concurrent := loadKernelConfig{label: "4x8",
+		opts: LoadOptions{Tenants: 4, Conns: 8, Stmts: 24, Rows: 1 << 15}}
+	point := loadKernelConfig{label: "serial-point",
+		opts: LoadOptions{Tenants: 1, Conns: 1, Stmts: 300, Rows: 1 << 12,
+			Mix: []string{"SELECT grp, val FROM t WHERE grp = 7 LIMIT 5"}}}
+	if quick {
+		concurrent.opts.Stmts, concurrent.opts.Rows = 6, 1<<12
+		point.opts.Stmts = 50
+	}
+	var out []KernelResult
+	for _, cfg := range []loadKernelConfig{concurrent, point} {
+		for _, cache := range []bool{true, false} {
+			o := cfg.opts
+			o.Cache = cache
+			suffix := "cached"
+			if !cache {
+				suffix = "nocache"
+			}
+			var bestP50, bestP99 time.Duration
+			for round := 0; round < measureRounds; round++ {
+				r, err := RunLoad(o)
+				if err != nil {
+					return nil, err
+				}
+				if cache && r.HitRate() <= 0.90 {
+					return nil, fmt.Errorf("bench: load hit rate %.1f%% <= 90%% (hits=%d misses=%d)",
+						100*r.HitRate(), r.CacheHits, r.CacheMisses)
+				}
+				if round == 0 || r.P50 < bestP50 {
+					bestP50 = r.P50
+				}
+				if round == 0 || r.P99 < bestP99 {
+					bestP99 = r.P99
+				}
+			}
+			out = append(out,
+				KernelResult{Op: "sql.Load(" + cfg.label + " p50, " + suffix + ")", Size: o.Rows,
+					Cols: o.Tenants * o.Conns, NsPerOp: float64(bestP50.Nanoseconds())},
+				KernelResult{Op: "sql.Load(" + cfg.label + " p99, " + suffix + ")", Size: o.Rows,
+					Cols: o.Tenants * o.Conns, NsPerOp: float64(bestP99.Nanoseconds())},
+			)
+		}
+	}
+	return out, nil
+}

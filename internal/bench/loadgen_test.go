@@ -1,0 +1,44 @@
+package bench
+
+import "testing"
+
+// TestRunLoad smoke-runs the load generator at tiny sizes and checks
+// the report's arithmetic: every statement accounted, quantiles
+// ordered, and the warm plan cache serving >90% of the load.
+func TestRunLoad(t *testing.T) {
+	o := LoadOptions{Tenants: 2, Conns: 3, Stmts: 5, Rows: 1 << 10, Cache: true}
+	r, err := RunLoad(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if want := o.Tenants * o.Conns * o.Stmts; r.Total != want {
+		t.Fatalf("total = %d, want %d", r.Total, want)
+	}
+	if len(r.Tenants) != o.Tenants {
+		t.Fatalf("tenant rows = %d", len(r.Tenants))
+	}
+	for _, tn := range r.Tenants {
+		if tn.Count != o.Conns*o.Stmts {
+			t.Fatalf("%s count = %d, want %d", tn.Tenant, tn.Count, o.Conns*o.Stmts)
+		}
+		if tn.P99 < tn.P50 {
+			t.Fatalf("%s p99 %v < p50 %v", tn.Tenant, tn.P99, tn.P50)
+		}
+	}
+	if r.P99 < r.P50 {
+		t.Fatalf("merged p99 %v < p50 %v", r.P99, r.P50)
+	}
+	if r.HitRate() <= 0.90 {
+		t.Fatalf("hit rate %.2f (hits=%d misses=%d), want >0.90", r.HitRate(), r.CacheHits, r.CacheMisses)
+	}
+
+	// Cache off: the same load runs clean with zero cache traffic.
+	o.Cache = false
+	r, err = RunLoad(o)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if r.CacheHits != 0 || r.CacheMisses != 0 {
+		t.Fatalf("cache-off run moved counters: hits=%d misses=%d", r.CacheHits, r.CacheMisses)
+	}
+}

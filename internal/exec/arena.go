@@ -3,6 +3,7 @@ package exec
 import (
 	"math/bits"
 	"sync"
+	"sync/atomic"
 )
 
 // Arena recycles the buffers the vectorized kernels produce: float64
@@ -28,11 +29,13 @@ import (
 // budget (an overrun unwinds as a typed panic that CatchBudget converts
 // back into ErrMemoryBudget at the nearest error boundary), and verify
 // buffer origin through a per-arena ledger: Free on an accounted arena
-// only uncharges — and only pools — buffers that arena itself handed
-// out, so a buffer migrating in from another arena can neither corrupt
-// the tenant's byte count nor smuggle unaccounted memory into the pools
-// (foreign buffers are left to the garbage collector). Close releases
-// an accounted arena's outstanding charges at end of query.
+// only pools buffers that arena itself handed out. A buffer freed into
+// the wrong arena is resolved through a process-wide owner registry —
+// the true owner's tenant is uncharged at that moment, not at Close —
+// but the foreign buffer still never enters an accounted arena's pools,
+// so migration cannot smuggle memory into pools the owner never fed.
+// Close releases an accounted arena's remaining charges at end of
+// query.
 //
 // Tenant arenas share their tenant's pool set (warm non-nil) instead of
 // carrying private pools: buffers freed during one statement warm the
@@ -78,6 +81,93 @@ type acct struct {
 	ints    map[*int]int64
 	int64s  map[*int64]int64
 	strings map[*string]int64
+}
+
+// ownerReg maps a live accounted buffer's first-element pointer to the
+// acct that charged it, one registry per element domain. It closes the
+// foreign-free accounting gap: a buffer freed into an arena that did
+// not allocate it used to stay charged against its owner until the
+// owning arena closed; the registry lets any arena's Free find the true
+// owner and release the charge immediately. Registry and ledger are
+// updated together under the owner's mutex, so an entry here always has
+// a matching ledger entry (and vice versa) — a foreign free that loses
+// the race with the owner's own free or Close simply finds no ledger
+// entry and backs off.
+type ownerReg[T any] struct {
+	m      sync.Map // *T -> *acct
+	ledger func(ac *acct) map[*T]int64
+	ctr    func(tn *Tenant) *domainCounters
+}
+
+// liveOwned counts registered buffers process-wide. It is the fast-path
+// guard on unaccounted frees: while no accounted arena holds live
+// buffers, a plain Free pays one atomic load and nothing else.
+var liveOwned atomic.Int64
+
+var (
+	floatOwners = ownerReg[float64]{
+		ledger: func(ac *acct) map[*float64]int64 { return ac.floats },
+		ctr:    func(tn *Tenant) *domainCounters { return &tn.floats },
+	}
+	intOwners = ownerReg[int]{
+		ledger: func(ac *acct) map[*int]int64 { return ac.ints },
+		ctr:    func(tn *Tenant) *domainCounters { return &tn.ints },
+	}
+	int64Owners = ownerReg[int64]{
+		ledger: func(ac *acct) map[*int64]int64 { return ac.int64s },
+		ctr:    func(tn *Tenant) *domainCounters { return &tn.int64s },
+	}
+	stringOwners = ownerReg[string]{
+		ledger: func(ac *acct) map[*string]int64 { return ac.strings },
+		ctr:    func(tn *Tenant) *domainCounters { return &tn.strings },
+	}
+)
+
+// release uncharges a buffer freed into an arena that does not own it.
+// When some accounted arena's ledger still carries the buffer, the
+// owner's ledger entry is removed, the free is counted on the owner's
+// tenant, and the charge is released — exactly what the owner's own
+// Free would have done, minus the pooling. Returns false for buffers no
+// registry knows (plain-arena or already-released memory), leaving the
+// caller's behavior unchanged.
+func (r *ownerReg[T]) release(s []T) bool {
+	if cap(s) == 0 || liveOwned.Load() == 0 {
+		return false
+	}
+	key := &s[:1][0]
+	v, ok := r.m.Load(key)
+	if !ok {
+		return false
+	}
+	ac := v.(*acct)
+	ac.mu.Lock()
+	var bytes int64
+	if ac.closed {
+		ok = false
+	} else {
+		m := r.ledger(ac)
+		if bytes, ok = m[key]; ok {
+			delete(m, key)
+			r.m.Delete(key)
+			liveOwned.Add(-1)
+		}
+	}
+	ac.mu.Unlock()
+	if !ok {
+		return false
+	}
+	r.ctr(ac.tenant).frees.Add(1)
+	ac.tenant.uncharge(bytes)
+	return true
+}
+
+// dropOwners clears the registry entries for every buffer still in an
+// arena's ledger; called by Close under the owner's mutex.
+func dropOwners[T any](r *ownerReg[T], m map[*T]int64) {
+	for k := range m {
+		r.m.Delete(k)
+		liveOwned.Add(-1)
+	}
 }
 
 // Element sizes charged per domain, in bytes.
@@ -169,7 +259,7 @@ func free[T any](pools *[poolClasses]sync.Pool, s []T, clearRefs bool) {
 // The ledger is passed as a pointer to the acct field and dereferenced
 // only under ac.mu: Close nils the field under the same lock, so a
 // racing alloc/free can never act on a stale map snapshot.
-func acctAlloc[T any](ac *acct, pools *[poolClasses]sync.Pool, ctr *domainCounters, owned *map[*T]int64, elemSize, n int) []T {
+func acctAlloc[T any](ac *acct, reg *ownerReg[T], pools *[poolClasses]sync.Pool, ctr *domainCounters, owned *map[*T]int64, elemSize, n int) []T {
 	// Charge before allocating: the buffer's capacity is known up front
 	// (the pool class size, or exactly n outside the pooled range — Free
 	// only pools exact class capacities, so a pooled Get always matches),
@@ -217,16 +307,21 @@ func acctAlloc[T any](ac *acct, pools *[poolClasses]sync.Pool, ctr *domainCounte
 		return s
 	}
 	(*owned)[key] = bytes
+	reg.m.Store(key, ac)
+	liveOwned.Add(1)
 	ac.mu.Unlock()
 	return s
 }
 
 // acctFree is free for accounted arenas. Origin is verified through the
-// ledger: only buffers this arena handed out are uncharged and pooled;
-// anything else — a buffer from another arena, or a double free — is
-// ignored and left to the garbage collector, so cross-arena migration
-// cannot corrupt the tenant's byte count.
-func acctFree[T any](ac *acct, pools *[poolClasses]sync.Pool, ctr *domainCounters, owned *map[*T]int64, s []T, clearRefs bool) {
+// ledger: only buffers this arena handed out are uncharged and pooled.
+// A buffer owned by some other accounted arena is uncharged against its
+// true owner through the registry but still left to the garbage
+// collector rather than pooled here, so cross-arena migration can
+// neither corrupt a tenant's byte count nor smuggle memory into pools
+// the owner never fed. Double frees and stray make()d buffers remain
+// no-ops.
+func acctFree[T any](ac *acct, reg *ownerReg[T], pools *[poolClasses]sync.Pool, ctr *domainCounters, owned *map[*T]int64, s []T, clearRefs bool) {
 	if cap(s) == 0 {
 		return
 	}
@@ -235,10 +330,13 @@ func acctFree[T any](ac *acct, pools *[poolClasses]sync.Pool, ctr *domainCounter
 	bytes, ok := (*owned)[key]
 	if ok {
 		delete(*owned, key)
+		reg.m.Delete(key)
+		liveOwned.Add(-1)
 	}
 	closed := ac.closed
 	ac.mu.Unlock()
 	if !ok {
+		reg.release(s)
 		return
 	}
 	ctr.frees.Add(1)
@@ -266,7 +364,7 @@ func (a *Arena) Floats(n int) []float64 {
 		a = Shared()
 	}
 	if ac := a.acct; ac != nil {
-		return acctAlloc(ac, &a.ps().floats, &ac.tenant.floats, &ac.floats, floatSize, n)
+		return acctAlloc(ac, &floatOwners, &a.ps().floats, &ac.tenant.floats, &ac.floats, floatSize, n)
 	}
 	return alloc[float64](&a.ps().floats, n)
 }
@@ -287,9 +385,10 @@ func (a *Arena) FreeFloats(f []float64) {
 		a = Shared()
 	}
 	if ac := a.acct; ac != nil {
-		acctFree(ac, &a.ps().floats, &ac.tenant.floats, &ac.floats, f, false)
+		acctFree(ac, &floatOwners, &a.ps().floats, &ac.tenant.floats, &ac.floats, f, false)
 		return
 	}
+	floatOwners.release(f)
 	free(&a.ps().floats, f, false)
 }
 
@@ -300,7 +399,7 @@ func (a *Arena) Ints(n int) []int {
 		a = Shared()
 	}
 	if ac := a.acct; ac != nil {
-		return acctAlloc(ac, &a.ps().ints, &ac.tenant.ints, &ac.ints, intSize, n)
+		return acctAlloc(ac, &intOwners, &a.ps().ints, &ac.tenant.ints, &ac.ints, intSize, n)
 	}
 	return alloc[int](&a.ps().ints, n)
 }
@@ -312,9 +411,10 @@ func (a *Arena) FreeInts(idx []int) {
 		a = Shared()
 	}
 	if ac := a.acct; ac != nil {
-		acctFree(ac, &a.ps().ints, &ac.tenant.ints, &ac.ints, idx, false)
+		acctFree(ac, &intOwners, &a.ps().ints, &ac.tenant.ints, &ac.ints, idx, false)
 		return
 	}
+	intOwners.release(idx)
 	free(&a.ps().ints, idx, false)
 }
 
@@ -325,7 +425,7 @@ func (a *Arena) Int64s(n int) []int64 {
 		a = Shared()
 	}
 	if ac := a.acct; ac != nil {
-		return acctAlloc(ac, &a.ps().int64s, &ac.tenant.int64s, &ac.int64s, int64Size, n)
+		return acctAlloc(ac, &int64Owners, &a.ps().int64s, &ac.tenant.int64s, &ac.int64s, int64Size, n)
 	}
 	return alloc[int64](&a.ps().int64s, n)
 }
@@ -336,9 +436,10 @@ func (a *Arena) FreeInt64s(xs []int64) {
 		a = Shared()
 	}
 	if ac := a.acct; ac != nil {
-		acctFree(ac, &a.ps().int64s, &ac.tenant.int64s, &ac.int64s, xs, false)
+		acctFree(ac, &int64Owners, &a.ps().int64s, &ac.tenant.int64s, &ac.int64s, xs, false)
 		return
 	}
+	int64Owners.release(xs)
 	free(&a.ps().int64s, xs, false)
 }
 
@@ -349,7 +450,7 @@ func (a *Arena) Strings(n int) []string {
 		a = Shared()
 	}
 	if ac := a.acct; ac != nil {
-		return acctAlloc(ac, &a.ps().strings, &ac.tenant.strings, &ac.strings, stringSize, n)
+		return acctAlloc(ac, &stringOwners, &a.ps().strings, &ac.tenant.strings, &ac.strings, stringSize, n)
 	}
 	return alloc[string](&a.ps().strings, n)
 }
@@ -361,9 +462,10 @@ func (a *Arena) FreeStrings(ss []string) {
 		a = Shared()
 	}
 	if ac := a.acct; ac != nil {
-		acctFree(ac, &a.ps().strings, &ac.tenant.strings, &ac.strings, ss, true)
+		acctFree(ac, &stringOwners, &a.ps().strings, &ac.tenant.strings, &ac.strings, ss, true)
 		return
 	}
+	stringOwners.release(ss)
 	free(&a.ps().strings, ss, true)
 }
 
@@ -409,6 +511,10 @@ func (a *Arena) Close() {
 	for _, b := range ac.strings {
 		total += b
 	}
+	dropOwners(&floatOwners, ac.floats)
+	dropOwners(&intOwners, ac.ints)
+	dropOwners(&int64Owners, ac.int64s)
+	dropOwners(&stringOwners, ac.strings)
 	ac.floats, ac.ints, ac.int64s, ac.strings = nil, nil, nil, nil
 	ac.mu.Unlock()
 	ac.tenant.uncharge(total)

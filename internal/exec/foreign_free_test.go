@@ -1,0 +1,128 @@
+package exec
+
+import (
+	"sync"
+	"testing"
+)
+
+// TestForeignFreeUnchargesOwner is the regression test for the carried
+// PR 4/5 accounting gap: a buffer freed into an arena other than the
+// one that allocated it used to stay charged against its owner until
+// the owning arena closed. The owner registry fix releases the charge
+// at the moment of the foreign free, whichever arena receives it.
+// (Verified failing before the registry fix: owner live stayed at 512
+// after each foreign free below.)
+func TestForeignFreeUnchargesOwner(t *testing.T) {
+	g := NewGovernor(0, 0)
+	owner := g.Tenant("owner", 0)
+	other := g.Tenant("other", 0)
+	a1 := owner.NewArena()
+	a2 := other.NewArena()
+	plain := NewArena()
+	defer a1.Close()
+	defer a2.Close()
+
+	// Freed into a plain (unaccounted) arena.
+	buf := a1.Floats(64) // 512 bytes charged to owner
+	if got := owner.LiveBytes(); got != 512 {
+		t.Fatalf("owner live after alloc = %d, want 512", got)
+	}
+	plain.FreeFloats(buf)
+	if got := owner.LiveBytes(); got != 0 {
+		t.Fatalf("owner live after free into plain arena = %d, want 0 (gap: charge carried to Close)", got)
+	}
+	if got := owner.Stats().Floats.Frees; got != 1 {
+		t.Fatalf("owner counted %d float frees, want 1", got)
+	}
+
+	// Freed into another tenant's accounted arena: the owner is
+	// uncharged, the receiving tenant's books are untouched.
+	buf = a1.Floats(64)
+	a2.FreeFloats(buf)
+	if got := owner.LiveBytes(); got != 0 {
+		t.Fatalf("owner live after free into foreign accounted arena = %d, want 0", got)
+	}
+	if got := other.LiveBytes(); got != 0 {
+		t.Fatalf("receiving tenant live = %d after foreign free, want 0", got)
+	}
+	if got := other.Stats().Floats.Frees; got != 0 {
+		t.Fatalf("receiving tenant counted %d frees for a foreign buffer", got)
+	}
+
+	// Every element domain takes the same path.
+	ints := a1.Ints(64)
+	i64s := a1.Int64s(64)
+	strs := a1.Strings(64)
+	if got := owner.LiveBytes(); got == 0 {
+		t.Fatal("nothing charged for the three remaining domains")
+	}
+	plain.FreeInts(ints)
+	plain.FreeInt64s(i64s)
+	plain.FreeStrings(strs)
+	if got := owner.LiveBytes(); got != 0 {
+		t.Fatalf("owner live after foreign frees across domains = %d, want 0", got)
+	}
+
+	// Close after a foreign free must not double-uncharge: the ledger
+	// entry went with the foreign free, so Close releases nothing more.
+	buf = a1.Floats(64)
+	plain.FreeFloats(buf)
+	a1.Close()
+	if got := owner.LiveBytes(); got != 0 {
+		t.Fatalf("owner live after Close = %d, want 0 (double uncharge would go negative)", got)
+	}
+}
+
+// TestForeignFreeConcurrent hammers the owner-registry seam under
+// -race: many goroutines allocate from per-tenant accounted arenas and
+// free half of the buffers into the wrong arena. Every tenant must
+// drain to exactly zero live bytes before its arenas close.
+func TestForeignFreeConcurrent(t *testing.T) {
+	g := NewGovernor(0, 0)
+	t1 := g.Tenant("ff-a", 0)
+	t2 := g.Tenant("ff-b", 0)
+	plain := NewArena()
+
+	const (
+		workers  = 8
+		rounds   = 200
+		elements = 128
+	)
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			mine, theirs := t1, t2
+			if w%2 == 1 {
+				mine, theirs = t2, t1
+			}
+			a := mine.NewArena()
+			defer a.Close()
+			foreign := theirs.NewArena()
+			defer foreign.Close()
+			for r := 0; r < rounds; r++ {
+				f := a.Floats(elements)
+				i := a.Ints(elements)
+				switch r % 3 {
+				case 0: // owner free
+					a.FreeFloats(f)
+					a.FreeInts(i)
+				case 1: // free into the other tenant's arena
+					foreign.FreeFloats(f)
+					foreign.FreeInts(i)
+				default: // free into a plain arena
+					plain.FreeFloats(f)
+					plain.FreeInts(i)
+				}
+			}
+		}(w)
+	}
+	wg.Wait()
+	if got := t1.LiveBytes(); got != 0 {
+		t.Fatalf("tenant a live after drain = %d, want 0", got)
+	}
+	if got := t2.LiveBytes(); got != 0 {
+		t.Fatalf("tenant b live after drain = %d, want 0", got)
+	}
+}

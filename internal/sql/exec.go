@@ -30,42 +30,66 @@ type DB struct {
 	gov      *exec.Governor
 	noStream bool
 	lastPipe []exec.StageStats
+	stmtOpts map[*exec.Ctx]*core.Options
+	cache    planCache
 }
 
 // NewDB returns an empty database bound to the process-default
-// governor.
+// governor, with the plan cache enabled.
 func NewDB() *DB {
-	return &DB{tables: make(map[string]*rel.Relation), gov: exec.DefaultGovernor()}
+	db := &DB{
+		tables:   make(map[string]*rel.Relation),
+		gov:      exec.DefaultGovernor(),
+		stmtOpts: make(map[*exec.Ctx]*core.Options),
+	}
+	db.cache.init(defaultPlanCacheCap)
+	return db
 }
 
-// SetRMAOptions sets the execution options (policy, sort mode, tenant,
-// memory budget, stats) used by RMA table functions and the statement
-// pipeline; nil restores the defaults.
+// SetRMAOptions sets the default execution options (policy, sort mode,
+// tenant, memory budget, stats) used by RMA table functions and the
+// statement pipeline; nil restores the defaults. Statements executed
+// through ExecWith carry their own options instead. Changing the
+// defaults invalidates the plan cache: RMA policy can change what a
+// table function returns.
 func (db *DB) SetRMAOptions(opts *core.Options) {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	db.rmaOpts = opts
+	db.mu.Unlock()
+	db.cache.invalidate()
 }
 
 // SetGovernor installs the governor statements are admitted against and
 // tenants are resolved through; nil restores the process default.
 func (db *DB) SetGovernor(g *exec.Governor) {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if g == nil {
 		g = exec.DefaultGovernor()
 	}
 	db.gov = g
+	db.mu.Unlock()
+	db.cache.invalidate()
 }
 
 // SetStreaming toggles the morsel-driven streaming SELECT pipeline
 // (enabled by default). Disabling it routes every SELECT through the
 // materializing path; results are bitwise-identical either way, so the
-// switch exists for comparison and diagnosis, not correctness.
+// switch exists for comparison and diagnosis, not correctness. The
+// toggle invalidates the plan cache — cached stream plans belong to the
+// mode they were planned under.
 func (db *DB) SetStreaming(on bool) {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	db.noStream = !on
+	db.mu.Unlock()
+	db.cache.invalidate()
+}
+
+// SetPlanCache toggles the normalized-statement plan cache (enabled by
+// default); disabling it drops the cached entries. The switch exists
+// for comparison — the differential tests and the load generator run
+// both ways — and as an escape hatch.
+func (db *DB) SetPlanCache(on bool) {
+	db.cache.setEnabled(on)
 }
 
 func (db *DB) streamingEnabled() bool {
@@ -90,13 +114,22 @@ func (db *DB) storePipelineStats(s []exec.StageStats) {
 	db.mu.Unlock()
 }
 
-// Metrics snapshots the governor the database runs under: admission
-// state plus per-tenant live/peak bytes and pool counters.
-func (db *DB) Metrics() exec.GovernorMetrics {
+// Metrics is the database's observable state: the governor's admission
+// and per-tenant memory books (embedded, so existing field access keeps
+// working) plus the plan cache counters.
+type Metrics struct {
+	exec.GovernorMetrics
+	PlanCache PlanCacheStats
+}
+
+// Metrics snapshots the governor the database runs under — admission
+// state plus per-tenant live/peak bytes and pool counters — and the
+// plan cache's hit/miss/invalidation counters.
+func (db *DB) Metrics() Metrics {
 	db.mu.RLock()
 	g := db.governorLocked()
 	db.mu.RUnlock()
-	return g.Metrics()
+	return Metrics{GovernorMetrics: g.Metrics(), PlanCache: db.cache.stats()}
 }
 
 // governorLocked resolves the governor statements run under: an explicit
@@ -114,8 +147,9 @@ func (db *DB) governorLocked() *exec.Governor {
 // Register stores a relation under a name, replacing any previous one.
 func (db *DB) Register(name string, r *rel.Relation) {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	db.tables[name] = r.WithName(name)
+	db.mu.Unlock()
+	db.cache.invalidate()
 }
 
 // Table returns the named relation.
@@ -142,23 +176,54 @@ func (db *DB) Tables() []string {
 }
 
 // Exec parses and executes a script and returns the result of the last
-// SELECT (nil if the script contains none). Every statement runs under
-// its own execution context (see stmtCtx), so concurrent scripts with
-// different parallelism budgets never share a worker knob. A statement
-// that exceeds its memory budget at the configured parallelism is
-// retried once serially (the serial plans need less scratch and every
-// operator is deterministic across worker budgets); if the retry fails
-// too, the typed error — matching exec.ErrMemoryBudget — is returned.
+// SELECT (nil if the script contains none) under the database's default
+// options. See ExecWith.
 func (db *DB) Exec(src string) (*rel.Relation, error) {
+	return db.ExecWith(src, nil)
+}
+
+// ExecWith is Exec with per-call execution options: a concurrent server
+// maps each request to its tenant's options without touching the
+// database-wide defaults (nil opts uses those defaults). Every
+// statement runs under its own execution context (see stmtCtx), so
+// concurrent statements with different parallelism budgets or tenants
+// never share a worker knob or an arena. A statement that exceeds its
+// memory budget at the configured parallelism is retried once serially
+// (the serial plans need less scratch and every operator is
+// deterministic across worker budgets); if the retry fails too, the
+// typed error — matching exec.ErrMemoryBudget — is returned.
+//
+// Single-statement SELECTs over plain tables and joins are served
+// through the plan cache: a repeat of the same normalized statement
+// text skips parsing and planning entirely.
+func (db *DB) ExecWith(src string, opts *core.Options) (*rel.Relation, error) {
+	if opts == nil {
+		db.mu.RLock()
+		opts = db.rmaOpts
+		db.mu.RUnlock()
+	}
+	key, normOK := normalizeStmt(src)
+	if normOK {
+		if e := db.cache.get(key); e != nil {
+			return db.execCached(e, opts)
+		}
+	}
 	stmts, err := Parse(src)
 	if err != nil {
 		return nil, err
 	}
+	if normOK && len(stmts) == 1 {
+		if sel, ok := stmts[0].(*SelectStmt); ok && cacheableSelect(sel) {
+			if e := db.cache.put(key, sel); e != nil {
+				return db.execCached(e, opts)
+			}
+		}
+	}
 	var last *rel.Relation
 	for _, s := range stmts {
-		res, err := db.runStmt(s, 0)
-		if err != nil && errors.Is(err, exec.ErrMemoryBudget) && db.stmtWorkers() > 1 {
-			res, err = db.runStmt(s, 1)
+		res, err := db.runStmt(s, opts, 0)
+		if err != nil && errors.Is(err, exec.ErrMemoryBudget) && workersOf(opts) > 1 {
+			res, err = db.runStmt(s, opts, 1)
 		}
 		if err != nil {
 			return nil, err
@@ -170,35 +235,59 @@ func (db *DB) Exec(src string) (*rel.Relation, error) {
 	return last, nil
 }
 
+// execCached executes a cache-served SELECT with the same serial
+// memory-budget retry as the parse path.
+func (db *DB) execCached(e *planEntry, opts *core.Options) (*rel.Relation, error) {
+	res, err := db.runCached(e, opts, 0)
+	if err != nil && errors.Is(err, exec.ErrMemoryBudget) && workersOf(opts) > 1 {
+		res, err = db.runCached(e, opts, 1)
+	}
+	return res, err
+}
+
+// runCached runs one execution of a cached statement: the entry's
+// stream plan when streaming is on and the planner took the statement
+// (planned lazily on the entry's first streamed execution, shared and
+// read-only afterwards), the materializing executor otherwise.
+func (db *DB) runCached(e *planEntry, opts *core.Options, forceSerial int) (res *rel.Relation, err error) {
+	c, finish := db.stmtCtx(opts, forceSerial)
+	defer finish()
+	defer exec.CatchBudget(&err)
+	if db.streamingEnabled() {
+		if plan := e.planFor(db, c); plan != nil {
+			return db.execPlanned(c, e.sel, plan)
+		}
+	}
+	return db.execSelectMaterialized(c, e.sel)
+}
+
 // runStmt admits one statement against the governor, executes it under
 // a fresh per-statement context, and tears the context down: the
 // statement's arena charges are released and the admission reservation
 // is handed back whether the statement succeeded or not. forceSerial
 // overrides the configured parallelism for the memory-budget retry.
-func (db *DB) runStmt(s Statement, forceSerial int) (res *rel.Relation, err error) {
-	c, finish := db.stmtCtx(forceSerial)
+func (db *DB) runStmt(s Statement, opts *core.Options, forceSerial int) (res *rel.Relation, err error) {
+	c, finish := db.stmtCtx(opts, forceSerial)
 	defer finish()
 	defer exec.CatchBudget(&err)
 	return db.run(c, s)
 }
 
-// stmtWorkers returns the resolved per-statement parallelism: the
-// configured budget, or the process default when dynamic. The serial
-// budget retry keys off this — a statement that already ran with one
-// worker would fail identically on a rerun.
-func (db *DB) stmtWorkers() int {
-	db.mu.RLock()
-	defer db.mu.RUnlock()
-	if db.rmaOpts != nil && db.rmaOpts.Parallelism > 0 {
-		return db.rmaOpts.Parallelism
+// workersOf returns the resolved per-statement parallelism of a set of
+// options: the configured budget, or the process default when dynamic.
+// The serial budget retry keys off this — a statement that already ran
+// with one worker would fail identically on a rerun.
+func workersOf(opts *core.Options) int {
+	if opts != nil && opts.Parallelism > 0 {
+		return opts.Parallelism
 	}
 	return exec.DefaultWorkers()
 }
 
-// stmtCtx builds one statement's execution context from the configured
-// RMA options: the Parallelism budget scopes to this statement only
-// (zero follows the process default; forceSerial > 0 overrides it), and
-// a tenant/memory-budget configuration routes the statement's arena
+// stmtCtx builds one statement's execution context from its options:
+// the Parallelism budget scopes to this statement only (zero follows
+// the process default; forceSerial > 0 overrides it), and a
+// tenant/memory-budget configuration routes the statement's arena
 // traffic through a per-statement accounted arena charging the tenant.
 // The statement is admitted against the governor before the context is
 // handed out — its declared budget reserves room under the global cap —
@@ -208,12 +297,11 @@ func (db *DB) stmtWorkers() int {
 //
 // The relational operators of the SELECT pipeline run under this
 // context; RMA table functions build their own context from the same
-// options inside core.Unary/Binary, charging the same tenant.
-func (db *DB) stmtCtx(forceSerial int) (*exec.Ctx, func()) {
-	db.mu.RLock()
-	opts := db.rmaOpts
-	gov := db.governorLocked()
-	db.mu.RUnlock()
+// options inside core.Unary/Binary, charging the same tenant — the
+// context-to-options registration here is how evalRMA finds the
+// statement's options without consulting the database-wide defaults.
+func (db *DB) stmtCtx(opts *core.Options, forceSerial int) (*exec.Ctx, func()) {
+	gov := db.governorFor(opts)
 	var workers int
 	var budget int64
 	var arena *exec.Arena
@@ -226,15 +314,53 @@ func (db *DB) stmtCtx(forceSerial int) (*exec.Ctx, func()) {
 		workers = forceSerial
 	}
 	release := gov.Admit(budget)
-	return exec.NewCtx(workers, arena, nil), func() {
+	c := exec.NewCtx(workers, arena, nil)
+	db.mu.Lock()
+	db.stmtOpts[c] = opts
+	db.mu.Unlock()
+	return c, func() {
+		db.mu.Lock()
+		delete(db.stmtOpts, c)
+		db.mu.Unlock()
 		arena.Close()
 		release()
 	}
 }
 
+// governorFor resolves the governor a statement runs under: an explicit
+// Options.Governor wins over the database's own, so a caller that
+// configures one gets a single set of books — the statement pipeline,
+// the RMA table functions, admission, and Metrics all land on the same
+// governor.
+func (db *DB) governorFor(opts *core.Options) *exec.Governor {
+	if opts != nil && opts.Governor != nil {
+		return opts.Governor
+	}
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.gov
+}
+
+// stmtOptsFor returns the options the statement owning ctx was launched
+// with, falling back to the database-wide defaults for contexts this DB
+// did not create.
+func (db *DB) stmtOptsFor(c *exec.Ctx) *core.Options {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	if o, ok := db.stmtOpts[c]; ok {
+		return o
+	}
+	return db.rmaOpts
+}
+
 // Query executes a single SELECT statement.
 func (db *DB) Query(src string) (*rel.Relation, error) {
-	res, err := db.Exec(src)
+	return db.QueryWith(src, nil)
+}
+
+// QueryWith is Query with per-call execution options (see ExecWith).
+func (db *DB) QueryWith(src string, opts *core.Options) (*rel.Relation, error) {
+	res, err := db.ExecWith(src, opts)
 	if err != nil {
 		return nil, err
 	}
@@ -242,6 +368,39 @@ func (db *DB) Query(src string) (*rel.Relation, error) {
 		return nil, fmt.Errorf("sql: statement returned no result")
 	}
 	return res, nil
+}
+
+// Stmt is a prepared statement: Prepare validates the script once and
+// warms the plan cache for cacheable SELECTs; executions go through the
+// same normalized-text cache as ExecWith, so a Stmt holds no plan state
+// of its own to invalidate.
+type Stmt struct {
+	db  *DB
+	src string
+}
+
+// Prepare parses and validates a script and returns a reusable handle.
+func (db *DB) Prepare(src string) (*Stmt, error) {
+	stmts, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) == 1 {
+		if sel, ok := stmts[0].(*SelectStmt); ok && cacheableSelect(sel) {
+			if key, ok := normalizeStmt(src); ok {
+				db.cache.put(key, sel)
+			}
+		}
+	}
+	return &Stmt{db: db, src: src}, nil
+}
+
+// Exec executes the prepared statement under the database defaults.
+func (s *Stmt) Exec() (*rel.Relation, error) { return s.db.ExecWith(s.src, nil) }
+
+// ExecWith executes the prepared statement under per-call options.
+func (s *Stmt) ExecWith(opts *core.Options) (*rel.Relation, error) {
+	return s.db.ExecWith(s.src, opts)
 }
 
 func (db *DB) run(c *exec.Ctx, s Statement) (*rel.Relation, error) {
@@ -258,11 +417,13 @@ func (db *DB) run(c *exec.Ctx, s Statement) (*rel.Relation, error) {
 		return nil, db.runInsert(c, x)
 	case *DropStmt:
 		db.mu.Lock()
-		defer db.mu.Unlock()
 		if _, ok := db.tables[x.Table]; !ok {
+			db.mu.Unlock()
 			return nil, fmt.Errorf("sql: no such table %q", x.Table)
 		}
 		delete(db.tables, x.Table)
+		db.mu.Unlock()
+		db.cache.invalidate()
 		return nil, nil
 	}
 	return nil, fmt.Errorf("sql: unsupported statement %T", s)
@@ -270,8 +431,8 @@ func (db *DB) run(c *exec.Ctx, s Statement) (*rel.Relation, error) {
 
 func (db *DB) runCreate(x *CreateStmt) error {
 	db.mu.Lock()
-	defer db.mu.Unlock()
 	if _, ok := db.tables[x.Name]; ok {
+		db.mu.Unlock()
 		return fmt.Errorf("sql: table %q already exists", x.Name)
 	}
 	schema := make(rel.Schema, len(x.Columns))
@@ -279,6 +440,8 @@ func (db *DB) runCreate(x *CreateStmt) error {
 		schema[k] = rel.Attr{Name: c.Name, Type: c.Type}
 	}
 	db.tables[x.Name] = rel.Empty(x.Name, schema)
+	db.mu.Unlock()
+	db.cache.invalidate()
 	return nil
 }
 
@@ -325,6 +488,7 @@ func (db *DB) runInsert(c *exec.Ctx, x *InsertStmt) error {
 	db.mu.Lock()
 	db.tables[x.Table] = merged.WithName(x.Table)
 	db.mu.Unlock()
+	db.cache.invalidate()
 	return nil
 }
 
@@ -406,10 +570,8 @@ func (db *DB) evalRMA(c *exec.Ctx, x *RMARef) (*rel.Relation, error) {
 		}
 		args[k] = r
 	}
-	db.mu.RLock()
-	opts := db.rmaOpts
-	gov := db.governorLocked()
-	db.mu.RUnlock()
+	opts := db.stmtOptsFor(c)
+	gov := db.governorFor(opts)
 	// RMA table functions build their own per-invocation context inside
 	// core; route them through the database's governor so their tenant
 	// accounting lands in the same books as the statement pipeline, and

@@ -216,6 +216,16 @@ func (n *streamNode) check() error {
 	return nil
 }
 
+// finalize pre-builds the morsel schema of every node in the tree.
+// planStream calls it once planning succeeds, so concurrent executions
+// of a shared (cached) plan never race on the lazily built bschema.
+func (n *streamNode) finalize() {
+	n.batchSchema()
+	if n.left != nil {
+		n.left.finalize()
+	}
+}
+
 // batchSchema returns the node's internal-name schema for wrapping
 // morsels as expression sources, built once.
 func (n *streamNode) batchSchema() rel.Schema {
@@ -356,6 +366,7 @@ func (db *DB) planStream(c *exec.Ctx, sel *SelectStmt) (*selectPlan, error) {
 	if err := root.check(); err != nil {
 		return nil, err
 	}
+	root.finalize()
 
 	plan := &selectPlan{root: root, items: items}
 	proto := protoSource(root.outSyms, root.outTypes)

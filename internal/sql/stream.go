@@ -584,6 +584,14 @@ func (db *DB) execSelectStreaming(c *exec.Ctx, sel *SelectStmt) (*rel.Relation, 
 	if err != nil {
 		return nil, errNeedMaterialize
 	}
+	return db.execPlanned(c, sel, plan)
+}
+
+// execPlanned runs a planned streaming SELECT. The plan may be shared —
+// cached plans execute concurrently — so execution treats it as
+// strictly read-only: per-morsel state lives in the operators and the
+// statement's context, never on the plan.
+func (db *DB) execPlanned(c *exec.Ctx, sel *SelectStmt, plan *selectPlan) (*rel.Relation, error) {
 	ps := exec.NewPipelineStats()
 	defer func() { db.storePipelineStats(ps.Snapshot()) }()
 	st, err := db.openStream(c, plan.root, ps)
@@ -739,7 +747,11 @@ func (db *DB) runStreamGrouped(c *exec.Ctx, sel *SelectStmt, plan *selectPlan, s
 	}
 	src := newSource(grouped, grpQual)
 
-	items := plan.items
+	// Work on a copy of the plan's items: the rewrite below replaces
+	// aggregate expressions with grouped-column references, and a cached
+	// plan shared between concurrent executions must never be mutated.
+	items := make([]SelectItem, len(plan.items))
+	copy(items, plan.items)
 	rewrites := make(map[string]Expr)
 	for k, g := range sel.GroupBy {
 		rewrites[keyOf(g)] = &ColRef{Qualifier: grpQual, Name: fmt.Sprintf("g%d", k)}
