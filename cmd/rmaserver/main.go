@@ -86,6 +86,9 @@ func main() {
 	maxQueries := flag.Int("maxqueries", 0, "max concurrently running statements (0 = unlimited)")
 	demo := flag.Bool("demo", false, "preload the paper's example database")
 	drainTimeout := flag.Duration("drain", 30*time.Second, "graceful-drain timeout on SIGINT/SIGTERM")
+	dataDir := flag.String("data", "", "data directory for CREATE TABLE ... PERSIST (empty = persistence off); checkpointed tables are restored on startup")
+	spillDir := flag.String("spill", "", "scratch directory for out-of-core execution (empty = spilling off)")
+	spillMiB := flag.Int("spillmib", 0, "operator in-memory footprint in MiB above which it spills (0 = half the statement tenant's budget)")
 	flag.Parse()
 
 	keys, err := parseKeys(*keySpec)
@@ -98,6 +101,22 @@ func main() {
 
 	db := sql.NewDB()
 	db.SetGovernor(exec.NewGovernor(int64(*globalCap)<<20, *maxQueries))
+	if *spillDir != "" {
+		db.SetSpill(*spillDir, int64(*spillMiB)<<20)
+		log.Printf("out-of-core execution enabled: staging under %s", *spillDir)
+	}
+	if *dataDir != "" {
+		if err := db.SetDataDir(*dataDir); err != nil {
+			log.Fatal(err)
+		}
+		loaded, err := db.LoadPersisted()
+		if err != nil {
+			log.Fatal(err)
+		}
+		if len(loaded) > 0 {
+			log.Printf("restored %d persisted table(s) from %s: %s", len(loaded), *dataDir, strings.Join(loaded, ", "))
+		}
+	}
 	if *demo {
 		if _, err := db.Exec(demoScript); err != nil {
 			log.Fatal(err)

@@ -310,17 +310,27 @@ func (s *Server) histFor(tenant string) *latHist {
 
 // latHist is a lock-free log-scale latency histogram: bucket k counts
 // statements whose latency in microseconds has bit length k, so bucket
-// upper bounds run 1µs, 2µs, 4µs, ... ~36min. Quantiles report the
-// upper bound of the bucket holding the requested rank — at most 2×
-// the true value, plenty for a p50/p99 load dashboard.
+// upper bounds run 1µs, 2µs, 4µs, ... 2^40µs (≈12.7 days). Quantiles
+// report the upper bound of the bucket holding the requested rank — at
+// most 2× the true value, plenty for a p50/p99 load dashboard. The
+// last bucket is open-ended (it also absorbs anything ≥ 2^40µs), so
+// ranks landing there report the largest latency actually observed
+// instead of the bucket bound, which would under-report.
 type latHist struct {
 	buckets [41]atomic.Int64
+	maxUs   atomic.Int64 // largest observation, for the open last bucket
 }
 
 func (h *latHist) observe(d time.Duration) {
 	us := d.Microseconds()
 	if us < 1 {
 		us = 1
+	}
+	for {
+		old := h.maxUs.Load()
+		if us <= old || h.maxUs.CompareAndSwap(old, us) {
+			break
+		}
 	}
 	b := bits.Len64(uint64(us))
 	if b >= len(h.buckets) {
@@ -351,9 +361,14 @@ func (h *latHist) quantile(q float64) float64 {
 	for i := range h.buckets {
 		seen += h.buckets[i].Load()
 		if seen >= rank {
+			if i == len(h.buckets)-1 {
+				// The open-ended last bucket has no meaningful upper
+				// bound; report the observed maximum.
+				return float64(h.maxUs.Load()) / 1e3
+			}
 			// Upper bound of bucket i is 2^i - 1 microseconds.
 			return float64(uint64(1)<<uint(i)-1) / 1e3
 		}
 	}
-	return float64(uint64(1)<<uint(len(h.buckets)-1)) / 1e3
+	return float64(h.maxUs.Load()) / 1e3
 }

@@ -49,7 +49,7 @@ func newTestServer(t *testing.T, globalCap int64, maxQueries int, keys map[strin
 	db := sql.NewDB()
 	db.SetGovernor(exec.NewGovernor(globalCap, maxQueries))
 	db.Register("t", wideRel(1<<16))
-	db.Register("g", groupRel(1 << 14))
+	db.Register("g", groupRel(1<<14))
 	srv := NewServer(db, keys)
 	ts := httptest.NewServer(srv)
 	t.Cleanup(ts.Close)

@@ -169,6 +169,58 @@
 // exec.PipelineStats records per-stage batch/row counts and peak held
 // bytes, surfaced through sql.DB.PipelineStats and rmacli \stats.
 //
+// # Out-of-core storage and spill
+//
+// internal/store is the on-disk column-segment format: a table
+// checkpoints as one file of per-column segments of store.SegRows
+// (65536) rows, each segment carrying a min/max zone map (floats
+// through IEEE bit patterns so NaN and -0 round-trip, ints exactly,
+// strings byte-wise) and an independently chosen encoding —
+// dictionary codes when the segment's distinct count is small,
+// run-length pairs when runs dominate, raw fixed-width words
+// otherwise. Segments are aligned to blocks of store.BlockRows rows,
+// which equals bat.MorselSize (4096), and SegRows is an exact multiple
+// of it, so segment-granular decisions (zone-map skips, buffer-pool
+// residency) always preserve morsel boundaries and with them the
+// engine's bitwise determinism.
+// Reads go through mmap when the platform provides it and fall back to
+// buffered I/O otherwise; decoded segments are charged to the reading
+// query's arena (store.Pool evicts LRU segments under a byte cap, so a
+// scan's resident footprint is bounded regardless of table size) and
+// handed back when the cursor advances.
+//
+// Persistence rides the same format: CREATE TABLE ... PERSIST
+// checkpoints the table into the DB's data directory (sql.DB.SetDataDir)
+// on every mutation, and sql.DB.LoadPersisted restores all checkpointed
+// tables after a restart — bitwise, including -0 and string interning
+// behavior, as the restart test drives through an actual cmd/rmaserver
+// process cycle. Scans over persisted tables consult the zone maps:
+// WHERE conjuncts that prove per-column bounds (comparisons, BETWEEN,
+// string equality) skip whole segments whose min/max ranges cannot
+// match, before any row is touched.
+//
+// Spill is the third rung of the statement retry ladder. Each statement
+// runs normal → serial (on budget errors, when it ran parallel) →
+// serial with forced spill (when the DB has a spill directory,
+// sql.DB.SetSpill). Above that, spill engages proactively: every
+// estimate-gated consumer asks exec.Ctx.ShouldSpill(estimate) before
+// allocating its dominant transient, where the threshold is the
+// configured byte count, or half the tenant's budget when configured as
+// zero (unbudgeted tenants never auto-spill). The consumers are the
+// three the roadmap named: hash-join pair staging (16-way partitioned
+// pair files merged back in canonical probe order — both
+// rel.HashJoinSized and the SQL layer's rel.EquiJoinPairsSpilled
+// route), grouped aggregation (rel.StreamAgg and rel.GroupBy freeze
+// partial tables to disk and merge), and sort (per-run files k-way
+// merged; a serial sort is one run and never stages). Every spilled
+// path reproduces its in-memory result bit for bit at any worker
+// count — asserted by a self-calibrating differential test that
+// measures the in-memory and fully-spilled serial peaks and runs the
+// statement under the midpoint budget, plus spill-forced legs of the
+// fuzz oracle (RMA_ORACLE_SPILL) and a -race CI stress step.
+// exec.SpillStats (bytes, partitions, events) aggregates into
+// sql.DB.Metrics alongside the arena counters.
+//
 // # Plan cache
 //
 // sql.DB keeps a bounded LRU plan cache (256 entries) keyed by

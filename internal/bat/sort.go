@@ -30,6 +30,12 @@ func SortStable(c *exec.Ctx, n int, less func(a, b int) bool) []int {
 			sort.SliceStable(s, func(a, b int) bool { return less(s[a], s[b]) })
 		}
 	})
+	// Out-of-core merge: when the spill policy asks for it, the sorted
+	// runs go to disk and merge back streaming, skipping the second
+	// n-int buffer entirely.
+	if sortMergeSpilled(c, idx, n, size, less) {
+		return idx
+	}
 	buf := c.Arena().Ints(n)
 	src, dst := idx, buf
 	for width := size; width < n; width *= 2 {

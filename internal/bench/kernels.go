@@ -18,6 +18,7 @@ import (
 	"repro/internal/matrix"
 	"repro/internal/rel"
 	"repro/internal/sql"
+	"repro/internal/store"
 )
 
 // KernelResult is one row of the machine-readable benchmark file that
@@ -296,7 +297,103 @@ func MicroKernels(quick bool) ([]KernelResult, error) {
 		out = append(out, kr)
 	}
 
+	// Out-of-core variant of the same pipeline: a one-byte spill
+	// threshold sends every estimate-gated operator to its disk path, so
+	// the trajectory tracks what staging costs against the in-memory
+	// rows above — and PeakBytes records the resident footprint the
+	// staging buys back.
+	spillDir, err := os.MkdirTemp("", "rmabench-spill-")
+	if err != nil {
+		return nil, fmt.Errorf("bench: spill dir: %w", err)
+	}
+	defer os.RemoveAll(spillDir)
+	sdb.SetStreaming(true)
+	sdb.SetSpill(spillDir, 1)
+	sgov := exec.NewGovernor(1<<33, 4)
+	sdb.SetGovernor(sgov)
+	sdb.SetRMAOptions(&core.Options{Tenant: "bench-spill", MemoryBudget: 1 << 31})
+	if _, err := sdb.Query(q); err != nil {
+		return nil, fmt.Errorf("bench: spilled pipeline setup: %w", err)
+	}
+	if st := sdb.SpillStats(); st.Events == 0 {
+		return nil, fmt.Errorf("bench: spilled pipeline staged nothing to disk")
+	}
+	spillPeak := sgov.Tenant("bench-spill", 1<<31).PeakBytes()
+	sdb.SetRMAOptions(nil)
+	kr := measure("sql.Select(filter-join-group, spilled)", joinRows, 3, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := sdb.Query(q); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	kr.PeakBytes = spillPeak
+	out = append(out, kr)
+
+	// Zone-map-pruned scan over the on-disk segment store: ascending
+	// keys make per-segment min/max ranges disjoint, so the BETWEEN
+	// confines the aggregation to one mid-table segment and the scan
+	// skips the rest.
+	scanSegs := 8
+	if quick {
+		scanSegs = 2
+	}
+	scanRows := scanSegs * store.SegRows
+	scanQ, pdb, pdir, err := persistedScanDB(scanSegs)
+	if err != nil {
+		return nil, err
+	}
+	defer os.RemoveAll(pdir)
+	defer pdb.Close()
+	out = append(out, measure("store.Scan(zonemap-pruned)", scanRows, 2, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := pdb.Query(scanQ); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
 	return out, nil
+}
+
+// persistedScanDB checkpoints a two-column table spanning scanSegs
+// on-disk segments and returns a single-segment range aggregation over
+// it, plus the data directory for the caller to remove after Close.
+func persistedScanDB(scanSegs int) (string, *sql.DB, string, error) {
+	dir, err := os.MkdirTemp("", "rmabench-store-")
+	if err != nil {
+		return "", nil, "", fmt.Errorf("bench: store dir: %w", err)
+	}
+	n := scanSegs * store.SegRows
+	ks := make([]int64, n)
+	vs := make([]float64, n)
+	for i := range ks {
+		ks[i] = int64(i)
+		vs[i] = float64(i%911) * 0.5
+	}
+	db := sql.NewDB()
+	if err := db.SetDataDir(dir); err != nil {
+		return "", nil, "", fmt.Errorf("bench: store scan setup: %w", err)
+	}
+	db.Register("src", rel.MustNew("src", rel.Schema{
+		{Name: "k", Type: bat.Int},
+		{Name: "v", Type: bat.Float},
+	}, []*bat.BAT{bat.FromInts(ks), bat.FromFloats(vs)}))
+	for _, stmt := range []string{
+		"CREATE TABLE pt (k BIGINT, v DOUBLE) PERSIST",
+		"INSERT INTO pt SELECT k, v FROM src",
+	} {
+		if _, err := db.Exec(stmt); err != nil {
+			db.Close()
+			return "", nil, "", fmt.Errorf("bench: %s: %w", stmt, err)
+		}
+	}
+	lo := (scanSegs / 2) * store.SegRows
+	q := fmt.Sprintf("SELECT SUM(v) AS s, COUNT(*) AS n FROM pt WHERE k BETWEEN %d AND %d",
+		lo, lo+store.SegRows-1)
+	return q, db, dir, nil
 }
 
 // streamBenchDB builds the fact/dimension pair and the statement the

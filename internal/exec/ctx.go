@@ -64,6 +64,11 @@ type Stats struct {
 	Sections atomic.Int64
 	// Goroutines counts goroutines spawned by those sections.
 	Goroutines atomic.Int64
+	// SpilledBytes counts bytes written to disk by spill paths
+	// (hash-join partitions, aggregation partials, sort runs).
+	SpilledBytes atomic.Int64
+	// SpilledPartitions counts on-disk partitions those paths created.
+	SpilledPartitions atomic.Int64
 }
 
 // section records one fan-out of g goroutines; nil-safe.
@@ -80,6 +85,7 @@ type Ctx struct {
 	workers int    // 0 means "track DefaultWorkers dynamically"
 	arena   *Arena // nil means the shared arena
 	stats   *Stats
+	spill   *Spill // nil disables out-of-core execution
 }
 
 // defaultCtx backs Default; its zero fields resolve dynamically.

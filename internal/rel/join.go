@@ -271,6 +271,13 @@ func HashJoinSized(c *exec.Ctx, r, s *Relation, rKeys, sKeys []string, jt JoinTy
 		}
 	}
 
+	// Out-of-core path: stage the pair arrays to disk instead of
+	// materializing them (and shrink the build table to one partition at
+	// a time). Same result, bit for bit.
+	if c.ShouldSpill(joinSpillEst(rkc.n, skc.n)) {
+		return hashJoinSpilled(c, r, s, rkc, skc, sAttrs, jt)
+	}
+
 	// Build on s, probe with r.
 	table := buildJoinTableSized(c, skc.hashes(c), buildHint)
 	li, ri, anyUnmatched := probePairs(c, table, rkc, skc, jt == Left)

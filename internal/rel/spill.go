@@ -1,0 +1,426 @@
+package rel
+
+import (
+	"fmt"
+	"os"
+
+	"repro/internal/bat"
+	"repro/internal/exec"
+	"repro/internal/store"
+)
+
+// This file holds the out-of-core equi-join: instead of materializing
+// the (probe, build) pair arrays — 16 bytes per match, the dominant
+// allocation of a fan-out join — the pairs are staged to per-partition
+// segment files and streamed back in canonical order, so the only
+// full-size in-memory structures left are the result columns
+// themselves. Partitioning by key hash also shrinks the transient build
+// table to one partition's share. The pair order on disk is exactly the
+// in-memory order (probe rows ascending, matches per probe row in build
+// order), so the streamed join is bitwise-identical to HashJoin.
+
+// pairParts is the partition fan-out of the spilled join. Each probe
+// row's matches land wholly in one partition (selected by key hash), so
+// a front-merge over the partition streams restores global probe order.
+const pairParts = 16
+
+// SpilledPairs is the on-disk result of a spilled equi-join pair
+// computation: per-partition segment files of (probe, build) row pairs,
+// with -1 build rows marking left-outer non-matches.
+type SpilledPairs struct {
+	paths [pairParts]string
+	rows  [pairParts]int64
+	total int
+	any   bool // any unmatched probe row (left outer)
+}
+
+// Total returns the number of pairs (including left-outer non-matches).
+func (sp *SpilledPairs) Total() int { return sp.total }
+
+// AnyUnmatched reports whether any left-outer non-match was emitted.
+func (sp *SpilledPairs) AnyUnmatched() bool { return sp.any }
+
+// Close removes the staged partition files. Idempotent.
+func (sp *SpilledPairs) Close() {
+	for pt := range sp.paths {
+		if sp.paths[pt] != "" {
+			os.Remove(sp.paths[pt])
+			sp.paths[pt] = ""
+		}
+	}
+}
+
+var pairSpecs = []store.ColSpec{
+	{Name: "l", Kind: store.KInt},
+	{Name: "r", Kind: store.KInt},
+}
+
+// spilledJoinPairs computes the equi-join pairs of rkc (probe) against
+// skc (build) partition by partition, staging the pairs to disk. The
+// build table only ever holds one partition's rows, and the pair arrays
+// never exist in memory.
+func spilledJoinPairs(c *exec.Ctx, rkc, skc *keyCols, leftOuter bool) (*SpilledPairs, error) {
+	sh := skc.hashes(c)
+	rh := rkc.hashes(c)
+	sp := &SpilledPairs{}
+	var spilledBytes int64
+	parts := int64(0)
+
+	bufL := make([]int64, 0, bat.MorselSize)
+	bufR := make([]int64, 0, bat.MorselSize)
+	for pt := uint64(0); pt < pairParts; pt++ {
+		// Build this partition's table: build rows in ascending order,
+		// so per-key match lists replay in build order.
+		mp := make(map[uint64][]int, len(sh)/pairParts+1)
+		for j, hv := range sh {
+			if hv&(pairParts-1) == pt {
+				mp[hv] = append(mp[hv], j)
+			}
+		}
+		var w *store.Writer
+		flush := func() error {
+			if len(bufL) == 0 {
+				return nil
+			}
+			if w == nil {
+				path, err := c.Spill().Path("joinpairs")
+				if err != nil {
+					sp.Close()
+					return err
+				}
+				sp.paths[pt] = path
+				w, err = store.Create(path, "joinpairs", pairSpecs)
+				if err != nil {
+					sp.Close()
+					return err
+				}
+			}
+			err := w.Append(len(bufL), []store.ColData{{I: bufL}, {I: bufR}})
+			bufL, bufR = bufL[:0], bufR[:0]
+			return err
+		}
+		emit := func(i, j int) error {
+			bufL = append(bufL, int64(i))
+			bufR = append(bufR, int64(j))
+			sp.rows[pt]++
+			sp.total++
+			if len(bufL) == bat.MorselSize {
+				return flush()
+			}
+			return nil
+		}
+		for i, hv := range rh {
+			if hv&(pairParts-1) != pt {
+				continue
+			}
+			wrote := false
+			for _, j := range mp[hv] {
+				if rkc.equal(i, skc, j) {
+					if err := emit(i, j); err != nil {
+						sp.Close()
+						return nil, err
+					}
+					wrote = true
+				}
+			}
+			if !wrote && leftOuter {
+				sp.any = true
+				if err := emit(i, -1); err != nil {
+					sp.Close()
+					return nil, err
+				}
+			}
+		}
+		if err := flush(); err != nil {
+			sp.Close()
+			return nil, err
+		}
+		if w != nil {
+			if err := w.Close(); err != nil {
+				sp.Close()
+				return nil, err
+			}
+			spilledBytes += w.BytesWritten()
+			parts++
+		}
+	}
+	c.NoteSpill(spilledBytes, parts)
+	return sp, nil
+}
+
+// Each streams the pairs back in canonical join order — probe rows
+// ascending, matches per probe row in build order — in blocks of at
+// most bat.MorselSize, calling fn with borrowed slices (valid only for
+// the duration of the call).
+func (sp *SpilledPairs) Each(c *exec.Ctx, fn func(li, ri []int) error) error {
+	type partCur struct {
+		reader *store.Reader
+		cur    *store.Cursor
+		l, r   []int64
+		pos    int
+		done   bool
+	}
+	var curs []*partCur
+	defer func() {
+		for _, pc := range curs {
+			if pc.cur != nil {
+				pc.cur.Close()
+			}
+			if pc.reader != nil {
+				pc.reader.Close()
+			}
+		}
+	}()
+	advance := func(pc *partCur) error {
+		pc.pos++
+		if pc.pos < len(pc.l) {
+			return nil
+		}
+		cols, n, err := pc.cur.Next(bat.MorselSize)
+		if err != nil {
+			return err
+		}
+		if n == 0 {
+			pc.done = true
+			pc.l, pc.r = nil, nil
+			return nil
+		}
+		pc.l, pc.r, pc.pos = cols[0].I, cols[1].I, 0
+		return nil
+	}
+	for pt := 0; pt < pairParts; pt++ {
+		if sp.paths[pt] == "" {
+			continue
+		}
+		rd, err := store.Open(sp.paths[pt])
+		if err != nil {
+			return err
+		}
+		pc := &partCur{reader: rd, cur: store.NewCursor(c, rd, nil), pos: -1}
+		curs = append(curs, pc)
+		if err := advance(pc); err != nil {
+			return err
+		}
+	}
+	liB := make([]int, 0, bat.MorselSize)
+	riB := make([]int, 0, bat.MorselSize)
+	emitted := 0
+	for emitted < sp.total {
+		// The next pair in global order sits at the front holding the
+		// smallest probe row; fronts never tie (a probe row's matches
+		// live in exactly one partition).
+		var best *partCur
+		for _, pc := range curs {
+			if pc.done {
+				continue
+			}
+			if best == nil || pc.l[pc.pos] < best.l[best.pos] {
+				best = pc
+			}
+		}
+		if best == nil {
+			return fmt.Errorf("rel: spilled join truncated at %d of %d pairs", emitted, sp.total)
+		}
+		liB = append(liB, int(best.l[best.pos]))
+		riB = append(riB, int(best.r[best.pos]))
+		if err := advance(best); err != nil {
+			return err
+		}
+		emitted++
+		if len(liB) == bat.MorselSize {
+			if err := fn(liB, riB); err != nil {
+				return err
+			}
+			liB, riB = liB[:0], riB[:0]
+		}
+	}
+	if len(liB) > 0 {
+		return fn(liB, riB)
+	}
+	return nil
+}
+
+// colFiller scatters gathered values for one output column into a
+// pre-sized arena destination, block by block, so a spilled join never
+// holds the full pair index in memory.
+type colFiller struct {
+	fill   func(at int, idx []int)
+	finish func() *bat.BAT
+}
+
+// newColFiller prepares the typed fill loop for col into a fresh
+// destination of the given total length. Negative indices (left-outer
+// non-matches) produce the column type's zero value, matching
+// gatherWithNulls.
+func newColFiller(c *exec.Ctx, col *bat.BAT, total int) colFiller {
+	switch col.Type() {
+	case bat.Float:
+		f, _ := col.FloatsCtx(c)
+		out := c.Arena().Floats(total)
+		return colFiller{
+			fill: func(at int, idx []int) {
+				for k, j := range idx {
+					if j >= 0 {
+						out[at+k] = f[j]
+					} else {
+						out[at+k] = 0
+					}
+				}
+			},
+			finish: func() *bat.BAT {
+				col.ReleaseFloats(c, f)
+				return bat.FromFloats(out)
+			},
+		}
+	case bat.Int:
+		xs := col.VectorCtx(c).Ints()
+		out := c.Arena().Int64s(total)
+		return colFiller{
+			fill: func(at int, idx []int) {
+				for k, j := range idx {
+					if j >= 0 {
+						out[at+k] = xs[j]
+					} else {
+						out[at+k] = 0
+					}
+				}
+			},
+			finish: func() *bat.BAT { return bat.FromInts(out) },
+		}
+	default:
+		ss := col.VectorCtx(c).Strings()
+		out := c.Arena().Strings(total)
+		return colFiller{
+			fill: func(at int, idx []int) {
+				for k, j := range idx {
+					if j >= 0 {
+						out[at+k] = ss[j]
+					} else {
+						out[at+k] = ""
+					}
+				}
+			},
+			finish: func() *bat.BAT { return bat.FromStrings(out) },
+		}
+	}
+}
+
+// joinSpillEst is the rough in-memory footprint the materializing join
+// would take beyond its inputs: the build table (~48 bytes per build
+// row between map headers and row lists) plus the pair arrays and probe
+// counts (~24 bytes per probe row before fan-out).
+func joinSpillEst(probeRows, buildRows int) int64 {
+	return int64(buildRows)*48 + int64(probeRows)*24
+}
+
+// JoinSpillEst exposes the estimate to callers that drive their own
+// join assembly over EquiJoinPairsSpilled (the SQL executor), so the
+// spill decision is made with the same arithmetic everywhere.
+func JoinSpillEst(probeRows, buildRows int) int64 {
+	return joinSpillEst(probeRows, buildRows)
+}
+
+// EquiJoinPairsSpilled is the out-of-core form of EquiJoinPairs: the
+// pair arrays are staged to per-partition segment files instead of
+// materializing 16 bytes per match in memory. Callers stream them back
+// with Each or fill result columns directly with Fill, then Close.
+func EquiJoinPairsSpilled(c *exec.Ctx, probeKeys, buildKeys []*bat.BAT, leftOuter bool) (sp *SpilledPairs, err error) {
+	defer exec.CatchBudget(&err)
+	if len(probeKeys) != len(buildKeys) || len(probeKeys) == 0 {
+		return nil, fmt.Errorf("rel: equi-join needs matching non-empty key lists")
+	}
+	rkc := keyColsOf(c, probeKeys[0].Len(), probeKeys)
+	skc := keyColsOf(c, buildKeys[0].Len(), buildKeys)
+	sp, err = spilledJoinPairs(c, rkc, skc, leftOuter)
+	rkc.release(c)
+	skc.release(c)
+	return sp, err
+}
+
+// Fill gathers result columns through the staged pair stream block by
+// block: leftCols index by probe row, rightCols by build row, with -1
+// build rows (left-outer non-matches) producing the column type's zero
+// value. The returned columns are leftCols followed by rightCols, and
+// the full pair index never exists in memory.
+func (sp *SpilledPairs) Fill(c *exec.Ctx, leftCols, rightCols []*bat.BAT) ([]*bat.BAT, error) {
+	total := sp.Total()
+	fillers := make([]colFiller, 0, len(leftCols)+len(rightCols))
+	sides := make([]bool, 0, cap(fillers)) // true = right side (uses ri)
+	for _, col := range leftCols {
+		fillers = append(fillers, newColFiller(c, col, total))
+		sides = append(sides, false)
+	}
+	for _, col := range rightCols {
+		fillers = append(fillers, newColFiller(c, col, total))
+		sides = append(sides, true)
+	}
+	at := 0
+	err := sp.Each(c, func(li, ri []int) error {
+		for k := range fillers {
+			if sides[k] {
+				fillers[k].fill(at, ri)
+			} else {
+				fillers[k].fill(at, li)
+			}
+		}
+		at += len(li)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]*bat.BAT, len(fillers))
+	for k := range fillers {
+		cols[k] = fillers[k].finish()
+	}
+	return cols, nil
+}
+
+// hashJoinSpilled is HashJoinSized's out-of-core path: pairs staged to
+// disk, result columns filled block-wise from the pair stream. The
+// result is bitwise-identical to the in-memory join.
+func hashJoinSpilled(c *exec.Ctx, r, s *Relation, rkc, skc *keyCols, sAttrs []string, jt JoinType) (*Relation, error) {
+	sp, err := spilledJoinPairs(c, rkc, skc, jt == Left)
+	if err != nil {
+		return nil, err
+	}
+	defer sp.Close()
+	rkc.release(c)
+	skc.release(c)
+
+	total := sp.Total()
+	schema := make(Schema, 0, len(r.Schema)+len(sAttrs))
+	fillers := make([]colFiller, 0, len(r.Schema)+len(sAttrs))
+	sides := make([]bool, 0, len(r.Schema)+len(sAttrs)) // true = right side (uses ri)
+	for j, a := range r.Schema {
+		schema = append(schema, a)
+		fillers = append(fillers, newColFiller(c, r.Cols[j], total))
+		sides = append(sides, false)
+	}
+	for _, name := range sAttrs {
+		j := s.Schema.Index(name)
+		schema = append(schema, s.Schema[j])
+		fillers = append(fillers, newColFiller(c, s.Cols[j], total))
+		sides = append(sides, true)
+	}
+	at := 0
+	err = sp.Each(c, func(li, ri []int) error {
+		for k := range fillers {
+			if sides[k] {
+				fillers[k].fill(at, ri)
+			} else {
+				fillers[k].fill(at, li)
+			}
+		}
+		at += len(li)
+		return nil
+	})
+	if err != nil {
+		return nil, err
+	}
+	cols := make([]*bat.BAT, len(fillers))
+	for k := range fillers {
+		cols[k] = fillers[k].finish()
+	}
+	return New(r.Name, schema, cols)
+}

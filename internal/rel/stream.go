@@ -105,6 +105,15 @@ type StreamAgg struct {
 	chunkTouched []int
 	chunkSlot    map[int]int
 	rowsInChunk  int
+
+	// Out-of-core state (nil ctx disables spilling): once the resident
+	// group table crosses the spill policy's threshold it freezes — rows
+	// of resident groups keep folding in memory, rows of unseen keys are
+	// staged to hash-partitioned disk files and replayed at Finish.
+	c      *exec.Ctx
+	seen   int64 // global rows consumed, spilled rows included
+	frozen bool
+	spill  *aggSpillState
 }
 
 // NewStreamAgg returns an accumulator for the given grouping keys (with
@@ -112,6 +121,14 @@ type StreamAgg struct {
 // a single global group. name names the result relation; hint is the
 // expected group count (≤ 0 for default sizing).
 func NewStreamAgg(name string, keys []string, keyTypes []bat.Type, aggs []AggSpec, hint int) (*StreamAgg, error) {
+	return NewStreamAggCtx(nil, name, keys, keyTypes, aggs, hint)
+}
+
+// NewStreamAggCtx is NewStreamAgg bound to an execution context: when
+// the context carries a spill manager, a group table crossing the spill
+// threshold degrades to disk (see the StreamAgg doc) instead of growing
+// without bound. A nil context keeps the purely in-memory behavior.
+func NewStreamAggCtx(c *exec.Ctx, name string, keys []string, keyTypes []bat.Type, aggs []AggSpec, hint int) (*StreamAgg, error) {
 	if len(aggs) == 0 {
 		return nil, fmt.Errorf("rel: group by without aggregates")
 	}
@@ -126,6 +143,7 @@ func NewStreamAgg(name string, keys []string, keyTypes []bat.Type, aggs []AggSpe
 		keys:      keys,
 		aggs:      aggs,
 		kt:        keyTypes,
+		c:         c,
 		kf:        make([][]float64, len(keys)),
 		ki:        make([][]int64, len(keys)),
 		ks:        make([][]string, len(keys)),
@@ -191,12 +209,24 @@ func (a *StreamAgg) equalKeyRow(keys []*bat.Vector, i, g int) bool {
 
 // groupOf returns the merged group id of row i, creating the group (and
 // storing the row's key values as its representative) when absent.
-func (a *StreamAgg) groupOf(keys []*bat.Vector, i int) int {
+// Once the table is frozen, rows of unseen keys return ok == false and
+// must be spilled; resident groups keep folding in memory.
+func (a *StreamAgg) groupOf(keys []*bat.Vector, i int) (id int, hash uint64, ok bool) {
 	h := a.hashKeyRow(keys, i)
 	for _, g := range a.byHash[h] {
 		if a.equalKeyRow(keys, i, g) {
-			return g
+			return g, h, true
 		}
+	}
+	if a.frozen {
+		return 0, h, false
+	}
+	// The resident table is about to grow: freeze it when the spill
+	// policy says its footprint is large enough to stage the tail of the
+	// key space on disk instead.
+	if !a.frozen && a.c.ShouldSpill(a.residentEst()) {
+		a.frozen = true
+		return 0, h, false
 	}
 	g := len(a.states)
 	a.byHash[h] = append(a.byHash[h], g)
@@ -212,7 +242,14 @@ func (a *StreamAgg) groupOf(keys []*bat.Vector, i int) int {
 			a.kf[k] = append(a.kf[k], keys[k].Floats()[i])
 		}
 	}
-	return g
+	return g, h, true
+}
+
+// residentEst is the rough in-memory footprint of the resident group
+// table: states, key representatives, and hash-map overhead per group.
+func (a *StreamAgg) residentEst() int64 {
+	per := int64(64 + 32*len(a.aggs) + 24*len(a.keys))
+	return int64(len(a.states)) * per
 }
 
 // chunkStateOf returns the current chunk's partial states for merged
@@ -246,15 +283,28 @@ func (a *StreamAgg) flushChunk() {
 // empty for the global group), aggIn one float view per aggregate (nil
 // for COUNT(*)), n the morsel's row count. Morsels must arrive in
 // stream order; rows are folded serially — at MorselSize ≤ SerialCutoff
-// the materializing path's chunks are serial too.
-func (a *StreamAgg) Consume(keys []*bat.Vector, aggIn [][]float64, n int) {
+// the materializing path's chunks are serial too. The error is always
+// nil unless the accumulator is spilling and disk I/O fails.
+func (a *StreamAgg) Consume(keys []*bat.Vector, aggIn [][]float64, n int) error {
 	for i := 0; i < n; i++ {
 		if a.rowsInChunk == bat.SerialCutoff {
 			a.flushChunk()
 		}
 		g := 0
 		if len(a.keys) > 0 {
-			g = a.groupOf(keys, i)
+			var h uint64
+			var ok bool
+			g, h, ok = a.groupOf(keys, i)
+			if !ok {
+				// Unseen key after the freeze: stage the row to disk.
+				// It still occupies its global chunk position below.
+				if err := a.spillRow(keys, aggIn, i, h); err != nil {
+					return err
+				}
+				a.rowsInChunk++
+				a.seen++
+				continue
+			}
 		} else if len(a.states) == 0 {
 			a.ghash = append(a.ghash, 0)
 			a.states = append(a.states, newAggStates(len(a.aggs)))
@@ -268,7 +318,9 @@ func (a *StreamAgg) Consume(keys []*bat.Vector, aggIn [][]float64, n int) {
 			st[k].accumulate(col, 0)
 		}
 		a.rowsInChunk++
+		a.seen++
 	}
+	return nil
 }
 
 // NumGroups returns the number of groups seen so far.
@@ -280,6 +332,15 @@ func (a *StreamAgg) NumGroups() int { return len(a.states) }
 // the rest as DOUBLE — exactly GroupBy's output shape.
 func (a *StreamAgg) Finish() (*Relation, error) {
 	a.flushChunk()
+	if a.spill != nil {
+		// Replay the staged partitions: every spilled key's rows fold on
+		// their original chunk boundaries and the recovered groups are
+		// appended in global first-seen order, so the result below is
+		// bitwise what the unfrozen accumulator would have produced.
+		if err := a.replaySpilled(); err != nil {
+			return nil, err
+		}
+	}
 	nGroups := len(a.states)
 	schema := make(Schema, 0, len(a.keys)+len(a.aggs))
 	cols := make([]*bat.BAT, 0, len(a.keys)+len(a.aggs))

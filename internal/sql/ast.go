@@ -31,10 +31,11 @@ type OrderItem struct {
 	Desc bool
 }
 
-// CreateStmt is CREATE TABLE name (col type, ...).
+// CreateStmt is CREATE TABLE name (col type, ...) [PERSIST].
 type CreateStmt struct {
 	Name    string
 	Columns []ColumnDef
+	Persist bool // checkpoint the table to the data directory on every change
 }
 
 // ColumnDef declares one attribute.

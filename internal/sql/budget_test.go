@@ -30,7 +30,7 @@ func TestStatementTenantAccounting(t *testing.T) {
 	db := NewDB()
 	db.SetGovernor(exec.NewGovernor(0, 0))
 	db.SetRMAOptions(&core.Options{Tenant: "alice", MemoryBudget: 64 << 20})
-	db.Register("t", wideRelation(1 << 16))
+	db.Register("t", wideRelation(1<<16))
 
 	if _, err := db.Query(`SELECT x FROM t ORDER BY x LIMIT 5`); err != nil {
 		t.Fatal(err)
@@ -62,7 +62,7 @@ func TestStatementBudgetError(t *testing.T) {
 	gov := exec.NewGovernor(0, 0)
 	db.SetGovernor(gov)
 	db.SetRMAOptions(&core.Options{Tenant: "bob", MemoryBudget: 4096})
-	db.Register("t", wideRelation(1 << 16))
+	db.Register("t", wideRelation(1<<16))
 
 	_, err := db.Query(`SELECT x FROM t ORDER BY x`)
 	if err == nil {
@@ -91,7 +91,7 @@ func TestOptionsGovernorUnifiesAccounting(t *testing.T) {
 	gov := exec.NewGovernor(0, 0)
 	db := NewDB()
 	db.SetRMAOptions(&core.Options{Governor: gov, Tenant: "carol", MemoryBudget: 64 << 20})
-	db.Register("t", wideRelation(1 << 16))
+	db.Register("t", wideRelation(1<<16))
 
 	if _, err := db.Query(`SELECT x FROM t ORDER BY x LIMIT 5`); err != nil {
 		t.Fatal(err)
@@ -124,7 +124,7 @@ func TestStatementAdmissionSerializes(t *testing.T) {
 	gov := exec.NewGovernor(0, 1)
 	db.SetGovernor(gov)
 	db.SetRMAOptions(&core.Options{Tenant: "q", MemoryBudget: 64 << 20})
-	db.Register("t", wideRelation(1 << 12))
+	db.Register("t", wideRelation(1<<12))
 
 	var wg sync.WaitGroup
 	for i := 0; i < 4; i++ {

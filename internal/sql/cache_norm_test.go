@@ -1,0 +1,103 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+	"unicode/utf8"
+)
+
+// The plan cache keys on normalizeStmt, so the one property that must
+// never break is: two statements that can evaluate differently must
+// never normalize to the same key. String literals are where that is
+// easiest to get wrong — whitespace collapsing, case folding, and quote
+// re-escaping are all correct OUTSIDE quotes and all wrong INSIDE them.
+
+// TestNormalizeLiteralSensitivity pins pairwise non-collision across
+// literals that differ only in ways a sloppy normalizer tends to erase.
+func TestNormalizeLiteralSensitivity(t *testing.T) {
+	lits := []string{
+		"a", "A", // case inside quotes is semantic
+		" a", "a ", " a ", "a  b", "a b", // inner/edge whitespace is semantic
+		"a\tb", "a\nb", // so are literal tabs/newlines
+		"", " ", // empty vs. blank
+		"it''s", "it's", // a value holding a doubled quote vs. one holding a single quote
+		"--x", "/*x*/", // comment syntax inside quotes is data
+		"SELECT", "select", // keywords inside quotes are data
+		`he said ""hi""`,
+	}
+	keys := make(map[string]string, len(lits))
+	for _, lit := range lits {
+		src := "SELECT x FROM t WHERE s = '" + strings.ReplaceAll(lit, "'", "''") + "'"
+		key, ok := normalizeStmt(src)
+		if !ok {
+			t.Fatalf("%q: not normalizable", src)
+		}
+		if prev, dup := keys[key]; dup {
+			t.Errorf("literals %q and %q share cache key %q", prev, lit, key)
+		}
+		keys[key] = lit
+	}
+
+	// The flip side: differences that are NOT semantic must collapse.
+	same := []string{
+		"select x from t where s = 'a b'",
+		"SELECT x FROM t WHERE s = 'a b'",
+		"SELECT  x\n\tFROM t WHERE s='a b'",
+		"SELECT x FROM t WHERE s = 'a b' -- trailing comment",
+	}
+	want, _ := normalizeStmt(same[0])
+	for _, src := range same[1:] {
+		if got, ok := normalizeStmt(src); !ok || got != want {
+			t.Errorf("%q normalized to %q, want %q", src, got, want)
+		}
+	}
+}
+
+// TestNormalizeIdentifierLiteralDisjoint checks the quoting discipline:
+// an identifier can never collide with a keyword or a string literal of
+// the same spelling.
+func TestNormalizeIdentifierLiteralDisjoint(t *testing.T) {
+	a, _ := normalizeStmt("SELECT x FROM t WHERE s = 'y'")
+	b, ok := normalizeStmt("SELECT x FROM t WHERE s = y")
+	if !ok || a == b {
+		t.Errorf("literal 'y' and identifier y share key %q", a)
+	}
+}
+
+// FuzzNormalizeStmt is the property under fuzzing: embed an arbitrary
+// byte string as a literal and require (1) normalization succeeds, (2)
+// the key round-trips — re-normalizing the key is a fixed point, so a
+// cached key can itself be looked up — and (3) two different literal
+// values never share a key (checked against a mutated copy).
+func FuzzNormalizeStmt(f *testing.F) {
+	f.Add("a")
+	f.Add("it's")
+	f.Add("a  b")
+	f.Add("ключ")
+	f.Add("'';DROP TABLE t;--")
+	f.Add("x\x00y")
+	f.Fuzz(func(t *testing.T, lit string) {
+		if !utf8.ValidString(lit) || strings.ContainsAny(lit, "\x00") {
+			t.Skip() // the lexer is defined over UTF-8 SQL text
+		}
+		quote := func(s string) string {
+			return "SELECT x FROM t WHERE s = '" + strings.ReplaceAll(s, "'", "''") + "'"
+		}
+		key, ok := normalizeStmt(quote(lit))
+		if !ok {
+			t.Fatalf("literal %q: not normalizable", lit)
+		}
+		again, ok := normalizeStmt(key)
+		if !ok || again != key {
+			t.Fatalf("key not a fixed point: %q -> %q", key, again)
+		}
+		mutated := lit + "x"
+		mkey, ok := normalizeStmt(quote(mutated))
+		if !ok {
+			t.Fatalf("mutated literal %q: not normalizable", mutated)
+		}
+		if mkey == key {
+			t.Fatalf("literals %q and %q share cache key %q", lit, mutated, key)
+		}
+	})
+}

@@ -127,10 +127,10 @@ func TestPlanCacheInvalidation(t *testing.T) {
 func TestPlanCacheCountersMatch(t *testing.T) {
 	db := streamDB(t, 500)
 	queries := []string{
-		"SELECT id FROM t WHERE val > 0;",           // miss
-		"SELECT id FROM t WHERE val > 0;",           // hit
+		"SELECT id FROM t WHERE val > 0;",                // miss
+		"SELECT id FROM t WHERE val > 0;",                // hit
 		"SELECT grp, COUNT(*) AS n FROM t GROUP BY grp;", // miss
-		"SELECT id FROM t WHERE val > 0;",           // hit
+		"SELECT id FROM t WHERE val > 0;",                // hit
 		"SELECT grp, COUNT(*) AS n FROM t GROUP BY grp;", // hit
 		// Derived table in FROM: not cacheable, no counter movement.
 		"SELECT z FROM (SELECT val AS z FROM t) AS d LIMIT 3;",

@@ -8,6 +8,7 @@ import (
 
 	"repro/internal/bat"
 	"repro/internal/rel"
+	"repro/internal/store"
 )
 
 // source is a row source during execution: a working relation whose
@@ -16,6 +17,12 @@ import (
 type source struct {
 	rel  *rel.Relation
 	syms []sym
+
+	// stored is the open segment reader when the source is a persisted
+	// base table; the streaming scan uses its per-segment zone maps to
+	// skip row ranges that cannot satisfy pushed-down predicates. Nil
+	// for derived or non-persisted sources.
+	stored *store.Reader
 }
 
 type sym struct {

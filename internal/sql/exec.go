@@ -3,14 +3,17 @@ package sql
 import (
 	"errors"
 	"fmt"
+	"os"
 	"sort"
 	"strings"
 	"sync"
+	"sync/atomic"
 
 	"repro/internal/bat"
 	"repro/internal/core"
 	"repro/internal/exec"
 	"repro/internal/rel"
+	"repro/internal/store"
 )
 
 // DB is an in-memory database: a catalog of named relations plus the
@@ -32,15 +35,39 @@ type DB struct {
 	lastPipe []exec.StageStats
 	stmtOpts map[*exec.Ctx]*core.Options
 	cache    planCache
+
+	// Out-of-core execution (SetSpill): when enabled, every statement
+	// context carries a spill manager staging under spillDir, and a
+	// statement that still exceeds its memory budget after the serial
+	// retry is retried once more with spilling forced.
+	spillOn  bool
+	spillDir string
+	spillTh  int64
+	// Cumulative spill traffic across statements (the per-statement
+	// managers are torn down with their contexts, so the database keeps
+	// the running totals for Metrics and the differential tests).
+	spillBytes  atomic.Int64
+	spillParts  atomic.Int64
+	spillEvents atomic.Int64
+
+	// Persistent tables (SetDataDir): names created with PERSIST are
+	// checkpointed to segment files in dataDir and reloaded by
+	// LoadPersisted after a restart. stored keeps one open segment
+	// reader per persisted table for zone-map pruning at scan time.
+	dataDir   string
+	persisted map[string]bool
+	stored    map[string]*store.Reader
 }
 
 // NewDB returns an empty database bound to the process-default
 // governor, with the plan cache enabled.
 func NewDB() *DB {
 	db := &DB{
-		tables:   make(map[string]*rel.Relation),
-		gov:      exec.DefaultGovernor(),
-		stmtOpts: make(map[*exec.Ctx]*core.Options),
+		tables:    make(map[string]*rel.Relation),
+		gov:       exec.DefaultGovernor(),
+		stmtOpts:  make(map[*exec.Ctx]*core.Options),
+		persisted: make(map[string]bool),
+		stored:    make(map[string]*store.Reader),
 	}
 	db.cache.init(defaultPlanCacheCap)
 	return db
@@ -84,6 +111,29 @@ func (db *DB) SetStreaming(on bool) {
 	db.cache.invalidate()
 }
 
+// SetSpill enables out-of-core statement execution: every statement
+// context carries a spill manager staging under dir (empty means the OS
+// temp dir), and an operator whose estimated in-memory footprint
+// exceeds threshold bytes takes its disk-backed path (threshold 0
+// derives half the statement tenant's budget at decision time).
+// Spilling never changes results — every spill path is bitwise
+// identical to its in-memory twin — so the switch only trades memory
+// for disk traffic. A negative threshold disables spilling again.
+func (db *DB) SetSpill(dir string, threshold int64) {
+	db.mu.Lock()
+	db.spillOn = threshold >= 0
+	db.spillDir = dir
+	db.spillTh = threshold
+	db.mu.Unlock()
+}
+
+// spillConfig snapshots the spill configuration.
+func (db *DB) spillConfig() (dir string, threshold int64, on bool) {
+	db.mu.RLock()
+	defer db.mu.RUnlock()
+	return db.spillDir, db.spillTh, db.spillOn
+}
+
 // SetPlanCache toggles the normalized-statement plan cache (enabled by
 // default); disabling it drops the cached entries. The switch exists
 // for comparison — the differential tests and the load generator run
@@ -120,6 +170,7 @@ func (db *DB) storePipelineStats(s []exec.StageStats) {
 type Metrics struct {
 	exec.GovernorMetrics
 	PlanCache PlanCacheStats
+	Spill     exec.SpillStats
 }
 
 // Metrics snapshots the governor the database runs under — admission
@@ -129,7 +180,23 @@ func (db *DB) Metrics() Metrics {
 	db.mu.RLock()
 	g := db.governorLocked()
 	db.mu.RUnlock()
-	return Metrics{GovernorMetrics: g.Metrics(), PlanCache: db.cache.stats()}
+	return Metrics{
+		GovernorMetrics: g.Metrics(),
+		PlanCache:       db.cache.stats(),
+		Spill:           db.SpillStats(),
+	}
+}
+
+// SpillStats returns the cumulative out-of-core traffic of every
+// statement executed so far: bytes staged to disk, partitions created,
+// and individual spill events. Zero until SetSpill enables spilling and
+// some operator actually crosses its threshold.
+func (db *DB) SpillStats() exec.SpillStats {
+	return exec.SpillStats{
+		SpilledBytes: db.spillBytes.Load(),
+		Partitions:   db.spillParts.Load(),
+		Events:       db.spillEvents.Load(),
+	}
 }
 
 // governorLocked resolves the governor statements run under: an explicit
@@ -221,9 +288,16 @@ func (db *DB) ExecWith(src string, opts *core.Options) (*rel.Relation, error) {
 	}
 	var last *rel.Relation
 	for _, s := range stmts {
-		res, err := db.runStmt(s, opts, 0)
+		res, err := db.runStmt(s, opts, 0, false)
 		if err != nil && errors.Is(err, exec.ErrMemoryBudget) && workersOf(opts) > 1 {
-			res, err = db.runStmt(s, opts, 1)
+			res, err = db.runStmt(s, opts, 1, false)
+		}
+		if err != nil && errors.Is(err, exec.ErrMemoryBudget) {
+			if _, _, on := db.spillConfig(); on {
+				// Last rung: serial with spilling forced, shedding every
+				// spillable structure to disk.
+				res, err = db.runStmt(s, opts, 1, true)
+			}
 		}
 		if err != nil {
 			return nil, err
@@ -235,12 +309,17 @@ func (db *DB) ExecWith(src string, opts *core.Options) (*rel.Relation, error) {
 	return last, nil
 }
 
-// execCached executes a cache-served SELECT with the same serial
-// memory-budget retry as the parse path.
+// execCached executes a cache-served SELECT with the same
+// serial-then-spill memory-budget retry ladder as the parse path.
 func (db *DB) execCached(e *planEntry, opts *core.Options) (*rel.Relation, error) {
-	res, err := db.runCached(e, opts, 0)
+	res, err := db.runCached(e, opts, 0, false)
 	if err != nil && errors.Is(err, exec.ErrMemoryBudget) && workersOf(opts) > 1 {
-		res, err = db.runCached(e, opts, 1)
+		res, err = db.runCached(e, opts, 1, false)
+	}
+	if err != nil && errors.Is(err, exec.ErrMemoryBudget) {
+		if _, _, on := db.spillConfig(); on {
+			res, err = db.runCached(e, opts, 1, true)
+		}
 	}
 	return res, err
 }
@@ -249,11 +328,11 @@ func (db *DB) execCached(e *planEntry, opts *core.Options) (*rel.Relation, error
 // stream plan when streaming is on and the planner took the statement
 // (planned lazily on the entry's first streamed execution, shared and
 // read-only afterwards), the materializing executor otherwise.
-func (db *DB) runCached(e *planEntry, opts *core.Options, forceSerial int) (res *rel.Relation, err error) {
-	c, finish := db.stmtCtx(opts, forceSerial)
+func (db *DB) runCached(e *planEntry, opts *core.Options, forceSerial int, forceSpill bool) (res *rel.Relation, err error) {
+	c, finish := db.stmtCtx(opts, forceSerial, forceSpill)
 	defer finish()
 	defer exec.CatchBudget(&err)
-	if db.streamingEnabled() {
+	if db.streamingEnabled() && !c.Spill().IsForced() {
 		if plan := e.planFor(db, c); plan != nil {
 			return db.execPlanned(c, e.sel, plan)
 		}
@@ -266,8 +345,8 @@ func (db *DB) runCached(e *planEntry, opts *core.Options, forceSerial int) (res 
 // statement's arena charges are released and the admission reservation
 // is handed back whether the statement succeeded or not. forceSerial
 // overrides the configured parallelism for the memory-budget retry.
-func (db *DB) runStmt(s Statement, opts *core.Options, forceSerial int) (res *rel.Relation, err error) {
-	c, finish := db.stmtCtx(opts, forceSerial)
+func (db *DB) runStmt(s Statement, opts *core.Options, forceSerial int, forceSpill bool) (res *rel.Relation, err error) {
+	c, finish := db.stmtCtx(opts, forceSerial, forceSpill)
 	defer finish()
 	defer exec.CatchBudget(&err)
 	return db.run(c, s)
@@ -300,7 +379,7 @@ func workersOf(opts *core.Options) int {
 // options inside core.Unary/Binary, charging the same tenant — the
 // context-to-options registration here is how evalRMA finds the
 // statement's options without consulting the database-wide defaults.
-func (db *DB) stmtCtx(opts *core.Options, forceSerial int) (*exec.Ctx, func()) {
+func (db *DB) stmtCtx(opts *core.Options, forceSerial int, forceSpill bool) (*exec.Ctx, func()) {
 	gov := db.governorFor(opts)
 	var workers int
 	var budget int64
@@ -315,6 +394,14 @@ func (db *DB) stmtCtx(opts *core.Options, forceSerial int) (*exec.Ctx, func()) {
 	}
 	release := gov.Admit(budget)
 	c := exec.NewCtx(workers, arena, nil)
+	var sp *exec.Spill
+	if dir, th, on := db.spillConfig(); on {
+		sp = exec.NewSpill(dir, th)
+		if forceSpill {
+			sp = sp.Forced()
+		}
+		c = c.WithSpill(sp)
+	}
 	db.mu.Lock()
 	db.stmtOpts[c] = opts
 	db.mu.Unlock()
@@ -322,6 +409,12 @@ func (db *DB) stmtCtx(opts *core.Options, forceSerial int) (*exec.Ctx, func()) {
 		db.mu.Lock()
 		delete(db.stmtOpts, c)
 		db.mu.Unlock()
+		if st := sp.Stats(); st.Events > 0 {
+			db.spillBytes.Add(st.SpilledBytes)
+			db.spillParts.Add(st.Partitions)
+			db.spillEvents.Add(st.Events)
+		}
+		sp.Cleanup()
 		arena.Close()
 		release()
 	}
@@ -422,7 +515,19 @@ func (db *DB) run(c *exec.Ctx, s Statement) (*rel.Relation, error) {
 			return nil, fmt.Errorf("sql: no such table %q", x.Table)
 		}
 		delete(db.tables, x.Table)
+		var dropFile string
+		if db.persisted[x.Table] {
+			delete(db.persisted, x.Table)
+			if rd := db.stored[x.Table]; rd != nil {
+				rd.Close()
+				delete(db.stored, x.Table)
+			}
+			dropFile = db.segPathLocked(x.Table)
+		}
 		db.mu.Unlock()
+		if dropFile != "" {
+			os.Remove(dropFile)
+		}
 		db.cache.invalidate()
 		return nil, nil
 	}
@@ -435,13 +540,23 @@ func (db *DB) runCreate(x *CreateStmt) error {
 		db.mu.Unlock()
 		return fmt.Errorf("sql: table %q already exists", x.Name)
 	}
+	if x.Persist && db.dataDir == "" {
+		db.mu.Unlock()
+		return fmt.Errorf("sql: CREATE TABLE %s PERSIST without a data directory (SetDataDir)", x.Name)
+	}
 	schema := make(rel.Schema, len(x.Columns))
 	for k, c := range x.Columns {
 		schema[k] = rel.Attr{Name: c.Name, Type: c.Type}
 	}
 	db.tables[x.Name] = rel.Empty(x.Name, schema)
+	if x.Persist {
+		db.persisted[x.Name] = true
+	}
 	db.mu.Unlock()
 	db.cache.invalidate()
+	if x.Persist {
+		return db.checkpoint(x.Name)
+	}
 	return nil
 }
 
@@ -487,8 +602,12 @@ func (db *DB) runInsert(c *exec.Ctx, x *InsertStmt) error {
 	}
 	db.mu.Lock()
 	db.tables[x.Table] = merged.WithName(x.Table)
+	persist := db.persisted[x.Table]
 	db.mu.Unlock()
 	db.cache.invalidate()
+	if persist {
+		return db.checkpoint(x.Table)
+	}
 	return nil
 }
 
@@ -520,7 +639,9 @@ func (db *DB) buildFrom(c *exec.Ctx, te TableExpr) (*source, error) {
 		if qual == "" {
 			qual = x.Name
 		}
-		return newSource(r, qual), nil
+		src := newSource(r, qual)
+		src.stored = db.storedReader(x.Name)
+		return src, nil
 	case *SubqueryRef:
 		r, err := db.execSelect(c, x.Select)
 		if err != nil {
@@ -801,15 +922,34 @@ func joinSources(c *exec.Ctx, left, right *source, on Expr, kind JoinKind) (*sou
 	if err != nil {
 		return nil, err
 	}
-	li, ri, err := rel.EquiJoinPairs(c, lkeys, rkeys, kind == JoinLeft)
-	if err != nil {
-		return nil, err
-	}
-	joined, err := gatherPairs(c, left, right, li, ri)
-	bat.FreeInts(li)
-	bat.FreeInts(ri)
-	if err != nil {
-		return nil, err
+	var joined *source
+	if c.ShouldSpill(rel.JoinSpillEst(left.rel.NumRows(), right.rel.NumRows())) {
+		// Out-of-core: the pair arrays — the join's dominant transient —
+		// are staged to disk and the result columns filled block-wise
+		// from the pair stream. Bitwise-identical to the in-memory path.
+		sp, err := rel.EquiJoinPairsSpilled(c, lkeys, rkeys, kind == JoinLeft)
+		if err != nil {
+			return nil, err
+		}
+		cols, err := sp.Fill(c, left.rel.Cols, right.rel.Cols)
+		sp.Close()
+		if err != nil {
+			return nil, err
+		}
+		if joined, err = combineSchemas(left, right, cols); err != nil {
+			return nil, err
+		}
+	} else {
+		li, ri, err := rel.EquiJoinPairs(c, lkeys, rkeys, kind == JoinLeft)
+		if err != nil {
+			return nil, err
+		}
+		joined, err = gatherPairs(c, left, right, li, ri)
+		bat.FreeInts(li)
+		bat.FreeInts(ri)
+		if err != nil {
+			return nil, err
+		}
 	}
 	for _, res := range residual {
 		if joined, err = filterSource(c, joined, res); err != nil {
@@ -853,7 +993,11 @@ func filterSource(c *exec.Ctx, s *source, pred Expr) (*source, error) {
 // bitwise-identical results; the streaming path just peaks at
 // max-per-stage memory instead of sum-of-intermediates.
 func (db *DB) execSelect(c *exec.Ctx, sel *SelectStmt) (*rel.Relation, error) {
-	if db.streamingEnabled() {
+	// A forced-spill retry runs materialized on purpose: the
+	// materializing operators (HashJoin, GroupBy, SortStable) are the
+	// ones with disk-backed twins, while the streaming join build has
+	// none.
+	if db.streamingEnabled() && !c.Spill().IsForced() {
 		res, err := db.execSelectStreaming(c, sel)
 		if !errors.Is(err, errNeedMaterialize) {
 			return res, err
@@ -1008,10 +1152,11 @@ func finishOutput(c *exec.Ctx, sel *SelectStmt, out *rel.Relation, outSyms []sym
 			}
 			comps[k] = comp
 		}
-		idx := bat.Identity(c, out.NumRows())
-		sort.SliceStable(idx, func(a, b int) bool {
+		// Compiled comparators only read at fn(i) time, so the parallel
+		// (and, under pressure, disk-merging) stable sort is safe here.
+		idx := bat.SortStable(c, out.NumRows(), func(a, b int) bool {
 			for k, comp := range comps {
-				va, vb := comp.fn(idx[a]), comp.fn(idx[b])
+				va, vb := comp.fn(a), comp.fn(b)
 				if va.Equal(vb) {
 					continue
 				}

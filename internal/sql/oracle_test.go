@@ -26,6 +26,9 @@ import (
 //
 //	RMA_ORACLE_ITERS (default 60)
 //	RMA_ORACLE_SEED  (default 1)
+//	RMA_ORACLE_SPILL (set to 1 to add two spill-forced legs: streamed
+//	                  and materialized executors staging every eligible
+//	                  operator to disk through a one-byte threshold)
 
 func oracleEnvInt(name string, def int) int {
 	if v := os.Getenv(name); v != "" {
@@ -36,10 +39,12 @@ func oracleEnvInt(name string, def int) int {
 	return def
 }
 
-// oracleCatalog is one generated dataset registered into the three
-// executor databases.
+// oracleCatalog is one generated dataset registered into the executor
+// databases. The two spill-forced executors are nil unless
+// RMA_ORACLE_SPILL is set.
 type oracleCatalog struct {
 	stream, mat, cached *DB
+	spillS, spillM      *DB
 }
 
 // newOracleCatalog generates a fact table f(id, g, v, w, s), a dimension
@@ -109,10 +114,22 @@ func newOracleCatalog(t *testing.T, rng *rand.Rand, round int) *oracleCatalog {
 	oc.stream.SetPlanCache(false)
 	oc.mat.SetPlanCache(false)
 	oc.mat.SetStreaming(false)
+	dbs := []*DB{oc.stream, oc.mat, oc.cached}
+	if os.Getenv("RMA_ORACLE_SPILL") == "1" {
+		// Spill-forced legs: a one-byte threshold sends every
+		// estimate-gated operator to its disk path on both pipelines.
+		oc.spillS, oc.spillM = NewDB(), NewDB()
+		oc.spillS.SetPlanCache(false)
+		oc.spillS.SetSpill(t.TempDir(), 1)
+		oc.spillM.SetPlanCache(false)
+		oc.spillM.SetStreaming(false)
+		oc.spillM.SetSpill(t.TempDir(), 1)
+		dbs = append(dbs, oc.spillS, oc.spillM)
+	}
 	for name, r := range map[string]*rel.Relation{"f": fact, "d": dim, "z": tiny} {
-		oc.stream.Register(name, r)
-		oc.mat.Register(name, r)
-		oc.cached.Register(name, r)
+		for _, db := range dbs {
+			db.Register(name, r)
+		}
 	}
 	return oc
 }
@@ -264,8 +281,9 @@ func genQuery(rng *rand.Rand) string {
 }
 
 // TestDifferentialOracle is the oracle loop. Every generated query runs
-// seven legs per worker budget: streamed, materialized, cached (cold),
-// cached (hit) — with the streamed leg at workers 1 doubling as the
+// four legs per worker budget — streamed, materialized, cached (cold),
+// cached (hit), plus two spill-forced legs under RMA_ORACLE_SPILL —
+// with the streamed leg at workers 1 doubling as the
 // cross-worker reference. Any divergence in bits or error text fails
 // with the seed, round, and statement needed to replay it.
 func TestDifferentialOracle(t *testing.T) {
@@ -293,15 +311,23 @@ func TestDifferentialOracle(t *testing.T) {
 			c1Res, c1Err := oc.cached.ExecWith(q, opts)
 			c2Res, c2Err := oc.cached.ExecWith(q, opts)
 
-			legs := []struct {
+			type oracleLeg struct {
 				name string
 				res  *rel.Relation
 				err  error
-			}{
+			}
+			legs := []oracleLeg{
 				{"streamed", smRes, smErr},
 				{"materialized", matRes, matErr},
 				{"cached-cold", c1Res, c1Err},
 				{"cached-hit", c2Res, c2Err},
+			}
+			if oc.spillS != nil {
+				ssRes, ssErr := oc.spillS.ExecWith(q, opts)
+				sgRes, sgErr := oc.spillM.ExecWith(q, opts)
+				legs = append(legs,
+					oracleLeg{"spilled-streamed", ssRes, ssErr},
+					oracleLeg{"spilled-materialized", sgRes, sgErr})
 			}
 			if w == workers[0] {
 				ref, refErr = smRes, smErr

@@ -141,7 +141,8 @@ func (p *parser) createStmt() (Statement, error) {
 	if _, err := p.expect(tokSymbol, ")"); err != nil {
 		return nil, err
 	}
-	return &CreateStmt{Name: name, Columns: cols}, nil
+	persist := p.accept(tokKeyword, "PERSIST")
+	return &CreateStmt{Name: name, Columns: cols, Persist: persist}, nil
 }
 
 func parseType(name string) (bat.Type, error) {

@@ -6,6 +6,7 @@ import (
 	"repro/internal/bat"
 	"repro/internal/exec"
 	"repro/internal/rel"
+	"repro/internal/store"
 )
 
 // This file executes a planned streaming SELECT. Operators pull morsels
@@ -42,6 +43,7 @@ type scanStream struct {
 	owned    [][]float64   // densified buffers handed back at close
 	preds    []*compiled   // fused predicate, bound to global row indexes
 	idx      []int         // arena scratch for matching rows (nil when no preds)
+	skip     []bool        // per-segment zone-map prune flags (persisted tables)
 	n, pos   int
 	tr       *exec.StageTracker
 	prev     int64 // bytes of the last emitted batch, unheld on the next call
@@ -51,6 +53,9 @@ type scanStream struct {
 func newScanStream(c *exec.Ctx, n *streamNode, ps *exec.PipelineStats) (*scanStream, error) {
 	src := n.leaf
 	s := &scanStream{n: src.rel.NumRows(), tr: ps.Stage("scan(" + src.rel.Name + ")")}
+	if src.stored != nil && len(n.pred) > 0 {
+		s.skip = segSkips(src.stored, src, n.pred, s.n)
+	}
 
 	// Columns the scan touches: emitted ones plus predicate inputs.
 	// Sparse ones densify once into arena buffers so the per-morsel pass
@@ -116,6 +121,13 @@ func (s *scanStream) next(c *exec.Ctx) (*bat.Batch, error) {
 	s.tr.Unhold(s.prev)
 	s.prev = 0
 	for s.pos < s.n {
+		if s.skip != nil {
+			seg := s.pos / store.SegRows
+			if seg < len(s.skip) && s.skip[seg] {
+				s.pos = min((seg+1)*store.SegRows, s.n)
+				continue
+			}
+		}
 		lo := s.pos
 		hi := min(lo+bat.MorselSize, s.n)
 		s.pos = hi
@@ -245,6 +257,7 @@ type joinStream struct {
 	jb        *rel.JoinBuild
 	buildVecs []*bat.Vector // needed build columns, sparse ones densified
 	buildOwn  [][]float64
+	filtered  []*rel.Relation // pushed-down-filter intermediates, freed at close
 	leftOuter bool
 	tr        *exec.StageTracker
 	prev      int64
@@ -253,21 +266,26 @@ type joinStream struct {
 
 func newJoinStream(c *exec.Ctx, n *streamNode, in rowStream, ps *exec.PipelineStats) (*joinStream, error) {
 	right := n.right
+	var filtered []*rel.Relation
 	var err error
 	for _, p := range n.rightPred {
 		if right, err = filterSource(c, right, p); err != nil {
+			freeFiltered(c, filtered)
 			return nil, err
 		}
+		filtered = append(filtered, right.rel)
 	}
 	keys, err := keyCols(right, n.rk)
 	if err != nil {
+		freeFiltered(c, filtered)
 		return nil, err
 	}
 	jb, err := rel.NewJoinBuild(c, keys, right.rel.NumRows())
 	if err != nil {
+		freeFiltered(c, filtered)
 		return nil, err
 	}
-	j := &joinStream{in: in, node: n, jb: jb, leftOuter: n.kind == JoinLeft, tr: ps.Stage("join")}
+	j := &joinStream{in: in, node: n, jb: jb, filtered: filtered, leftOuter: n.kind == JoinLeft, tr: ps.Stage("join")}
 	for _, k := range n.needed {
 		col := right.rel.Cols[k]
 		v := col.VectorCtx(c)
@@ -342,6 +360,8 @@ func (j *joinStream) close(c *exec.Ctx) {
 		c.Arena().FreeFloats(f)
 	}
 	j.buildOwn = nil
+	freeFiltered(c, j.filtered)
+	j.filtered, j.buildVecs = nil, nil
 }
 
 // --- cross join ------------------------------------------------------------
@@ -353,6 +373,7 @@ type crossStream struct {
 	in        rowStream
 	rightVecs []*bat.Vector
 	rightOwn  [][]float64
+	filtered  []*rel.Relation // pushed-down-filter intermediates, freed at close
 	nr        int
 	cur       *bat.Batch // left morsel currently being expanded
 	i, j      int        // cursor into cur × right
@@ -364,14 +385,17 @@ type crossStream struct {
 
 func newCrossStream(c *exec.Ctx, n *streamNode, in rowStream, ps *exec.PipelineStats) (*crossStream, error) {
 	right := n.right
+	var filtered []*rel.Relation
 	var err error
 	for _, p := range n.rightPred {
 		if right, err = filterSource(c, right, p); err != nil {
+			freeFiltered(c, filtered)
 			return nil, err
 		}
+		filtered = append(filtered, right.rel)
 	}
 	x := &crossStream{
-		in: in, nr: right.rel.NumRows(),
+		in: in, nr: right.rel.NumRows(), filtered: filtered,
 		li: c.Arena().Ints(bat.MorselSize), ri: c.Arena().Ints(bat.MorselSize),
 		tr: ps.Stage("cross"),
 	}
@@ -444,6 +468,8 @@ func (x *crossStream) close(c *exec.Ctx) {
 		c.Arena().FreeFloats(f)
 	}
 	x.rightOwn = nil
+	freeFiltered(c, x.filtered)
+	x.filtered, x.rightVecs = nil, nil
 }
 
 // --- helpers ---------------------------------------------------------------
@@ -470,6 +496,22 @@ func materializeVec(c *exec.Ctx, comp *compiled, n int) *bat.Vector {
 			out[i] = comp.fn(i).F
 		}
 		return bat.NewFloatVector(out)
+	}
+}
+
+// freeFiltered hands back the build-side relations a pushed-down filter
+// materialized (rel.Select gathers every column into arena buffers).
+// The whole chain of intermediates is freed together at close: a later
+// filter gathers from the previous relation, and the final relation's
+// dense columns are aliased by buildVecs/rightVecs until the last probe.
+// Sparse gather results are plain heap slices and have nothing to return.
+func freeFiltered(c *exec.Ctx, rels []*rel.Relation) {
+	for _, r := range rels {
+		for _, col := range r.Cols {
+			if !col.IsSparse() {
+				freeVec(c, col.Vector())
+			}
+		}
 	}
 }
 
@@ -685,7 +727,7 @@ func runStreamProject(c *exec.Ctx, sel *SelectStmt, plan *selectPlan, st rowStre
 // relation — which is bitwise-identical to the one groupSource builds.
 func (db *DB) runStreamGrouped(c *exec.Ctx, sel *SelectStmt, plan *selectPlan, st rowStream, ps *exec.PipelineStats) (*rel.Relation, error) {
 	gp := plan.group
-	sa, err := rel.NewStreamAgg("", gp.keyNames, gp.keyTypes, gp.specs, 0)
+	sa, err := rel.NewStreamAggCtx(c, "", gp.keyNames, gp.keyTypes, gp.specs, 0)
 	if err != nil {
 		return nil, err
 	}
@@ -722,7 +764,10 @@ func (db *DB) runStreamGrouped(c *exec.Ctx, sel *SelectStmt, plan *selectPlan, s
 			}
 			aggIn[k] = aggInput(c, comp, mn)
 		}
-		sa.Consume(keyVecs, aggIn, mn)
+		if err := sa.Consume(keyVecs, aggIn, mn); err != nil {
+			mb.Release(c)
+			return nil, err
+		}
 		for k, v := range keyVecs {
 			freeVec(c, v)
 			keyVecs[k] = nil

@@ -41,6 +41,7 @@ var keywords = map[string]bool{
 	"CREATE": true, "TABLE": true, "INSERT": true, "INTO": true, "VALUES": true,
 	"DROP": true, "AND": true, "OR": true, "NOT": true, "ASC": true,
 	"DESC": true, "NULL": true, "IN": true, "BETWEEN": true, "LIKE": true,
+	"PERSIST": true,
 }
 
 type lexer struct {

@@ -1,0 +1,177 @@
+package sql
+
+import (
+	"math"
+
+	"repro/internal/store"
+)
+
+// Zone-map pruning for the streaming scan: when a leaf source is a
+// persisted base table, its segment file carries per-segment min/max
+// zone maps. Pushed-down conjuncts of the shapes
+//
+//	col <cmp> literal      literal <cmp> col
+//	col BETWEEN lo AND hi  col = 'string'
+//
+// bound the values a matching row must have, so any segment whose zone
+// map excludes the bound cannot produce a match and its whole row range
+// — store.SegRows rows, a multiple of bat.MorselSize — is skipped
+// without evaluating the predicate. Pruning is sound, never exact: a
+// surviving segment still runs the full row-wise predicate, and NaN-
+// holding segments carry no zone map at all (HasZone false always
+// scans).
+
+// segBound is one proven value constraint on a scanned column.
+type segBound struct {
+	col    int     // column index in the stored file (== relation index)
+	lo, hi float64 // numeric bound, inclusive; ±Inf when open
+	str    bool    // string equality instead of numeric range
+	strVal string
+}
+
+// segSkips returns the per-segment skip flags for a scan of rd filtered
+// by preds, or nil when nothing can be pruned (no usable bounds, or the
+// reader does not match the relation snapshot).
+func segSkips(rd *store.Reader, src *source, preds []Expr, nrows int) []bool {
+	if rd == nil || nrows == 0 || rd.Rows() != int64(nrows) ||
+		len(rd.Specs()) != len(src.rel.Cols) {
+		return nil
+	}
+	var bounds []segBound
+	for _, p := range preds {
+		bounds = appendBounds(bounds, src, p)
+	}
+	if len(bounds) == 0 {
+		return nil
+	}
+	specs := rd.Specs()
+	skip := make([]bool, rd.NumSegs())
+	any := false
+	for s := range skip {
+		for _, b := range bounds {
+			m := rd.Seg(b.col, s)
+			if b.str {
+				if !m.MayContainStr(b.strVal, b.strVal, true, true) {
+					skip[s] = true
+				}
+			} else if !m.MayContainNum(specs[b.col].Kind, b.lo, b.hi) {
+				skip[s] = true
+			}
+			if skip[s] {
+				any = true
+				break
+			}
+		}
+	}
+	if !any {
+		return nil
+	}
+	return skip
+}
+
+// appendBounds extracts the value bounds a conjunct proves, resolving
+// column references against src. Unrecognized shapes contribute
+// nothing (the row-wise predicate still runs).
+func appendBounds(bounds []segBound, src *source, p Expr) []segBound {
+	switch x := p.(type) {
+	case *BinaryExpr:
+		if x.Op == "AND" {
+			bounds = appendBounds(bounds, src, x.L)
+			return appendBounds(bounds, src, x.R)
+		}
+		col, cok := resolveCol(src, x.L)
+		v, vok := litNum(x.R)
+		op := x.Op
+		if !cok || !vok {
+			// literal <cmp> col: flip the comparison.
+			if col, cok = resolveCol(src, x.R); !cok {
+				return maybeStrBound(bounds, src, x)
+			}
+			if v, vok = litNum(x.L); !vok {
+				return maybeStrBound(bounds, src, x)
+			}
+			op = flipCmp(op)
+		}
+		switch op {
+		case "=":
+			return append(bounds, segBound{col: col, lo: v, hi: v})
+		case "<", "<=":
+			return append(bounds, segBound{col: col, lo: math.Inf(-1), hi: v})
+		case ">", ">=":
+			return append(bounds, segBound{col: col, lo: v, hi: math.Inf(1)})
+		}
+	case *BetweenExpr:
+		if x.Not {
+			return bounds
+		}
+		col, cok := resolveCol(src, x.E)
+		lo, lok := litNum(x.Lo)
+		hi, hok := litNum(x.Hi)
+		if cok && lok && hok {
+			return append(bounds, segBound{col: col, lo: lo, hi: hi})
+		}
+	}
+	return bounds
+}
+
+// maybeStrBound handles col = 'literal' (either side).
+func maybeStrBound(bounds []segBound, src *source, x *BinaryExpr) []segBound {
+	if x.Op != "=" {
+		return bounds
+	}
+	if col, ok := resolveCol(src, x.L); ok {
+		if s, ok := x.R.(*StringLit); ok {
+			return append(bounds, segBound{col: col, str: true, strVal: s.Val})
+		}
+	}
+	if col, ok := resolveCol(src, x.R); ok {
+		if s, ok := x.L.(*StringLit); ok {
+			return append(bounds, segBound{col: col, str: true, strVal: s.Val})
+		}
+	}
+	return bounds
+}
+
+func resolveCol(src *source, e Expr) (int, bool) {
+	cr, ok := e.(*ColRef)
+	if !ok {
+		return 0, false
+	}
+	k, err := src.resolve(cr.Qualifier, cr.Name)
+	if err != nil {
+		return 0, false
+	}
+	return k, true
+}
+
+// litNum evaluates a numeric literal, including a unary minus.
+func litNum(e Expr) (float64, bool) {
+	switch x := e.(type) {
+	case *NumberLit:
+		if x.IsInt {
+			return float64(x.Int), true
+		}
+		return x.Float, true
+	case *UnaryExpr:
+		if x.Op == "-" {
+			if v, ok := litNum(x.E); ok {
+				return -v, true
+			}
+		}
+	}
+	return 0, false
+}
+
+func flipCmp(op string) string {
+	switch op {
+	case "<":
+		return ">"
+	case "<=":
+		return ">="
+	case ">":
+		return "<"
+	case ">=":
+		return "<="
+	}
+	return op
+}

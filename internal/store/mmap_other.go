@@ -1,0 +1,19 @@
+//go:build !unix
+
+package store
+
+import (
+	"io"
+	"os"
+)
+
+// mapFile reads the whole file on platforms without mmap support.
+func mapFile(f *os.File, size int64) ([]byte, bool, error) {
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, false, err
+	}
+	return data, false, nil
+}
+
+func unmapFile(data []byte) error { return nil }

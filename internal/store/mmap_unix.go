@@ -1,0 +1,28 @@
+//go:build unix
+
+package store
+
+import (
+	"io"
+	"os"
+	"syscall"
+)
+
+// mapFile maps the file read-only. On mmap failure (exotic
+// filesystems, size 0) it falls back to reading the file into memory;
+// the returned flag says whether unmapFile must be called.
+func mapFile(f *os.File, size int64) ([]byte, bool, error) {
+	if size > 0 && size <= int64(int(^uint(0)>>1)) {
+		data, err := syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_SHARED)
+		if err == nil {
+			return data, true, nil
+		}
+	}
+	data, err := io.ReadAll(f)
+	if err != nil {
+		return nil, false, err
+	}
+	return data, false, nil
+}
+
+func unmapFile(data []byte) error { return syscall.Munmap(data) }

@@ -1,0 +1,185 @@
+package store
+
+import (
+	"repro/internal/exec"
+)
+
+// Pool is a per-statement buffer pool over one Reader: decoded
+// segments stay resident up to a byte cap and are evicted
+// least-recently-used. Residency is charged to the owning tenant
+// through the context's arena — the decoded slices are arena
+// allocations, and string segments additionally reserve their byte
+// content — so the governor's ledger covers exactly what the pool
+// keeps in RAM. The pool is not safe for concurrent use; each scan
+// stream owns one.
+type Pool struct {
+	c   *exec.Ctx
+	r   *Reader
+	cap int64
+
+	used    int64
+	tick    int64
+	entries map[poolKey]*poolEntry
+}
+
+type poolKey struct{ col, seg int }
+
+type poolEntry struct {
+	data  ColData
+	bytes int64 // arena bytes of the decoded slices
+	extra int64 // reserved string-content bytes
+	last  int64
+}
+
+// NewPool builds a pool over r with the given residency cap in bytes
+// (<= 0 defaults to four segments of float data).
+func NewPool(c *exec.Ctx, r *Reader, capBytes int64) *Pool {
+	if capBytes <= 0 {
+		capBytes = 4 * SegRows * 8
+	}
+	return &Pool{c: c, r: r, cap: capBytes, entries: make(map[poolKey]*poolEntry)}
+}
+
+// Seg returns the decoded segment (col, seg), reading and caching it
+// on a miss. The returned ColData stays valid until the entry is
+// evicted — callers must not retain it across other Seg calls beyond
+// one segment's worth of work.
+func (p *Pool) Seg(col, seg int) (ColData, error) {
+	key := poolKey{col, seg}
+	p.tick++
+	if e, ok := p.entries[key]; ok {
+		e.last = p.tick
+		return e.data, nil
+	}
+	data, err := p.r.ReadSeg(p.c, col, seg)
+	if err != nil {
+		return ColData{}, err
+	}
+	e := &poolEntry{data: data, last: p.tick}
+	switch {
+	case data.F != nil:
+		e.bytes = int64(cap(data.F)) * 8
+	case data.I != nil:
+		e.bytes = int64(cap(data.I)) * 8
+	case data.S != nil:
+		e.bytes = int64(cap(data.S)) * 16
+		for _, s := range data.S {
+			e.extra += int64(len(s))
+		}
+		if err := p.c.Arena().Reserve(e.extra); err != nil {
+			ReleaseColData(p.c, data)
+			return ColData{}, err
+		}
+	}
+	p.entries[key] = e
+	p.used += e.bytes + e.extra
+	p.evict(key)
+	return e.data, nil
+}
+
+// evict drops least-recently-used entries (never keep, the entry just
+// inserted) until residency fits the cap.
+func (p *Pool) evict(keep poolKey) {
+	for p.used > p.cap && len(p.entries) > 1 {
+		var victim poolKey
+		var oldest int64 = 1<<63 - 1
+		for k, e := range p.entries {
+			if k != keep && e.last < oldest {
+				oldest, victim = e.last, k
+			}
+		}
+		if oldest == 1<<63-1 {
+			return
+		}
+		p.drop(victim)
+	}
+}
+
+func (p *Pool) drop(k poolKey) {
+	e := p.entries[k]
+	delete(p.entries, k)
+	p.used -= e.bytes + e.extra
+	ReleaseColData(p.c, e.data)
+	p.c.Arena().Unreserve(e.extra)
+}
+
+// Resident returns the bytes currently held.
+func (p *Pool) Resident() int64 { return p.used }
+
+// Close releases every resident segment.
+func (p *Pool) Close() {
+	for k := range p.entries {
+		p.drop(k)
+	}
+}
+
+// Cursor iterates a segment file's rows sequentially in column
+// lockstep, holding exactly one decoded segment per column at a time
+// (arena-charged, released as the cursor advances). Spill consumers
+// replay their partitions through it.
+type Cursor struct {
+	c    *exec.Ctx
+	r    *Reader
+	cols []int
+	data []ColData
+	seg  int
+	off  int // row offset inside the current segment
+	segN int
+}
+
+// NewCursor opens a cursor over the given columns (nil means all).
+func NewCursor(c *exec.Ctx, r *Reader, cols []int) *Cursor {
+	if cols == nil {
+		cols = make([]int, len(r.cols))
+		for k := range cols {
+			cols[k] = k
+		}
+	}
+	return &Cursor{c: c, r: r, cols: cols, data: make([]ColData, len(cols)), seg: -1}
+}
+
+// Next returns views of up to limit rows across the cursor's columns,
+// never crossing a segment boundary. n == 0 signals end of data.
+func (cu *Cursor) Next(limit int) ([]ColData, int, error) {
+	for {
+		if cu.seg >= 0 && cu.off < cu.segN {
+			n := cu.segN - cu.off
+			if limit > 0 && n > limit {
+				n = limit
+			}
+			out := make([]ColData, len(cu.cols))
+			for k := range cu.cols {
+				out[k] = cu.data[k].Slice(cu.off, cu.off+n)
+			}
+			cu.off += n
+			return out, n, nil
+		}
+		if cu.seg+1 >= cu.r.NumSegs() {
+			return nil, 0, nil
+		}
+		cu.releaseSeg()
+		cu.seg++
+		cu.off = 0
+		cu.segN = cu.r.Seg(cu.cols[0], cu.seg).Rows
+		for k, col := range cu.cols {
+			d, err := cu.r.ReadSeg(cu.c, col, cu.seg)
+			if err != nil {
+				cu.Close()
+				return nil, 0, err
+			}
+			cu.data[k] = d
+		}
+	}
+}
+
+func (cu *Cursor) releaseSeg() {
+	for k := range cu.data {
+		if cu.data[k].Len() > 0 || cu.data[k].F != nil || cu.data[k].I != nil || cu.data[k].S != nil {
+			ReleaseColData(cu.c, cu.data[k])
+			cu.data[k] = ColData{}
+		}
+	}
+}
+
+// Close releases the cursor's resident segment.
+func (cu *Cursor) Close() { cu.releaseSeg() }

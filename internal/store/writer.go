@@ -1,0 +1,398 @@
+package store
+
+import (
+	"bufio"
+	"encoding/json"
+	"fmt"
+	"math"
+	"os"
+)
+
+// Writer streams rows into a segment file. Rows are appended in
+// column batches; every column buffers until a full segment
+// (SegRows rows) accumulates, then the segment is encoded — raw,
+// run-length, or dictionary, whichever is smallest — zone-mapped, and
+// written. Close flushes the partial tail segments and the footer.
+// All columns advance in lockstep, so their segment boundaries align
+// and readers can iterate them side by side.
+type Writer struct {
+	f     *os.File
+	bw    *bufio.Writer
+	path  string
+	name  string
+	specs []ColSpec
+	cols  []colBuilder
+	off   int64
+	rows  int64
+	err   error
+}
+
+type colBuilder struct {
+	kind ColKind
+	f    []float64
+	i    []int64
+	s    []string
+	segs []SegMeta
+}
+
+// Create opens a new segment file at path for the given schema,
+// truncating any previous file.
+func Create(path, name string, specs []ColSpec) (*Writer, error) {
+	if len(specs) == 0 {
+		return nil, fmt.Errorf("store: create %s: no columns", path)
+	}
+	f, err := os.Create(path)
+	if err != nil {
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	w := &Writer{f: f, bw: bufio.NewWriterSize(f, 1<<16), path: path, name: name, specs: specs}
+	w.cols = make([]colBuilder, len(specs))
+	for k, sp := range specs {
+		w.cols[k].kind = sp.Kind
+	}
+	if _, err := w.bw.WriteString(magicHead); err != nil {
+		f.Close()
+		return nil, fmt.Errorf("store: %w", err)
+	}
+	w.off = int64(len(magicHead))
+	return w, nil
+}
+
+// Append adds n rows: cols[k] must carry exactly n values of column
+// k's kind.
+func (w *Writer) Append(n int, cols []ColData) error {
+	if w.err != nil {
+		return w.err
+	}
+	if len(cols) != len(w.specs) {
+		return w.fail(fmt.Errorf("store: append: %d columns, want %d", len(cols), len(w.specs)))
+	}
+	for k := range cols {
+		if cols[k].Len() != n {
+			return w.fail(fmt.Errorf("store: append: column %d has %d rows, want %d", k, cols[k].Len(), n))
+		}
+		b := &w.cols[k]
+		switch b.kind {
+		case KFloat:
+			if cols[k].F == nil {
+				return w.fail(fmt.Errorf("store: append: column %d is not float", k))
+			}
+			b.f = append(b.f, cols[k].F...)
+		case KInt:
+			if cols[k].I == nil {
+				return w.fail(fmt.Errorf("store: append: column %d is not int", k))
+			}
+			b.i = append(b.i, cols[k].I...)
+		case KString:
+			if cols[k].S == nil {
+				return w.fail(fmt.Errorf("store: append: column %d is not string", k))
+			}
+			b.s = append(b.s, cols[k].S...)
+		}
+	}
+	w.rows += int64(n)
+	// Flush full segments column by column; all builders cross the
+	// boundary together because Append advances them together.
+	for w.buffered() >= SegRows {
+		if err := w.flushSeg(SegRows); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+func (w *Writer) buffered() int {
+	b := &w.cols[0]
+	switch b.kind {
+	case KFloat:
+		return len(b.f)
+	case KInt:
+		return len(b.i)
+	default:
+		return len(b.s)
+	}
+}
+
+func (w *Writer) fail(err error) error {
+	if w.err == nil {
+		w.err = err
+	}
+	return w.err
+}
+
+// flushSeg encodes and writes the first n buffered rows of every
+// column as one segment each.
+func (w *Writer) flushSeg(n int) error {
+	if w.err != nil {
+		return w.err
+	}
+	for k := range w.cols {
+		b := &w.cols[k]
+		var payload []byte
+		var meta SegMeta
+		switch b.kind {
+		case KFloat:
+			payload, meta = encodeFloats(b.f[:n])
+			b.f = b.f[:copy(b.f, b.f[n:])]
+		case KInt:
+			payload, meta = encodeInts(b.i[:n])
+			b.i = b.i[:copy(b.i, b.i[n:])]
+		case KString:
+			payload, meta = encodeStrings(b.s[:n])
+			b.s = b.s[:copy(b.s, b.s[n:])]
+		}
+		meta.Off = w.off
+		meta.Len = int64(len(payload))
+		meta.Rows = n
+		if _, err := w.bw.Write(payload); err != nil {
+			return w.fail(fmt.Errorf("store: %w", err))
+		}
+		w.off += int64(len(payload))
+		b.segs = append(b.segs, meta)
+	}
+	return nil
+}
+
+// BytesWritten returns the bytes emitted so far (payload only; the
+// footer lands at Close).
+func (w *Writer) BytesWritten() int64 { return w.off }
+
+// Rows returns the rows appended so far.
+func (w *Writer) Rows() int64 { return w.rows }
+
+// Close flushes the tail segments and the footer and closes the file.
+func (w *Writer) Close() error {
+	if w.f == nil {
+		return w.err
+	}
+	if w.err == nil {
+		if n := w.buffered(); n > 0 {
+			w.flushSeg(n)
+		}
+	}
+	if w.err == nil {
+		ft := footer{Name: w.name, Rows: w.rows, Cols: make([]colMeta, len(w.specs))}
+		for k, sp := range w.specs {
+			ft.Cols[k] = colMeta{ColSpec: sp, Segs: w.cols[k].segs}
+		}
+		data, err := json.Marshal(ft)
+		if err != nil {
+			w.fail(fmt.Errorf("store: footer: %w", err))
+		} else {
+			tail := put64(data, uint64(len(data)))
+			tail = append(tail, magicTail...)
+			if _, err := w.bw.Write(tail); err != nil {
+				w.fail(fmt.Errorf("store: %w", err))
+			}
+			w.off += int64(len(tail))
+		}
+	}
+	if err := w.bw.Flush(); err != nil {
+		w.fail(fmt.Errorf("store: %w", err))
+	}
+	if err := w.f.Close(); err != nil {
+		w.fail(fmt.Errorf("store: %w", err))
+	}
+	w.f = nil
+	return w.err
+}
+
+// ---- segment encoders ----
+//
+// Floats are handled through their IEEE bit patterns end to end so the
+// round trip is bitwise (NaN payloads, -0). The encoder measures the
+// three candidate encodings in one pass and emits the smallest.
+
+const (
+	maxDict1 = 256   // 1-byte codes
+	maxDict2 = 65536 // 2-byte codes
+)
+
+func encodeFloats(vals []float64) ([]byte, SegMeta) {
+	bits := make([]uint64, len(vals))
+	for i, v := range vals {
+		bits[i] = math.Float64bits(v)
+	}
+	payload, meta := encodeWords(bits)
+	// Zone map over value order; disabled when NaNs are present.
+	meta.HasZone = len(vals) > 0
+	mn, mx := math.Inf(1), math.Inf(-1)
+	for _, v := range vals {
+		if v != v {
+			meta.HasZone = false
+			break
+		}
+		if v < mn {
+			mn = v
+		}
+		if v > mx {
+			mx = v
+		}
+	}
+	if meta.HasZone {
+		meta.MinBits = math.Float64bits(mn)
+		meta.MaxBits = math.Float64bits(mx)
+	}
+	return payload, meta
+}
+
+func encodeInts(vals []int64) ([]byte, SegMeta) {
+	bits := make([]uint64, len(vals))
+	for i, v := range vals {
+		bits[i] = uint64(v)
+	}
+	payload, meta := encodeWords(bits)
+	if len(vals) > 0 {
+		meta.HasZone = true
+		mn, mx := vals[0], vals[0]
+		for _, v := range vals[1:] {
+			if v < mn {
+				mn = v
+			}
+			if v > mx {
+				mx = v
+			}
+		}
+		meta.MinI, meta.MaxI = mn, mx
+	}
+	return payload, meta
+}
+
+// encodeWords picks raw / RLE / dict for a segment of 64-bit words.
+func encodeWords(bits []uint64) ([]byte, SegMeta) {
+	n := len(bits)
+	runs := 1
+	dict := make(map[uint64]int)
+	for i, w := range bits {
+		if i > 0 && w != bits[i-1] {
+			runs++
+		}
+		if len(dict) <= maxDict2 {
+			if _, ok := dict[w]; !ok {
+				dict[w] = len(dict)
+			}
+		}
+	}
+	if n == 0 {
+		runs = 0
+	}
+	rawSz := 8 * n
+	rleSz := 4 + runs*12
+	codeW := 1
+	if len(dict) > maxDict1 {
+		codeW = 2
+	}
+	dictSz := 4 + len(dict)*8 + n*codeW
+	if len(dict) > maxDict2 {
+		dictSz = rawSz + 1 // out of range
+	}
+
+	switch {
+	case n > 0 && dictSz < rawSz && dictSz <= rleSz:
+		// Dictionary: codes reference first-appearance order.
+		out := make([]byte, 0, dictSz)
+		out = put32(out, uint32(len(dict)))
+		ordered := make([]uint64, len(dict))
+		for w, c := range dict {
+			ordered[c] = w
+		}
+		for _, w := range ordered {
+			out = put64(out, w)
+		}
+		for _, w := range bits {
+			c := dict[w]
+			if codeW == 1 {
+				out = append(out, byte(c))
+			} else {
+				out = append(out, byte(c), byte(c>>8))
+			}
+		}
+		return out, SegMeta{Enc: encDict}
+	case n > 0 && rleSz < rawSz:
+		out := make([]byte, 0, rleSz)
+		out = put32(out, uint32(runs))
+		count := uint32(1)
+		for i := 1; i <= n; i++ {
+			if i < n && bits[i] == bits[i-1] {
+				count++
+				continue
+			}
+			out = put32(out, count)
+			out = put64(out, bits[i-1])
+			count = 1
+		}
+		return out, SegMeta{Enc: encRLE}
+	default:
+		out := make([]byte, 0, rawSz)
+		for _, w := range bits {
+			out = put64(out, w)
+		}
+		return out, SegMeta{Enc: encRaw}
+	}
+}
+
+func encodeStrings(vals []string) ([]byte, SegMeta) {
+	n := len(vals)
+	dict := make(map[string]int)
+	rawSz := 0
+	dictBytes := 0
+	for _, s := range vals {
+		rawSz += 4 + len(s)
+		if len(dict) <= maxDict2 {
+			if _, ok := dict[s]; !ok {
+				dict[s] = len(dict)
+				dictBytes += 4 + len(s)
+			}
+		}
+	}
+	codeW := 1
+	if len(dict) > maxDict1 {
+		codeW = 2
+	}
+	dictSz := 4 + dictBytes + n*codeW
+
+	var meta SegMeta
+	if n > 0 {
+		meta.HasZone = true
+		mn, mx := vals[0], vals[0]
+		for _, s := range vals[1:] {
+			if s < mn {
+				mn = s
+			}
+			if s > mx {
+				mx = s
+			}
+		}
+		meta.MinS, meta.MaxS = []byte(mn), []byte(mx)
+	}
+
+	if n > 0 && len(dict) <= maxDict2 && dictSz < rawSz {
+		meta.Enc = encDict
+		out := make([]byte, 0, dictSz)
+		out = put32(out, uint32(len(dict)))
+		ordered := make([]string, len(dict))
+		for s, c := range dict {
+			ordered[c] = s
+		}
+		for _, s := range ordered {
+			out = put32(out, uint32(len(s)))
+			out = append(out, s...)
+		}
+		for _, s := range vals {
+			c := dict[s]
+			if codeW == 1 {
+				out = append(out, byte(c))
+			} else {
+				out = append(out, byte(c), byte(c>>8))
+			}
+		}
+		return out, meta
+	}
+	meta.Enc = encRaw
+	out := make([]byte, 0, rawSz)
+	for _, s := range vals {
+		out = put32(out, uint32(len(s)))
+		out = append(out, s...)
+	}
+	return out, meta
+}
