@@ -221,6 +221,49 @@
 // exec.SpillStats (bytes, partitions, events) aggregates into
 // sql.DB.Metrics alongside the arena counters.
 //
+// # Block-partitioned execution
+//
+// Large dense operands are held as matrix.BlockMatrix: a tile grid of
+// row-major tiles of matrix.TileEdge (256) rows/columns, edge tiles
+// ragged. Each tile is charged to the owning query's arena as its own
+// allocation, so a matrix bigger than any single arena size class
+// materializes tile by tile instead of demanding one contiguous slab —
+// and spills tile-at-a-time through the same exec.Spill machinery as
+// the relational operators (BlockMatrix.EnableSpill bounds resident
+// tiles; evictions report through Ctx.NoteSpill). core.toMatrix grows
+// a block-aware path: ordered relations above a size gate materialize
+// directly into tiles, and blocked results flow back column-wise
+// without an intermediate flat copy.
+//
+// The blocked kernels (linalg.MatMulBlocked, SYRKBlocked, QRBlocked,
+// CholeskyBlocked) drive tile updates through exec.Ctx.ParallelFor and
+// keep the repository's determinism contract the hard way: every
+// output tile accumulates its k-panel products in fixed ascending
+// order, panel factorizations apply reflectors/pivots in the same
+// order and with the same per-element arithmetic as the flat loops, so
+// blocked results are bitwise-identical to the flat kernels at any
+// worker count and any tile-grid shape — asserted by differential
+// tests over tile edges yielding 1/2/7/16-tile grids, non-divisible
+// edge sizes, and worker budgets {1, 2, 8} under -race.
+//
+// The relational analogue is rel.Exchange: morsel streams are
+// radix-partitioned into P shards on the same typed 64-bit key hashes
+// the join table uses, each shard builds and probes (or groups)
+// independently, and shard outputs concatenate in fixed shard order —
+// so the exchange plan is bitwise-identical to the single-table path
+// (rel.ExchangeJoin vs rel.HashJoinSized, rel.ShardedAgg vs
+// rel.StreamAgg). The streaming SQL planner picks the partitioned
+// build when the statement runs with a multi-worker budget and the
+// build side exceeds bat.SerialCutoff rows; shard count is resolved at
+// execution time (min(workers, 16)) so cached plans stay
+// execution-agnostic. The plan additionally carries a partitioning
+// property — the canonical probe-side equi-join keys — and when the
+// GROUP BY keys equal it, the group stage shards its accumulators on
+// the existing key hashes instead of re-shuffling; grouping on other
+// keys keeps the single spill-capable accumulator. Per-shard rows
+// surface in exec.PipelineStats as exchange.build[shard i/P],
+// exchange.join[shard i/P], and exchange.group[shard i/P] stages.
+//
 // # Plan cache
 //
 // sql.DB keeps a bounded LRU plan cache (256 entries) keyed by

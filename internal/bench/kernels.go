@@ -147,6 +147,66 @@ func MicroKernels(quick bool) ([]KernelResult, error) {
 		}
 	}))
 
+	// Blocked variants of the dense kernels: the same multiply over a
+	// 4×4 tile grid, serially (the acceptance bar is parity with the
+	// flat path) and under a 4-worker budget (where the fixed-order
+	// tile accumulation fans out), plus a blocked Householder QR.
+	bx, err := matrix.BlockOf(nil, mx, matmulN/4)
+	if err != nil {
+		return nil, fmt.Errorf("bench: blocked matmul setup: %w", err)
+	}
+	by, err := matrix.BlockOf(nil, my, matmulN/4)
+	if err != nil {
+		return nil, fmt.Errorf("bench: blocked matmul setup: %w", err)
+	}
+	cSerial, c4 := exec.New(1), exec.New(4)
+	out = append(out, measure("linalg.MatMul(blocked)", matmulN, matmulN, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := linalg.MatMulBlocked(cSerial, bx, by)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res.Free(cSerial)
+		}
+	}))
+	out = append(out, measure("linalg.MatMul(blocked-4w)", matmulN, matmulN, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			res, err := linalg.MatMulBlocked(c4, bx, by)
+			if err != nil {
+				b.Fatal(err)
+			}
+			res.Free(c4)
+		}
+	}))
+	out = append(out, measure("linalg.QR(blocked)", matmulN, matmulN, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := linalg.QRBlocked(c4, bx); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	// Regression guard for the per-worker fan-out threshold: a 64³
+	// multiply (exactly one parallelThreshold of flops) under a wide
+	// worker budget must stay serial — the old total-flops heuristic
+	// fanned out 8 goroutines here and paid their setup for nothing.
+	midN := 64
+	m8 := exec.New(8)
+	sx, sy := matrix.New(midN, midN), matrix.New(midN, midN)
+	for i := range sx.Data {
+		sx.Data[i] = float64(i % 101)
+		sy.Data[i] = float64(i % 103)
+	}
+	out = append(out, measure("linalg.MatMul(serial-mid)", midN, midN, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			linalg.MatMul(m8, sx, sy)
+		}
+	}))
+
 	wr := dataset.Uniform(wideRows, wideCols, 3)
 	ws, err := dataset.Uniform(wideRows, wideCols, 4).Rename(map[string]string{"k": "k2"})
 	if err != nil {
@@ -227,6 +287,17 @@ func MicroKernels(quick bool) ([]KernelResult, error) {
 		b.ReportAllocs()
 		for i := 0; i < b.N; i++ {
 			if _, err := rel.HashJoin(nil, jl, js, []string{"l_k"}, []string{"s_k"}, rel.Inner); err != nil {
+				b.Fatal(err)
+			}
+		}
+	}))
+
+	// The same join through the radix-partitioned exchange: four shards
+	// built, probed, and concatenated in fixed shard order.
+	out = append(out, measure("rel.Exchange(join-4shard)", joinRows, 2, func(b *testing.B) {
+		b.ReportAllocs()
+		for i := 0; i < b.N; i++ {
+			if _, err := rel.ExchangeJoin(nil, jl, js, []string{"l_k"}, []string{"s_k"}, rel.Inner, 4, nil); err != nil {
 				b.Fatal(err)
 			}
 		}

@@ -1,0 +1,89 @@
+package core
+
+import (
+	"math"
+	"math/rand"
+	"testing"
+
+	"repro/internal/bat"
+	"repro/internal/rel"
+)
+
+// blockRel builds a relation with an int key K and nApp float
+// application columns, rows added in shuffled key order so the sort
+// permutation is exercised by the tiled materialization.
+func blockRel(rows, nApp int, seed int64) *rel.Relation {
+	rng := rand.New(rand.NewSource(seed))
+	schema := rel.Schema{{Name: "K", Type: bat.Int}}
+	for j := 0; j < nApp; j++ {
+		schema = append(schema, rel.Attr{Name: "x" + string(rune('a'+j)), Type: bat.Float})
+	}
+	b := rel.NewBuilder("r", schema)
+	perm := rng.Perm(rows)
+	for _, k := range perm {
+		vals := []bat.Value{bat.IntValue(int64(k))}
+		for j := 0; j < nApp; j++ {
+			v := (rng.Float64() - 0.5) * 10
+			if rng.Intn(8) == 0 {
+				v = 0
+			}
+			vals = append(vals, bat.FloatValue(v))
+		}
+		b.MustAdd(vals...)
+	}
+	return b.Relation()
+}
+
+// runBoth runs op with the blocked materialization forced on and
+// forced off and asserts the two result relations are bitwise
+// identical, returning the flat-path result.
+func runBoth(t *testing.T, name string, op func() (*rel.Relation, error)) {
+	t.Helper()
+	saved := blockedMinElems
+	defer func() { blockedMinElems = saved }()
+
+	blockedMinElems = 1 << 40 // flat route
+	flat, err := op()
+	if err != nil {
+		t.Fatalf("%s flat: %v", name, err)
+	}
+	blockedMinElems = 1 // tiled route
+	blocked, err := op()
+	if err != nil {
+		t.Fatalf("%s blocked: %v", name, err)
+	}
+	if flat.NumRows() != blocked.NumRows() || len(flat.Schema) != len(blocked.Schema) {
+		t.Fatalf("%s: shape %dx%d vs %dx%d", name,
+			blocked.NumRows(), len(blocked.Schema), flat.NumRows(), len(flat.Schema))
+	}
+	for i := 0; i < flat.NumRows(); i++ {
+		for j := range flat.Schema {
+			fv, bv := flat.Value(i, j), blocked.Value(i, j)
+			if fv.Type != bv.Type || fv.I != bv.I || fv.S != bv.S ||
+				math.Float64bits(fv.F) != math.Float64bits(bv.F) {
+				t.Fatalf("%s: cell (%d,%d) = %v blocked vs %v flat", name, i, j, bv, fv)
+			}
+		}
+	}
+}
+
+// TestBlockedMaterializationBitwise: the tiled toBlockMatrix +
+// blocked-kernel route through Mmu, Cpd (SYRK), and Qqr/Rqr must be
+// bitwise-identical to the contiguous toMatrix + flat-kernel route.
+func TestBlockedMaterializationBitwise(t *testing.T) {
+	r := blockRel(97, 5, 1)
+	s := blockRel(5, 3, 2) // inner dim: 5 app cols of r × 5 rows of s
+	opts := &Options{Parallelism: 4}
+	runBoth(t, "mmu", func() (*rel.Relation, error) {
+		return Mmu(r, []string{"K"}, s, []string{"K"}, opts)
+	})
+	runBoth(t, "cpd-syrk", func() (*rel.Relation, error) {
+		return Cpd(r, []string{"K"}, r, []string{"K"}, opts)
+	})
+	runBoth(t, "qqr", func() (*rel.Relation, error) {
+		return Qqr(r, []string{"K"}, opts)
+	})
+	runBoth(t, "rqr", func() (*rel.Relation, error) {
+		return Rqr(r, []string{"K"}, opts)
+	})
+}

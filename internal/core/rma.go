@@ -7,6 +7,7 @@ import (
 	"repro/internal/bat"
 	"repro/internal/exec"
 	"repro/internal/linalg"
+	"repro/internal/matrix"
 	"repro/internal/rel"
 )
 
@@ -268,6 +269,34 @@ func evalUnaryBase(c *exec.Ctx, op Op, a *argument, opts *Options, clock *phaseC
 		if opts.Stats != nil {
 			opts.Stats.UsedDense = true
 		}
+		// Large QR operands materialize directly into tiles and run the
+		// panel-blocked factorization — bitwise-identical to the flat
+		// route, but with no single contiguous operand allocation.
+		if (op == OpQQR || op == OpRQR) && a.rows()*len(a.appCols) >= blockedMinElems {
+			clock.begin()
+			bm, err := a.toBlockMatrix(c)
+			clock.endTransform()
+			if err != nil {
+				return nil, err
+			}
+			clock.begin()
+			d, err := linalg.QRBlocked(c, bm)
+			clock.endKernel()
+			releaseBlockMatrix(c, bm)
+			if err != nil {
+				return nil, err
+			}
+			var res *matrix.Matrix
+			if op == OpQQR {
+				res = d.Q()
+			} else {
+				res = d.R()
+			}
+			clock.begin()
+			cols := matrixToCols(c, res)
+			clock.endTransform()
+			return cols, nil
+		}
 		clock.begin()
 		m, err := a.toMatrix(c)
 		clock.endTransform()
@@ -304,6 +333,26 @@ func evalBinaryBase(c *exec.Ctx, op Op, a, b *argument, opts *Options, clock *ph
 		// pattern of §8.6(3)) copies once and uses the symmetric
 		// rank-k kernel, the paper's cblas_dsyrk route.
 		if op == OpCPD && sameApplicationPart(a, b) {
+			if a.rows()*len(a.appCols) >= blockedMinElems {
+				clock.begin()
+				bm, err := a.toBlockMatrix(c)
+				clock.endTransform()
+				if err != nil {
+					return nil, err
+				}
+				clock.begin()
+				res, err := linalg.SYRKBlocked(c, bm)
+				clock.endKernel()
+				releaseBlockMatrix(c, bm)
+				if err != nil {
+					return nil, err
+				}
+				clock.begin()
+				cols, err := blockToCols(c, res)
+				releaseBlockMatrix(c, res)
+				clock.endTransform()
+				return cols, err
+			}
 			clock.begin()
 			ma, err := a.toMatrix(c)
 			clock.endTransform()
@@ -318,6 +367,36 @@ func evalBinaryBase(c *exec.Ctx, op Op, a, b *argument, opts *Options, clock *ph
 			cols := matrixToCols(c, res)
 			clock.endTransform()
 			return cols, nil
+		}
+		// Large matrix products take the fully tiled route end to end:
+		// tiles in, SUMMA-style tile products, tiles back out — the
+		// result is bitwise-identical to the flat kernel.
+		if op == OpMMU && (a.rows()*len(a.appCols) >= blockedMinElems ||
+			b.rows()*len(b.appCols) >= blockedMinElems) {
+			clock.begin()
+			ma, err := a.toBlockMatrix(c)
+			if err != nil {
+				return nil, err
+			}
+			mb, err := b.toBlockMatrix(c)
+			clock.endTransform()
+			if err != nil {
+				releaseBlockMatrix(c, ma)
+				return nil, err
+			}
+			clock.begin()
+			res, err := linalg.MatMulBlocked(c, ma, mb)
+			clock.endKernel()
+			releaseBlockMatrix(c, ma)
+			releaseBlockMatrix(c, mb)
+			if err != nil {
+				return nil, err
+			}
+			clock.begin()
+			cols, err := blockToCols(c, res)
+			releaseBlockMatrix(c, res)
+			clock.endTransform()
+			return cols, err
 		}
 		clock.begin()
 		ma, err := a.toMatrix(c)

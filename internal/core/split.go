@@ -169,6 +169,135 @@ func releaseMatrix(c *exec.Ctx, m *matrix.Matrix) {
 	c.Arena().FreeFloats(data)
 }
 
+// blockedMinElems gates the tiled materialization path: dense operands
+// with at least this many cells take toBlockMatrix + the blocked
+// kernels instead of one contiguous toMatrix copy. 4M cells (32 MiB)
+// sits safely inside the arena's pooled classes for the flat path
+// below it and avoids any single huge allocation above it. Variable so
+// tests can force either route.
+var blockedMinElems = 1 << 22
+
+// toBlockMatrix is the block-aware µ_Ū(r): it materializes the ordered
+// application part directly into cache-sized tiles — each tile is
+// arena-charged individually, so a huge operand never needs one
+// contiguous allocation and can spill tile-at-a-time — without the
+// intermediate flat copy toMatrix would make. Tiles are filled in
+// parallel; writes are disjoint per tile.
+func (a *argument) toBlockMatrix(c *exec.Ctx) (*matrix.BlockMatrix, error) {
+	m := a.rows()
+	n := len(a.appCols)
+	fcols := make([][]float64, n)
+	for j, col := range a.appCols {
+		f, err := col.FloatsCtx(c)
+		if err != nil {
+			for k := 0; k < j; k++ {
+				a.appCols[k].ReleaseFloats(c, fcols[k])
+			}
+			return nil, fmt.Errorf("rma: %v", err)
+		}
+		fcols[j] = f
+	}
+	out := matrix.NewBlock(m, n)
+	if sp := c.Spill(); sp != nil {
+		out.EnableSpill(sp, blockResidency(out))
+	}
+	edge := out.Edge
+	nt := out.TileRows() * out.TileCols()
+	errs := make([]error, nt)
+	c.ParallelFor(nt, 1, func(lo, hi int) {
+		for t := lo; t < hi; t++ {
+			ti, tj := t/out.TileCols(), t%out.TileCols()
+			h, w := out.TileDims(ti, tj)
+			buf, err := out.Pin(c, ti, tj)
+			if err != nil {
+				errs[t] = err
+				continue
+			}
+			for r := 0; r < h; r++ {
+				src := ti*edge + r
+				if a.perm != nil {
+					src = a.perm[src]
+				}
+				row := buf[r*w : (r+1)*w]
+				for l := range row {
+					row[l] = fcols[tj*edge+l][src]
+				}
+			}
+			out.Unpin(ti, tj)
+		}
+	})
+	for j, f := range fcols {
+		a.appCols[j].ReleaseFloats(c, f)
+	}
+	for _, err := range errs {
+		if err != nil {
+			out.Free(c)
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
+// blockResidency picks the tile residency cap for a spilling blocked
+// operand: a quarter of the grid, at least two tile rows so the
+// kernels' row-of-a × column-of-b pins never thrash.
+func blockResidency(b *matrix.BlockMatrix) int {
+	cap := b.TileRows() * b.TileCols() / 4
+	if floor := 2 * b.TileCols(); cap < floor {
+		cap = floor
+	}
+	return cap
+}
+
+// releaseBlockMatrix frees every resident tile back to the arena and
+// removes any spilled tile files.
+func releaseBlockMatrix(c *exec.Ctx, b *matrix.BlockMatrix) {
+	b.Free(c)
+}
+
+// blockToCols converts a blocked base result back into one BAT per
+// column, paging each tile in at most once per column stripe. The
+// inverse of toBlockMatrix for the copy-back half.
+func blockToCols(c *exec.Ctx, bm *matrix.BlockMatrix) ([]*bat.BAT, error) {
+	out := make([]*bat.BAT, bm.Cols)
+	errs := make([]error, bm.Cols)
+	c.ParallelFor(bm.Cols, 1, func(lo, hi int) {
+		for j := lo; j < hi; j++ {
+			col := c.Arena().Floats(bm.Rows)
+			tj, lj := j/bm.Edge, j%bm.Edge
+			for ti := 0; ti < bm.TileRows(); ti++ {
+				buf, err := bm.PinRead(c, ti, tj)
+				if err != nil {
+					errs[j] = err
+					break
+				}
+				h, w := bm.TileDims(ti, tj)
+				base := ti * bm.Edge
+				for r := 0; r < h; r++ {
+					col[base+r] = buf[r*w+lj]
+				}
+				bm.Unpin(ti, tj)
+			}
+			if errs[j] != nil {
+				c.Arena().FreeFloats(col)
+				continue
+			}
+			out[j] = bat.FromFloats(col)
+		}
+	})
+	for _, err := range errs {
+		if err != nil {
+			for _, b := range out {
+				if b != nil {
+					bat.Release(c, b)
+				}
+			}
+			return nil, err
+		}
+	}
+	return out, nil
+}
+
 // columnCast is ▽U: the sorted values of a single-attribute order schema,
 // rendered as strings, used as attribute names of result application
 // schemas (usv, opd, tra). The key property guarantees uniqueness.

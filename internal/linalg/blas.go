@@ -22,7 +22,27 @@ import (
 const blockSize = 64
 
 // parallelThreshold is the flop count below which MatMul stays serial.
+// The fan-out decision is per *worker*, not per call: each goroutine
+// must clear this much work or its spawn/synchronization setup costs
+// more than it saves, so the kernels shed workers until every stripe
+// does (fanoutWorkers) instead of comparing the total flop count alone.
+// A mid-sized input on a small budget therefore stays serial where the
+// old total-flops test would have paid the fan-out setup for nothing —
+// see the `linalg.MatMul(serial-mid)` regression note in BENCH_8.json.
 const parallelThreshold = 1 << 18
+
+// fanoutWorkers resolves how many goroutines a kernel of the given
+// total flop count should fan out to under the context's budget: at
+// most one per parallelThreshold of work, never more than the budget,
+// and 1 (serial) when even two workers could not each clear the
+// threshold.
+func fanoutWorkers(c *exec.Ctx, flops int) int {
+	workers := c.Workers()
+	if byWork := flops / parallelThreshold; byWork < workers {
+		workers = byWork
+	}
+	return max(workers, 1)
+}
 
 // MatMul returns a·b (MMU) using an ikj loop order with cache blocking,
 // parallelized over row stripes under the context's worker budget.
@@ -32,9 +52,8 @@ func MatMul(c *exec.Ctx, a, b *matrix.Matrix) *matrix.Matrix {
 	}
 	m, kk, n := a.Rows, a.Cols, b.Cols
 	out := matrix.New(m, n)
-	flops := m * kk * n
-	workers := c.Workers()
-	if flops < parallelThreshold || workers == 1 || m == 1 {
+	workers := fanoutWorkers(c, m*kk*n)
+	if workers == 1 || m == 1 {
 		mulStripe(a, b, out, 0, m)
 		return out
 	}
@@ -119,14 +138,14 @@ func SYRK(c *exec.Ctx, a *matrix.Matrix) *matrix.Matrix {
 	n := a.Cols
 	out := matrix.New(n, n)
 	m := a.Rows
-	workers := c.Workers()
-	if workers > n {
-		workers = n
-	}
 	if n == 0 {
 		return out
 	}
-	if m*n*n < parallelThreshold || workers <= 1 {
+	workers := fanoutWorkers(c, m*n*n)
+	if workers > n {
+		workers = n
+	}
+	if workers <= 1 {
 		syrkCols(a, out, 0, n)
 	} else {
 		var wg sync.WaitGroup

@@ -1,0 +1,132 @@
+package linalg
+
+import (
+	"errors"
+	"math"
+	"testing"
+
+	"repro/internal/exec"
+	"repro/internal/matrix"
+)
+
+// oocElem is the deterministic fill pattern for the out-of-core
+// operand: spread over [-9, 9] with exact zeros to exercise the
+// kernel's zero-skip.
+func oocElem(i, l int) float64 {
+	return float64((i*7+l*13)%19) - 9
+}
+
+// TestBlockedMatMulOutOfCore is the PR-8 acceptance test: a blocked
+// product over a matrix larger than any single arena size-class
+// (> 1<<24 float64 elements, the largest pooled class) completes
+// under a memory budget that the flat path's one contiguous
+// allocation cannot even charge. The blocked operand spills
+// tile-at-a-time through exec.Spill, keeps residency bounded, and the
+// result is bitwise-identical to the flat accumulation order.
+func TestBlockedMatMulOutOfCore(t *testing.T) {
+	const (
+		rows = (1 << 24) / 8 // 2,097,152 rows ...
+		kk   = 8             // ... of 8 columns: 16.8M+8K elements, one class above the largest pool
+		n    = 8
+		edge = 4096
+	)
+	totalElems := (rows + 1024) * kk // > 1<<24: no pooled size-class can hold it
+	if totalElems <= 1<<24 {
+		t.Fatal("test operand no longer exceeds the largest arena size-class")
+	}
+	m := rows + 1024
+
+	budget := int64(64 << 20) // 64 MiB: under half the 134.3 MiB flat operand
+	g := exec.NewGovernor(budget*2, 2)
+	tenant := g.Tenant("ooc", budget)
+	c := exec.NewCtx(4, tenant.NewArena(), nil)
+
+	// Flat leg: one contiguous charge for the operand blows the budget.
+	flatErr := func() (err error) {
+		defer exec.CatchBudget(&err)
+		buf := c.Arena().Floats(m * kk)
+		c.Arena().FreeFloats(buf)
+		return nil
+	}()
+	if !errors.Is(flatErr, exec.ErrMemoryBudget) {
+		t.Fatalf("flat contiguous allocation err = %v, want ErrMemoryBudget", flatErr)
+	}
+
+	// Blocked leg: build the operand tile by tile under a spill regime
+	// with a small residency cap, then multiply.
+	sp := exec.NewSpill(t.TempDir(), 1)
+	defer sp.Cleanup()
+	cs := c.WithSpill(sp)
+
+	a := matrix.NewBlockEdge(m, kk, edge)
+	a.EnableSpill(sp, 8) // 8 tiles × 4096×8 × 8B = 2 MiB resident
+	for ti := 0; ti < a.TileRows(); ti++ {
+		h, w := a.TileDims(ti, 0)
+		buf, err := a.Pin(cs, ti, 0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		for r := 0; r < h; r++ {
+			gi := ti*edge + r
+			for l := 0; l < w; l++ {
+				buf[r*w+l] = oocElem(gi, l)
+			}
+		}
+		a.Unpin(ti, 0)
+	}
+	b := matrix.NewBlockEdge(kk, n, edge)
+	bbuf, err := b.Pin(cs, 0, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for l := 0; l < kk; l++ {
+		for j := 0; j < n; j++ {
+			bbuf[l*n+j] = float64((l*3+j)%7) - 3
+		}
+	}
+	b.Unpin(0, 0)
+
+	var out *matrix.BlockMatrix
+	blockedErr := func() (err error) {
+		defer exec.CatchBudget(&err)
+		out, err = MatMulBlocked(cs, a, b)
+		return err
+	}()
+	if blockedErr != nil {
+		t.Fatalf("blocked out-of-core product failed under the same budget: %v", blockedErr)
+	}
+	if got := tenant.PeakBytes(); got > budget {
+		t.Fatalf("tenant peak %d bytes exceeds budget %d", got, budget)
+	}
+	if sp.Stats().SpilledBytes == 0 {
+		t.Fatal("blocked product never spilled despite the residency cap")
+	}
+
+	// Spot-check a spread of rows bitwise against the flat accumulation
+	// order (ascending k, skipping zero multiplicands).
+	for _, gi := range []int{0, 1, edge - 1, edge, 3*edge + 17, m - 2, m - 1} {
+		for j := 0; j < n; j++ {
+			var want float64
+			for l := 0; l < kk; l++ {
+				av := oocElem(gi, l)
+				if av == 0 {
+					continue
+				}
+				want += av * (float64((l*3+j)%7) - 3)
+			}
+			got, err := out.At(cs, gi, j)
+			if err != nil {
+				t.Fatal(err)
+			}
+			if math.Float64bits(got) != math.Float64bits(want) {
+				t.Fatalf("out(%d,%d) = %v, want %v (bitwise)", gi, j, got, want)
+			}
+		}
+	}
+	out.Free(cs)
+	a.Free(cs)
+	b.Free(cs)
+	if live := tenant.LiveBytes(); live != 0 {
+		t.Fatalf("%d bytes still charged after Free", live)
+	}
+}

@@ -70,22 +70,31 @@ func newQR(a *matrix.Matrix, workers int) (*QR, error) {
 	return &QR{v: v, tau: tau, rows: m, cols: n, workers: workers}, nil
 }
 
+// applyReflectorTo applies the reflector stored in ck (column k) to
+// one column cj. Both the flat Householder loop and the panel-blocked
+// QRBlocked funnel every column update through this one body, which
+// is what makes the two factorizations bitwise-identical: a trailing
+// column receives the same reflectors in the same ascending order
+// with the same arithmetic, no matter how the sweeps are batched.
+func applyReflectorTo(ck, cj []float64, k, m int) {
+	beta := ck[k]
+	var s float64
+	for i := k; i < m; i++ {
+		s += ck[i] * cj[i]
+	}
+	s = -s / beta
+	for i := k; i < m; i++ {
+		cj[i] += s * ck[i]
+	}
+}
+
 // applyReflector updates columns k+1..n with the reflector stored in
 // column k, splitting the columns across workers when the block is large.
 func applyReflector(v [][]float64, k, m, n, workers int) {
 	ck := v[k]
-	beta := ck[k]
 	update := func(jLo, jHi int) {
 		for j := jLo; j < jHi; j++ {
-			cj := v[j]
-			var s float64
-			for i := k; i < m; i++ {
-				s += ck[i] * cj[i]
-			}
-			s = -s / beta
-			for i := k; i < m; i++ {
-				cj[i] += s * ck[i]
-			}
+			applyReflectorTo(ck, v[j], k, m)
 		}
 	}
 	cols := n - (k + 1)

@@ -145,7 +145,7 @@ func joinPairs(c *exec.Ctx, rkc, skc *keyCols, leftOuter bool) (li, ri []int, an
 // streaming join probes the same table once per morsel through this
 // path, so morsel-probe pair sequences concatenate to exactly the
 // all-at-once sequence.
-func probePairs(c *exec.Ctx, table *joinTable, rkc, skc *keyCols, leftOuter bool) (li, ri []int, anyUnmatched bool) {
+func probePairs(c *exec.Ctx, table buildIndex, rkc, skc *keyCols, leftOuter bool) (li, ri []int, anyUnmatched bool) {
 	rh := rkc.hashes(c)
 	n := rkc.n
 

@@ -240,69 +240,202 @@ func (sp *SpilledPairs) Each(c *exec.Ctx, fn func(li, ri []int) error) error {
 	return nil
 }
 
-// colFiller scatters gathered values for one output column into a
-// pre-sized arena destination, block by block, so a spilled join never
-// holds the full pair index in memory.
-type colFiller struct {
-	fill   func(at int, idx []int)
-	finish func() *bat.BAT
-}
-
-// newColFiller prepares the typed fill loop for col into a fresh
-// destination of the given total length. Negative indices (left-outer
+// stagedFill assembles the output columns of a spilled join without
+// ever holding all of them in flight at once. One pass over the staged
+// pair stream appends every column's gathered values block-wise to a
+// shared segment file — the gathered column intermediates spill exactly
+// like the pair arrays do — and the arena-backed result columns are
+// then materialized from that file one at a time. The in-flight
+// footprint is one morsel-sized block buffer per column during the
+// pass, and the finished columns plus a single decoded segment during
+// assembly. The previous scheme allocated every destination up-front
+// and held them through the whole pass; on wide tables the destinations
+// — not the pairs — dominate the join's footprint, and a spilled wide
+// join could peak above the in-memory path it was supposed to undercut.
+//
+// rightSide[k] selects which half of each pair indexes cols[k] (false =
+// probe row, true = build row); build rows of -1 (left-outer
 // non-matches) produce the column type's zero value, matching
-// gatherWithNulls.
-func newColFiller(c *exec.Ctx, col *bat.BAT, total int) colFiller {
-	switch col.Type() {
-	case bat.Float:
-		f, _ := col.FloatsCtx(c)
-		out := c.Arena().Floats(total)
-		return colFiller{
-			fill: func(at int, idx []int) {
-				for k, j := range idx {
-					if j >= 0 {
-						out[at+k] = f[j]
-					} else {
-						out[at+k] = 0
-					}
-				}
-			},
-			finish: func() *bat.BAT {
-				col.ReleaseFloats(c, f)
-				return bat.FromFloats(out)
-			},
-		}
-	case bat.Int:
-		xs := col.VectorCtx(c).Ints()
-		out := c.Arena().Int64s(total)
-		return colFiller{
-			fill: func(at int, idx []int) {
-				for k, j := range idx {
-					if j >= 0 {
-						out[at+k] = xs[j]
-					} else {
-						out[at+k] = 0
-					}
-				}
-			},
-			finish: func() *bat.BAT { return bat.FromInts(out) },
-		}
-	default:
-		ss := col.VectorCtx(c).Strings()
-		out := c.Arena().Strings(total)
-		return colFiller{
-			fill: func(at int, idx []int) {
-				for k, j := range idx {
-					if j >= 0 {
-						out[at+k] = ss[j]
-					} else {
-						out[at+k] = ""
-					}
-				}
-			},
-			finish: func() *bat.BAT { return bat.FromStrings(out) },
+// gatherWithNulls. The returned columns are in cols order.
+func stagedFill(c *exec.Ctx, sp *SpilledPairs, cols []*bat.BAT, rightSide []bool) ([]*bat.BAT, error) {
+	total := sp.Total()
+	w := len(cols)
+
+	// Typed source views (densified sparse tails are the only charged
+	// ones, handed back right after the staging pass) and one reusable
+	// block buffer per column.
+	fsrc := make([][]float64, w)
+	isrc := make([][]int64, w)
+	ssrc := make([][]string, w)
+	specs := make([]store.ColSpec, w)
+	bufs := make([]store.ColData, w)
+	releaseViews := func() {
+		for k := range fsrc {
+			if fsrc[k] != nil {
+				cols[k].ReleaseFloats(c, fsrc[k])
+				fsrc[k] = nil
+			}
 		}
 	}
+	for k, col := range cols {
+		specs[k] = store.ColSpec{Name: fmt.Sprintf("c%d", k)}
+		switch col.Type() {
+		case bat.Float:
+			f, err := col.FloatsCtx(c)
+			if err != nil {
+				releaseViews()
+				return nil, err
+			}
+			fsrc[k] = f
+			specs[k].Kind = store.KFloat
+			bufs[k].F = make([]float64, bat.MorselSize)
+		case bat.Int:
+			isrc[k] = col.VectorCtx(c).Ints()
+			specs[k].Kind = store.KInt
+			bufs[k].I = make([]int64, bat.MorselSize)
+		default:
+			ssrc[k] = col.VectorCtx(c).Strings()
+			specs[k].Kind = store.KString
+			bufs[k].S = make([]string, bat.MorselSize)
+		}
+	}
+
+	path, err := c.Spill().Path("joincols")
+	if err != nil {
+		releaseViews()
+		return nil, err
+	}
+	defer os.Remove(path)
+	wr, err := store.Create(path, "joincols", specs)
+	if err != nil {
+		releaseViews()
+		return nil, err
+	}
+	err = sp.Each(c, func(li, ri []int) error {
+		n := len(li)
+		data := make([]store.ColData, w)
+		for k := range cols {
+			idx := li
+			if rightSide[k] {
+				idx = ri
+			}
+			switch specs[k].Kind {
+			case store.KFloat:
+				buf := bufs[k].F[:n]
+				for t, j := range idx {
+					if j >= 0 {
+						buf[t] = fsrc[k][j]
+					} else {
+						buf[t] = 0
+					}
+				}
+				data[k] = store.ColData{F: buf}
+			case store.KInt:
+				buf := bufs[k].I[:n]
+				for t, j := range idx {
+					if j >= 0 {
+						buf[t] = isrc[k][j]
+					} else {
+						buf[t] = 0
+					}
+				}
+				data[k] = store.ColData{I: buf}
+			default:
+				buf := bufs[k].S[:n]
+				for t, j := range idx {
+					if j >= 0 {
+						buf[t] = ssrc[k][j]
+					} else {
+						buf[t] = ""
+					}
+				}
+				data[k] = store.ColData{S: buf}
+			}
+		}
+		return wr.Append(n, data)
+	})
+	releaseViews()
+	if err != nil {
+		wr.Close()
+		return nil, err
+	}
+	if err := wr.Close(); err != nil {
+		return nil, err
+	}
+	c.NoteSpill(wr.BytesWritten(), 1)
+
+	// Assembly: materialize one column at a time from the staged file.
+	rd, err := store.Open(path)
+	if err != nil {
+		return nil, err
+	}
+	outs := make([]*bat.BAT, w)
+	fail := func(err error) ([]*bat.BAT, error) {
+		for _, b := range outs {
+			if b != nil {
+				bat.Release(c, b)
+			}
+		}
+		rd.Close()
+		return nil, err
+	}
+	for k := range cols {
+		cur := store.NewCursor(c, rd, []int{k})
+		at := 0
+		switch specs[k].Kind {
+		case store.KFloat:
+			dst := c.Arena().Floats(total)
+			for {
+				data, n, err := cur.Next(0)
+				if err != nil {
+					c.Arena().FreeFloats(dst)
+					return fail(err)
+				}
+				if n == 0 {
+					break
+				}
+				copy(dst[at:], data[0].F)
+				at += n
+			}
+			outs[k] = bat.FromFloats(dst)
+		case store.KInt:
+			dst := c.Arena().Int64s(total)
+			for {
+				data, n, err := cur.Next(0)
+				if err != nil {
+					c.Arena().FreeInt64s(dst)
+					return fail(err)
+				}
+				if n == 0 {
+					break
+				}
+				copy(dst[at:], data[0].I)
+				at += n
+			}
+			outs[k] = bat.FromInts(dst)
+		default:
+			dst := c.Arena().Strings(total)
+			for {
+				data, n, err := cur.Next(0)
+				if err != nil {
+					c.Arena().FreeStrings(dst)
+					return fail(err)
+				}
+				if n == 0 {
+					break
+				}
+				copy(dst[at:], data[0].S)
+				at += n
+			}
+			outs[k] = bat.FromStrings(dst)
+		}
+		cur.Close()
+		if at != total {
+			return fail(fmt.Errorf("rel: staged join column %d truncated at %d of %d rows", k, at, total))
+		}
+	}
+	rd.Close()
+	return outs, nil
 }
 
 // joinSpillEst is the rough in-memory footprint the materializing join
@@ -340,45 +473,26 @@ func EquiJoinPairsSpilled(c *exec.Ctx, probeKeys, buildKeys []*bat.BAT, leftOute
 // Fill gathers result columns through the staged pair stream block by
 // block: leftCols index by probe row, rightCols by build row, with -1
 // build rows (left-outer non-matches) producing the column type's zero
-// value. The returned columns are leftCols followed by rightCols, and
-// the full pair index never exists in memory.
+// value. The gathered column intermediates themselves are staged to a
+// segment file and the result columns materialized from it one at a
+// time, so neither the full pair index nor all destinations at once
+// ever exist in memory. The returned columns are leftCols followed by
+// rightCols.
 func (sp *SpilledPairs) Fill(c *exec.Ctx, leftCols, rightCols []*bat.BAT) ([]*bat.BAT, error) {
-	total := sp.Total()
-	fillers := make([]colFiller, 0, len(leftCols)+len(rightCols))
-	sides := make([]bool, 0, cap(fillers)) // true = right side (uses ri)
-	for _, col := range leftCols {
-		fillers = append(fillers, newColFiller(c, col, total))
-		sides = append(sides, false)
+	cols := make([]*bat.BAT, 0, len(leftCols)+len(rightCols))
+	cols = append(cols, leftCols...)
+	cols = append(cols, rightCols...)
+	sides := make([]bool, len(cols)) // true = right side (uses ri)
+	for k := len(leftCols); k < len(cols); k++ {
+		sides[k] = true
 	}
-	for _, col := range rightCols {
-		fillers = append(fillers, newColFiller(c, col, total))
-		sides = append(sides, true)
-	}
-	at := 0
-	err := sp.Each(c, func(li, ri []int) error {
-		for k := range fillers {
-			if sides[k] {
-				fillers[k].fill(at, ri)
-			} else {
-				fillers[k].fill(at, li)
-			}
-		}
-		at += len(li)
-		return nil
-	})
-	if err != nil {
-		return nil, err
-	}
-	cols := make([]*bat.BAT, len(fillers))
-	for k := range fillers {
-		cols[k] = fillers[k].finish()
-	}
-	return cols, nil
+	return stagedFill(c, sp, cols, sides)
 }
 
 // hashJoinSpilled is HashJoinSized's out-of-core path: pairs staged to
-// disk, result columns filled block-wise from the pair stream. The
-// result is bitwise-identical to the in-memory join.
+// disk, gathered column intermediates staged likewise, result columns
+// materialized one at a time. The result is bitwise-identical to the
+// in-memory join.
 func hashJoinSpilled(c *exec.Ctx, r, s *Relation, rkc, skc *keyCols, sAttrs []string, jt JoinType) (*Relation, error) {
 	sp, err := spilledJoinPairs(c, rkc, skc, jt == Left)
 	if err != nil {
@@ -388,39 +502,23 @@ func hashJoinSpilled(c *exec.Ctx, r, s *Relation, rkc, skc *keyCols, sAttrs []st
 	rkc.release(c)
 	skc.release(c)
 
-	total := sp.Total()
 	schema := make(Schema, 0, len(r.Schema)+len(sAttrs))
-	fillers := make([]colFiller, 0, len(r.Schema)+len(sAttrs))
-	sides := make([]bool, 0, len(r.Schema)+len(sAttrs)) // true = right side (uses ri)
+	srcCols := make([]*bat.BAT, 0, cap(schema))
+	sides := make([]bool, 0, cap(schema)) // true = right side (uses ri)
 	for j, a := range r.Schema {
 		schema = append(schema, a)
-		fillers = append(fillers, newColFiller(c, r.Cols[j], total))
+		srcCols = append(srcCols, r.Cols[j])
 		sides = append(sides, false)
 	}
 	for _, name := range sAttrs {
 		j := s.Schema.Index(name)
 		schema = append(schema, s.Schema[j])
-		fillers = append(fillers, newColFiller(c, s.Cols[j], total))
+		srcCols = append(srcCols, s.Cols[j])
 		sides = append(sides, true)
 	}
-	at := 0
-	err = sp.Each(c, func(li, ri []int) error {
-		for k := range fillers {
-			if sides[k] {
-				fillers[k].fill(at, ri)
-			} else {
-				fillers[k].fill(at, li)
-			}
-		}
-		at += len(li)
-		return nil
-	})
+	cols, err := stagedFill(c, sp, srcCols, sides)
 	if err != nil {
 		return nil, err
-	}
-	cols := make([]*bat.BAT, len(fillers))
-	for k := range fillers {
-		cols[k] = fillers[k].finish()
 	}
 	return New(r.Name, schema, cols)
 }

@@ -207,26 +207,26 @@ func (a *StreamAgg) equalKeyRow(keys []*bat.Vector, i, g int) bool {
 	return true
 }
 
-// groupOf returns the merged group id of row i, creating the group (and
-// storing the row's key values as its representative) when absent.
-// Once the table is frozen, rows of unseen keys return ok == false and
-// must be spilled; resident groups keep folding in memory.
-func (a *StreamAgg) groupOf(keys []*bat.Vector, i int) (id int, hash uint64, ok bool) {
-	h := a.hashKeyRow(keys, i)
+// groupOfHash returns the merged group id of row i (whose key hash is
+// h), creating the group (and storing the row's key values as its
+// representative) when absent. Once the table is frozen, rows of unseen
+// keys return ok == false and must be spilled; resident groups keep
+// folding in memory.
+func (a *StreamAgg) groupOfHash(h uint64, keys []*bat.Vector, i int) (id int, ok bool) {
 	for _, g := range a.byHash[h] {
 		if a.equalKeyRow(keys, i, g) {
-			return g, h, true
+			return g, true
 		}
 	}
 	if a.frozen {
-		return 0, h, false
+		return 0, false
 	}
 	// The resident table is about to grow: freeze it when the spill
 	// policy says its footprint is large enough to stage the tail of the
 	// key space on disk instead.
 	if !a.frozen && a.c.ShouldSpill(a.residentEst()) {
 		a.frozen = true
-		return 0, h, false
+		return 0, false
 	}
 	g := len(a.states)
 	a.byHash[h] = append(a.byHash[h], g)
@@ -242,7 +242,7 @@ func (a *StreamAgg) groupOf(keys []*bat.Vector, i int) (id int, hash uint64, ok 
 			a.kf[k] = append(a.kf[k], keys[k].Floats()[i])
 		}
 	}
-	return g, h, true
+	return g, true
 }
 
 // residentEst is the rough in-memory footprint of the resident group
@@ -290,36 +290,49 @@ func (a *StreamAgg) Consume(keys []*bat.Vector, aggIn [][]float64, n int) error 
 		if a.rowsInChunk == bat.SerialCutoff {
 			a.flushChunk()
 		}
-		g := 0
+		var h uint64
 		if len(a.keys) > 0 {
-			var h uint64
-			var ok bool
-			g, h, ok = a.groupOf(keys, i)
-			if !ok {
-				// Unseen key after the freeze: stage the row to disk.
-				// It still occupies its global chunk position below.
-				if err := a.spillRow(keys, aggIn, i, h); err != nil {
-					return err
-				}
-				a.rowsInChunk++
-				a.seen++
-				continue
-			}
-		} else if len(a.states) == 0 {
-			a.ghash = append(a.ghash, 0)
-			a.states = append(a.states, newAggStates(len(a.aggs)))
+			h = a.hashKeyRow(keys, i)
 		}
-		st := a.chunkStateOf(g)
-		for k := range a.aggs {
-			var col []float64
-			if aggIn[k] != nil {
-				col = aggIn[k][i : i+1]
-			}
-			st[k].accumulate(col, 0)
+		if err := a.consumeRow(keys, aggIn, i, h); err != nil {
+			return err
 		}
 		a.rowsInChunk++
-		a.seen++
 	}
+	return nil
+}
+
+// consumeRow folds one row whose key hash is h (ignored for the global
+// group). The caller owns the chunk clock: ShardedAgg flushes all of
+// its shard accumulators on global SerialCutoff boundaries, while
+// Consume above keeps the single-accumulator clock.
+func (a *StreamAgg) consumeRow(keys []*bat.Vector, aggIn [][]float64, i int, h uint64) error {
+	g := 0
+	if len(a.keys) > 0 {
+		gg, ok := a.groupOfHash(h, keys, i)
+		if !ok {
+			// Unseen key after the freeze: stage the row to disk. It
+			// still occupies its global chunk position.
+			if err := a.spillRow(keys, aggIn, i, h); err != nil {
+				return err
+			}
+			a.seen++
+			return nil
+		}
+		g = gg
+	} else if len(a.states) == 0 {
+		a.ghash = append(a.ghash, 0)
+		a.states = append(a.states, newAggStates(len(a.aggs)))
+	}
+	st := a.chunkStateOf(g)
+	for k := range a.aggs {
+		var col []float64
+		if aggIn[k] != nil {
+			col = aggIn[k][i : i+1]
+		}
+		st[k].accumulate(col, 0)
+	}
+	a.seen++
 	return nil
 }
 
