@@ -1,0 +1,23 @@
+// Command rmalint is the engine's invariant checker: a multichecker
+// over the four analyzers in internal/analysis (arenapair, ctxfirst,
+// budgetboundary, detorder).
+//
+// It runs two ways:
+//
+//	go vet -vettool=$(which rmalint) ./...   # CI mode, via cmd/go's vet protocol
+//	rmalint -json ./...                      # standalone, machine-readable
+//
+// The JSON report lists live findings and //lint:ignore suppressions
+// (with their reasons) per package, so tooling can track both over
+// time. Exit status: 0 clean, 2 findings, 1 operational error.
+package main
+
+import (
+	"os"
+
+	"repro/internal/analysis"
+)
+
+func main() {
+	os.Exit(analysis.Main(os.Args[1:]))
+}

@@ -264,6 +264,37 @@
 // surface in exec.PipelineStats as exchange.build[shard i/P],
 // exchange.join[shard i/P], and exchange.group[shard i/P] stages.
 //
+// # Static analysis
+//
+// cmd/rmalint machine-checks four of the invariants above as a
+// go-vet-compatible analyzer suite (internal/analysis), run in CI
+// through go vet -vettool over every package:
+//
+//   - arenapair: every arena allocation (exec.Arena's typed allocators
+//     and the bat.Alloc shims) must be freed, released, or escape —
+//     returned, stored, captured — on every control-flow path; an early
+//     return that strands a buffer is reported at the exit that leaks.
+//   - ctxfirst: exported functions in the kernel packages (bat, batlin,
+//     linalg, rel, matrix) that allocate or fan out must take *exec.Ctx
+//     as their first parameter — the per-query context discipline.
+//   - budgetboundary: exported error-returning functions in core, sql,
+//     and cmd/rmaserver whose call graph can reach an accounted-arena
+//     allocation must defer exec.CatchBudget, so budget overruns reach
+//     callers as typed errors, never panics.
+//   - detorder: map iteration order must not feed result slices, float
+//     accumulations, or channel sends without a canonical sort, and
+//     time.Now / the global math/rand source are banned outside cmd,
+//     bench, and test code — the bitwise-determinism contract.
+//
+// A finding that reflects a deliberate exception is suppressed in place
+// with a `//lint:ignore rmalint/<analyzer> reason` comment on (or
+// directly above) the offending line. rmalint -json emits the findings
+// machine-readably and counts every suppression, so the escape hatch
+// stays auditable; each analyzer also ships analysistest-style fixtures
+// under internal/analysis/testdata, including a regression fixture
+// reproducing the streaming GROUP BY scratch-column leak fixed in an
+// earlier revision.
+//
 // # Plan cache
 //
 // sql.DB keeps a bounded LRU plan cache (256 entries) keyed by

@@ -1,0 +1,151 @@
+// Package atest is a fixture harness for the rmalint analyzers,
+// modeled on golang.org/x/tools/go/analysis/analysistest but built on
+// the standard library alone.
+//
+// Fixtures live in a GOPATH-shaped tree: testdata/src/<pkgpath>/*.go.
+// Imports inside fixtures resolve through that tree (stub packages such
+// as repro/internal/exec live beside the fixtures) or through GOROOT
+// for the standard library, using go/importer's source importer with
+// module resolution disabled.
+//
+// Expected findings are declared in the fixture source:
+//
+//	buf := arena.Floats(n) // want `regexp matching the message`
+//
+// Each `// want` comment must match exactly one diagnostic on its line
+// and vice versa; unmatched diagnostics and unmatched expectations both
+// fail the test.
+package atest
+
+import (
+	"fmt"
+	"go/ast"
+	"go/build"
+	"go/importer"
+	"go/parser"
+	"go/token"
+	"go/types"
+	"os"
+	"path/filepath"
+	"regexp"
+	"sort"
+	"sync"
+	"testing"
+
+	"repro/internal/analysis"
+)
+
+var setupOnce sync.Once
+
+// setupGopath points go/build at the fixture tree and disables module
+// resolution so srcDir probing cannot shell out to the go command.
+func setupGopath(testdata string) {
+	setupOnce.Do(func() {
+		os.Setenv("GO111MODULE", "off")
+		build.Default.GOPATH = testdata
+	})
+}
+
+// wantRe extracts the expectation regexps from a comment:
+// one backquoted pattern per `want`, several allowed per line.
+var wantRe = regexp.MustCompile("//\\s*want\\s+((?:`[^`]*`\\s*)+)")
+
+var patRe = regexp.MustCompile("`([^`]*)`")
+
+// Run loads the fixture package at testdata/src/<pkgpath>, runs the
+// single analyzer over it, and diffs the findings against the `want`
+// comments. It returns the suppressions the run recorded so tests can
+// assert on the //lint:ignore escape hatch.
+func Run(t *testing.T, testdata string, a *analysis.Analyzer, pkgpath string) []analysis.Suppression {
+	t.Helper()
+	abs, err := filepath.Abs(testdata)
+	if err != nil {
+		t.Fatal(err)
+	}
+	setupGopath(abs)
+
+	dir := filepath.Join(abs, "src", filepath.FromSlash(pkgpath))
+	fset := token.NewFileSet()
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatalf("reading fixture dir: %v", err)
+	}
+	var files []*ast.File
+	for _, e := range entries {
+		if e.IsDir() || filepath.Ext(e.Name()) != ".go" {
+			continue
+		}
+		f, err := parser.ParseFile(fset, filepath.Join(dir, e.Name()), nil, parser.ParseComments)
+		if err != nil {
+			t.Fatalf("parsing fixture: %v", err)
+		}
+		files = append(files, f)
+	}
+	if len(files) == 0 {
+		t.Fatalf("no fixture files in %s", dir)
+	}
+
+	conf := types.Config{Importer: importer.ForCompiler(fset, "source", nil)}
+	info := analysis.NewInfo()
+	pkg, err := conf.Check(pkgpath, fset, files, info)
+	if err != nil {
+		t.Fatalf("type-checking fixture %s: %v", pkgpath, err)
+	}
+
+	diags, supp, err := analysis.RunPackage(fset, files, pkg, info, []*analysis.Analyzer{a})
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	type key struct {
+		file string
+		line int
+	}
+	wants := map[key][]*regexp.Regexp{}
+	for _, f := range files {
+		for _, cg := range f.Comments {
+			for _, c := range cg.List {
+				m := wantRe.FindStringSubmatch(c.Text)
+				if m == nil {
+					continue
+				}
+				pos := fset.Position(c.Pos())
+				k := key{pos.Filename, pos.Line}
+				for _, pm := range patRe.FindAllStringSubmatch(m[1], -1) {
+					re, err := regexp.Compile(pm[1])
+					if err != nil {
+						t.Fatalf("%s: bad want pattern %q: %v", pos, pm[1], err)
+					}
+					wants[k] = append(wants[k], re)
+				}
+			}
+		}
+	}
+
+	for _, d := range diags {
+		pos := fset.Position(d.Pos)
+		k := key{pos.Filename, pos.Line}
+		matched := false
+		for i, re := range wants[k] {
+			if re.MatchString(d.Message) {
+				wants[k] = append(wants[k][:i], wants[k][i+1:]...)
+				matched = true
+				break
+			}
+		}
+		if !matched {
+			t.Errorf("%s: unexpected diagnostic: %s", pos, d.Message)
+		}
+	}
+	var leftover []string
+	for k, res := range wants {
+		for _, re := range res {
+			leftover = append(leftover, fmt.Sprintf("%s:%d: no diagnostic matching %q", k.file, k.line, re))
+		}
+	}
+	sort.Strings(leftover)
+	for _, l := range leftover {
+		t.Errorf("%s", l)
+	}
+	return supp
+}

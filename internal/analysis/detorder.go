@@ -1,0 +1,241 @@
+package analysis
+
+import (
+	"fmt"
+	"go/ast"
+	"go/token"
+	"go/types"
+)
+
+// DetOrder checks the bitwise-determinism invariant the differential
+// tests depend on, in two parts.
+//
+// Map iteration: a `range` over a map whose body appends into an outer
+// slice (a result column, key list, or output ordering in the making)
+// is flagged unless the slice is canonically sorted later in the same
+// function; a body that accumulates floating-point values into outer
+// state is always flagged (float addition is not associative, so even
+// a sorted downstream cannot recover the bits). Order-insensitive
+// bodies — integer counting, set membership, map-to-map copies,
+// deletes — pass.
+//
+// Nondeterministic inputs: time.Now and the global math/rand functions
+// are banned outside _test.go files, internal/bench, cmd, and
+// examples. Seeded generators (rand.New(rand.NewSource(k))) are
+// deterministic and stay legal everywhere.
+var DetOrder = &Analyzer{
+	Name: "detorder",
+	Doc:  "no map-iteration order or wall-clock/global-rand values may feed results",
+	Run:  runDetOrder,
+}
+
+// detOrderExemptSegments name path segments whose packages are exempt
+// from the nondeterministic-input ban: drivers, benchmarks, and
+// example programs own their clocks.
+var detOrderExemptSegments = []string{"cmd", "bench", "examples"}
+
+func runDetOrder(pass *Pass) error {
+	exemptInputs := false
+	for _, seg := range detOrderExemptSegments {
+		if pathHasSegment(pass.Pkg.Path(), seg) {
+			exemptInputs = true
+			break
+		}
+	}
+	for _, f := range pass.Files {
+		isTest := inTestFile(pass, f)
+		if !exemptInputs && !isTest {
+			checkNondetInputs(pass, f)
+		}
+		if isTest {
+			continue
+		}
+		ast.Inspect(f, func(n ast.Node) bool {
+			fd, ok := n.(*ast.FuncDecl)
+			if !ok || fd.Body == nil {
+				return true
+			}
+			checkMapRanges(pass, fd.Body)
+			return true
+		})
+	}
+	return nil
+}
+
+// checkNondetInputs flags time.Now calls and global math/rand calls.
+func checkNondetInputs(pass *Pass, f *ast.File) {
+	ast.Inspect(f, func(n ast.Node) bool {
+		call, ok := n.(*ast.CallExpr)
+		if !ok {
+			return true
+		}
+		fn := calleeFunc(pass.TypesInfo, call)
+		if fn == nil || fn.Pkg() == nil || recvType(fn) != nil {
+			return true
+		}
+		switch fn.Pkg().Path() {
+		case "time":
+			if fn.Name() == "Now" {
+				pass.Report(Diagnostic{
+					Pos:     call.Pos(),
+					Message: "time.Now in result-affecting code breaks bitwise determinism; inject the clock or move the timing to cmd/bench",
+				})
+			}
+		case "math/rand", "math/rand/v2":
+			// Constructors of seeded generators are deterministic;
+			// the package-level functions draw from the global source.
+			switch fn.Name() {
+			case "New", "NewSource", "NewZipf", "NewPCG", "NewChaCha8":
+				return true
+			}
+			pass.Report(Diagnostic{
+				Pos:     call.Pos(),
+				Message: fmt.Sprintf("global math/rand.%s is nondeterministic; use a seeded rand.New(rand.NewSource(k))", fn.Name()),
+			})
+		}
+		return true
+	})
+}
+
+// checkMapRanges flags order-sensitive map iteration in one function
+// body.
+func checkMapRanges(pass *Pass, body *ast.BlockStmt) {
+	ast.Inspect(body, func(n ast.Node) bool {
+		rs, ok := n.(*ast.RangeStmt)
+		if !ok {
+			return true
+		}
+		tv, ok := pass.TypesInfo.Types[rs.X]
+		if !ok {
+			return true
+		}
+		if _, isMap := tv.Type.Underlying().(*types.Map); !isMap {
+			return true
+		}
+		checkOneMapRange(pass, body, rs)
+		return true
+	})
+}
+
+func checkOneMapRange(pass *Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt) {
+	info := pass.TypesInfo
+	ast.Inspect(rs.Body, func(n ast.Node) bool {
+		switch n := n.(type) {
+		case *ast.AssignStmt:
+			// x = append(x, ...) into a slice declared outside the
+			// range: iteration order becomes element order.
+			if len(n.Lhs) == 1 && len(n.Rhs) == 1 {
+				if call, ok := ast.Unparen(n.Rhs[0]).(*ast.CallExpr); ok && isBuiltinCall(info, call, "append") {
+					if v := assignTargetVar(info, n.Lhs[0]); v != nil && declaredOutside(v, rs) {
+						if !sortedAfter(pass, fnBody, rs, v) {
+							pass.Report(Diagnostic{
+								Pos: n.Pos(),
+								Message: fmt.Sprintf(
+									"map iteration order leaks into %q; sort the slice (or iterate sorted keys) before it feeds output", v.Name()),
+							})
+						}
+						return true
+					}
+				}
+			}
+			// Compound floating-point accumulation into outer state:
+			// never recoverable downstream.
+			if n.Tok == token.ADD_ASSIGN || n.Tok == token.SUB_ASSIGN ||
+				n.Tok == token.MUL_ASSIGN || n.Tok == token.QUO_ASSIGN {
+				for _, l := range n.Lhs {
+					if !isFloatExpr(info, l) {
+						continue
+					}
+					if v := assignTargetVar(info, l); v == nil || declaredOutside(v, rs) {
+						pass.Report(Diagnostic{
+							Pos:     n.Pos(),
+							Message: "floating-point accumulation over map iteration order is not bitwise-deterministic; accumulate over sorted keys",
+						})
+						break
+					}
+				}
+			}
+		case *ast.SendStmt:
+			pass.Report(Diagnostic{
+				Pos:     n.Pos(),
+				Message: "channel send inside map iteration publishes values in nondeterministic order",
+			})
+		}
+		return true
+	})
+}
+
+// assignTargetVar resolves the variable an assignment target names:
+// the base variable for index/selector targets (s[i], x.f), or the
+// identifier itself.
+func assignTargetVar(info *types.Info, e ast.Expr) *types.Var {
+	for {
+		switch t := ast.Unparen(e).(type) {
+		case *ast.Ident:
+			v, _ := info.Uses[t].(*types.Var)
+			if v == nil {
+				v, _ = info.Defs[t].(*types.Var)
+			}
+			return v
+		case *ast.IndexExpr:
+			e = t.X
+		case *ast.SelectorExpr:
+			e = t.X
+		case *ast.StarExpr:
+			e = t.X
+		default:
+			return nil
+		}
+	}
+}
+
+// declaredOutside reports whether v's declaration precedes the range
+// statement (true) or lives inside it (false).
+func declaredOutside(v *types.Var, rs *ast.RangeStmt) bool {
+	return v.Pos() < rs.Pos() || v.Pos() > rs.End()
+}
+
+// isFloatExpr reports whether the expression has floating-point (or
+// complex) type.
+func isFloatExpr(info *types.Info, e ast.Expr) bool {
+	tv, ok := info.Types[e]
+	if !ok {
+		return false
+	}
+	b, ok := tv.Type.Underlying().(*types.Basic)
+	return ok && b.Info()&(types.IsFloat|types.IsComplex) != 0
+}
+
+// sortedAfter reports whether, somewhere after the range statement in
+// the same function body, the collected slice is passed to a canonical
+// sort (sort.* or slices.Sort*).
+func sortedAfter(pass *Pass, fnBody *ast.BlockStmt, rs *ast.RangeStmt, v *types.Var) bool {
+	info := pass.TypesInfo
+	sorted := false
+	ast.Inspect(fnBody, func(n ast.Node) bool {
+		if sorted {
+			return false
+		}
+		call, ok := n.(*ast.CallExpr)
+		if !ok || call.Pos() < rs.End() {
+			return true
+		}
+		f := calleeFunc(info, call)
+		if f == nil || f.Pkg() == nil {
+			return true
+		}
+		switch f.Pkg().Path() {
+		case "sort", "slices":
+		default:
+			return true
+		}
+		for _, a := range call.Args {
+			if av := assignTargetVar(info, a); av == v {
+				sorted = true
+				return false
+			}
+		}
+		return true
+	})
+	return sorted
+}

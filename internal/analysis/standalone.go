@@ -1,0 +1,140 @@
+package analysis
+
+import (
+	"bytes"
+	"encoding/json"
+	"fmt"
+	"go/token"
+	"io"
+	"os"
+	"os/exec"
+	"path/filepath"
+	"sort"
+	"strings"
+)
+
+// The standalone driver runs the suite over package patterns without
+// cmd/go's vet orchestration: `rmalint -json ./...`. It shells out to
+// `go list -deps -export -json` once to obtain, for every package in
+// the dependency closure, its sources and its compiled export data,
+// then type-checks and analyzes the packages matching the patterns.
+// This is the mode future tooling consumes: the JSON report carries
+// live findings and suppressions (with reasons) as first-class rows.
+
+// listPkg is the subset of `go list -json` output the driver needs.
+type listPkg struct {
+	ImportPath string
+	Dir        string
+	Export     string
+	GoFiles    []string
+	Standard   bool
+	ForTest    string
+	Module     *struct{ Path string }
+}
+
+// runStandalone analyzes the packages matching the given patterns
+// (default "./...") and returns the process exit code.
+func runStandalone(patterns []string, jsonOut bool) int {
+	if len(patterns) == 0 {
+		patterns = []string{"./..."}
+	}
+	universe, err := goList(append([]string{"-deps", "-export"}, patterns...))
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rmalint: %v\n", err)
+		return 1
+	}
+	targets, err := goList(patterns)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "rmalint: %v\n", err)
+		return 1
+	}
+	exportFor := map[string]string{}
+	for _, p := range universe {
+		if p.Export != "" {
+			exportFor[p.ImportPath] = p.Export
+		}
+	}
+
+	fset := token.NewFileSet()
+	results := map[string]pkgResult{}
+	exit := 0
+	var order []string
+	for _, p := range targets {
+		if p.Standard || len(p.GoFiles) == 0 {
+			continue
+		}
+		var paths []string
+		for _, f := range p.GoFiles {
+			paths = append(paths, filepath.Join(p.Dir, f))
+		}
+		files, err := parseFiles(fset, paths)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rmalint: %s: %v\n", p.ImportPath, err)
+			exit = 1
+			continue
+		}
+		cfg := &vetConfig{
+			Compiler:    "gc",
+			ImportPath:  p.ImportPath,
+			PackageFile: exportFor,
+			GoVersion:   "go1.22",
+		}
+		pkg, info, err := typeCheck(fset, files, cfg)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rmalint: typecheck %s: %v\n", p.ImportPath, err)
+			exit = 1
+			continue
+		}
+		diags, supp, err := RunPackage(fset, files, pkg, info, Suite())
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "rmalint: %s: %v\n", p.ImportPath, err)
+			exit = 1
+			continue
+		}
+		results[p.ImportPath] = pkgResult{diags, supp}
+		order = append(order, p.ImportPath)
+	}
+
+	if jsonOut {
+		emitJSON(os.Stdout, fset, results)
+		return exit
+	}
+	sort.Strings(order)
+	nDiags := 0
+	for _, path := range order {
+		for _, d := range results[path].Diags {
+			fmt.Fprintf(os.Stderr, "%s: %s [rmalint/%s]\n", fset.Position(d.Pos), d.Message, d.Analyzer)
+			nDiags++
+		}
+	}
+	if nDiags > 0 && exit == 0 {
+		exit = 2
+	}
+	return exit
+}
+
+// goList runs `go list -json` with the given arguments and decodes the
+// newline-concatenated JSON stream.
+func goList(args []string) ([]*listPkg, error) {
+	cmd := exec.Command("go", append([]string{"list", "-json"}, args...)...)
+	cmd.Env = os.Environ()
+	var stderr bytes.Buffer
+	cmd.Stderr = &stderr
+	out, err := cmd.Output()
+	if err != nil {
+		msg := strings.TrimSpace(stderr.String())
+		return nil, fmt.Errorf("go list %s: %v: %s", strings.Join(args, " "), err, msg)
+	}
+	dec := json.NewDecoder(bytes.NewReader(out))
+	var pkgs []*listPkg
+	for {
+		var p listPkg
+		if err := dec.Decode(&p); err == io.EOF {
+			break
+		} else if err != nil {
+			return nil, fmt.Errorf("decoding go list output: %v", err)
+		}
+		pkgs = append(pkgs, &p)
+	}
+	return pkgs, nil
+}

@@ -1,0 +1,47 @@
+// Package pr7 reproduces the historical build-side leak the PR 7
+// satellite sweep fixed by hand: a streaming join's pushed-down filter
+// gathered the build-side columns into fresh arena buffers, and the
+// early exits (error paths, stream close) returned before handing the
+// gathered intermediates back. With the fix reverted — as Leaky below
+// reverts it — arenapair re-detects the shape; Fixed is the
+// freeFiltered version that passes clean.
+package pr7
+
+import "repro/internal/exec"
+
+// Leaky is the pre-fix shape: the gathered filter output leaks on both
+// the validation early-return and the error path of the build step.
+func Leaky(c *exec.Ctx, rows []float64, keep []int, build func([]float64) error) error {
+	filtered := c.Arena().Floats(len(keep))
+	for i, k := range keep {
+		filtered[i] = rows[k]
+	}
+	if len(keep) == 0 {
+		return nil // want `arena buffer "filtered" \(allocated at pr7.go:\d+\) is neither freed nor escaped`
+	}
+	if err := build(filtered); err != nil {
+		return err
+	}
+	c.Arena().FreeFloats(filtered)
+	return nil
+}
+
+// Fixed is the post-PR-7 shape: every exit path settles the gathered
+// intermediates, matching freeFiltered at stream close and on error
+// paths.
+func Fixed(c *exec.Ctx, rows []float64, keep []int, build func([]float64) error) error {
+	filtered := c.Arena().Floats(len(keep))
+	for i, k := range keep {
+		filtered[i] = rows[k]
+	}
+	if len(keep) == 0 {
+		c.Arena().FreeFloats(filtered)
+		return nil
+	}
+	if err := build(filtered); err != nil {
+		c.Arena().FreeFloats(filtered)
+		return err
+	}
+	c.Arena().FreeFloats(filtered)
+	return nil
+}

@@ -1,0 +1,17 @@
+// Package suppress exercises the //lint:ignore escape hatch: the leak
+// below is real but silenced, so the analyzer reports nothing and the
+// driver records one suppression with its reason.
+package suppress
+
+import "repro/internal/exec"
+
+// Intentional parks a buffer in a process-global on purpose via a path
+// the walk cannot prove; the suppression documents why.
+func Intentional(c *exec.Ctx, n int, fail bool) []float64 {
+	buf := c.Arena().Floats(n)
+	if fail {
+		//lint:ignore rmalint/arenapair fixture: demonstrates the escape hatch
+		return nil
+	}
+	return buf
+}

@@ -1,0 +1,70 @@
+// Package core (under the budgetboundary fixture tree) exercises the
+// budget-panic containment rule: exported error-returning functions
+// whose call graph reaches an accounted-arena allocation must defer
+// exec.CatchBudget.
+package core
+
+import (
+	"repro/internal/bat"
+	"repro/internal/exec"
+)
+
+// Compute is the conforming boundary: it allocates and catches.
+func Compute(c *exec.Ctx, n int) (out []float64, err error) {
+	defer exec.CatchBudget(&err)
+	out = c.Arena().Floats(n)
+	return out, nil
+}
+
+// Leaky allocates directly but lets a budget panic escape.
+func Leaky(c *exec.Ctx, n int) ([]float64, error) { // want `exported function Leaky can reach an accounted-arena allocation but does not defer exec\.CatchBudget`
+	buf := c.Arena().Floats(n)
+	return buf, nil
+}
+
+// helper reaches the arena on Indirect's behalf.
+func helper(c *exec.Ctx, n int) []float64 {
+	return c.Arena().Floats(n)
+}
+
+// Indirect reaches the allocation through an unprotected in-package
+// helper.
+func Indirect(c *exec.Ctx, n int) ([]float64, error) { // want `exported function Indirect can reach an accounted-arena allocation`
+	return helper(c, n), nil
+}
+
+// KernelCall reaches the allocation through a kernel function with no
+// error result — the panic passes straight through it.
+func KernelCall(c *exec.Ctx, n int) ([]float64, error) { // want `exported function KernelCall can reach an accounted-arena allocation`
+	return bat.Kernel(c, n), nil
+}
+
+// KernelCaught is the conforming version of KernelCall.
+func KernelCaught(c *exec.Ctx, n int) (out []float64, err error) {
+	defer exec.CatchBudget(&err)
+	return bat.Kernel(c, n), nil
+}
+
+// CallsProtected only reaches the arena through Compute, which catches
+// the panic itself: no boundary needed here.
+func CallsProtected(c *exec.Ctx, n int) ([]float64, error) {
+	return Compute(c, n)
+}
+
+// ClosureCatch defers the conversion inside a closure; still counts.
+func ClosureCatch(c *exec.Ctx, n int) (out []float64, err error) {
+	defer func() {
+		exec.CatchBudget(&err)
+	}()
+	return c.Arena().Floats(n), nil
+}
+
+// Pure never touches an arena: exempt regardless of signature.
+func Pure(n int) (int, error) { return n * 2, nil }
+
+// NoError allocates but returns no error: there is no error boundary
+// to install, so the panic is the caller's concern (and that caller is
+// what this analyzer flags).
+func NoError(c *exec.Ctx, n int) []float64 {
+	return c.Arena().Floats(n)
+}

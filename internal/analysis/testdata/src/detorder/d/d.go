@@ -1,0 +1,108 @@
+// Package d exercises the detorder analyzer: map-iteration order must
+// not reach output, and wall-clock/global-rand reads are banned in
+// result-affecting code.
+package d
+
+import (
+	"math/rand"
+	"sort"
+	"time"
+)
+
+// Keys publishes map order directly: the classic nondeterminism bug.
+func Keys(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k) // want `map iteration order leaks into "ks"`
+	}
+	return ks
+}
+
+// SortedKeys collects and then canonically sorts: the documented
+// pattern, allowed.
+func SortedKeys(m map[string]int) []string {
+	var ks []string
+	for k := range m {
+		ks = append(ks, k)
+	}
+	sort.Strings(ks)
+	return ks
+}
+
+// SortedSlice uses sort.Slice on a struct collection: also allowed.
+type pair struct {
+	k string
+	v int
+}
+
+func SortedPairs(m map[string]int) []pair {
+	var ps []pair
+	for k, v := range m {
+		ps = append(ps, pair{k, v})
+	}
+	sort.Slice(ps, func(i, j int) bool { return ps[i].k < ps[j].k })
+	return ps
+}
+
+// SumFloats accumulates floats in map order: not associative, so no
+// downstream sort can recover the bits.
+func SumFloats(m map[string]float64) float64 {
+	var s float64
+	for _, v := range m {
+		s += v // want `floating-point accumulation over map iteration order`
+	}
+	return s
+}
+
+// CountValues is order-insensitive integer aggregation: allowed.
+func CountValues(m map[string]int) int {
+	n := 0
+	for range m {
+		n++
+	}
+	return n
+}
+
+// CopyToMap lands in another map: order cannot be observed.
+func CopyToMap(m map[string]int) map[string]int {
+	out := make(map[string]int, len(m))
+	for k, v := range m {
+		out[k] = v
+	}
+	return out
+}
+
+// LocalAppend collects into a slice scoped inside the loop: it dies
+// before order can leak.
+func LocalAppend(m map[string][]int) int {
+	total := 0
+	for _, vs := range m {
+		var tmp []int
+		tmp = append(tmp, vs...)
+		total += len(tmp)
+	}
+	return total
+}
+
+// Publish streams map entries through a channel in iteration order.
+func Publish(m map[string]int, ch chan<- string) {
+	for k := range m {
+		ch <- k // want `channel send inside map iteration`
+	}
+}
+
+// Stamp reads the wall clock in library code.
+func Stamp() int64 {
+	return time.Now().UnixNano() // want `time\.Now in result-affecting code`
+}
+
+// Draw uses the globally-seeded source.
+func Draw() int {
+	return rand.Intn(10) // want `global math/rand\.Intn is nondeterministic`
+}
+
+// Seeded uses a deterministic generator: allowed.
+func Seeded() float64 {
+	r := rand.New(rand.NewSource(42))
+	return r.Float64()
+}

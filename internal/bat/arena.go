@@ -23,23 +23,33 @@ import "repro/internal/exec"
 // Alloc returns a float64 slice of length n from the shared arena. The
 // contents are undefined; use AllocZero when the kernel does not
 // overwrite every element.
+//
+//lint:ignore rmalint/ctxfirst shared-arena shim kept for context-free callers (tests, deprecated knobs)
 func Alloc(n int) []float64 { return exec.Shared().Floats(n) }
 
 // AllocZero returns a zeroed float64 slice of length n from the shared
 // arena.
+//
+//lint:ignore rmalint/ctxfirst shared-arena shim kept for context-free callers (tests, deprecated knobs)
 func AllocZero(n int) []float64 { return exec.Shared().FloatsZero(n) }
 
 // Free returns a float64 slice to the shared arena. The caller asserts
 // sole ownership: the slice (and any BAT or Vector wrapping it) must not
 // be used afterwards.
+//
+//lint:ignore rmalint/ctxfirst shared-arena shim kept for context-free callers (tests, deprecated knobs)
 func Free(f []float64) { exec.Shared().FreeFloats(f) }
 
 // AllocInts returns an int slice of length n from the shared arena (the
 // permutation buffers of SortIndex and Identity).
+//
+//lint:ignore rmalint/ctxfirst shared-arena shim kept for context-free callers (tests, deprecated knobs)
 func AllocInts(n int) []int { return exec.Shared().Ints(n) }
 
 // FreeInts returns an int slice to the shared arena under the same
 // ownership contract as Free.
+//
+//lint:ignore rmalint/ctxfirst shared-arena shim kept for context-free callers (tests, deprecated knobs)
 func FreeInts(idx []int) { exec.Shared().FreeInts(idx) }
 
 // Release returns a BAT's dense tail to the arena of c. The caller

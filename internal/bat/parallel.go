@@ -25,6 +25,8 @@ func Parallelism() int { return exec.DefaultWorkers() }
 // ParallelFor runs body over [0, n) on the default context.
 //
 // Deprecated: call ParallelFor on the invocation's exec.Ctx.
+//
+//lint:ignore rmalint/ctxfirst deprecated default-context shim; callers are migrating to exec.Ctx
 func ParallelFor(n, minWork int, body func(lo, hi int)) {
 	exec.Default().ParallelFor(n, minWork, body)
 }
@@ -33,4 +35,6 @@ func ParallelFor(n, minWork int, body func(lo, hi int)) {
 // decomposition of n elements.
 //
 // Deprecated: call ParallelRuns on the invocation's exec.Ctx.
+//
+//lint:ignore rmalint/ctxfirst deprecated default-context shim; callers are migrating to exec.Ctx
 func ParallelRuns(n int) (runs, size int) { return exec.Default().ParallelRuns(n) }

@@ -155,9 +155,11 @@ func TestArenaRoundTrip(t *testing.T) {
 	}
 	Free(z)
 
-	if got := Alloc(0); len(got) != 0 {
+	got := Alloc(0)
+	if len(got) != 0 {
 		t.Fatalf("Alloc(0): len=%d", len(got))
 	}
+	Free(got)
 	Free(make([]float64, 100)) // cap 100 is no class size: must be dropped, not pooled
 
 	idx := AllocInts(1000)

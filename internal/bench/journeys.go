@@ -3,6 +3,7 @@ package bench
 import (
 	"fmt"
 	"math"
+	"sort"
 	"time"
 
 	"repro/internal/bat"
@@ -320,6 +321,14 @@ func JourneysR(trips, stations *rel.Relation, k int) (WorkloadResult, error) {
 		dx := (c1[1] - c2[1]) * 78.8
 		legs = append(legs, leg{key[0], key[1], a.n, a.dur / float64(a.n), math.Sqrt(dx*dx + dy*dy)})
 	}
+	// Canonical (ss, es) order: byRoute's iteration order must not
+	// reach the chain composition below, whose cap keeps a prefix.
+	sort.Slice(legs, func(i, j int) bool {
+		if legs[i].ss != legs[j].ss {
+			return legs[i].ss < legs[j].ss
+		}
+		return legs[i].es < legs[j].es
+	})
 	// Single-core chain composition.
 	type chain struct {
 		ss, es int64
@@ -426,6 +435,14 @@ func JourneysMADlib(trips, stations *rel.Relation, k int) (WorkloadResult, error
 		dx := (c1[1] - c2[1]) * 78.8
 		legs = append(legs, leg{key[0], key[1], a.n, a.dur / float64(a.n), math.Sqrt(dx*dx + dy*dy)})
 	}
+	// Same canonical order as the single-core path: map iteration order
+	// must not pick which chains survive the cap.
+	sort.Slice(legs, func(i, j int) bool {
+		if legs[i].ss != legs[j].ss {
+			return legs[i].ss < legs[j].ss
+		}
+		return legs[i].es < legs[j].es
+	})
 	type chain struct {
 		es    int64
 		n     int

@@ -211,6 +211,7 @@ type phaseClock struct {
 
 func (c *phaseClock) begin() {
 	if c.stats != nil {
+		//lint:ignore rmalint/detorder wall-clock phase timing feeds Stats observability only, never result bits
 		c.start = time.Now()
 	}
 }

@@ -27,13 +27,19 @@ const (
 // ToSkinny unpivots the application part of r: the result has the order
 // schema of r plus (attr, val), one row per (tuple, application
 // attribute). The order schema must form a key of r; the skinny relation
-// is keyed by order schema + attr.
-func ToSkinny(r *rel.Relation, order []string) (*rel.Relation, error) {
+// is keyed by order schema + attr. The invocation is governed like
+// Unary/Binary: opts selects parallelism and the tenant arena (nil runs
+// ungoverned on the shared arena), and a memory-budget overrun surfaces
+// as an error matching exec.ErrMemoryBudget.
+func ToSkinny(r *rel.Relation, order []string, opts *Options) (res *rel.Relation, err error) {
+	opts = opts.orDefault()
+	c := opts.ctxWorkers(opts.Parallelism)
+	defer opts.finishCtx(c)
+	defer exec.CatchBudget(&err)
 	a, err := split(r, order)
 	if err != nil {
 		return nil, err
 	}
-	c := exec.Default()
 	if err := a.sortArg(c); err != nil {
 		return nil, err
 	}
@@ -76,8 +82,12 @@ func ToSkinny(r *rel.Relation, order []string) (*rel.Relation, error) {
 // FromSkinny pivots a skinny relation (order schema + attr + val) back to
 // the wide form. Attribute columns appear in sorted name order; every key
 // must carry the same attribute set (missing cells are an error, matching
-// the dense-matrix semantics of the algebra).
-func FromSkinny(r *rel.Relation, order []string) (*rel.Relation, error) {
+// the dense-matrix semantics of the algebra). Governed like ToSkinny.
+func FromSkinny(r *rel.Relation, order []string, opts *Options) (res *rel.Relation, err error) {
+	opts = opts.orDefault()
+	c := opts.ctxWorkers(opts.Parallelism)
+	defer opts.finishCtx(c)
+	defer exec.CatchBudget(&err)
 	attrC, err := r.Col(SkinnyAttr)
 	if err != nil {
 		return nil, err
@@ -127,8 +137,8 @@ func FromSkinny(r *rel.Relation, order []string) (*rel.Relation, error) {
 	keyOfRow := make([]string, n)
 	for i := 0; i < n; i++ {
 		key := ""
-		for _, c := range orderCols {
-			key += c.Get(i).String() + "\x00"
+		for _, oc := range orderCols {
+			key += oc.Get(i).String() + "\x00"
 		}
 		keyOfRow[i] = key
 	}
@@ -172,7 +182,7 @@ func FromSkinny(r *rel.Relation, order []string) (*rel.Relation, error) {
 	schema := orderSchema.Clone()
 	cols := make([]*bat.BAT, 0, len(order)+width)
 	for _, col := range orderCols {
-		cols = append(cols, col.Gather(exec.Default(), keyRows))
+		cols = append(cols, col.Gather(c, keyRows))
 	}
 	for j, name := range attrNames {
 		schema = append(schema, rel.Attr{Name: name, Type: bat.Float})

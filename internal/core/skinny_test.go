@@ -1,10 +1,12 @@
 package core
 
 import (
+	"errors"
 	"math/rand"
 	"testing"
 
 	"repro/internal/bat"
+	"repro/internal/exec"
 	"repro/internal/matrix"
 	"repro/internal/rel"
 )
@@ -12,7 +14,7 @@ import (
 func TestSkinnyRoundTrip(t *testing.T) {
 	rng := rand.New(rand.NewSource(77))
 	r := randRelation(rng, "r", 9, 4)
-	skinny, err := ToSkinny(r, []string{"Kr"})
+	skinny, err := ToSkinny(r, []string{"Kr"}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -22,7 +24,7 @@ func TestSkinnyRoundTrip(t *testing.T) {
 	if got := skinny.Schema.Names(); got[1] != SkinnyAttr || got[2] != SkinnyValue {
 		t.Fatalf("skinny schema = %v", got)
 	}
-	wide, err := FromSkinny(skinny, []string{"Kr"})
+	wide, err := FromSkinny(skinny, []string{"Kr"}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -37,7 +39,7 @@ func TestSkinnyIsRelationalInput(t *testing.T) {
 	// The skinny form is an ordinary relation: RMA operations work on it.
 	rng := rand.New(rand.NewSource(78))
 	r := randRelation(rng, "r", 5, 2)
-	skinny, err := ToSkinny(r, []string{"Kr"})
+	skinny, err := ToSkinny(r, []string{"Kr"}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -55,7 +57,7 @@ func TestSkinnyIsRelationalInput(t *testing.T) {
 func TestSkinnyErrors(t *testing.T) {
 	rng := rand.New(rand.NewSource(79))
 	r := randRelation(rng, "r", 4, 2)
-	if _, err := ToSkinny(r, []string{"nope"}); err == nil {
+	if _, err := ToSkinny(r, []string{"nope"}, nil); err == nil {
 		t.Error("bad order attribute accepted")
 	}
 	// Name collision with the generated attributes.
@@ -63,11 +65,11 @@ func TestSkinnyErrors(t *testing.T) {
 		{Name: "K", Type: bat.Int},
 		{Name: SkinnyAttr, Type: bat.Float},
 	}, []*bat.BAT{bat.FromInts([]int64{1}), bat.FromFloats([]float64{2})})
-	if _, err := ToSkinny(coll, []string{"K"}); err == nil {
+	if _, err := ToSkinny(coll, []string{"K"}, nil); err == nil {
 		t.Error("attr collision accepted")
 	}
 
-	skinny, err := ToSkinny(r, []string{"Kr"})
+	skinny, err := ToSkinny(r, []string{"Kr"}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -76,7 +78,7 @@ func TestSkinnyErrors(t *testing.T) {
 	for i := range idx {
 		idx[i] = i
 	}
-	if _, err := FromSkinny(skinny.Gather(nil, idx), []string{"Kr"}); err == nil {
+	if _, err := FromSkinny(skinny.Gather(nil, idx), []string{"Kr"}, nil); err == nil {
 		t.Error("non-dense skinny accepted")
 	}
 	// Duplicate a row: duplicate cell.
@@ -84,16 +86,16 @@ func TestSkinnyErrors(t *testing.T) {
 	for i := range dup {
 		dup[i] = i % skinny.NumRows()
 	}
-	if _, err := FromSkinny(skinny.Gather(nil, dup), []string{"Kr"}); err == nil {
+	if _, err := FromSkinny(skinny.Gather(nil, dup), []string{"Kr"}, nil); err == nil {
 		t.Error("duplicate cell accepted")
 	}
-	if _, err := FromSkinny(r, []string{"Kr"}); err == nil {
+	if _, err := FromSkinny(r, []string{"Kr"}, nil); err == nil {
 		t.Error("relation without attr/val accepted")
 	}
-	if _, err := FromSkinny(skinny, []string{SkinnyAttr}); err == nil {
+	if _, err := FromSkinny(skinny, []string{SkinnyAttr}, nil); err == nil {
 		t.Error("attr as order attribute accepted")
 	}
-	if _, err := FromSkinny(skinny, []string{"nope"}); err == nil {
+	if _, err := FromSkinny(skinny, []string{"nope"}, nil); err == nil {
 		t.Error("missing order attribute accepted")
 	}
 }
@@ -103,14 +105,14 @@ func TestSkinnyErrors(t *testing.T) {
 func TestSkinnyWideTableScenario(t *testing.T) {
 	rng := rand.New(rand.NewSource(80))
 	wide := randRelation(rng, "w", 40, 30) // 30 application attributes
-	skinny, err := ToSkinny(wide, []string{"Kw"})
+	skinny, err := ToSkinny(wide, []string{"Kw"}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
 	if skinny.NumCols() != 3 {
 		t.Fatalf("skinny arity = %d", skinny.NumCols())
 	}
-	back, err := FromSkinny(skinny, []string{"Kw"})
+	back, err := FromSkinny(skinny, []string{"Kw"}, nil)
 	if err != nil {
 		t.Fatal(err)
 	}
@@ -121,5 +123,26 @@ func TestSkinnyWideTableScenario(t *testing.T) {
 	}
 	if q.NumRows() != 30 {
 		t.Fatalf("rqr rows = %d", q.NumRows())
+	}
+}
+
+// TestSkinnyBudgetBoundary pins the CatchBudget contract on the skinny
+// boundaries: a governed invocation whose budget cannot fit the gather
+// buffers must fail with the typed error, never unwind the caller with
+// a panic. (rmalint/budgetboundary flagged both functions before they
+// installed the handler.)
+func TestSkinnyBudgetBoundary(t *testing.T) {
+	rng := rand.New(rand.NewSource(78))
+	r := randRelation(rng, "r", 64, 4)
+	opts := &Options{Tenant: "skinny-budget", MemoryBudget: 1, Governor: exec.NewGovernor(0, 0)}
+	if _, err := ToSkinny(r, []string{"Kr"}, opts); !errors.Is(err, exec.ErrMemoryBudget) {
+		t.Fatalf("ToSkinny under a 1-byte budget: err = %v, want ErrMemoryBudget", err)
+	}
+	skinny, err := ToSkinny(r, []string{"Kr"}, nil)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := FromSkinny(skinny, []string{"Kr"}, opts); !errors.Is(err, exec.ErrMemoryBudget) {
+		t.Fatalf("FromSkinny under a 1-byte budget: err = %v, want ErrMemoryBudget", err)
 	}
 }

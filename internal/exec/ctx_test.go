@@ -222,9 +222,11 @@ func TestArenaClasses(t *testing.T) {
 	}
 	a.FreeFloats(z)
 
-	if got := a.Floats(0); len(got) != 0 {
+	got := a.Floats(0)
+	if len(got) != 0 {
 		t.Fatalf("Floats(0): len=%d", len(got))
 	}
+	a.FreeFloats(got)
 	a.FreeFloats(make([]float64, 100)) // cap 100 is no class size: dropped, not pooled
 	huge := 1<<maxPoolShift + 1
 	if c := classFor(huge); c != -1 {

@@ -156,10 +156,14 @@ func (db *DB) checkpoint(name string) error {
 
 // LoadPersisted restores every checkpointed table found in the data
 // directory into the catalog, marking each persisted. Returns the
-// loaded table names in directory order.
-func (db *DB) LoadPersisted() ([]string, error) {
+// loaded table names in directory order. The load runs under the
+// database's configured RMA options: segment reads are charged to the
+// tenant arena, and a memory-budget overrun surfaces as an error
+// matching exec.ErrMemoryBudget instead of unwinding the caller.
+func (db *DB) LoadPersisted() (loaded []string, err error) {
 	db.mu.RLock()
 	dir := db.dataDir
+	opts := db.rmaOpts
 	db.mu.RUnlock()
 	if dir == "" {
 		return nil, fmt.Errorf("sql: LoadPersisted without a data directory")
@@ -168,12 +172,14 @@ func (db *DB) LoadPersisted() ([]string, error) {
 	if err != nil {
 		return nil, fmt.Errorf("sql: data dir: %w", err)
 	}
-	var loaded []string
+	c, finish := db.stmtCtx(opts, 0, false)
+	defer finish()
+	defer exec.CatchBudget(&err)
 	for _, e := range ents {
 		if e.IsDir() || !strings.HasSuffix(e.Name(), ".seg") {
 			continue
 		}
-		r, rd, err := loadSegTable(filepath.Join(dir, e.Name()))
+		r, rd, err := loadSegTable(c, filepath.Join(dir, e.Name()))
 		if err != nil {
 			return loaded, err
 		}
@@ -192,8 +198,9 @@ func (db *DB) LoadPersisted() ([]string, error) {
 }
 
 // loadSegTable reads a whole segment file into an in-memory relation
-// and returns it with the (still open) reader.
-func loadSegTable(path string) (*rel.Relation, *store.Reader, error) {
+// and returns it with the (still open) reader. Segment reads draw from
+// c's arena, so a governed load charges the tenant.
+func loadSegTable(c *exec.Ctx, path string) (*rel.Relation, *store.Reader, error) {
 	rd, err := store.Open(path)
 	if err != nil {
 		return nil, nil, err
@@ -202,7 +209,6 @@ func loadSegTable(path string) (*rel.Relation, *store.Reader, error) {
 	n := int(rd.Rows())
 	schema := make(rel.Schema, len(specs))
 	cols := make([]*bat.BAT, len(specs))
-	c := exec.Default()
 	for j, sp := range specs {
 		schema[j] = rel.Attr{Name: sp.Name, Type: typeOfKind(sp.Kind)}
 		var fs []float64

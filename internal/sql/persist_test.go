@@ -1,6 +1,7 @@
 package sql
 
 import (
+	"errors"
 	"math"
 	"os"
 	"path/filepath"
@@ -8,6 +9,8 @@ import (
 	"testing"
 
 	"repro/internal/bat"
+	"repro/internal/core"
+	"repro/internal/exec"
 	"repro/internal/rel"
 	"repro/internal/store"
 )
@@ -236,5 +239,48 @@ func TestZoneMapSegmentPruning(t *testing.T) {
 	}
 	if a.NumRows() != 20 {
 		t.Fatalf("pruned scan returned %d rows, want 20", a.NumRows())
+	}
+}
+
+// TestLoadPersistedBudgetBoundary pins the CatchBudget contract on the
+// restore path: LoadPersisted runs under the database's RMA options, so
+// a tenant budget too small for the segment read buffers must surface
+// as the typed error, never a panic unwinding the caller.
+// (rmalint/budgetboundary flagged LoadPersisted before it installed the
+// handler.)
+func TestLoadPersistedBudgetBoundary(t *testing.T) {
+	dir := t.TempDir()
+	db1 := NewDB()
+	defer db1.Close()
+	if err := db1.SetDataDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	db1.Register("src", persistSrc(512))
+	if _, err := db1.Exec("CREATE TABLE t (k BIGINT, v DOUBLE, s VARCHAR) PERSIST"); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := db1.Exec("INSERT INTO t SELECT k, v, s FROM src"); err != nil {
+		t.Fatal(err)
+	}
+
+	db2 := NewDB()
+	defer db2.Close()
+	if err := db2.SetDataDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	db2.SetRMAOptions(&core.Options{Tenant: "load-budget", MemoryBudget: 1, Governor: exec.NewGovernor(0, 0)})
+	if _, err := db2.LoadPersisted(); !errors.Is(err, exec.ErrMemoryBudget) {
+		t.Fatalf("LoadPersisted under a 1-byte budget: err = %v, want ErrMemoryBudget", err)
+	}
+
+	// An ungoverned restore of the same directory succeeds.
+	db3 := NewDB()
+	defer db3.Close()
+	if err := db3.SetDataDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	loaded, err := db3.LoadPersisted()
+	if err != nil || len(loaded) != 1 || loaded[0] != "t" {
+		t.Fatalf("ungoverned restore: loaded %v, err %v", loaded, err)
 	}
 }

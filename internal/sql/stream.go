@@ -71,9 +71,13 @@ func newScanStream(c *exec.Ctx, n *streamNode, ps *exec.PipelineStats) (*scanStr
 			}
 		}
 	}
+	// Iterate columns by position, not by ranging the touched map: the
+	// densified vectors land in s.owned, and a deterministic order keeps
+	// the arena's buffer reuse (and therefore allocation stats) stable
+	// across runs.
 	var repl []*bat.BAT
-	for k := range touched {
-		if !src.rel.Cols[k].IsSparse() {
+	for k := range src.rel.Cols {
+		if !touched[k] || !src.rel.Cols[k].IsSparse() {
 			continue
 		}
 		if repl == nil {
